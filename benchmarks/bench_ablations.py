@@ -1,0 +1,186 @@
+"""Ablations for the design choices DESIGN.md calls out.
+
+* CAM size sweep — why 512 entries (the paper sized it from the k-mer hit
+  distribution; we sweep and report lookup cost + overflow rates).
+* Segment count sweep — table-locality versus per-segment streaming cost.
+* Exact-match fast path on/off — the §V item-4 optimization.
+* Composable tiles — reconfiguration overhead versus a monolithic engine.
+* Collapsed vs 3-D Silla — the §III-C state-count saving.
+"""
+
+import random
+
+import pytest
+
+from benchmarks.conftest import EDIT_BOUND, write_result
+from repro.core.silla import silla_state_count
+from repro.core.three_d_silla import three_d_state_count
+from repro.seeding.accelerator import SeedingAccelerator
+from repro.seeding.index import KmerIndex
+from repro.seeding.smem import SmemConfig
+from repro.sillax.composable import ComposableArray
+from repro.sillax.traceback_machine import TracebackMachine
+
+
+def test_ablation_cam_size(reference, workload, results_dir):
+    reads = [s.sequence for s in workload[:20]]
+    lines = ["CAM size sweep (lookups/read, overflow fallbacks):"]
+    previous = None
+    for cam_size in (16, 64, 256, 512):
+        accel = SeedingAccelerator(
+            reference, SmemConfig(k=12, cam_size=cam_size), segment_count=2
+        )
+        accel.seed_reads(reads)
+        lines.append(
+            f"  {cam_size:4d} {accel.stats.lookups_per_read:10.1f} "
+            f"{accel.stats.intersections.overflow_fallbacks:6d}"
+        )
+        if previous is not None:
+            # Larger CAMs can only reduce overflow fallbacks.
+            assert accel.stats.intersections.overflow_fallbacks <= previous
+        previous = accel.stats.intersections.overflow_fallbacks
+    write_result(results_dir, "ablation_cam_size", lines)
+
+
+def test_ablation_segment_count(reference, workload, results_dir):
+    reads = [s.sequence for s in workload[:12]]
+    lines = [
+        "segment count sweep "
+        "(position-table bytes/segment, table bytes streamed):"
+    ]
+    position_bytes = []
+    for segments in (1, 2, 4, 8):
+        accel = SeedingAccelerator(reference, SmemConfig(k=12), segment_count=segments)
+        accel.seed_reads(reads)
+        per_segment = max(
+            tables.index.position_table_bytes() for tables in accel.tables
+        )
+        position_bytes.append(per_segment)
+        lines.append(
+            f"  {segments:2d} {per_segment:12d} "
+            f"{accel.stats.table_bytes_streamed:14d}"
+        )
+    write_result(results_dir, "ablation_segment_count", lines)
+    # More segments -> smaller per-segment position tables (what lets GenAx
+    # hold a segment's tables in on-chip SRAM, §V); the direct-mapped index
+    # table is constant per segment by construction.
+    assert position_bytes[-1] < position_bytes[0]
+
+
+def test_ablation_exact_match_fast_path(reference, workload, results_dir):
+    reads = [s.sequence for s in workload]
+
+    def run(fast_path):
+        accel = SeedingAccelerator(
+            reference,
+            SmemConfig(k=12, exact_match_fast_path=fast_path),
+            segment_count=2,
+        )
+        accel.seed_reads(reads)
+        return accel.stats
+
+    with_fp = run(True)
+    without_fp = run(False)
+    lines = [
+        "exact-match fast path ablation:",
+        f"  lookups/read with fast path:    {with_fp.lookups_per_read:10.1f}",
+        f"  lookups/read without fast path: {without_fp.lookups_per_read:10.1f}",
+        f"  exact reads detected: {with_fp.finder.exact_match_reads}",
+    ]
+    write_result(results_dir, "ablation_exact_fast_path", lines)
+    assert with_fp.finder.exact_match_reads >= 0
+
+
+def test_ablation_composable_tiles(results_dir):
+    rng = random.Random(55)
+    reference = "".join(rng.choice("ACGT") for _ in range(80))
+    query = list(reference[:64])
+    for __ in range(6):
+        query[rng.randrange(64)] = rng.choice("ACGT")
+    query = "".join(query)
+
+    array = ComposableArray(base_k=4, tiles=4)
+    fused = array.align(reference, query, k_needed=8)
+    monolithic = TracebackMachine(8).align(reference, query)
+    lines = [
+        "composable tiles (2x2 fusion of K=4 tiles vs monolithic K=8):",
+        f"  fused score {fused.score}, monolithic score {monolithic.score}",
+        f"  reconfigurations: {array.reconfigurations}",
+        f"  engines while fused: {array.config.engine_ks}",
+    ]
+    write_result(results_dir, "ablation_composable", lines)
+    assert fused.score == monolithic.score
+
+
+def test_ablation_collapsed_vs_3d_states(results_dir):
+    lines = ["state counts: K  collapsed  3-D  saving"]
+    for k in (8, 16, 32, 40, 64):
+        collapsed = silla_state_count(k)
+        cubic = three_d_state_count(k)
+        lines.append(f"  {k:3d} {collapsed:9d} {cubic:9d} {cubic / collapsed:6.1f}x")
+        assert collapsed < cubic
+    write_result(results_dir, "ablation_collapsed_states", lines)
+
+
+def test_ablation_cam_sizing_analysis(reference, results_dir):
+    """§V: 'most k-mers have less than 512 hits when k = 12' — reproduced."""
+    from repro.seeding.analysis import analyze_index, pathological_kmers, recommend_cam_size
+
+    index = KmerIndex.build(reference.sequence, 12)
+    dist = analyze_index(index)
+    worst = pathological_kmers(index, top=3)
+    lines = [
+        f"k = 12 over {len(reference.sequence):,} bp:",
+        f"  distinct k-mers: {dist.distinct_kmers:,}",
+        f"  fraction with <= 512 hits (paper: 'most'): {dist.cam_adequacy(512):.6f}",
+        f"  99th percentile hit count: {dist.quantile(0.99)}",
+        f"  recommended CAM (99% coverage, power of two): {recommend_cam_size(dist)}",
+        "  worst k-mers: " + ", ".join(f"{kmer}({count})" for kmer, count in worst),
+    ]
+    write_result(results_dir, "ablation_cam_sizing", lines)
+    assert dist.cam_adequacy(512) > 0.99
+
+
+def test_ablation_rerun_vs_error_rate(reference, results_dir):
+    """Fig. 13 extension: traceback re-execution rate versus read error rate."""
+    import random
+
+    from repro.sillax.lane import SillaXLane
+
+    rng = random.Random(333)
+
+    def corrupt(read, errors):
+        out = list(read)
+        for __ in range(errors):
+            p = rng.randrange(max(1, len(out)))
+            roll = rng.random()
+            if roll < 0.6 and out:
+                out[p] = rng.choice("ACGT")
+            elif roll < 0.8:
+                out.insert(p, rng.choice("ACGT"))
+            elif out:
+                del out[p]
+        return "".join(out)[:101]
+
+    lines = ["errors/read (mixed sub/indel) -> rerun fraction (40 extensions each):"]
+    fractions = []
+    for errors in (0, 2, 4, 8):
+        lane = SillaXLane(k=EDIT_BOUND)
+        for __ in range(40):
+            start = rng.randrange(0, len(reference.sequence) - 130)
+            window = reference.sequence[start : start + 113]
+            lane.align_pair(window, corrupt(window[:101], errors))
+        fractions.append(lane.stats.rerun_fraction)
+        lines.append(f"  {errors:2d} -> {lane.stats.rerun_fraction:.3f}")
+    write_result(results_dir, "ablation_rerun_vs_error_rate", lines)
+    # Error-free reads never break pointer trails; indel-bearing reads can
+    # (competing paths re-enter states and overwrite records).
+    assert fractions[0] == 0.0
+    assert max(fractions) > 0.0
+
+
+def test_ablation_bench_index_build(benchmark, reference):
+    def build():
+        return KmerIndex.build(reference.sequence[:20_000], 12).total_positions
+
+    assert benchmark(build) > 0

@@ -1,0 +1,61 @@
+"""Fig. 13 + §VIII-A broken-trail statistics.
+
+Runs the SillaX traceback machine over the simulated read workload and
+measures (a) the fraction of extensions needing re-execution (paper: 7.59%
+of reads) and (b) the distribution of cycles spent in re-execution (paper:
+>60% of events resolve within the first N = 101 cycles).
+"""
+
+import pytest
+
+from benchmarks.conftest import EDIT_BOUND, write_result
+from repro.sillax.lane import SillaXLane
+
+
+def _run_workload(reference, workload, lane):
+    from repro.genome.sequence import reverse_complement
+
+    for sim in workload:
+        window_start = sim.true_position
+        sequence = sim.sequence
+        if sim.reverse:
+            sequence = reverse_complement(sequence)
+        lane.extend(reference, sequence, window_start)
+
+
+def test_fig13_rerun_distribution(reference, workload, results_dir):
+    lane = SillaXLane(k=EDIT_BOUND)
+    _run_workload(reference, workload, lane)
+    stats = lane.stats
+    assert stats.extensions == len(workload)
+
+    samples = sorted(stats.rerun_cycle_samples)
+    n = 101
+    within_n = sum(1 for c in samples if c <= n) / len(samples) if samples else 1.0
+    lines = [
+        f"extensions: {stats.extensions}",
+        f"rerun fraction (paper: 7.59% of reads): {stats.rerun_fraction:.4f}",
+        f"rerun events resolved within N={n} cycles (paper: >60%): {within_n:.2%}",
+        "rerun cycle histogram (bucket_upper_bound count):",
+    ]
+    for upper in range(100, 1601, 100):
+        count = sum(1 for c in samples if upper - 100 < c <= upper)
+        lines.append(f"  {upper:5d} {count}")
+    write_result(results_dir, "fig13_traceback_reexec", lines)
+
+    # Shape assertions: re-execution is the exception, and short.
+    assert stats.rerun_fraction < 0.5
+    if samples:
+        assert within_n >= 0.5
+
+
+def test_fig13_bench(benchmark, reference, workload):
+    subset = workload[:10]
+
+    def run():
+        lane = SillaXLane(k=EDIT_BOUND)
+        _run_workload(reference, subset, lane)
+        return lane.stats.cycles
+
+    cycles = benchmark(run)
+    assert cycles > 0

@@ -1,0 +1,119 @@
+"""Fig. 15: end-to-end GenAx throughput (a) and power (b).
+
+The GenAx pipeline simulator runs the workload to *measure* the per-read
+statistics (exact-match fraction, surviving hits per inexact read); those
+measurements parameterize the calibrated throughput model, which is then
+compared against the paper's 4,058 Kreads/s headline and the BWA-MEM /
+CUSHAW2 baselines.
+"""
+
+import pytest
+
+from benchmarks.conftest import EDIT_BOUND, write_result
+from repro.model import constants
+from repro.model.power import GenAxPowerModel
+from repro.model.throughput import (
+    GenAxThroughputModel,
+    GenAxWorkload,
+    SillaXCycleModel,
+)
+from repro.pipeline.genax import GenAxAligner, GenAxConfig
+
+
+def _run_pipeline(reference, workload):
+    aligner = GenAxAligner(
+        reference, GenAxConfig(edit_bound=EDIT_BOUND, segment_count=4)
+    )
+    mapped = [aligner.align_read(s.name, s.sequence) for s in workload]
+    return aligner, mapped
+
+
+def test_fig15a_throughput(reference, workload, results_dir):
+    aligner, mapped = _run_pipeline(reference, workload)
+    stats = aligner.stats
+    lane = aligner.lane_stats
+
+    exact_fraction = stats.reads_exact / stats.reads_total
+    inexact = max(1, stats.reads_total - stats.reads_exact)
+    hits_per_inexact = lane.extensions / inexact
+
+    seeding = aligner.seeding_stats
+    seeding_lookups = (
+        seeding.cycles_per_read / 2.0 if seeding.reads_processed else 60.0
+    )
+    model = GenAxThroughputModel(
+        workload=GenAxWorkload(
+            exact_fraction=exact_fraction,
+            hits_per_nonexact_read=hits_per_inexact,
+            seeding_lookups_per_read=seeding_lookups,
+        ),
+        cycle_model=SillaXCycleModel(
+            read_length=101,
+            edit_bound=constants.EDIT_DISTANCE_BOUND,
+            rerun_fraction=lane.rerun_fraction,
+        ),
+    )
+    series = model.figure15a_kreads_s()
+    power = GenAxPowerModel().figure15b_watts()
+
+    lines = [
+        f"measured exact-match fraction: {exact_fraction:.2f}"
+        f" (paper dataset: {1 - constants.NON_EXACT_READS / constants.TOTAL_READS:.2f})",
+        f"measured hits/inexact read: {hits_per_inexact:.1f}",
+        f"mapped reads: {stats.reads_mapped}/{stats.reads_total}",
+        "",
+        "Fig. 15a (KReads/s)      model      paper",
+    ]
+    paper_a = {
+        "GenAx": constants.GENAX_THROUGHPUT_KREADS_S,
+        "BWA-MEM (CPU)": constants.BWA_MEM_THROUGHPUT_KREADS_S,
+        "CUSHAW2 (GPU)": constants.CUSHAW2_THROUGHPUT_KREADS_S,
+    }
+    for name in series:
+        lines.append(f"  {name:16s} {series[name]:10.1f} {paper_a[name]:10.1f}")
+    speedup = series["GenAx"] / series["BWA-MEM (CPU)"]
+    lines.append(f"speedup vs BWA-MEM (paper 31.7x): {speedup:.1f}x")
+    default_model = GenAxThroughputModel()
+    lines.append(
+        "GenAx at the paper's workload statistics "
+        f"(55% exact, 10 hits/inexact read): {default_model.kreads_per_second():.0f}"
+        " KReads/s"
+    )
+    from repro.model.schedule import GenAxSchedule
+
+    schedule = GenAxSchedule(
+        cycles_per_hit=default_model.cycle_model.cycles_per_hit
+    )
+    timeline = schedule.resolve()
+    lines.append(
+        f"segment-pipeline schedule model: {schedule.kreads_per_second():.0f} "
+        f"KReads/s, bottleneck = {timeline.bottleneck} "
+        f"({timeline.utilization(timeline.bottleneck):.0%} busy)"
+    )
+    lines.append("")
+    lines.append("Fig. 15b (W)")
+    for name, watts in power.items():
+        lines.append(f"  {name:16s} {watts:10.1f}")
+    lines.append(
+        f"power reduction vs CPU (paper 12x): "
+        f"{GenAxPowerModel().reduction_vs_cpu():.1f}x"
+    )
+    write_result(results_dir, "fig15_genax_throughput_power", lines)
+
+    # Shape: who wins and by roughly what factor.
+    assert series["GenAx"] > series["BWA-MEM (CPU)"] > series["CUSHAW2 (GPU)"]
+    assert 10 < speedup < 100
+    assert power["GenAx"] < power["BWA-MEM (CPU)"] / 8
+
+
+def test_fig15_pipeline_bench(benchmark, reference, workload):
+    subset = workload[:6]
+
+    def run():
+        aligner = GenAxAligner(
+            reference, GenAxConfig(edit_bound=EDIT_BOUND, segment_count=2)
+        )
+        return [aligner.align_read(s.name, s.sequence) for s in subset]
+
+    mapped = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(mapped) == len(subset)

@@ -1,0 +1,84 @@
+"""Long-read projection: SillaX throughput as reads grow (§I/§II motivation).
+
+The paper argues Silla's O(K^2) state space is what lets the design ride
+the long-read transition.  This bench projects the cycle model across read
+lengths and error regimes: K scales with expected edits, tile fusion
+(§IV-D) supplies the larger K at the cost of engine count, and throughput
+degrades *linearly* in N — versus the quadratic cell growth of
+Smith-Waterman measured alongside.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.genome.long_reads import LongReadErrorModel
+from repro.model.throughput import SillaXCycleModel
+from repro.sillax.composable import TileConfig
+
+BASE_K = 40
+TILES = 16
+FREQUENCY_GHZ = 2.0
+
+SCENARIOS = [
+    ("Illumina 101 bp", 101, 0.02),
+    ("PacBio-ish 1 kbp", 1_000, 0.05),
+    ("Nanopore-ish 10 kbp", 10_000, 0.08),
+]
+
+
+def test_longread_projection(results_dir):
+    array = TileConfig(base_k=BASE_K, tiles=TILES)
+    lines = [
+        f"tile array: {TILES} tiles of K={BASE_K} "
+        f"(max fused K = {BASE_K * array.max_fused_factor})",
+        "",
+        f"{'scenario':22s} {'K':>5} {'fusion':>6} {'engines':>7} "
+        f"{'cycles/hit':>10} {'Khits/s':>9} {'SW cells':>12}",
+    ]
+    khits = []
+    for name, length, error_rate in SCENARIOS:
+        model = LongReadErrorModel(error_rate=error_rate)
+        expected = model.expected_edits(length)
+        k_needed = int(expected + 3 * expected**0.5) + 4
+        factor = max(1, -(-k_needed // BASE_K))
+        if factor > array.max_fused_factor:
+            factor = array.max_fused_factor
+        k_engine = BASE_K * factor
+        config = TileConfig(base_k=BASE_K, tiles=TILES, fused_factor=factor)
+        engines = config.fused_engines + config.independent_engines
+        # All tiles devoted to this read class: engines of the fused kind.
+        engines_of_kind = TILES // (factor * factor)
+        cycles = SillaXCycleModel(
+            read_length=length, edit_bound=k_engine
+        ).cycles_per_hit
+        rate = engines_of_kind * FREQUENCY_GHZ * 1e9 / cycles / 1e3
+        khits.append(rate)
+        sw_cells = length * length  # the O(N^2) competitor
+        lines.append(
+            f"{name:22s} {k_engine:5d} {factor}x{factor:<4d} {engines_of_kind:7d} "
+            f"{cycles:10.0f} {rate:9.1f} {sw_cells:12,d}"
+        )
+    lines.append("")
+    lines.append(
+        "SillaX throughput falls ~linearly with read length (cycles ~ N);"
+    )
+    lines.append(
+        "Smith-Waterman work grows quadratically — the §II scaling argument."
+    )
+    write_result(results_dir, "longread_projection", lines)
+
+    # Shape: 100x longer reads cost ~100x-ish throughput (times the engine
+    # reduction from fusing), never the 10,000x a quadratic design pays.
+    ratio = khits[0] / khits[-1]
+    assert 100 < ratio < 5_000
+    assert (SCENARIOS[-1][1] / SCENARIOS[0][1]) ** 2 > 3 * ratio
+
+
+def test_longread_bench(benchmark):
+    def run():
+        total = 0.0
+        for __, length, __rate in SCENARIOS:
+            total += SillaXCycleModel(read_length=length, edit_bound=80).cycles_per_hit
+        return total
+
+    assert benchmark(run) > 0

@@ -1,0 +1,76 @@
+"""Capacity demonstration: a scaled 'whole-genome' batch run.
+
+Not a paper figure — a system test at the largest size the Python
+simulator comfortably handles: a 200 kbp genome with planted repeats,
+variants, and 120 reads mapped segment-major through the full GenAx
+pipeline, with accuracy scored against simulation truth and the hardware
+counters reported.
+"""
+
+import random
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.genome.reads import ErrorProfile, ReadSimulator
+from repro.genome.reference import make_reference
+from repro.genome.variants import simulate_variants
+from repro.pipeline.counters import collect_counters
+from repro.pipeline.genax import GenAxAligner, GenAxConfig
+
+GENOME_BP = 200_000
+READS = 120
+
+
+@pytest.fixture(scope="module")
+def big_workload():
+    reference = make_reference(GENOME_BP, seed=777)
+    rng = random.Random(778)
+    variants = simulate_variants(reference.sequence, rng)
+    simulator = ReadSimulator(
+        reference,
+        variants,
+        read_length=101,
+        seed=779,
+        error_profile=ErrorProfile(rate_start=0.01, rate_end=0.03),
+    )
+    return reference, simulator.simulate(READS)
+
+
+def test_scale_batch_run(big_workload, results_dir):
+    reference, reads = big_workload
+    aligner = GenAxAligner(
+        reference, GenAxConfig(edit_bound=12, segment_count=8)
+    )
+    mapped = aligner.align_batch([(s.name, s.sequence) for s in reads])
+
+    accurate = sum(
+        1
+        for m, s in zip(mapped, reads)
+        if not m.is_unmapped and abs(m.position - s.true_position) <= 12
+    )
+    counters = collect_counters(aligner)
+    lines = [
+        f"genome: {GENOME_BP:,} bp in 8 segments; reads: {READS} x 101 bp",
+        f"accuracy vs simulation truth (<= 12 bp): {accurate}/{READS}",
+        "",
+        counters.render(),
+    ]
+    write_result(results_dir, "scale_batch_run", lines)
+
+    assert accurate >= int(0.9 * READS)
+    assert counters.reads_mapped >= int(0.9 * READS)
+
+
+def test_scale_bench(benchmark, big_workload):
+    reference, reads = big_workload
+    subset = [(s.name, s.sequence) for s in reads[:15]]
+
+    def run():
+        aligner = GenAxAligner(
+            reference, GenAxConfig(edit_bound=12, segment_count=8)
+        )
+        return aligner.align_batch(subset)
+
+    mapped = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(mapped) == len(subset)

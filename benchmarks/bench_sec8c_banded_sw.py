@@ -1,0 +1,89 @@
+"""§VIII-C: SillaX versus banded Smith-Waterman.
+
+Three comparisons from that section:
+
+* per-PE area: banded-SW PE ~300 um^2 vs SillaX edit PE ~9.7 um^2 at 5 GHz
+  (30x) — regenerated from the synthesis model;
+* time/space complexity: SillaX uses O(K^2) PEs and ~N cycles while banded
+  SW computes O(K*N) cells — measured as work scaling with read length;
+* LA context-switch cost (§II): reprogramming a Levenshtein automaton per
+  read versus Silla's string independence.
+"""
+
+import random
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.align.banded import banded_extension_score
+from repro.align.levenshtein_automaton import la_stream_cost
+from repro.core.silla import Silla, silla_state_count
+from repro.model import constants
+from repro.model.synthesis import EDIT_PE
+from repro.sillax.lane import SillaXLane
+
+K = 8
+LENGTHS = [50, 100, 200, 400]
+
+
+def _random_pair(rng, length):
+    reference = "".join(rng.choice("ACGT") for _ in range(length + K))
+    query = list(reference[:length])
+    for __ in range(3):
+        p = rng.randrange(length)
+        query[p] = rng.choice("ACGT")
+    return reference, "".join(query)
+
+
+def test_sec8c_comparison(results_dir):
+    rng = random.Random(77)
+    lines = [
+        f"PE area at 5 GHz: banded SW {constants.BANDED_SW_PE_AREA_UM2:.0f} um^2, "
+        f"SillaX {EDIT_PE.area_um2(5.0):.1f} um^2 "
+        f"-> {constants.BANDED_SW_PE_AREA_UM2 / EDIT_PE.area_um2(5.0):.0f}x (paper 30x)",
+        "",
+        "scaling with read length (K fixed):",
+        "  N    sillax_cycles  banded_cells  silla_states",
+    ]
+    cycle_counts = []
+    cell_counts = []
+    for length in LENGTHS:
+        reference, query = _random_pair(rng, length)
+        lane = SillaXLane(k=K)
+        result = lane.align_pair(reference, query)
+        __, cells = banded_extension_score(reference, query, K)
+        cycle_counts.append(result.total_cycles)
+        cell_counts.append(cells)
+        lines.append(
+            f"  {length:4d} {result.total_cycles:13d} {cells:13d} "
+            f"{silla_state_count(K):12d}"
+        )
+
+    # LA context-switch cost: one automaton per (different) read.
+    items = []
+    for __ in range(10):
+        reference, query = _random_pair(rng, 60)
+        items.append((reference[:60], query, K))
+    la_cost = la_stream_cost(items)
+    lines.append("")
+    lines.append(
+        f"LA over 10 distinct reads: {la_cost.reprogram_states} reprogram-state "
+        f"writes vs 0 for Silla (string independent)"
+    )
+    write_result(results_dir, "sec8c_banded_sw", lines)
+
+    # SillaX cycles scale ~linearly with N; banded cells scale ~(2K+1)*N.
+    assert cycle_counts[-1] < cycle_counts[0] * (LENGTHS[-1] / LENGTHS[0]) * 1.5
+    for cells, length in zip(cell_counts, LENGTHS):
+        assert cells <= (2 * K + 1) * (length + K)
+    assert la_cost.reprogram_states > 0
+
+
+def test_sec8c_bench(benchmark):
+    rng = random.Random(99)
+    reference, query = _random_pair(rng, 100)
+
+    def run():
+        return Silla(K).distance(reference[:100], query)
+
+    benchmark(run)

@@ -1,0 +1,34 @@
+"""Table II: GenAx area breakdown, plus the 5.6x area-reduction headline."""
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.model import constants
+from repro.model.area import GenAxAreaModel
+
+
+def test_table2_breakdown(results_dir):
+    model = GenAxAreaModel()
+    table = model.table2()
+    paper = {
+        "Seeding lanes (x128)": constants.SEEDING_LANES_AREA_MM2,
+        "SillaX lanes (x4)": constants.SILLAX_LANES_AREA_MM2,
+        "On-chip SRAM (68 MB)": constants.ONCHIP_SRAM_AREA_MM2,
+        "Total": constants.GENAX_TOTAL_AREA_MM2,
+    }
+    lines = ["Table II (mm^2)            model      paper"]
+    for name, value in table.items():
+        lines.append(f"  {name:24s} {value:8.2f} {paper[name]:8.2f}")
+        assert value == pytest.approx(paper[name], abs=0.01)
+    lines.append(
+        f"area reduction vs dual-socket Xeon (paper 5.6x): "
+        f"{model.reduction_vs_cpu():.2f}x"
+    )
+    write_result(results_dir, "table2_area", lines)
+
+
+def test_table2_bench(benchmark):
+    def build():
+        return GenAxAreaModel().total_mm2
+
+    assert benchmark(build) > 0

@@ -1,0 +1,55 @@
+"""Shared benchmark fixtures: a mid-size synthetic workload.
+
+Every figure/table bench runs against the same scaled-down workload (a
+50 kbp genome, 101 bp reads at ~2% error) so numbers are comparable across
+benches.  Results are also written to ``benchmarks/results/<id>.txt`` so a
+``--benchmark-only`` run leaves the regenerated figure data on disk.
+"""
+
+import random
+from pathlib import Path
+
+import pytest
+
+from repro.genome.reads import ErrorProfile, ReadSimulator
+from repro.genome.reference import make_reference
+from repro.genome.variants import simulate_variants
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+GENOME_BP = 50_000
+READ_LENGTH = 101
+READ_COUNT = 60
+EDIT_BOUND = 12  # scaled from the paper's K = 40 to fit Python simulation
+
+
+@pytest.fixture(scope="session")
+def reference():
+    return make_reference(GENOME_BP, seed=101)
+
+
+@pytest.fixture(scope="session")
+def workload(reference):
+    """Simulated reads with ground truth (variants + sequencing errors)."""
+    rng = random.Random(202)
+    variants = simulate_variants(reference.sequence, rng)
+    simulator = ReadSimulator(
+        reference,
+        variants,
+        read_length=READ_LENGTH,
+        seed=303,
+        error_profile=ErrorProfile(rate_start=0.01, rate_end=0.03),
+    )
+    return simulator.simulate(READ_COUNT)
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(results_dir: Path, name: str, lines) -> None:
+    """Persist one experiment's regenerated rows/series."""
+    path = results_dir / f"{name}.txt"
+    path.write_text("\n".join(str(line) for line in lines) + "\n")

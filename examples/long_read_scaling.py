@@ -1,0 +1,84 @@
+"""Long-read scaling — why Silla beats DP as reads grow (§I, §II, §III).
+
+PacBio / Oxford Nanopore reads reach tens of kilobases.  Smith-Waterman's
+O(N^2) grid and the Levenshtein automaton's O(K*N) states both blow up with
+read length; Silla's state space is O(K^2), independent of N, and its
+runtime is ~N cycles.  This example measures all three as the read length
+sweeps from 100 bp toward long-read territory (scaled to stay laptop-fast).
+
+Run:  python examples/long_read_scaling.py
+"""
+
+import random
+
+from repro.align.banded import banded_extension_score
+from repro.align.levenshtein_automaton import LevenshteinAutomaton
+from repro.align.smith_waterman import extension_align
+from repro.core.silla import Silla, silla_state_count
+from repro.sillax.lane import SillaXLane
+
+K = 8
+LENGTHS = [100, 200, 400, 800, 1600]
+
+
+def mutated_copy(rng: random.Random, sequence: str, errors: int) -> str:
+    out = list(sequence)
+    for __ in range(errors):
+        position = rng.randrange(len(out))
+        roll = rng.random()
+        if roll < 0.7:
+            out[position] = rng.choice([b for b in "ACGT" if b != out[position]])
+        elif roll < 0.85:
+            out.insert(position, rng.choice("ACGT"))
+        else:
+            del out[position]
+    return "".join(out)
+
+
+def main() -> None:
+    print("== Scaling with read length (K = %d) ==" % K)
+    print(f"{'N':>6} {'SW cells':>12} {'banded cells':>13} "
+          f"{'LA states':>10} {'Silla states':>13} {'SillaX cycles':>14}")
+    rng = random.Random(31)
+    for length in LENGTHS:
+        reference = "".join(rng.choice("ACGT") for _ in range(length + K))
+        query = mutated_copy(rng, reference[:length], 4)[:length]
+
+        # Full Smith-Waterman: O(N^2) cells (only run while affordable).
+        if length <= 800:
+            sw_cells = extension_align(reference, query).cells_computed
+            sw_text = f"{sw_cells:12,d}"
+        else:
+            sw_text = f"{'(skipped)':>12}"
+
+        # Banded SW: O(K*N) cells.
+        __, banded_cells = banded_extension_score(reference, query, K)
+
+        # Levenshtein automaton: O(K*N) states, rebuilt per read.
+        la_states = LevenshteinAutomaton(query, K).state_count
+
+        # Silla: O(K^2) states regardless of N; ~N cycles.
+        lane = SillaXLane(k=K)
+        result = lane.align_pair(reference, query)
+
+        print(
+            f"{length:6d} {sw_text} {banded_cells:13,d} "
+            f"{la_states:10,d} {silla_state_count(K):13,d} "
+            f"{result.total_cycles:14,d}"
+        )
+
+    print("\nTakeaways (the §II/§III argument):")
+    print(" * SW work grows quadratically; banded SW and LA states grow linearly;")
+    print(" * Silla's hardware state count never changes — only cycles grow,")
+    print("   and they grow linearly with N (one streamed symbol per cycle).")
+
+    # Sanity: Silla still gets the right answers at the longest length.
+    reference = "".join(rng.choice("ACGT") for _ in range(1600))
+    query = mutated_copy(rng, reference, 5)
+    silla = Silla(K)
+    distance = silla.distance(reference, query)
+    print(f"\nedit distance of a 1.6 kbp pair with 5 injected errors: {distance}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Long-read alignment with composable SillaX tiles (§I, §IV-D).
+
+Nanopore-class reads are kilobases long with ~10% (indel-heavy) error, so
+a single fixed-K engine is not enough: the expected edit count scales with
+read length.  GenAx's answer is tile composition (§IV-D) — fuse p x p
+small-K tiles into one pK engine when a read demands it.  This example:
+
+1. simulates indel-heavy long reads (scaled lengths so it runs in seconds);
+2. sizes K per read from the error model;
+3. picks the tile-fusion factor a 16-tile array of K=16 tiles would use;
+4. verifies each read against its true reference window with the dense
+   (vectorized) scoring machine at that K.
+
+Run:  python examples/nanopore_long_reads.py
+"""
+
+from repro.genome.long_reads import LongReadErrorModel, LongReadSimulator
+from repro.genome.reference import make_reference
+from repro.genome.sequence import reverse_complement
+from repro.sillax.composable import TileConfig
+from repro.sillax.dense import DenseScoringMachine
+
+
+def main() -> None:
+    print("== Long-read alignment via composable SillaX ==")
+    reference = make_reference(30_000, seed=71)
+    error_model = LongReadErrorModel(error_rate=0.08)
+    simulator = LongReadSimulator(
+        reference,
+        mean_length=500,
+        min_length=250,
+        error_model=error_model,
+        seed=72,
+    )
+    reads = simulator.simulate(8)
+
+    base_k, tiles = 16, 16
+    array = TileConfig(base_k=base_k, tiles=tiles)
+    print(f"tile array: {tiles} tiles of K={base_k} "
+          f"(max fusion {array.max_fused_factor} -> K={base_k * array.max_fused_factor})\n")
+    print(f"{'read':>10} {'len':>5} {'errors':>6} {'K used':>6} {'fusion':>6} "
+          f"{'score':>6} {'identity':>8}")
+
+    for sim in reads:
+        sequence = sim.sequence
+        if sim.reverse:
+            sequence = reverse_complement(sequence)
+        # Size K: expected edits plus 3-sigma headroom.
+        expected = error_model.expected_edits(len(sequence))
+        k_needed = min(
+            base_k * array.max_fused_factor, int(expected + 3 * expected**0.5) + 4
+        )
+        factor = -(-k_needed // base_k)
+        k_engine = base_k * factor
+        window = reference.fetch(
+            sim.true_position, sim.true_position + len(sequence) + k_engine
+        )
+        result = DenseScoringMachine(k_engine).run(window, sequence)
+        identity = result.best_score / max(1, len(sequence))
+        print(
+            f"{sim.name:>10} {len(sequence):5d} {sim.error_count:6d} "
+            f"{k_engine:6d} {factor}x{factor:<4d} {result.best_score:6d} "
+            f"{identity:8.2f}"
+        )
+
+    print("\nEach fused engine is functionally one machine with the fused K")
+    print("(bit-identical results, verified in tests/sillax/test_composable.py);")
+    print("the same silicon serves 101 bp Illumina reads as 16 independent")
+    print("K=16 engines — the §IV-D flexibility argument.")
+
+
+if __name__ == "__main__":
+    main()

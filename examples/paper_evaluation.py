@@ -1,0 +1,20 @@
+"""Regenerate the paper's §VIII evaluation as one printed report.
+
+Pulls every analytical model (synthesis, throughput, power, area) and
+prints the evaluation section's tables and figures side by side with the
+paper's numbers.  The full-size measured versions live in ``benchmarks/``
+— this is the five-second summary.
+
+Run:  python examples/paper_evaluation.py
+      (equivalently: repro-genax evaluate)
+"""
+
+from repro.report import evaluation_report
+
+
+def main() -> None:
+    print(evaluation_report())
+
+
+if __name__ == "__main__":
+    main()

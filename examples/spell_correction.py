@@ -1,0 +1,60 @@
+"""Spell correction with Silla — the §VIII-C generality claim.
+
+"From the algorithmic viewpoint ... it can also be easily extended to solve
+other important problems such as ... automatic spell correction."  Silla is
+string independent, so ONE automaton instance scores a misspelled word
+against an entire dictionary — no per-word rebuild, unlike a classical
+Levenshtein automaton.
+
+Run:  python examples/spell_correction.py
+"""
+
+from repro.align.levenshtein_automaton import LevenshteinAutomaton
+from repro.core.silla import Silla
+
+DICTIONARY = [
+    "genome", "genomics", "sequence", "sequencing", "alignment", "aligner",
+    "accelerator", "automaton", "automata", "insertion", "deletion",
+    "substitution", "reference", "read", "seed", "extension", "traceback",
+    "levenshtein", "distance", "hardware", "silicon", "processor",
+    "throughput", "pipeline", "chromosome", "nucleotide", "variant",
+]
+
+QUERIES = ["genone", "alignemnt", "sustitution", "travceback", "throughputt",
+           "levenstein", "autonaton", "xyzzy"]
+
+
+def correct(word: str, max_edits: int = 2):
+    """Rank dictionary words within *max_edits* of *word* using one Silla."""
+    silla = Silla(max_edits)
+    candidates = []
+    for entry in DICTIONARY:
+        distance = silla.distance(entry, word)
+        if distance is not None:
+            candidates.append((distance, entry))
+    candidates.sort()
+    return candidates
+
+
+def main() -> None:
+    print("== Spell correction with a single Silla automaton (K = 2) ==")
+    for query in QUERIES:
+        suggestions = correct(query)
+        if suggestions:
+            rendered = ", ".join(f"{word} ({dist})" for dist, word in suggestions[:3])
+        else:
+            rendered = "(no suggestion within 2 edits)"
+        print(f"  {query:14s} -> {rendered}")
+
+    # Contrast with the classical LA: it must be rebuilt per dictionary word
+    # when used this way (or per query when built over the query), paying a
+    # construction cost proportional to O(K*N) states each time (§II).
+    rebuild_states = sum(
+        LevenshteinAutomaton(entry, 2).construction_cost for entry in DICTIONARY
+    )
+    print(f"\nclassical LA equivalent: {rebuild_states:,} automaton states built"
+          f" and torn down; Silla: one {Silla(2).k}-edit automaton, zero rebuilds")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""repro: a full reproduction of GenAx, the ISCA 2018 genome-sequencing accelerator.
+
+The package mirrors the paper's structure:
+
+* :mod:`repro.core` — **Silla**, the string-independent local Levenshtein
+  automaton (the paper's core contribution, §III).
+* :mod:`repro.sillax` — cycle-level models of the SillaX edit, scoring and
+  traceback machines, composable tiles and lanes (§IV).
+* :mod:`repro.seeding` — the SMEM seeding accelerator (§V).
+* :mod:`repro.pipeline` — end-to-end aligners: GenAx (§VI) and the
+  BWA-MEM-like software gold standard it is validated against.
+* :mod:`repro.align` — scoring, CIGARs, DP oracles and every baseline the
+  paper compares against (Smith-Waterman, banded SW, Myers, LA, ULA).
+* :mod:`repro.genome` — DNA substrate: synthetic references, variants,
+  Illumina-style read simulation, FASTA/FASTQ.
+* :mod:`repro.model` — analytical synthesis/memory/throughput/power/area
+  models calibrated to the paper's reported numbers.
+
+Quickstart::
+
+    from repro.genome.reference import make_reference
+    from repro.pipeline import GenAxAligner, GenAxConfig
+
+    reference = make_reference(100_000, seed=7)
+    aligner = GenAxAligner(reference, GenAxConfig(edit_bound=12))
+    mapped = aligner.align_read("read0", reference.sequence[500:601])
+    assert mapped.position == 500
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import Silla
+from repro.sillax import EditMachine, ScoringMachine, TracebackMachine
+from repro.pipeline import BwaMemAligner, GenAxAligner
+
+__all__ = [
+    "__version__",
+    "Silla",
+    "EditMachine",
+    "ScoringMachine",
+    "TracebackMachine",
+    "BwaMemAligner",
+    "GenAxAligner",
+]

@@ -1,0 +1,242 @@
+"""Banded Smith-Waterman / Gotoh alignment.
+
+BWA-MEM and the DRAGEN platform restrict the DP to a ``2K+1``-wide band
+around the principal diagonal [27] — cells further than K from the diagonal
+cannot belong to any alignment with at most K indels.  This is the software
+comparator used in Fig. 14 (SeqAn's banded implementation) and §VIII-C.
+
+Time and space are ``O(K*N)``.  Like the full DP, every function counts the
+cells it computes so benchmarks can report machine-independent work.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.align.cigar import Cigar
+from repro.align.records import Alignment
+from repro.align.scoring import BWA_MEM_SCHEME, ScoringScheme
+from repro.align.smith_waterman import DPResult, NEG_INF
+
+_STOP, _DIAG, _UP, _LEFT = 0, 1, 2, 3
+
+
+def banded_extension_align(
+    reference: str,
+    query: str,
+    band: int,
+    scheme: ScoringScheme = BWA_MEM_SCHEME,
+) -> DPResult:
+    """Banded seed-extension alignment anchored at (0,0) with clipping.
+
+    Only cells with ``|i - j| <= band`` are computed.  Traceback is included
+    (this is the configuration whose hardware realizations need O(K*N)
+    traceback space, the cost SillaX's pointer-trail design avoids).
+    """
+    if band < 0:
+        raise ValueError(f"band must be non-negative, got {band}")
+    n, m = len(reference), len(query)
+    width = 2 * band + 1
+
+    # h[i][b] where b = j - i + band indexes the band column.
+    def new_row(fill: int) -> List[int]:
+        return [fill] * width
+
+    h_rows: List[List[int]] = [new_row(NEG_INF) for _ in range(n + 1)]
+    e_rows: List[List[int]] = [new_row(NEG_INF) for _ in range(n + 1)]
+    f_rows: List[List[int]] = [new_row(NEG_INF) for _ in range(n + 1)]
+    ptr_h: List[List[int]] = [new_row(_STOP) for _ in range(n + 1)]
+    ptr_e: List[List[bool]] = [[False] * width for _ in range(n + 1)]
+    ptr_f: List[List[bool]] = [[False] * width for _ in range(n + 1)]
+
+    def bidx(i: int, j: int) -> Optional[int]:
+        b = j - i + band
+        if 0 <= b < width and 0 <= j <= m:
+            return b
+        return None
+
+    h_rows[0][band] = 0
+    for j in range(1, min(m, band) + 1):
+        b = j + band
+        if b < width:
+            gap = scheme.gap_open + scheme.gap_extend * j
+            h_rows[0][b] = gap
+            e_rows[0][b] = gap
+            ptr_h[0][b] = _LEFT
+            ptr_e[0][b] = j > 1
+
+    best_score = 0
+    best_cell = (0, 0)
+    cells = 0
+    for i in range(1, n + 1):
+        ref_base = reference[i - 1]
+        b0 = bidx(i, 0)
+        if b0 is not None and i <= band:
+            gap = scheme.gap_open + scheme.gap_extend * i
+            h_rows[i][b0] = gap
+            f_rows[i][b0] = gap
+            ptr_h[i][b0] = _UP
+            ptr_f[i][b0] = i > 1
+        lo = max(1, i - band)
+        hi = min(m, i + band)
+        for j in range(lo, hi + 1):
+            cells += 1
+            b = j - i + band
+            # E: gap in reference (insertion) comes from (i, j-1) = band b-1.
+            e_val = NEG_INF
+            e_ext = False
+            if b - 1 >= 0:
+                open_e = h_rows[i][b - 1] + scheme.gap_open + scheme.gap_extend
+                extend_e = e_rows[i][b - 1] + scheme.gap_extend
+                if open_e >= extend_e:
+                    e_val = open_e
+                else:
+                    e_val, e_ext = extend_e, True
+            e_rows[i][b] = e_val
+            ptr_e[i][b] = e_ext
+
+            # F: gap in query (deletion) comes from (i-1, j) = band b+1.
+            f_val = NEG_INF
+            f_ext = False
+            if b + 1 < width:
+                open_f = h_rows[i - 1][b + 1] + scheme.gap_open + scheme.gap_extend
+                extend_f = f_rows[i - 1][b + 1] + scheme.gap_extend
+                if open_f >= extend_f:
+                    f_val = open_f
+                else:
+                    f_val, f_ext = extend_f, True
+            f_rows[i][b] = f_val
+            ptr_f[i][b] = f_ext
+
+            # Diagonal comes from (i-1, j-1) = same band index in row i-1.
+            diag_h = h_rows[i - 1][b]
+            diag = diag_h + scheme.compare(ref_base, query[j - 1]) if diag_h > NEG_INF else NEG_INF
+
+            score, direction = diag, _DIAG
+            if f_val > score:
+                score, direction = f_val, _UP
+            if e_val > score:
+                score, direction = e_val, _LEFT
+            h_rows[i][b] = score
+            ptr_h[i][b] = direction if score > NEG_INF else _STOP
+            if score > best_score:
+                best_score = score
+                best_cell = (i, j)
+
+    cigar, ref_start, query_start = _banded_traceback(
+        ptr_h, ptr_e, ptr_f, reference, query, best_cell, band
+    )
+    alignment = Alignment(
+        score=best_score,
+        reference_start=ref_start,
+        reference_end=best_cell[0],
+        query_start=query_start,
+        query_end=best_cell[1],
+        cigar=cigar,
+    )
+    return DPResult(alignment=alignment, cells_computed=cells)
+
+
+def _banded_traceback(
+    ptr_h: List[List[int]],
+    ptr_e: List[List[bool]],
+    ptr_f: List[List[bool]],
+    reference: str,
+    query: str,
+    end: Tuple[int, int],
+    band: int,
+) -> Tuple[Cigar, int, int]:
+    ops: List[Tuple[int, str]] = []
+    i, j = end
+    state = "H"
+    while i > 0 or j > 0:
+        b = j - i + band
+        if state == "H":
+            direction = ptr_h[i][b]
+            if direction == _STOP:
+                break
+            if direction == _DIAG:
+                ops.append((1, "=" if reference[i - 1] == query[j - 1] else "X"))
+                i -= 1
+                j -= 1
+            elif direction == _UP:
+                state = "F"
+            else:
+                state = "E"
+        elif state == "E":
+            ops.append((1, "I"))
+            extend = ptr_e[i][b]
+            j -= 1
+            state = "E" if extend else "H"
+        else:
+            ops.append((1, "D"))
+            extend = ptr_f[i][b]
+            i -= 1
+            state = "F" if extend else "H"
+    ops.reverse()
+    return Cigar.from_ops(ops), i, j
+
+
+def banded_extension_score(
+    reference: str,
+    query: str,
+    band: int,
+    scheme: ScoringScheme = BWA_MEM_SCHEME,
+) -> Tuple[int, int]:
+    """Score-only banded extension: returns (best clipped score, cells computed).
+
+    This is the inner loop the SeqAn CPU baseline runs in Fig. 14; keeping a
+    score-only variant lets throughput benches measure the cheapest software
+    formulation.
+    """
+    if band < 0:
+        raise ValueError(f"band must be non-negative, got {band}")
+    n, m = len(reference), len(query)
+    width = 2 * band + 1
+    h_prev = [NEG_INF] * width
+    e_prev = [NEG_INF] * width
+    f_prev = [NEG_INF] * width
+    h_prev[band] = 0
+    for j in range(1, min(m, band) + 1):
+        if j + band < width:
+            h_prev[j + band] = scheme.gap_open + scheme.gap_extend * j
+            e_prev[j + band] = h_prev[j + band]
+
+    best = 0
+    cells = 0
+    for i in range(1, n + 1):
+        ref_base = reference[i - 1]
+        h_cur = [NEG_INF] * width
+        e_cur = [NEG_INF] * width
+        f_cur = [NEG_INF] * width
+        if i <= band:
+            h_cur[band - i] = scheme.gap_open + scheme.gap_extend * i
+            f_cur[band - i] = h_cur[band - i]
+        lo = max(1, i - band)
+        hi = min(m, i + band)
+        for j in range(lo, hi + 1):
+            cells += 1
+            b = j - i + band
+            e_val = NEG_INF
+            if b - 1 >= 0:
+                e_val = max(
+                    h_cur[b - 1] + scheme.gap_open + scheme.gap_extend,
+                    e_cur[b - 1] + scheme.gap_extend,
+                )
+            f_val = NEG_INF
+            if b + 1 < width:
+                f_val = max(
+                    h_prev[b + 1] + scheme.gap_open + scheme.gap_extend,
+                    f_prev[b + 1] + scheme.gap_extend,
+                )
+            diag = h_prev[b]
+            if diag > NEG_INF:
+                diag += scheme.compare(ref_base, query[j - 1])
+            score = max(diag, e_val, f_val)
+            h_cur[b] = score
+            e_cur[b] = e_val
+            f_cur[b] = f_val
+            if score > best:
+                best = score
+        h_prev, e_prev, f_prev = h_cur, e_cur, f_cur
+    return best, cells

@@ -1,0 +1,165 @@
+"""CIGAR strings: the standard encoding of an alignment's edit trace.
+
+Traceback (§IV-C) recovers the exact sequence of edits; SAM files encode it
+as a CIGAR string.  We use the extended alphabet:
+
+* ``=`` match
+* ``X`` substitution (mismatch)
+* ``I`` insertion (base present in the query/read, absent in the reference)
+* ``D`` deletion  (base present in the reference, absent in the query/read)
+* ``S`` soft clip (query base excluded from the alignment)
+
+``M`` (match-or-mismatch) is accepted on input and normalized using the two
+sequences when rescoring.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.align.scoring import ScoringScheme
+
+CigarOp = Tuple[int, str]  # (run length, op char)
+
+_CIGAR_RE = re.compile(r"(\d+)([=XIDSM])")
+_QUERY_CONSUMING = set("=XISM")
+_REF_CONSUMING = set("=XDM")
+
+
+@dataclass(frozen=True)
+class Cigar:
+    """A validated, run-length-encoded edit trace."""
+
+    ops: Tuple[CigarOp, ...]
+
+    @classmethod
+    def from_ops(cls, ops: Iterable[CigarOp]) -> "Cigar":
+        """Build from (length, op) pairs, merging adjacent equal ops."""
+        merged: List[CigarOp] = []
+        for length, op in ops:
+            if length < 0:
+                raise ValueError(f"negative CIGAR run length {length}")
+            if length == 0:
+                continue
+            if op not in "=XIDSM":
+                raise ValueError(f"unknown CIGAR op {op!r}")
+            if merged and merged[-1][1] == op:
+                merged[-1] = (merged[-1][0] + length, op)
+            else:
+                merged.append((length, op))
+        return cls(ops=tuple(merged))
+
+    @classmethod
+    def from_string(cls, text: str) -> "Cigar":
+        """Parse a CIGAR string like ``"50=1X50="``."""
+        if not text:
+            return cls(ops=())
+        consumed = 0
+        ops: List[CigarOp] = []
+        for match in _CIGAR_RE.finditer(text):
+            if match.start() != consumed:
+                raise ValueError(f"malformed CIGAR {text!r}")
+            ops.append((int(match.group(1)), match.group(2)))
+            consumed = match.end()
+        if consumed != len(text):
+            raise ValueError(f"malformed CIGAR {text!r}")
+        return cls.from_ops(ops)
+
+    @classmethod
+    def from_edit_trace(cls, trace: Sequence[str]) -> "Cigar":
+        """Build from a per-base op sequence such as ``"==X=I="``."""
+        return cls.from_ops((1, op) for op in trace)
+
+    def __str__(self) -> str:
+        return "".join(f"{length}{op}" for length, op in self.ops)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    @property
+    def query_length(self) -> int:
+        """Number of query bases the CIGAR consumes (including clips)."""
+        return sum(length for length, op in self.ops if op in _QUERY_CONSUMING)
+
+    @property
+    def reference_length(self) -> int:
+        """Number of reference bases the CIGAR consumes."""
+        return sum(length for length, op in self.ops if op in _REF_CONSUMING)
+
+    @property
+    def aligned_query_length(self) -> int:
+        """Query bases inside the alignment (excluding soft clips)."""
+        return sum(length for length, op in self.ops if op in "=XIM")
+
+    def edit_count(self) -> int:
+        """Total Levenshtein edits implied by the trace (M counts as 0)."""
+        return sum(length for length, op in self.ops if op in "XID")
+
+    def count(self, op: str) -> int:
+        """Total run length of a given op."""
+        return sum(length for length, o in self.ops if o == op)
+
+    def expand(self) -> str:
+        """Return the per-base op string, e.g. ``"2=1X" -> "==X"``."""
+        return "".join(op * length for length, op in self.ops)
+
+    def score(self, reference: str, query: str, scheme: ScoringScheme) -> int:
+        """Re-score this trace over the aligned sequences.
+
+        *reference* and *query* are the aligned regions only (soft clips in
+        the CIGAR skip query bases).  This is the independent check the test
+        suite uses to validate the traceback machine: the machine's reported
+        score must equal its own trace re-scored here.
+        """
+        score = 0
+        r = q = 0
+        for length, op in self.ops:
+            if op == "S":
+                q += length
+            elif op in "=XM":
+                for _ in range(length):
+                    if r >= len(reference) or q >= len(query):
+                        raise ValueError("CIGAR overruns sequences")
+                    pair_score = scheme.compare(reference[r], query[q])
+                    if op == "=" and reference[r] != query[q]:
+                        raise ValueError(f"CIGAR '=' over mismatching bases at ref {r}")
+                    if op == "X" and reference[r] == query[q]:
+                        raise ValueError(f"CIGAR 'X' over matching bases at ref {r}")
+                    score += pair_score
+                    r += 1
+                    q += 1
+            elif op == "I":
+                score += scheme.gap(length)
+                q += length
+            elif op == "D":
+                score += scheme.gap(length)
+                r += length
+        if r != len(reference) or q != len(query):
+            raise ValueError(
+                f"CIGAR consumes ({r}, {q}) but sequences have lengths "
+                f"({len(reference)}, {len(query)})"
+            )
+        return score
+
+
+def trace_from_pairs(reference: str, query: str, pairs: Sequence[Tuple[int, int]]) -> Cigar:
+    """Build a CIGAR from a monotone list of aligned (ref_idx, query_idx) pairs.
+
+    Helper for DP tracebacks: ``pairs`` lists the matched/substituted cells;
+    gaps are inferred from the jumps between consecutive pairs.
+    """
+    ops: List[CigarOp] = []
+    prev_r, prev_q = -1, -1
+    for r, q in pairs:
+        dr, dq = r - prev_r, q - prev_q
+        if dr < 1 or dq < 1:
+            raise ValueError("pairs must be strictly increasing in both coordinates")
+        if dr > 1:
+            ops.append((dr - 1, "D"))
+        if dq > 1:
+            ops.append((dq - 1, "I"))
+        ops.append((1, "=" if reference[r] == query[q] else "X"))
+        prev_r, prev_q = r, q
+    return Cigar.from_ops(ops)

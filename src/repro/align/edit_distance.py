@@ -1,0 +1,82 @@
+"""Levenshtein (edit) distance oracles.
+
+These dynamic-programming implementations are the ground truth the Silla
+automaton (``repro.core``) is verified against: Silla must report exactly
+:func:`levenshtein` whenever the distance is within its bound K, and
+``None`` otherwise (§III).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+def levenshtein(left: str, right: str) -> int:
+    """Classic O(N*M) edit distance (insertions, deletions, substitutions)."""
+    if len(left) < len(right):
+        left, right = right, left
+    previous = list(range(len(right) + 1))
+    for i, a in enumerate(left, start=1):
+        current = [i]
+        for j, b in enumerate(right, start=1):
+            cost = 0 if a == b else 1
+            current.append(
+                min(
+                    previous[j] + 1,  # delete from left
+                    current[j - 1] + 1,  # insert into left
+                    previous[j - 1] + cost,  # match / substitute
+                )
+            )
+        previous = current
+    return previous[-1]
+
+
+def bounded_levenshtein(left: str, right: str, k: int) -> Optional[int]:
+    """Banded edit distance: the value if <= *k*, else ``None``.
+
+    Only cells within the +-k band of the main diagonal are computed
+    (O(k * N) time), which is the software analogue of the banded
+    Smith-Waterman restriction the paper compares against (§VIII-C).
+    """
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    n, m = len(left), len(right)
+    if abs(n - m) > k:
+        return None
+    big = k + 1
+    previous: List[int] = [j if j <= k else big for j in range(m + 1)]
+    for i in range(1, n + 1):
+        lo = max(1, i - k)
+        hi = min(m, i + k)
+        current = [big] * (m + 1)
+        if i <= k:
+            current[0] = i
+        for j in range(lo, hi + 1):
+            cost = 0 if left[i - 1] == right[j - 1] else 1
+            best = previous[j - 1] + cost
+            if previous[j] + 1 < best:
+                best = previous[j] + 1
+            if current[j - 1] + 1 < best:
+                best = current[j - 1] + 1
+            current[j] = min(best, big)
+        previous = current
+    return previous[m] if previous[m] <= k else None
+
+
+def edit_distance_matrix(left: str, right: str) -> List[List[int]]:
+    """Full DP matrix (useful for teaching examples and traceback tests)."""
+    n, m = len(left), len(right)
+    matrix = [[0] * (m + 1) for _ in range(n + 1)]
+    for i in range(n + 1):
+        matrix[i][0] = i
+    for j in range(m + 1):
+        matrix[0][j] = j
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            cost = 0 if left[i - 1] == right[j - 1] else 1
+            matrix[i][j] = min(
+                matrix[i - 1][j] + 1,
+                matrix[i][j - 1] + 1,
+                matrix[i - 1][j - 1] + cost,
+            )
+    return matrix

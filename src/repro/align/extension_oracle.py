@@ -1,0 +1,142 @@
+"""Edit-bounded affine-gap extension DP: the SillaX scoring-machine oracle.
+
+The SillaX scoring machine (§IV-B) computes, for a reference window R and a
+read Q, the best affine-gap score over all *prefix* alignments of R and Q
+whose edit count (insertions + deletions + substitutions) is at most K —
+clipping selects the best prefix, and the Silla grid bounds the edits.
+
+This module computes the same quantity by brute-force dynamic programming
+over the state space ``(i, j, e)``: prefixes ``R[:i]``, ``Q[:j]`` aligned
+using exactly ``e`` edits, with Gotoh's open/extend gap states carried per
+``e`` layer.  It is O(N * M * K) time — far too slow for production but the
+perfect ground truth for property tests: every scoring/traceback machine
+result is compared against it.
+
+Substitutions are only permitted on mismatching bases, matching Silla's
+transition rule (a state explores edits only when its retro comparison
+fails; matches never burn an edit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.align.scoring import BWA_MEM_SCHEME, ScoringScheme
+
+NEG_INF = -(10**9)
+
+
+@dataclass(frozen=True)
+class ExtensionOracleResult:
+    """Ground-truth values for one (R, Q, K) extension problem."""
+
+    best_clipped_score: int
+    """Best score over every prefix pair with <= K edits (>= 0: the empty
+    alignment at (0, 0) scores zero, as in the hardware)."""
+
+    best_end: tuple
+    """(ref_prefix_len, query_prefix_len, edits) achieving the clipped best."""
+
+    final_score: Optional[int]
+    """Best score aligning the *entire* strings within <= K edits, or None
+    if no such alignment exists."""
+
+    final_edits: Optional[int]
+    """Edit count of the best full alignment (min edits among score ties)."""
+
+
+def extension_oracle(
+    reference: str,
+    query: str,
+    k: int,
+    scheme: ScoringScheme = BWA_MEM_SCHEME,
+) -> ExtensionOracleResult:
+    """Run the (i, j, e) DP and extract clipped/final ground truth."""
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    n, m = len(reference), len(query)
+
+    # h[e][i][j]: best closed-state score with exactly e edits.
+    h = [[[NEG_INF] * (m + 1) for _ in range(n + 1)] for _ in range(k + 1)]
+    e_ins = [[[NEG_INF] * (m + 1) for _ in range(n + 1)] for _ in range(k + 1)]
+    f_del = [[[NEG_INF] * (m + 1) for _ in range(n + 1)] for _ in range(k + 1)]
+    h[0][0][0] = 0
+
+    open_ext = scheme.gap_open + scheme.gap_extend
+    ext = scheme.gap_extend
+
+    for edits in range(k + 1):
+        for i in range(n + 1):
+            for j in range(m + 1):
+                # Insertion state: consumed Q[j-1] inside a gap.
+                if j >= 1 and edits >= 1:
+                    best = NEG_INF
+                    if h[edits - 1][i][j - 1] > NEG_INF:
+                        best = h[edits - 1][i][j - 1] + open_ext
+                    if e_ins[edits - 1][i][j - 1] > NEG_INF:
+                        best = max(best, e_ins[edits - 1][i][j - 1] + ext)
+                    e_ins[edits][i][j] = best
+                # Deletion state: consumed R[i-1] inside a gap.
+                if i >= 1 and edits >= 1:
+                    best = NEG_INF
+                    if h[edits - 1][i - 1][j] > NEG_INF:
+                        best = h[edits - 1][i - 1][j] + open_ext
+                    if f_del[edits - 1][i - 1][j] > NEG_INF:
+                        best = max(best, f_del[edits - 1][i - 1][j] + ext)
+                    f_del[edits][i][j] = best
+                # Closed state: match, substitution, or a gap that just closed.
+                best = h[edits][i][j]
+                if i >= 1 and j >= 1:
+                    if reference[i - 1] == query[j - 1]:
+                        if h[edits][i - 1][j - 1] > NEG_INF:
+                            best = max(best, h[edits][i - 1][j - 1] + scheme.match)
+                    elif edits >= 1 and h[edits - 1][i - 1][j - 1] > NEG_INF:
+                        best = max(
+                            best, h[edits - 1][i - 1][j - 1] + scheme.substitution
+                        )
+                best = max(best, e_ins[edits][i][j], f_del[edits][i][j])
+                h[edits][i][j] = best
+
+    best_clipped = 0
+    best_end = (0, 0, 0)
+    for edits in range(k + 1):
+        layer = h[edits]
+        for i in range(n + 1):
+            row = layer[i]
+            for j in range(m + 1):
+                if row[j] > best_clipped:
+                    best_clipped = row[j]
+                    best_end = (i, j, edits)
+
+    final_score: Optional[int] = None
+    final_edits: Optional[int] = None
+    for edits in range(k + 1):
+        value = h[edits][n][m]
+        if value > NEG_INF and (final_score is None or value > final_score):
+            final_score = value
+            final_edits = edits
+
+    return ExtensionOracleResult(
+        best_clipped_score=best_clipped,
+        best_end=best_end,
+        final_score=final_score,
+        final_edits=final_edits,
+    )
+
+
+def bounded_edit_alignment_exists(reference: str, query: str, k: int) -> bool:
+    """True iff the full strings align within k edits (oracle for Silla)."""
+    from repro.align.edit_distance import bounded_levenshtein
+
+    return bounded_levenshtein(reference, query, k) is not None
+
+
+def clipped_best_score(
+    reference: str,
+    query: str,
+    k: int,
+    scheme: ScoringScheme = BWA_MEM_SCHEME,
+) -> int:
+    """Convenience wrapper returning only the clipped best score."""
+    return extension_oracle(reference, query, k, scheme).best_clipped_score

@@ -1,0 +1,135 @@
+"""Classic (string-dependent) Levenshtein Automaton — the §II baseline.
+
+An LA for a stored pattern P and bound K accepts exactly the strings within
+edit distance K of P.  Its properties are the ones the paper criticizes:
+
+* **String dependent** — the automaton is built *per pattern*; a hardware
+  realization must be reprogrammed for every read (billions of context
+  switches).  We expose :attr:`LevenshteinAutomaton.construction_cost` so
+  benchmarks can charge that cost.
+* **O(K*N) states** — state count grows with the pattern length.
+* No scoring, clipping or traceback.
+
+The implementation is a direct NFA simulation over states ``(i, e)`` where
+``i`` is the number of pattern characters consumed and ``e`` the errors so
+far (Fig. 1 of the paper).  Deletions are epsilon transitions, handled with
+a closure after each consumed character.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Set, Tuple
+
+State = Tuple[int, int]  # (pattern position, errors)
+
+
+@dataclass
+class LevenshteinAutomaton:
+    """NFA accepting strings within *k* edits of *pattern*."""
+
+    pattern: str
+    k: int
+    states_touched: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.k < 0:
+            raise ValueError(f"k must be non-negative, got {self.k}")
+
+    @property
+    def state_count(self) -> int:
+        """Total states in the automaton: (N+1) positions x (K+1) error rows."""
+        return (len(self.pattern) + 1) * (self.k + 1)
+
+    @property
+    def construction_cost(self) -> int:
+        """Abstract cost of (re)programming the automaton for this pattern.
+
+        Proportional to the state count: every state's transitions depend on
+        a pattern character, so all of them must be rewritten when the
+        pattern changes.  This is the per-read context-switch the paper says
+        makes LA hardware impractical (§II).
+        """
+        return self.state_count
+
+    def initial_states(self) -> FrozenSet[State]:
+        return self._closure({(0, 0)})
+
+    def _closure(self, states: Set[State]) -> FrozenSet[State]:
+        """Epsilon (deletion) closure: skipping pattern chars costs one edit each."""
+        stack = list(states)
+        seen = set(states)
+        n = len(self.pattern)
+        while stack:
+            position, errors = stack.pop()
+            if position < n and errors < self.k:
+                nxt = (position + 1, errors + 1)
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return frozenset(seen)
+
+    def step(self, states: FrozenSet[State], char: str) -> FrozenSet[State]:
+        """Consume one input character."""
+        next_states: Set[State] = set()
+        n = len(self.pattern)
+        for position, errors in states:
+            # Match
+            if position < n and self.pattern[position] == char:
+                next_states.add((position + 1, errors))
+            if errors < self.k:
+                # Substitution
+                if position < n:
+                    next_states.add((position + 1, errors + 1))
+                # Insertion (into the pattern): consume char, stay in place
+                next_states.add((position, errors + 1))
+        self.states_touched += len(next_states)
+        return self._closure(next_states)
+
+    def accepts(self, text: str) -> bool:
+        """True iff edit_distance(pattern, text) <= k."""
+        states = self.initial_states()
+        for char in text:
+            states = self.step(states, char)
+            if not states:
+                return False
+        return any(position == len(self.pattern) for position, _ in states)
+
+    def distance(self, text: str) -> Optional[int]:
+        """The edit distance if <= k, else None (same contract as Silla)."""
+        states = self.initial_states()
+        for char in text:
+            states = self.step(states, char)
+            if not states:
+                return None
+        final = [errors for position, errors in states if position == len(self.pattern)]
+        return min(final) if final else None
+
+
+@dataclass
+class LAWorkloadCost:
+    """Accounting record for running LA over a stream of (pattern, text) pairs."""
+
+    reprogram_states: int = 0
+    step_states: int = 0
+    pairs: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.reprogram_states + self.step_states
+
+
+def la_stream_cost(pairs) -> LAWorkloadCost:
+    """Charge the full LA cost model over (pattern, text, k) work items.
+
+    Demonstrates the §II argument: when every item carries a *different*
+    pattern (seed extension), reprogramming dominates.
+    """
+    cost = LAWorkloadCost()
+    for pattern, text, k in pairs:
+        automaton = LevenshteinAutomaton(pattern, k)
+        cost.reprogram_states += automaton.construction_cost
+        automaton.distance(text)
+        cost.step_states += automaton.states_touched
+        cost.pairs += 1
+    return cost

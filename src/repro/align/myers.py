@@ -1,0 +1,100 @@
+"""Myers' bit-vector algorithm for edit distance [15].
+
+The fastest practical software formulation of unit-cost edit distance: the
+DP column is packed into machine words and updated with O(1) bitwise
+operations per text character.  Included as the strongest software
+comparator for the Silla *edit* machine (the scoring machine has no
+bit-parallel equivalent, which is part of the paper's motivation).
+
+Python integers are arbitrary precision, so a single "word" covers any
+pattern length; the per-character cost is O(N/w) with an effectively large w.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+
+def _pattern_masks(pattern: str) -> Dict[str, int]:
+    masks: Dict[str, int] = {}
+    for index, char in enumerate(pattern):
+        masks[char] = masks.get(char, 0) | (1 << index)
+    return masks
+
+
+def myers_distance(pattern: str, text: str) -> int:
+    """Edit distance between *pattern* and *text* (global, unit costs)."""
+    if not pattern:
+        return len(text)
+    m = len(pattern)
+    masks = _pattern_masks(pattern)
+    all_ones = (1 << m) - 1
+    vp = all_ones  # vertical positive deltas
+    vn = 0  # vertical negative deltas
+    score = m
+    high_bit = 1 << (m - 1)
+    for char in text:
+        eq = masks.get(char, 0)
+        xv = eq | vn
+        xh = (((eq & vp) + vp) ^ vp) | eq
+        hp = vn | ~(xh | vp)
+        hn = vp & xh
+        if hp & high_bit:
+            score += 1
+        elif hn & high_bit:
+            score -= 1
+        hp = (hp << 1) | 1
+        hn = hn << 1
+        vp = hn | ~(xv | hp)
+        vn = hp & xv
+        vp &= all_ones | (all_ones << 1)
+    return score
+
+
+def myers_bounded(pattern: str, text: str, k: int) -> Optional[int]:
+    """Edit distance if <= k else ``None`` (same contract as Silla)."""
+    distance = myers_distance(pattern, text)
+    return distance if distance <= k else None
+
+
+def myers_search(pattern: str, text: str, k: int) -> Tuple[int, ...]:
+    """Approximate *search*: end positions in *text* where the pattern
+    matches a suffix-ending substring within k edits.
+
+    This is Myers' original semi-global formulation (score starts at m and
+    text-side gaps before the match are free), used by the spell-correction
+    example and the LA comparison tests.
+    """
+    if not pattern:
+        return tuple(range(len(text) + 1)) if k >= 0 else ()
+    m = len(pattern)
+    masks = _pattern_masks(pattern)
+    all_ones = (1 << m) - 1
+    vp = all_ones
+    vn = 0
+    score = m
+    high_bit = 1 << (m - 1)
+    hits = []
+    if score <= k:
+        hits.append(0)
+    for position, char in enumerate(text, start=1):
+        eq = masks.get(char, 0)
+        xv = eq | vn
+        xh = (((eq & vp) + vp) ^ vp) | eq
+        hp = vn | ~(xh | vp)
+        hn = vp & xh
+        if hp & high_bit:
+            score += 1
+        elif hn & high_bit:
+            score -= 1
+        # Search mode: the horizontal carry-in is 0 (the DP first row is all
+        # zeros, so a match may start at any text position); the global
+        # variant shifts in a 1 instead.
+        hp = hp << 1
+        hn = hn << 1
+        vp = hn | ~(xv | hp)
+        vn = hp & xv
+        vp &= all_ones | (all_ones << 1)
+        if score <= k:
+            hits.append(position)
+    return tuple(hits)

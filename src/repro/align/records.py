@@ -1,0 +1,79 @@
+"""Alignment result records shared by every aligner in the library."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.align.cigar import Cigar
+
+
+@dataclass(frozen=True)
+class Alignment:
+    """One scored placement of a query against a reference region.
+
+    Coordinates are half-open.  ``reference_start``/``reference_end`` are in
+    the coordinate system of the reference string handed to the aligner
+    (callers translate to global genome coordinates).  ``query_start`` >0 or
+    ``query_end`` < query length indicate clipping.
+    """
+
+    score: int
+    reference_start: int
+    reference_end: int
+    query_start: int
+    query_end: int
+    cigar: Optional[Cigar] = None
+
+    def __post_init__(self) -> None:
+        if self.reference_end < self.reference_start:
+            raise ValueError("reference_end before reference_start")
+        if self.query_end < self.query_start:
+            raise ValueError("query_end before query_start")
+
+    @property
+    def reference_span(self) -> int:
+        return self.reference_end - self.reference_start
+
+    @property
+    def query_span(self) -> int:
+        return self.query_end - self.query_start
+
+
+@dataclass(frozen=True)
+class MappedRead:
+    """A read's final mapping: position, strand, score and trace."""
+
+    read_name: str
+    position: int  # global reference coordinate of the alignment start
+    reverse: bool
+    score: int
+    cigar: Optional[Cigar] = None
+    mapping_quality: int = 60
+    secondary_count: int = 0  # other hit positions achieving the same score
+
+    @property
+    def is_unmapped(self) -> bool:
+        return self.position < 0
+
+
+@dataclass
+class AlignmentStats:
+    """Aggregate counters an aligner accumulates over a read set."""
+
+    reads_total: int = 0
+    reads_mapped: int = 0
+    reads_exact: int = 0  # resolved by the exact-match fast path
+    reads_unmapped: int = 0
+    extensions: int = 0  # seed-extension invocations (hits scored)
+    dp_cells: int = 0  # DP cells computed (software baselines)
+    cycles: int = 0  # accelerator cycles (hardware models)
+
+    def merge(self, other: "AlignmentStats") -> None:
+        self.reads_total += other.reads_total
+        self.reads_mapped += other.reads_mapped
+        self.reads_exact += other.reads_exact
+        self.reads_unmapped += other.reads_unmapped
+        self.extensions += other.extensions
+        self.dp_cells += other.dp_cells
+        self.cycles += other.cycles

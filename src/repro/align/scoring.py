@@ -1,0 +1,75 @@
+"""Alignment scoring schemes.
+
+Read alignment scores matches and edits asymmetrically using an *affine gap*
+function (Gotoh [21]): a run of ``id`` consecutive inserted or deleted bases
+costs ``gap_open + gap_extend * id`` — a one-time opening penalty plus a
+per-base extension penalty.  The paper uses BWA-MEM's default scheme
+(match +1, substitution -4, open -6, extend -1) for every experiment
+(§VII), and so do we.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ScoringScheme:
+    """An affine-gap scoring scheme.
+
+    Penalties are stored as the (negative) score deltas they contribute, so
+    ``substitution = -4`` etc.  ``gap_open`` is charged once per gap *in
+    addition to* ``gap_extend`` for each gapped base, matching the paper's
+    ``G = g_open + g_extend * id`` with ``g_open = -6, g_extend = -1``.
+    """
+
+    match: int = 1
+    substitution: int = -4
+    gap_open: int = -6
+    gap_extend: int = -1
+
+    def __post_init__(self) -> None:
+        if self.match <= 0:
+            raise ValueError(f"match score must be positive, got {self.match}")
+        if self.substitution >= 0:
+            raise ValueError(f"substitution penalty must be negative, got {self.substitution}")
+        if self.gap_open > 0 or self.gap_extend >= 0:
+            raise ValueError("gap penalties must be non-positive (open) / negative (extend)")
+
+    def gap(self, length: int) -> int:
+        """Score contribution of a gap of *length* bases (negative)."""
+        if length <= 0:
+            raise ValueError(f"gap length must be positive, got {length}")
+        return self.gap_open + self.gap_extend * length
+
+    def compare(self, a: str, b: str) -> int:
+        """Score of aligning base *a* against base *b*."""
+        return self.match if a == b else self.substitution
+
+    def max_edits_for_score(self, read_length: int, min_score: int) -> int:
+        """Upper-bound the edit distance of any alignment scoring >= *min_score*.
+
+        This is the argument behind the paper's choice of K (§VIII-A): with
+        BWA-MEM reporting alignments of score > 30 on 101 bp reads it
+        estimates "edit distance should be less than 32" and conservatively
+        runs K = 40.  The strict bound computed here uses the cheapest edit
+        available — a deleted reference base inside an open gap forfeits only
+        ``-gap_extend`` (the read still matches every base) — so it is looser
+        than the paper's estimate, which assumes the substitution-dominated
+        edit mix real reads exhibit.  EXPERIMENTS.md discusses the gap.
+        """
+        per_sub = self.match - self.substitution
+        per_ins = self.match - self.gap_extend
+        per_del = -self.gap_extend
+        cheapest = min(per_sub, per_ins, per_del)
+        budget = self.match * read_length - min_score + self.gap_open
+        if budget < 0:
+            return 0
+        return budget // cheapest
+
+
+BWA_MEM_SCHEME = ScoringScheme(match=1, substitution=-4, gap_open=-6, gap_extend=-1)
+"""The BWA-MEM default scheme used throughout the paper's evaluation."""
+
+EDIT_DISTANCE_SCHEME = ScoringScheme(match=1, substitution=-1, gap_open=0, gap_extend=-1)
+"""Unit-cost scheme: maximizing this score minimizes the edit count."""

@@ -1,0 +1,205 @@
+"""Smith-Waterman / Gotoh dynamic-programming alignment (software baseline).
+
+This is the algorithm the paper positions SillaX against (§II): an
+``O(N*M)`` DP over the full grid, in two flavours:
+
+* :func:`local_align` — classic Smith-Waterman local alignment (scores clamp
+  at zero, best cell anywhere), with affine gaps per Gotoh [21].
+* :func:`extension_align` — *seed extension* alignment as BWA-MEM performs
+  it: global from the (0,0) corner over prefixes of both strings, with the
+  best-scoring prefix pair chosen ("clipping", §IV-B).  This is the exact
+  computation the SillaX scoring machine performs, without SillaX's edit
+  bound K.
+
+Both variants count the DP cells they touch so benchmark harnesses can
+compare *work*, which is machine-independent, alongside wall-clock time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.align.cigar import Cigar
+from repro.align.records import Alignment
+from repro.align.scoring import BWA_MEM_SCHEME, ScoringScheme
+
+NEG_INF = -(10**9)
+
+# Traceback pointer codes for the H matrix.
+_STOP, _DIAG, _UP, _LEFT = 0, 1, 2, 3
+
+
+@dataclass
+class DPResult:
+    """An alignment plus the work expended to compute it."""
+
+    alignment: Alignment
+    cells_computed: int
+
+
+def _traceback(
+    pointer_h: List[List[int]],
+    pointer_e: List[List[bool]],
+    pointer_f: List[List[bool]],
+    reference: str,
+    query: str,
+    end: Tuple[int, int],
+) -> Tuple[Cigar, int, int]:
+    """Follow pointers from *end* back to the path start.
+
+    Returns the CIGAR (reference/query aligned region only) and the start
+    coordinates (ref_start, query_start).
+    """
+    ops: List[Tuple[int, str]] = []
+    i, j = end
+    state = "H"
+    while True:
+        if state == "H":
+            direction = pointer_h[i][j]
+            if direction == _STOP:
+                break
+            if direction == _DIAG:
+                ops.append((1, "=" if reference[i - 1] == query[j - 1] else "X"))
+                i -= 1
+                j -= 1
+            elif direction == _UP:
+                state = "F"
+            else:
+                state = "E"
+        elif state == "E":
+            # Gap in the reference: consumes a query base (insertion).
+            ops.append((1, "I"))
+            extend = pointer_e[i][j]
+            j -= 1
+            state = "E" if extend else "H"
+        else:
+            # Gap in the query: consumes a reference base (deletion).
+            ops.append((1, "D"))
+            extend = pointer_f[i][j]
+            i -= 1
+            state = "F" if extend else "H"
+    ops.reverse()
+    return Cigar.from_ops(ops), i, j
+
+
+def _gotoh(
+    reference: str,
+    query: str,
+    scheme: ScoringScheme,
+    local: bool,
+) -> Tuple[DPResult, List[List[int]]]:
+    """Shared Gotoh DP used by both alignment flavours."""
+    n, m = len(reference), len(query)
+    h = [[0] * (m + 1) for _ in range(n + 1)]
+    e = [[NEG_INF] * (m + 1) for _ in range(n + 1)]
+    f = [[NEG_INF] * (m + 1) for _ in range(n + 1)]
+    pointer_h = [[_STOP] * (m + 1) for _ in range(n + 1)]
+    pointer_e = [[False] * (m + 1) for _ in range(n + 1)]
+    pointer_f = [[False] * (m + 1) for _ in range(n + 1)]
+
+    if not local:
+        for j in range(1, m + 1):
+            e[0][j] = scheme.gap_open + scheme.gap_extend * j
+            h[0][j] = e[0][j]
+            pointer_h[0][j] = _LEFT
+            pointer_e[0][j] = j > 1
+        for i in range(1, n + 1):
+            f[i][0] = scheme.gap_open + scheme.gap_extend * i
+            h[i][0] = f[i][0]
+            pointer_h[i][0] = _UP
+            pointer_f[i][0] = i > 1
+
+    # Both flavours include the empty alignment: local scores clamp at zero,
+    # and extension clipping may discard everything (best prefix = (0, 0)).
+    best_score = 0
+    best_cell = (0, 0)
+    cells = 0
+    for i in range(1, n + 1):
+        ref_base = reference[i - 1]
+        for j in range(1, m + 1):
+            cells += 1
+            open_e = h[i][j - 1] + scheme.gap_open + scheme.gap_extend
+            extend_e = e[i][j - 1] + scheme.gap_extend
+            if open_e >= extend_e:
+                e[i][j] = open_e
+                pointer_e[i][j] = False
+            else:
+                e[i][j] = extend_e
+                pointer_e[i][j] = True
+
+            open_f = h[i - 1][j] + scheme.gap_open + scheme.gap_extend
+            extend_f = f[i - 1][j] + scheme.gap_extend
+            if open_f >= extend_f:
+                f[i][j] = open_f
+                pointer_f[i][j] = False
+            else:
+                f[i][j] = extend_f
+                pointer_f[i][j] = True
+
+            diag = h[i - 1][j - 1] + scheme.compare(ref_base, query[j - 1])
+            score = diag
+            direction = _DIAG
+            if f[i][j] > score:
+                score = f[i][j]
+                direction = _UP
+            if e[i][j] > score:
+                score = e[i][j]
+                direction = _LEFT
+            if local and score <= 0:
+                score = 0
+                direction = _STOP
+            h[i][j] = score
+            pointer_h[i][j] = direction
+            if score > best_score:
+                best_score = score
+                best_cell = (i, j)
+
+    cigar, ref_start, query_start = _traceback(
+        pointer_h, pointer_e, pointer_f, reference, query, best_cell
+    )
+    alignment = Alignment(
+        score=best_score,
+        reference_start=ref_start,
+        reference_end=best_cell[0],
+        query_start=query_start,
+        query_end=best_cell[1],
+        cigar=cigar,
+    )
+    return DPResult(alignment=alignment, cells_computed=cells), h
+
+
+def local_align(
+    reference: str, query: str, scheme: ScoringScheme = BWA_MEM_SCHEME
+) -> DPResult:
+    """Smith-Waterman local alignment with affine gaps and traceback."""
+    result, _ = _gotoh(reference, query, scheme, local=True)
+    return result
+
+
+def extension_align(
+    reference: str, query: str, scheme: ScoringScheme = BWA_MEM_SCHEME
+) -> DPResult:
+    """Seed-extension alignment: anchored at (0,0), clipped at the best cell.
+
+    The returned alignment's ``reference_start``/``query_start`` are always 0
+    (the anchor); the end coordinates mark where clipping cut the alignment.
+    """
+    result, _ = _gotoh(reference, query, scheme, local=False)
+    return result
+
+
+def extension_score_matrix(
+    reference: str, query: str, scheme: ScoringScheme = BWA_MEM_SCHEME
+) -> List[List[int]]:
+    """Return the full extension H matrix (for tests and visualization)."""
+    _, h = _gotoh(reference, query, scheme, local=False)
+    return h
+
+
+def global_score(
+    reference: str, query: str, scheme: ScoringScheme = BWA_MEM_SCHEME
+) -> int:
+    """Needleman-Wunsch-style global score of the whole strings."""
+    _, h = _gotoh(reference, query, scheme, local=False)
+    return h[len(reference)][len(query)]

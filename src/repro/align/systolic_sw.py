@@ -1,0 +1,159 @@
+"""Systolic-array banded Smith-Waterman — the §II hardware baseline.
+
+FPGA accelerators for Smith-Waterman [16], [17], [27] exploit wavefront
+parallelism: a linear chain of PEs, one per band column (2K+1 of them),
+each holding one query... in the banded formulation one *diagonal offset*.
+Every cycle the wavefront advances one anti-diagonal; PE ``b`` updates the
+cell on band offset ``b`` using its neighbors' previous values.
+
+This model exists for the §VIII-C comparison:
+
+* **PE count**: 2K+1 here, (K+1)(K+2)/2 x 3 cells for SillaX — but each
+  banded-SW PE carries adders/comparators/score registers (the paper
+  measures 300 um^2 vs 9.7 um^2, 30x);
+* **cycles**: ~N + 2K wavefront steps, same order as SillaX's stream;
+* **traceback storage**: the array must spill 4 bits per computed cell —
+  O(K*N) memory — where SillaX keeps O(K^2) in-fabric records.
+
+The model is cycle-stepped and verified against the software banded DP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.align.banded import banded_extension_score
+from repro.align.scoring import BWA_MEM_SCHEME, ScoringScheme
+
+NEG_INF = -(10**9)
+
+
+@dataclass
+class SystolicResult:
+    """One wavefront run's outputs and hardware accounting."""
+
+    best_score: int
+    cycles: int
+    pe_count: int
+    pe_updates: int  # total PE activations (occupancy integral)
+    traceback_bits: int  # spilled pointer storage the design would need
+
+    @property
+    def pe_occupancy(self) -> float:
+        """Average fraction of PEs doing useful work per cycle."""
+        if self.cycles == 0:
+            return 0.0
+        return self.pe_updates / (self.cycles * self.pe_count)
+
+
+class SystolicBandedSW:
+    """A 2K+1-PE wavefront array computing banded extension alignment.
+
+    PE ``b`` owns band offset ``b - K`` (the cell ``(i, j)`` with
+    ``j - i = b - K``).  On wavefront step ``d`` (anti-diagonal ``i + j =
+    d``), the active PEs update their cell from:
+
+    * their own previous value (the diagonal move, two steps back),
+    * their left neighbor's last value (gap in reference),
+    * their right neighbor's last value (gap in query).
+    """
+
+    def __init__(self, band: int, scheme: ScoringScheme = BWA_MEM_SCHEME) -> None:
+        if band < 0:
+            raise ValueError(f"band must be non-negative, got {band}")
+        self.band = band
+        self.scheme = scheme
+
+    @property
+    def pe_count(self) -> int:
+        return 2 * self.band + 1
+
+    def run(self, reference: str, query: str) -> SystolicResult:
+        band = self.band
+        scheme = self.scheme
+        n, m = len(reference), len(query)
+        width = self.pe_count
+        open_ext = scheme.gap_open + scheme.gap_extend
+        ext = scheme.gap_extend
+
+        # Per-PE registers: H/E/F for the previous anti-diagonal and the one
+        # before it (the diagonal dependence reaches two steps back).
+        h_prev = [NEG_INF] * width  # anti-diagonal d-1
+        e_prev = [NEG_INF] * width
+        f_prev = [NEG_INF] * width
+        h_prev2 = [NEG_INF] * width  # anti-diagonal d-2
+
+        # The (0, 0) anchor sits at band offset K on anti-diagonal 0.
+        h_prev[band] = 0
+
+        best = 0
+        cycles = 0
+        updates = 0
+        for diagonal in range(1, n + m + 1):
+            cycles += 1
+            h_cur = [NEG_INF] * width
+            e_cur = [NEG_INF] * width
+            f_cur = [NEG_INF] * width
+            for pe in range(width):
+                # Cell coordinates owned by this PE on this anti-diagonal:
+                # j - i = pe - band and i + j = diagonal.
+                delta = pe - band
+                if (diagonal + delta) % 2 != 0:
+                    continue  # this PE fires on alternating cycles
+                j = (diagonal + delta) // 2
+                i = diagonal - j
+                if i < 0 or j < 0 or i > n or j > m or (i == 0 and j == 0):
+                    continue
+                updates += 1
+                # E (gap in reference): from (i, j-1) = PE to the left (one
+                # smaller offset), previous anti-diagonal.
+                e_val = NEG_INF
+                if pe - 1 >= 0:
+                    h_left, e_left = h_prev[pe - 1], e_prev[pe - 1]
+                    if h_left > NEG_INF:
+                        e_val = h_left + open_ext
+                    if e_left > NEG_INF:
+                        e_val = max(e_val, e_left + ext)
+                # F (gap in query): from (i-1, j) = PE to the right.
+                f_val = NEG_INF
+                if pe + 1 < width:
+                    h_right, f_right = h_prev[pe + 1], f_prev[pe + 1]
+                    if h_right > NEG_INF:
+                        f_val = h_right + open_ext
+                    if f_right > NEG_INF:
+                        f_val = max(f_val, f_right + ext)
+                h_val = max(e_val, f_val)
+                # Diagonal: the same PE two anti-diagonals back.
+                if i >= 1 and j >= 1 and h_prev2[pe] > NEG_INF:
+                    h_val = max(
+                        h_val,
+                        h_prev2[pe] + scheme.compare(reference[i - 1], query[j - 1]),
+                    )
+                # Boundary columns: leading gaps from the origin.
+                if i == 0:
+                    h_val = max(h_val, scheme.gap_open + scheme.gap_extend * j)
+                    e_val = max(e_val, scheme.gap_open + scheme.gap_extend * j)
+                if j == 0:
+                    h_val = max(h_val, scheme.gap_open + scheme.gap_extend * i)
+                    f_val = max(f_val, scheme.gap_open + scheme.gap_extend * i)
+                h_cur[pe] = h_val
+                e_cur[pe] = e_val
+                f_cur[pe] = f_val
+                if h_val > best:
+                    best = h_val
+            h_prev2 = h_prev
+            h_prev, e_prev, f_prev = h_cur, e_cur, f_cur
+
+        # Traceback spill: 4 bits (H source 2b + E/F extend bits) per cell.
+        traceback_bits = 4 * updates
+        return SystolicResult(
+            best_score=best,
+            cycles=cycles,
+            pe_count=width,
+            pe_updates=updates,
+            traceback_bits=traceback_bits,
+        )
+
+    def best_score(self, reference: str, query: str) -> int:
+        return self.run(reference, query).best_score

@@ -1,0 +1,136 @@
+"""Universal Levenshtein Automaton (Mitankin / Schulz-Mihov) — §II related work.
+
+The ULA removes the LA's string dependence: one automaton serves every
+pattern, driven by *characteristic bit-vectors* that encode where the
+current text character occurs in a sliding window of the pattern.  The
+paper's criticisms, which this model makes measurable, are:
+
+* transitions are **not local** — a state reaches states at every higher
+  error level to encode deletions (fan-out O(K));
+* the per-step input (the characteristic vector) must be computed from a
+  window of 2K+1 pattern characters, a non-trivial datapath.
+
+States are subsumption-reduced sets of NFA positions ``(i, e)``; deletions
+are folded into input-driven "skip" transitions so the automaton consumes
+exactly one character per step.  We verify it agrees with the DP oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Set, Tuple
+
+Position = Tuple[int, int]  # (pattern chars consumed, errors)
+
+
+def characteristic_vector(char: str, pattern: str, start: int, length: int) -> Tuple[bool, ...]:
+    """Bit-vector of *char* occurrences in ``pattern[start : start+length]``.
+
+    This is the ULA's sole input per step: the automaton never sees the
+    pattern itself, only these vectors — that is what makes it universal.
+    """
+    window = pattern[start : start + length]
+    vector = [c == char for c in window]
+    vector.extend([False] * (length - len(vector)))
+    return tuple(vector)
+
+
+def _subsumes(a: Position, b: Position) -> bool:
+    """True if position *a* makes *b* redundant.
+
+    (i, e) subsumes (j, f) when f > e and |j - i| <= f - e: anything *b* can
+    eventually accept, *a* accepts with no more errors.
+    """
+    (i, e), (j, f) = a, b
+    return f > e and abs(j - i) <= f - e
+
+
+def reduce_positions(positions: Set[Position]) -> FrozenSet[Position]:
+    """Remove subsumed positions (the ULA's state normalization)."""
+    kept: List[Position] = []
+    ordered = sorted(positions, key=lambda p: (p[1], p[0]))
+    for candidate in ordered:
+        if not any(_subsumes(existing, candidate) for existing in kept):
+            kept.append(candidate)
+    return frozenset(kept)
+
+
+@dataclass
+class UniversalLevenshteinAutomaton:
+    """A ULA for error bound *k*, usable with any pattern.
+
+    ``max_fanout`` records the largest number of successor positions a single
+    position generated in one step — the paper's locality complaint.
+    """
+
+    k: int
+    max_fanout: int = field(default=0, init=False)
+    steps: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.k < 0:
+            raise ValueError(f"k must be non-negative, got {self.k}")
+
+    def initial_state(self) -> FrozenSet[Position]:
+        return frozenset({(0, 0)})
+
+    def step(
+        self,
+        state: FrozenSet[Position],
+        pattern_length: int,
+        vector_at,
+    ) -> FrozenSet[Position]:
+        """Advance by one text character.
+
+        *vector_at(i, length)* returns the characteristic vector for the
+        window starting at pattern position *i* — the caller owns the
+        pattern; the automaton itself never touches it.
+        """
+        self.steps += 1
+        successors: Set[Position] = set()
+        for i, e in state:
+            budget = self.k - e
+            window = min(budget + 1, pattern_length - i)
+            vector = vector_at(i, window) if window > 0 else ()
+            fanout = 0
+            # Match: text char equals pattern[i].
+            if window > 0 and vector[0]:
+                successors.add((i + 1, e))
+                fanout += 1
+            if budget > 0:
+                # Insertion: consume the char without advancing.
+                successors.add((i, e + 1))
+                # Substitution: advance one with an error.
+                if i < pattern_length:
+                    successors.add((i + 1, e + 1))
+                fanout += 2
+                # Deletions folded with a match: skip j-1 pattern chars, then
+                # match pattern[i + j - 1] — reaches error level e + j - 1.
+                for j in range(2, window + 1):
+                    if vector[j - 1]:
+                        successors.add((i + j, e + j - 1))
+                        fanout += 1
+            self.max_fanout = max(self.max_fanout, fanout)
+        return reduce_positions(successors)
+
+    def run(self, pattern: str, text: str) -> Optional[int]:
+        """Edit distance if <= k else None (same contract as Silla)."""
+        state = self.initial_state()
+        n = len(pattern)
+        for char in text:
+            def vector_at(i: int, length: int, _char=char) -> Tuple[bool, ...]:
+                return characteristic_vector(_char, pattern, i, length)
+
+            state = self.step(state, n, vector_at)
+            if not state:
+                return None
+        # Accept positions that can delete their remaining pattern suffix.
+        best: Optional[int] = None
+        for i, e in state:
+            total = e + (n - i)  # delete the unread pattern tail
+            if total <= self.k and (best is None or total < best):
+                best = total
+        return best
+
+    def accepts(self, pattern: str, text: str) -> bool:
+        return self.run(pattern, text) is not None

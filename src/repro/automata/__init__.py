@@ -1,0 +1,33 @@
+"""Automata-processor substrate (§II related work).
+
+The paper's §II surveys accelerating Levenshtein automata on spatial
+automata processors — Micron's AP [28], the Cache Automaton [20], HARE
+[29], UDP [30] — and argues the approach fails for seed extension because
+the automaton is *string dependent*: every read requires reprogramming
+O(K*N) states.  This package makes that argument quantitative:
+
+* :mod:`repro.automata.nfa` — homogeneous (STE-style) nondeterministic
+  automata: each state owns a symbol class and activation flows along
+  edges when the state's class matches the input.
+* :mod:`repro.automata.processor` — an STE-array processor model with
+  explicit reconfiguration accounting (STE writes + routing writes).
+* :mod:`repro.automata.levenshtein_nfa` — the epsilon-free compilation of
+  a (pattern, K) Levenshtein automaton into STE form.
+
+Silla deliberately does **not** map onto this substrate: its transitions
+are driven by retro comparisons of *two* streams, not by symbol classes of
+one — which is why the paper builds custom silicon instead (§IV).
+"""
+
+from repro.automata.nfa import HomogeneousNFA, SymbolClass, State
+from repro.automata.processor import AutomataProcessor, ProcessorStats
+from repro.automata.levenshtein_nfa import compile_levenshtein_nfa
+
+__all__ = [
+    "HomogeneousNFA",
+    "SymbolClass",
+    "State",
+    "AutomataProcessor",
+    "ProcessorStats",
+    "compile_levenshtein_nfa",
+]

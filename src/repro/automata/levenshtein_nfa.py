@@ -1,0 +1,123 @@
+"""Epsilon-free compilation of a Levenshtein automaton into STE form.
+
+The classical LA (Fig. 1 of the paper) has epsilon (deletion) transitions,
+which spatial automata processors cannot express; the standard compilation
+(Roy & Aluru [18], Tracy et al. [19]) folds deletions into input-consuming
+skip edges.  States are *homogenized* by entry type, because an STE's match
+class lives on the state:
+
+* ``M(p, e)`` — fired by consuming ``pattern[p-1]`` (a match into
+  position p with e errors);
+* ``S(p, e)`` — fired by consuming anything but ``pattern[p-1]``
+  (a substitution);
+* ``I(p, e)`` — fired by consuming any symbol without advancing
+  (an insertion).
+
+Every state ``(p, e)`` has edges to ``M(p+1, e)``, ``S(p+1, e+1)``,
+``I(p, e+1)``, and deletion skips ``M(p+1+j, e+j)``; a state accepts when
+the unread pattern tail fits in the remaining error budget
+(``(N - p) + e <= K``).
+
+The compiled machine accepts exactly the strings within K edits of the
+pattern — property-tested against the DP oracle — and its size is the §II
+complaint: O(K*N) STEs with O(K) fan-out, rebuilt per pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.automata.nfa import HomogeneousNFA, SymbolClass
+
+
+@dataclass(frozen=True)
+class CompiledLevenshtein:
+    """A compiled (pattern, K) automaton plus its degenerate-input answers."""
+
+    nfa: HomogeneousNFA
+    pattern: str
+    k: int
+    accepts_empty: bool  # distance("", pattern) = len(pattern) <= K
+
+    def accepts(self, text: str) -> bool:
+        if not text:
+            return self.accepts_empty
+        return self.nfa.run(text)
+
+
+def _state_name(kind: str, position: int, errors: int) -> str:
+    return f"{kind}{position}e{errors}"
+
+
+def compile_levenshtein_nfa(pattern: str, k: int) -> CompiledLevenshtein:
+    """Compile the LA for *pattern* with edit bound *k* into STEs."""
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    nfa = HomogeneousNFA()
+    n = len(pattern)
+
+    def accept_flag(position: int, errors: int) -> bool:
+        return (n - position) + errors <= k
+
+    # Create all reachable STEs.
+    for e in range(k + 1):
+        for p in range(n + 1):
+            if p >= 1:
+                # Entered by matching pattern[p-1]; error count unchanged.
+                nfa.add_state(
+                    _state_name("M", p, e),
+                    SymbolClass.exactly(pattern[p - 1]),
+                    accept=accept_flag(p, e),
+                )
+                if e >= 1:
+                    nfa.add_state(
+                        _state_name("S", p, e),
+                        SymbolClass.anything_but(pattern[p - 1]),
+                        accept=accept_flag(p, e),
+                    )
+            if e >= 1:
+                nfa.add_state(
+                    _state_name("I", p, e),
+                    SymbolClass.anything(),
+                    accept=accept_flag(p, e),
+                )
+
+    def outgoing(position: int, errors: int) -> List[str]:
+        """Successor STEs of logical configuration (position, errors)."""
+        targets: List[str] = []
+        if position + 1 <= n:
+            targets.append(_state_name("M", position + 1, errors))
+            if errors + 1 <= k:
+                targets.append(_state_name("S", position + 1, errors + 1))
+        if errors + 1 <= k:
+            targets.append(_state_name("I", position, errors + 1))
+        # Deletion skips: drop j pattern chars, then match the next one.
+        j = 1
+        while errors + j <= k and position + 1 + j <= n:
+            targets.append(_state_name("M", position + 1 + j, errors + j))
+            j += 1
+        return targets
+
+    # Start enablement: the virtual origin (0, 0) enables its successors
+    # for the first symbol.
+    for target in outgoing(0, 0):
+        nfa.mark_start(target)
+
+    # Edges: every STE representing configuration (p, e) connects onward.
+    for e in range(k + 1):
+        for p in range(n + 1):
+            sources = []
+            if p >= 1:
+                sources.append(_state_name("M", p, e))
+                if e >= 1:
+                    sources.append(_state_name("S", p, e))
+            if e >= 1:
+                sources.append(_state_name("I", p, e))
+            for source in sources:
+                for target in outgoing(p, e):
+                    nfa.add_edge(source, target)
+
+    return CompiledLevenshtein(
+        nfa=nfa, pattern=pattern, k=k, accepts_empty=(n <= k)
+    )

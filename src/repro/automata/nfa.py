@@ -1,0 +1,156 @@
+"""Homogeneous nondeterministic finite automata (the STE model).
+
+Spatial automata processors implement *homogeneous* NFAs: all transitions
+into a state carry the same label, so the label lives on the state itself
+(Micron calls these State Transition Elements).  Each cycle, every active
+state whose symbol class matches the input symbol activates its successors.
+
+This is the abstract machine §II's related work compiles Levenshtein
+automata onto; :mod:`repro.automata.processor` adds the hardware-cost
+accounting on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+
+@dataclass(frozen=True)
+class SymbolClass:
+    """The set of input symbols a state matches.
+
+    ``negated`` True means "every symbol except these" (STEs store a
+    256-bit column, so complements are free in hardware).
+    """
+
+    symbols: FrozenSet[str]
+    negated: bool = False
+
+    @classmethod
+    def exactly(cls, *symbols: str) -> "SymbolClass":
+        return cls(symbols=frozenset(symbols))
+
+    @classmethod
+    def anything(cls) -> "SymbolClass":
+        return cls(symbols=frozenset(), negated=True)
+
+    @classmethod
+    def anything_but(cls, *symbols: str) -> "SymbolClass":
+        return cls(symbols=frozenset(symbols), negated=True)
+
+    def matches(self, symbol: str) -> bool:
+        inside = symbol in self.symbols
+        return not inside if self.negated else inside
+
+
+@dataclass
+class State:
+    """One STE: a symbol class plus start/accept flags."""
+
+    name: str
+    symbol_class: SymbolClass
+    start: bool = False
+    accept: bool = False
+
+
+class HomogeneousNFA:
+    """A homogeneous NFA over single-character symbols."""
+
+    def __init__(self) -> None:
+        self._states: Dict[str, State] = {}
+        self._edges: Dict[str, Set[str]] = {}
+
+    # ------------------------------------------------------------ construction
+
+    def add_state(
+        self,
+        name: str,
+        symbol_class: SymbolClass,
+        start: bool = False,
+        accept: bool = False,
+    ) -> State:
+        if name in self._states:
+            raise ValueError(f"duplicate state {name!r}")
+        state = State(name=name, symbol_class=symbol_class, start=start, accept=accept)
+        self._states[name] = state
+        self._edges[name] = set()
+        return state
+
+    def add_edge(self, source: str, target: str) -> None:
+        if source not in self._states or target not in self._states:
+            raise ValueError(f"unknown state in edge {source!r} -> {target!r}")
+        self._edges[source].add(target)
+
+    def mark_start(self, name: str) -> None:
+        """Flag an existing state as start-enabled."""
+        state = self._states[name]
+        self._states[name] = State(
+            name=state.name,
+            symbol_class=state.symbol_class,
+            start=True,
+            accept=state.accept,
+        )
+
+    # ---------------------------------------------------------------- queries
+
+    @property
+    def state_count(self) -> int:
+        return len(self._states)
+
+    @property
+    def edge_count(self) -> int:
+        return sum(len(targets) for targets in self._edges.values())
+
+    def state(self, name: str) -> State:
+        return self._states[name]
+
+    def states(self) -> Iterable[State]:
+        return self._states.values()
+
+    def successors(self, name: str) -> FrozenSet[str]:
+        return frozenset(self._edges[name])
+
+    def max_fanout(self) -> int:
+        return max((len(t) for t in self._edges.values()), default=0)
+
+    # -------------------------------------------------------------- execution
+
+    def start_states(self) -> FrozenSet[str]:
+        return frozenset(s.name for s in self._states.values() if s.start)
+
+    def fired(self, enabled: FrozenSet[str], symbol: str) -> FrozenSet[str]:
+        """States that fire: enabled AND symbol-class match."""
+        return frozenset(
+            name
+            for name in enabled
+            if self._states[name].symbol_class.matches(symbol)
+        )
+
+    def step(self, fired_states: FrozenSet[str]) -> FrozenSet[str]:
+        """Successor enablement after a set of states fired."""
+        enabled: Set[str] = set()
+        for name in fired_states:
+            enabled.update(self._edges[name])
+        return frozenset(enabled)
+
+    def run(self, text: str) -> bool:
+        """Anchored acceptance: an accept state fires on the final symbol.
+
+        Start states are enabled only for the first symbol (matching from
+        offset 0 — the configuration the Levenshtein compilation uses).
+        The empty string is rejected by convention; callers with an
+        accepts-empty case handle it outside (see
+        :func:`repro.automata.levenshtein_nfa.compile_levenshtein_nfa`).
+        """
+        if not text:
+            return False
+        enabled = self.start_states()
+        for position, symbol in enumerate(text):
+            fired_states = self.fired(enabled, symbol)
+            if position == len(text) - 1:
+                return any(self._states[n].accept for n in fired_states)
+            if not fired_states:
+                return False
+            enabled = self.step(fired_states)
+        return False

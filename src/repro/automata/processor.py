@@ -1,0 +1,91 @@
+"""Spatial automata-processor model with reconfiguration accounting.
+
+Models the execution substrate of Micron's AP [28] / the Cache Automaton
+[20]: a fixed array of STEs plus a routing matrix.  Loading an automaton
+writes one symbol-class column per STE and one routing entry per edge —
+the cost that §II says becomes prohibitive when every read needs a fresh
+Levenshtein automaton ("these context-switches can become prohibitive").
+
+Execution is one input symbol per cycle; the model counts active STEs per
+cycle (the dynamic-power proxy used in AP literature).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional
+
+from repro.automata.nfa import HomogeneousNFA
+
+
+@dataclass
+class ProcessorStats:
+    """Lifetime counters for one processor instance."""
+
+    reconfigurations: int = 0
+    ste_writes: int = 0  # symbol-class columns programmed
+    routing_writes: int = 0  # routing-matrix entries programmed
+    cycles: int = 0
+    ste_activations: int = 0  # enabled-STE count summed over cycles
+    runs: int = 0
+
+    @property
+    def total_config_writes(self) -> int:
+        return self.ste_writes + self.routing_writes
+
+    def merge(self, other: "ProcessorStats") -> None:
+        self.reconfigurations += other.reconfigurations
+        self.ste_writes += other.ste_writes
+        self.routing_writes += other.routing_writes
+        self.cycles += other.cycles
+        self.ste_activations += other.ste_activations
+        self.runs += other.runs
+
+
+class AutomataProcessor:
+    """An STE array that must be (re)programmed before running an automaton."""
+
+    def __init__(self, capacity: int = 49_152) -> None:
+        # 49,152 STEs per AP half-core (Dlugosch et al. [28]).
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.stats = ProcessorStats()
+        self._loaded: Optional[HomogeneousNFA] = None
+
+    def load(self, nfa: HomogeneousNFA) -> None:
+        """Program the array; charged per STE and per routing entry."""
+        if nfa.state_count > self.capacity:
+            raise ValueError(
+                f"automaton needs {nfa.state_count} STEs, array has {self.capacity}"
+            )
+        self.stats.reconfigurations += 1
+        self.stats.ste_writes += nfa.state_count
+        self.stats.routing_writes += nfa.edge_count
+        self._loaded = nfa
+
+    @property
+    def is_loaded(self) -> bool:
+        return self._loaded is not None
+
+    def run(self, text: str) -> bool:
+        """Stream *text* through the loaded automaton."""
+        if self._loaded is None:
+            raise RuntimeError("no automaton loaded")
+        nfa = self._loaded
+        self.stats.runs += 1
+        if not text:
+            return False
+        enabled = nfa.start_states()
+        accepted = False
+        for position, symbol in enumerate(text):
+            self.stats.cycles += 1
+            self.stats.ste_activations += len(enabled)
+            fired = nfa.fired(enabled, symbol)
+            if position == len(text) - 1:
+                accepted = any(nfa.state(n).accept for n in fired)
+                break
+            if not fired:
+                break
+            enabled = nfa.step(fired)
+        return accepted

@@ -1,0 +1,163 @@
+"""Silla as a variable-width-symbol automaton (the §VIII-C UDP mapping).
+
+"Since Silla is based on automata theory, it can be easily mapped to
+versatile automata processors supporting variable-width input symbols such
+as UDP."  A classic STE array cannot host Silla (its transitions depend on
+comparisons between *two* streams, not on one stream's symbols), but UDP
+[30] consumes arbitrary-width symbols — so the machine can be driven by a
+precomputed **comparison word**: the 2K+1 fresh retro-comparison bits per
+cycle plus two exhaustion bits.
+
+This module realizes that mapping:
+
+* :func:`comparison_word_stream` — the front-end that turns an (R, Q) pair
+  into the per-cycle word stream (this is the only place the strings are
+  read);
+* :class:`UdpSillaMachine` — a state machine whose ``step`` consumes one
+  word and never touches the strings.  Internally it keeps the same
+  activation grid and diagonal comparison-forwarding latches as the
+  silicon (§IV-A).
+
+Equivalence with :class:`repro.sillax.edit_machine.EditMachine` is enforced
+by the test suite, which is precisely the "easily mapped" claim made
+checkable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.core.retro import retro_compare
+
+GridPos = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class ComparisonWord:
+    """One cycle's input symbol: 2K+1 comparison bits + exhaustion bits.
+
+    ``row[i]`` is the comparison for peripheral state (i, 0); ``column[d]``
+    for (0, d); they share index 0.  ``r_done``/``q_done`` flag that the
+    corresponding stream ended *before* this cycle — the acceptance
+    schedule needs them, and a width-flexible processor like UDP carries
+    them as two extra symbol bits.
+    """
+
+    row: Tuple[bool, ...]
+    column: Tuple[bool, ...]
+    r_done: bool
+    q_done: bool
+
+    @property
+    def width_bits(self) -> int:
+        return len(self.row) + len(self.column) - 1 + 2
+
+
+def comparison_word_stream(
+    reference: str, query: str, k: int
+) -> Iterator[ComparisonWord]:
+    """The front-end: peripheral comparisons per cycle, nothing else."""
+    n_ref, n_query = len(reference), len(query)
+    last_cycle = max(n_ref, n_query) + k + 2
+    for cycle in range(last_cycle + 1):
+        row = tuple(retro_compare(reference, query, cycle, i, 0) for i in range(k + 1))
+        column = tuple(
+            retro_compare(reference, query, cycle, 0, d) for d in range(k + 1)
+        )
+        yield ComparisonWord(
+            row=row,
+            column=column,
+            r_done=cycle >= n_ref,
+            q_done=cycle >= n_query,
+        )
+
+
+class UdpSillaMachine:
+    """Silla driven purely by comparison words (never by the strings)."""
+
+    def __init__(self, k: int) -> None:
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        self.k = k
+        self._grid: List[GridPos] = [
+            (i, d) for i in range(k + 1) for d in range(k + 1 - i)
+        ]
+
+    def run(self, words: Iterator[ComparisonWord]) -> Optional[int]:
+        """Consume the word stream; return the edit distance if <= K.
+
+        Acceptance is scheduled from the exhaustion bits: a state (i, d)
+        accepts at the first cycle where both streams have been exhausted
+        for exactly i and d cycles respectively — the same ``c - i == |R|``
+        condition the silicon's controller evaluates, reconstructed here
+        without knowing the lengths in advance.
+        """
+        k = self.k
+        comp: Dict[GridPos, bool] = {pos: False for pos in self._grid}
+        active0: Set[GridPos] = {(0, 0)}
+        active1: Set[GridPos] = set()
+        waiting: Set[GridPos] = set()
+        best: Optional[int] = None
+        r_done_cycles = 0  # cycles elapsed since the reference ended
+        q_done_cycles = 0
+
+        for cycle, word in enumerate(words):
+            if len(word.row) != k + 1 or len(word.column) != k + 1:
+                raise ValueError("comparison word width does not match K")
+            if word.r_done:
+                r_done_cycles += 1
+            if word.q_done:
+                q_done_cycles += 1
+
+            # Distribute comparisons: fresh periphery + diagonal forwarding.
+            next_comp: Dict[GridPos, bool] = {}
+            for i in range(k + 1):
+                next_comp[(i, 0)] = word.row[i]
+            for d in range(1, k + 1):
+                next_comp[(0, d)] = word.column[d]
+            for i, d in self._grid:
+                if i >= 1 and d >= 1:
+                    next_comp[(i, d)] = comp[(i - 1, d - 1)]
+            comp = next_comp
+
+            next_active0: Set[GridPos] = set()
+            next_active1: Set[GridPos] = set()
+            next_waiting: Set[GridPos] = set()
+            for i, d in waiting:
+                if i + d + 2 <= k:
+                    next_active0.add((i + 1, d + 1))
+            for layer, active, next_same in (
+                (0, active0, next_active0),
+                (1, active1, next_active1),
+            ):
+                for i, d in active:
+                    # Acceptance: both streams exhausted exactly i / d
+                    # cycles ago (r_done has been up for i+1 cycles when
+                    # c - i == |R|, counting this cycle's bit).
+                    if r_done_cycles == i + 1 and q_done_cycles == d + 1:
+                        total = i + d + layer
+                        if total <= k and (best is None or total < best):
+                            best = total
+                        continue
+                    if comp[(i, d)]:
+                        next_same.add((i, d))
+                        continue
+                    if i + d + 1 <= k:
+                        next_same.add((i + 1, d))
+                        next_same.add((i, d + 1))
+                    if layer == 0:
+                        if i + d + 1 <= k:
+                            next_active1.add((i, d))
+                    else:
+                        next_waiting.add((i, d))
+            active0, active1, waiting = next_active0, next_active1, next_waiting
+            if not active0 and not active1 and not waiting:
+                break
+        return best
+
+    def distance(self, reference: str, query: str) -> Optional[int]:
+        """Convenience: build the word stream and run it."""
+        if abs(len(reference) - len(query)) > self.k:
+            return None
+        return self.run(comparison_word_stream(reference, query, self.k))

@@ -1,0 +1,197 @@
+"""Command-line interface: simulate, align, and inspect.
+
+Installed as ``repro-genax``.  Subcommands:
+
+* ``simulate`` — generate a synthetic reference (FASTA) and a read set
+  (FASTQ) with ground truth in the read names.
+* ``align`` — map a FASTQ against a FASTA with either pipeline
+  (``genax`` or ``bwamem``) and write SAM.
+* ``distance`` — edit distance of two strings via the Silla automaton.
+* ``seeds`` — print the SMEM seeds of a read against a reference.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+import time
+from typing import List, Optional
+
+from repro.core.silla import Silla
+from repro.genome.fasta import read_fasta, read_fastq, write_fasta, write_fastq
+from repro.genome.reads import ReadSimulator
+from repro.genome.reference import ReferenceGenome, make_reference
+from repro.genome.variants import simulate_variants
+from repro.pipeline.bwamem import BwaMemAligner, BwaMemConfig
+from repro.pipeline.genax import GenAxAligner, GenAxConfig
+from repro.pipeline.sam import write_sam
+from repro.seeding.accelerator import SeedingAccelerator
+from repro.seeding.smem import SmemConfig
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-genax",
+        description="GenAx (ISCA 2018) reproduction: simulate and align reads.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    simulate = sub.add_parser("simulate", help="generate a reference + reads")
+    simulate.add_argument("--length", type=int, default=50_000, help="genome bp")
+    simulate.add_argument("--reads", type=int, default=100)
+    simulate.add_argument("--read-length", type=int, default=101)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--no-variants", action="store_true")
+    simulate.add_argument("--out-reference", required=True)
+    simulate.add_argument("--out-reads", required=True)
+
+    align = sub.add_parser("align", help="map FASTQ reads onto a FASTA reference")
+    align.add_argument("reference")
+    align.add_argument("reads")
+    align.add_argument("output", help="SAM output path")
+    align.add_argument(
+        "--pipeline", choices=("genax", "bwamem"), default="genax"
+    )
+    align.add_argument("--edit-bound", type=int, default=12)
+    align.add_argument("--segments", type=int, default=4)
+    align.add_argument("--kmer", type=int, default=12)
+    align.add_argument("--min-score", type=int, default=30)
+
+    distance = sub.add_parser("distance", help="Silla edit distance of two strings")
+    distance.add_argument("left")
+    distance.add_argument("right")
+    distance.add_argument("--k", type=int, default=8)
+
+    sub.add_parser("evaluate", help="print the regenerated §VIII evaluation summary")
+
+    seeds = sub.add_parser("seeds", help="SMEM seeds of a read")
+    seeds.add_argument("reference")
+    seeds.add_argument("read_sequence")
+    seeds.add_argument("--kmer", type=int, default=12)
+    seeds.add_argument("--segments", type=int, default=1)
+    return parser
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    reference = make_reference(args.length, seed=args.seed)
+    variants = None
+    if not args.no_variants:
+        variants = simulate_variants(reference.sequence, random.Random(args.seed + 1))
+    simulator = ReadSimulator(
+        reference, variants, read_length=args.read_length, seed=args.seed + 2
+    )
+    simulated = simulator.simulate(args.reads)
+    write_fasta(args.out_reference, [(reference.name, reference.sequence)])
+    # Encode ground truth into read names: name|pos|strand.
+    from repro.genome.reads import Read
+
+    reads = [
+        Read(
+            name=f"{s.name}|{s.true_position}|{'-' if s.reverse else '+'}",
+            sequence=s.sequence,
+            quality=s.read.quality,
+        )
+        for s in simulated
+    ]
+    write_fastq(args.out_reads, reads)
+    print(
+        f"wrote {len(reference):,} bp reference to {args.out_reference} and "
+        f"{len(reads)} reads to {args.out_reads}"
+    )
+    return 0
+
+
+def _load_reference(path: str) -> ReferenceGenome:
+    records = read_fasta(path)
+    if not records:
+        raise SystemExit(f"no sequences in {path}")
+    if len(records) > 1:
+        print(f"warning: using first of {len(records)} sequences", file=sys.stderr)
+    name, sequence = records[0]
+    return ReferenceGenome(sequence=sequence, name=name)
+
+
+def _cmd_align(args: argparse.Namespace) -> int:
+    reference = _load_reference(args.reference)
+    reads = read_fastq(args.reads)
+    started = time.time()
+    if args.pipeline == "genax":
+        aligner = GenAxAligner(
+            reference,
+            GenAxConfig(
+                k=args.kmer,
+                edit_bound=args.edit_bound,
+                segment_count=args.segments,
+                min_score=args.min_score,
+            ),
+        )
+    else:
+        aligner = BwaMemAligner(
+            reference,
+            BwaMemConfig(
+                k=args.kmer, band=args.edit_bound, min_score=args.min_score
+            ),
+        )
+    mapped = [aligner.align_read(read.name, read.sequence) for read in reads]
+    elapsed = time.time() - started
+    write_sam(args.output, reference, mapped, reads)
+    stats = aligner.stats
+    print(
+        f"{args.pipeline}: mapped {stats.reads_mapped}/{stats.reads_total} reads "
+        f"({stats.reads_exact} exact) in {elapsed:.1f}s -> {args.output}"
+    )
+    return 0
+
+
+def _cmd_distance(args: argparse.Namespace) -> int:
+    silla = Silla(args.k)
+    distance = silla.distance(args.left.upper(), args.right.upper())
+    if distance is None:
+        print(f"> {args.k}")
+        return 1
+    print(distance)
+    return 0
+
+
+def _cmd_seeds(args: argparse.Namespace) -> int:
+    reference = _load_reference(args.reference)
+    accel = SeedingAccelerator(
+        reference, SmemConfig(k=args.kmer), segment_count=args.segments
+    )
+    seeds = accel.seed_read(args.read_sequence.upper())
+    for seed in seeds:
+        positions = ",".join(str(p) for p in seed.positions[:8])
+        suffix = "..." if len(seed.positions) > 8 else ""
+        print(
+            f"offset={seed.read_offset} length={seed.length} "
+            f"hits={len(seed.positions)} positions={positions}{suffix}"
+        )
+    if not seeds:
+        print("no seeds")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    from repro.report import evaluation_report
+
+    print(evaluation_report())
+    return 0
+
+
+_COMMANDS = {
+    "simulate": _cmd_simulate,
+    "align": _cmd_align,
+    "distance": _cmd_distance,
+    "seeds": _cmd_seeds,
+    "evaluate": _cmd_evaluate,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

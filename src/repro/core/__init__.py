@@ -1,0 +1,53 @@
+"""Silla: String Independent Local Levenshtein Automata (the paper's core).
+
+Three models of increasing refinement:
+
+* :class:`repro.core.indel_silla.IndelSilla` — 2-D, insertions/deletions only
+  (§III-A).
+* :class:`repro.core.three_d_silla.ThreeDSilla` — explicit K+1 substitution
+  layers (§III-B); exists to verify the collapse.
+* :class:`repro.core.silla.Silla` — the collapsed 2-layer + wait-state
+  automaton (§III-C), the design SillaX implements in hardware.
+"""
+
+from repro.core.retro import (
+    peripheral_comparisons,
+    retro_compare,
+    retro_positions,
+)
+from repro.core.indel_silla import (
+    IndelSilla,
+    IndelSillaResult,
+    indel_distance,
+    indel_state_count,
+)
+from repro.core.three_d_silla import ThreeDSilla, ThreeDSillaResult, three_d_state_count
+from repro.core.silla import Silla, SillaResult, silla_state_count
+from repro.core.applications import (
+    DictionaryMatch,
+    best_corrections,
+    edit_distance_unbounded,
+    lcs_length,
+    similarity_filter,
+)
+
+__all__ = [
+    "peripheral_comparisons",
+    "retro_compare",
+    "retro_positions",
+    "IndelSilla",
+    "IndelSillaResult",
+    "indel_distance",
+    "indel_state_count",
+    "ThreeDSilla",
+    "ThreeDSillaResult",
+    "three_d_state_count",
+    "Silla",
+    "SillaResult",
+    "silla_state_count",
+    "DictionaryMatch",
+    "best_corrections",
+    "edit_distance_unbounded",
+    "lcs_length",
+    "similarity_filter",
+]

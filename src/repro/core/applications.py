@@ -1,0 +1,105 @@
+"""Beyond-sequencing applications of Silla (§VIII-C).
+
+"It can also be easily extended to solve other important problems such as
+Longest Common Sequence problem and automatic spell correction."  This
+module implements those extensions on top of the automata in this package:
+
+* **LCS** — with substitutions disabled, the indel Silla computes the indel
+  distance, and ``LCS(a, b) = (|a| + |b| - indel_distance(a, b)) / 2``.
+  The automaton bounds indels by K, so the solver widens K geometrically
+  until a solution fits (each pass is O(K^2) states and ~N cycles).
+* **Dictionary matching / spell correction** — one Silla instance ranks a
+  whole dictionary against a query (string independence at work).
+* **Similarity filtering** — accept/reject pairs by edit threshold, the
+  SortMeRNA-style use the paper cites [42].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.indel_silla import IndelSilla
+from repro.core.silla import Silla
+
+
+def lcs_length(left: str, right: str, initial_k: Optional[int] = None) -> int:
+    """Longest-common-subsequence length via the indel Silla.
+
+    Every common subsequence alignment uses only insertions and deletions;
+    the minimum indel count relates to the LCS by
+    ``indels = |a| + |b| - 2 * LCS``.  K is widened geometrically until the
+    automaton accepts, so the cost is dominated by the final pass.
+    """
+    if not left or not right:
+        return 0
+    k = initial_k if initial_k is not None else max(1, abs(len(left) - len(right)))
+    upper = len(left) + len(right)
+    while True:
+        distance = IndelSilla(min(k, upper)).distance(left, right)
+        if distance is not None:
+            return (len(left) + len(right) - distance) // 2
+        if k >= upper:
+            raise AssertionError("indel distance cannot exceed |a| + |b|")
+        k = min(upper, k * 2)
+
+
+def edit_distance_unbounded(left: str, right: str, initial_k: int = 2) -> int:
+    """Full edit distance by geometric widening of Silla's bound.
+
+    This is how a fixed-K accelerator serves unbounded queries: run at K,
+    and on rejection reconfigure (compose tiles, §IV-D) to a larger K.  The
+    doubling schedule keeps total work within a constant factor of the
+    final pass.
+    """
+    k = max(1, initial_k)
+    upper = max(len(left), len(right))
+    if upper == 0:
+        return 0
+    while True:
+        distance = Silla(min(k, upper)).distance(left, right)
+        if distance is not None:
+            return distance
+        if k >= upper:
+            raise AssertionError("edit distance cannot exceed max length")
+        k = min(upper, k * 2)
+
+
+@dataclass(frozen=True)
+class DictionaryMatch:
+    """One spell-correction candidate."""
+
+    word: str
+    distance: int
+
+
+def best_corrections(
+    query: str,
+    dictionary: Iterable[str],
+    max_edits: int = 2,
+    limit: Optional[int] = None,
+) -> List[DictionaryMatch]:
+    """Rank dictionary words within *max_edits* of *query*.
+
+    A single Silla automaton scores every word — the string independence
+    that makes the hardware practical for billions of reads makes the same
+    instance reusable across a dictionary.
+    """
+    silla = Silla(max_edits)
+    matches = []
+    for word in dictionary:
+        distance = silla.distance(word, query)
+        if distance is not None:
+            matches.append(DictionaryMatch(word=word, distance=distance))
+    matches.sort(key=lambda m: (m.distance, m.word))
+    if limit is not None:
+        matches = matches[:limit]
+    return matches
+
+
+def similarity_filter(
+    pairs: Sequence[Tuple[str, str]], max_edits: int
+) -> List[bool]:
+    """Batch accept/reject by edit threshold (read filtering, [42])."""
+    silla = Silla(max_edits)
+    return [silla.matches(a, b) for a, b in pairs]

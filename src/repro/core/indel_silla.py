@@ -1,0 +1,120 @@
+"""2-D indel Silla: the insertion/deletion-only automaton of §III-A.
+
+States are pairs ``(i, d)`` — *the edits made so far*, not positions matched
+(the inversion relative to Levenshtein automata that makes Silla string
+independent).  A state is live at cycle ``c`` if some alignment of the
+prefixes ``R[:c-i]`` and ``Q[:c-d]`` uses exactly ``i`` insertions and ``d``
+deletions and ends in a match or at the origin.
+
+The grid holds every ``(i, d)`` with ``i + d <= K`` — "half a square with a
+side of length K+1" — so the state count is ``(K+1)(K+2)/2`` (the paper
+rounds this to (K+1)^2 / 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.core.retro import retro_compare
+
+IndelState = Tuple[int, int]  # (insertions, deletions)
+
+
+def indel_state_count(k: int) -> int:
+    """Exact number of states in the indel Silla grid for bound *k*."""
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    return (k + 1) * (k + 2) // 2
+
+
+def indel_distance(left: str, right: str) -> int:
+    """DP oracle: minimum insertions+deletions aligning *left* to *right*.
+
+    With no substitutions allowed, this is |left| + |right| - 2*LCS.
+    """
+    n, m = len(left), len(right)
+    previous = list(range(m + 1))
+    for i in range(1, n + 1):
+        current = [i]
+        for j in range(1, m + 1):
+            if left[i - 1] == right[j - 1]:
+                current.append(previous[j - 1])
+            else:
+                current.append(1 + min(previous[j], current[j - 1]))
+        previous = current
+    return previous[m]
+
+
+@dataclass
+class IndelSillaResult:
+    """Outcome of one indel-Silla run."""
+
+    distance: Optional[int]
+    accepting_states: List[IndelState]
+    cycles: int
+    peak_active: int
+
+
+@dataclass
+class IndelSilla:
+    """String-independent automaton for indel-only edit distance <= K."""
+
+    k: int
+    active_history: List[FrozenSet[IndelState]] = field(default_factory=list, init=False)
+
+    def __post_init__(self) -> None:
+        if self.k < 0:
+            raise ValueError(f"k must be non-negative, got {self.k}")
+
+    def run(self, reference: str, query: str, record_history: bool = False) -> IndelSillaResult:
+        """Stream the two strings through the automaton.
+
+        The automaton runs for ``max(|R|, |Q|) + K + 1`` cycles; a state
+        ``(i, d)`` accepts at the unique cycle where both strings are fully
+        consumed (``c - i == |R|`` and ``c - d == |Q|``), reporting distance
+        ``i + d``.
+        """
+        n_ref, n_query = len(reference), len(query)
+        if abs(n_ref - n_query) > self.k:
+            # i - d must equal |R| - |Q| at acceptance; unreachable if > K.
+            return IndelSillaResult(None, [], 0, 0)
+
+        active: Set[IndelState] = {(0, 0)}
+        accepting: List[IndelState] = []
+        best: Optional[int] = None
+        peak = 1
+        self.active_history = []
+        executed = 0
+        last_cycle = max(n_ref, n_query) + self.k + 1
+        for cycle in range(last_cycle + 1):
+            executed = cycle + 1
+            if record_history:
+                self.active_history.append(frozenset(active))
+            next_active: Set[IndelState] = set()
+            for i, d in active:
+                if cycle - i == n_ref and cycle - d == n_query:
+                    accepting.append((i, d))
+                    if best is None or i + d < best:
+                        best = i + d
+                    continue  # strings exhausted for this state
+                if retro_compare(reference, query, cycle, i, d):
+                    next_active.add((i, d))
+                else:
+                    if i + d < self.k:
+                        next_active.add((i + 1, d))
+                        next_active.add((i, d + 1))
+            active = next_active
+            peak = max(peak, len(active))
+            if not active:
+                break
+        return IndelSillaResult(
+            distance=best,
+            accepting_states=accepting,
+            cycles=executed,
+            peak_active=peak,
+        )
+
+    def distance(self, reference: str, query: str) -> Optional[int]:
+        """Indel distance if <= K else None."""
+        return self.run(reference, query).distance

@@ -1,0 +1,63 @@
+"""Retro comparisons: the primitive that drives every Silla state (§III-A).
+
+At cycle ``c``, a Silla state representing ``i`` insertions and ``d``
+deletions compares the characters
+
+    alpha(i, d) = R[c - i]  XNOR  Q[c - d]
+
+i.e. the reference position is *offset back* by the insertions seen so far
+and the query position by the deletions (Fig. 2a).  When either index runs
+past its string, the comparison fails — there is no character to match.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+def retro_compare(reference: str, query: str, cycle: int, insertions: int, deletions: int) -> bool:
+    """Evaluate one retro comparison.
+
+    Returns True on a match.  Out-of-range positions (before the start or
+    past the end of either string) never match.
+    """
+    r_index = cycle - insertions
+    q_index = cycle - deletions
+    if r_index < 0 or q_index < 0:
+        return False
+    if r_index >= len(reference) or q_index >= len(query):
+        return False
+    return reference[r_index] == query[q_index]
+
+
+@dataclass(frozen=True)
+class RetroPositions:
+    """The (reference, query) indices a state examines at a given cycle."""
+
+    reference_index: int
+    query_index: int
+
+    @property
+    def as_tuple(self) -> Tuple[int, int]:
+        return (self.reference_index, self.query_index)
+
+
+def retro_positions(cycle: int, insertions: int, deletions: int) -> RetroPositions:
+    """Return the indices a state with the given indel offsets examines."""
+    return RetroPositions(reference_index=cycle - insertions, query_index=cycle - deletions)
+
+
+def peripheral_comparisons(reference: str, query: str, cycle: int, k: int):
+    """The 2K+1 comparisons SillaX computes at the grid periphery (§IV-A).
+
+    Interior states reuse these values via diagonal shifting: state (i, d)
+    needs the comparison state (i-1, d-1) needed one cycle earlier, so only
+    the peripheral states — (i, 0) for all i and (0, d) for all d — require
+    fresh comparators.  Returns ``(row, column)`` where ``row[i]`` is the
+    comparison for state (i, 0) and ``column[d]`` for state (0, d); the two
+    share entry 0 (state (0, 0)), giving K+1 + K+1 - 1 = 2K+1 comparators.
+    """
+    row = tuple(retro_compare(reference, query, cycle, i, 0) for i in range(k + 1))
+    column = tuple(retro_compare(reference, query, cycle, 0, d) for d in range(k + 1))
+    return row, column

@@ -1,0 +1,80 @@
+"""Explicit 3-D Silla (§III-B): indels + substitutions via K+1 layers.
+
+Each layer ``s`` (substitution count) is a copy of the 2-D indel grid, so
+the state space is O(K^3).  This model exists to *verify the collapse*: the
+production automaton (:mod:`repro.core.silla`) folds the layers into two and
+must agree with this one on every input — a property test in the suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+from repro.core.retro import retro_compare
+
+ThreeDState = Tuple[int, int, int]  # (insertions, deletions, substitutions)
+
+
+def three_d_state_count(k: int) -> int:
+    """States with i + d <= K per layer, over K+1 layers (paper: (K+1)^3/2)."""
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    per_layer = (k + 1) * (k + 2) // 2
+    return per_layer * (k + 1)
+
+
+@dataclass
+class ThreeDSillaResult:
+    distance: Optional[int]
+    accepting_states: List[ThreeDState]
+    peak_active: int
+
+
+@dataclass
+class ThreeDSilla:
+    """The un-collapsed reference automaton for full edit distance <= K."""
+
+    k: int
+
+    def __post_init__(self) -> None:
+        if self.k < 0:
+            raise ValueError(f"k must be non-negative, got {self.k}")
+
+    def run(self, reference: str, query: str) -> ThreeDSillaResult:
+        n_ref, n_query = len(reference), len(query)
+        if abs(n_ref - n_query) > self.k:
+            return ThreeDSillaResult(None, [], 0)
+
+        active: Set[ThreeDState] = {(0, 0, 0)}
+        accepting: List[ThreeDState] = []
+        best: Optional[int] = None
+        peak = 1
+        last_cycle = max(n_ref, n_query) + self.k + 1
+        for cycle in range(last_cycle + 1):
+            next_active: Set[ThreeDState] = set()
+            for i, d, s in active:
+                if cycle - i == n_ref and cycle - d == n_query:
+                    accepting.append((i, d, s))
+                    total = i + d + s
+                    if total <= self.k and (best is None or total < best):
+                        best = total
+                    continue
+                # Substitutions do not shift the retro positions: layer s
+                # compares the same (c-i, c-d) indices as layer 0.
+                if retro_compare(reference, query, cycle, i, d):
+                    next_active.add((i, d, s))
+                else:
+                    if i + d + s < self.k:
+                        if i + d < self.k:
+                            next_active.add((i + 1, d, s))
+                            next_active.add((i, d + 1, s))
+                        next_active.add((i, d, s + 1))
+            active = next_active
+            peak = max(peak, len(active))
+            if not active:
+                break
+        return ThreeDSillaResult(distance=best, accepting_states=accepting, peak_active=peak)
+
+    def distance(self, reference: str, query: str) -> Optional[int]:
+        return self.run(reference, query).distance

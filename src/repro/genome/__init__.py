@@ -1,0 +1,63 @@
+"""DNA substrate: sequences, synthetic references, variants, read simulation, I/O.
+
+The paper evaluates on GRCh38 plus Illumina Platinum reads; offline we
+substitute a deterministic synthetic genome and an Illumina-style read
+simulator (see DESIGN.md, substitution table).
+"""
+
+from repro.genome.sequence import (
+    ALPHABET,
+    complement,
+    decode,
+    encode,
+    gc_content,
+    is_dna,
+    kmers,
+    random_dna,
+    reverse_complement,
+)
+from repro.genome.reference import ReferenceGenome, SegmentView
+from repro.genome.variants import Variant, VariantSet, apply_variants, simulate_variants
+from repro.genome.reads import Read, ReadSimulator, SimulatedRead
+from repro.genome.long_reads import LongReadErrorModel, LongReadSimulator
+from repro.genome.assembly import Assembly, Contig, ContigPosition
+from repro.genome.fasta import (
+    parse_fasta,
+    parse_fastq,
+    read_fasta,
+    read_fastq,
+    write_fasta,
+    write_fastq,
+)
+
+__all__ = [
+    "ALPHABET",
+    "complement",
+    "decode",
+    "encode",
+    "gc_content",
+    "is_dna",
+    "kmers",
+    "random_dna",
+    "reverse_complement",
+    "ReferenceGenome",
+    "SegmentView",
+    "Variant",
+    "VariantSet",
+    "apply_variants",
+    "simulate_variants",
+    "Read",
+    "ReadSimulator",
+    "SimulatedRead",
+    "LongReadErrorModel",
+    "LongReadSimulator",
+    "Assembly",
+    "Contig",
+    "ContigPosition",
+    "parse_fasta",
+    "parse_fastq",
+    "read_fasta",
+    "read_fastq",
+    "write_fasta",
+    "write_fastq",
+]

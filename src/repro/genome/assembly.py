@@ -1,0 +1,122 @@
+"""Multi-contig genome assemblies.
+
+Real references are not one string: GRCh38 has chromosomes 1-22, X and Y
+(the paper filters to exactly those, §VII).  An :class:`Assembly` holds
+named contigs, linearizes them into one coordinate space for the aligners
+(whose index/seeding machinery works on a single string), and translates
+global positions back to (contig, offset) pairs for SAM output.
+
+Linearization never lets alignments leak across contigs: the seeding
+accelerator's segmentation is aligned to contig boundaries and extension
+windows are clamped at them.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.genome.reference import ReferenceGenome
+from repro.genome.sequence import validate_dna
+
+
+@dataclass(frozen=True)
+class ContigPosition:
+    """A position expressed in contig coordinates."""
+
+    contig: str
+    offset: int
+
+
+@dataclass(frozen=True)
+class Contig:
+    name: str
+    sequence: str
+
+    def __post_init__(self) -> None:
+        validate_dna(self.sequence, f"contig {self.name!r}")
+        if not self.name:
+            raise ValueError("contig name must be non-empty")
+
+    def __len__(self) -> int:
+        return len(self.sequence)
+
+
+class Assembly:
+    """An ordered collection of contigs with coordinate translation."""
+
+    def __init__(self, contigs: Sequence[Contig]) -> None:
+        if not contigs:
+            raise ValueError("assembly needs at least one contig")
+        names = [c.name for c in contigs]
+        if len(set(names)) != len(names):
+            raise ValueError("contig names must be unique")
+        self.contigs: Tuple[Contig, ...] = tuple(contigs)
+        self._starts: List[int] = []
+        start = 0
+        for contig in self.contigs:
+            self._starts.append(start)
+            start += len(contig)
+        self._total = start
+
+    @classmethod
+    def from_fasta_records(cls, records: Sequence[Tuple[str, str]]) -> "Assembly":
+        return cls([Contig(name=n, sequence=s) for n, s in records])
+
+    def __len__(self) -> int:
+        return self._total
+
+    @property
+    def contig_names(self) -> List[str]:
+        return [c.name for c in self.contigs]
+
+    def contig(self, name: str) -> Contig:
+        for contig in self.contigs:
+            if contig.name == name:
+                return contig
+        raise KeyError(f"no contig named {name!r}")
+
+    def contig_start(self, name: str) -> int:
+        """Global coordinate at which *name* begins."""
+        for contig, start in zip(self.contigs, self._starts):
+            if contig.name == name:
+                return start
+        raise KeyError(f"no contig named {name!r}")
+
+    def linearize(self, name: str = "assembly") -> ReferenceGenome:
+        """One concatenated reference the aligners index."""
+        return ReferenceGenome(
+            sequence="".join(c.sequence for c in self.contigs), name=name
+        )
+
+    def locate(self, global_position: int) -> ContigPosition:
+        """Translate a global coordinate to (contig, offset)."""
+        if not 0 <= global_position < self._total:
+            raise ValueError(
+                f"position {global_position} outside assembly of length {self._total}"
+            )
+        index = bisect.bisect_right(self._starts, global_position) - 1
+        return ContigPosition(
+            contig=self.contigs[index].name,
+            offset=global_position - self._starts[index],
+        )
+
+    def boundaries(self) -> List[int]:
+        """Global coordinates where a new contig begins (excluding 0)."""
+        return self._starts[1:]
+
+    def crosses_boundary(self, start: int, end: int) -> bool:
+        """True if [start, end) spans more than one contig."""
+        if start >= end:
+            return False
+        first = self.locate(start)
+        last = self.locate(min(end, self._total) - 1)
+        return first.contig != last.contig
+
+    def sam_header(self) -> str:
+        lines = ["@HD\tVN:1.6\tSO:unsorted"]
+        for contig in self.contigs:
+            lines.append(f"@SQ\tSN:{contig.name}\tLN:{len(contig)}")
+        lines.append("@PG\tID:repro-genax\tPN:repro-genax\tVN:1.0.0")
+        return "\n".join(lines) + "\n"

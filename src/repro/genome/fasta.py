@@ -1,0 +1,105 @@
+"""Minimal FASTA/FASTQ parsing and writing.
+
+The sequencing world exchanges references as FASTA and reads as FASTQ
+(the paper's input is ``ERR194147_1.fastq``).  These are deliberately small,
+dependency-free implementations sufficient for the examples and tests.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator, List, Tuple, Union
+
+from repro.genome.reads import Read
+
+PathLike = Union[str, Path]
+
+
+def parse_fasta(text: str) -> List[Tuple[str, str]]:
+    """Parse FASTA text into ``(name, sequence)`` pairs."""
+    records: List[Tuple[str, str]] = []
+    name = None
+    chunks: List[str] = []
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line:
+            continue
+        if line.startswith(">"):
+            if name is not None:
+                records.append((name, "".join(chunks)))
+            name = line[1:].split()[0] if len(line) > 1 else ""
+            chunks = []
+        else:
+            if name is None:
+                raise ValueError("FASTA sequence data before any '>' header")
+            chunks.append(line.upper())
+    if name is not None:
+        records.append((name, "".join(chunks)))
+    return records
+
+
+def read_fasta(path: PathLike) -> List[Tuple[str, str]]:
+    """Read a FASTA file into ``(name, sequence)`` pairs."""
+    with open(path) as handle:
+        return parse_fasta(handle.read())
+
+
+def write_fasta(path: PathLike, records: Iterable[Tuple[str, str]], width: int = 70) -> None:
+    """Write ``(name, sequence)`` pairs as FASTA with wrapped lines."""
+    with open(path, "w") as handle:
+        for name, sequence in records:
+            handle.write(f">{name}\n")
+            for start in range(0, len(sequence), width):
+                handle.write(sequence[start : start + width] + "\n")
+
+
+def parse_fastq(text: str) -> List[Read]:
+    """Parse FASTQ text into :class:`Read` records."""
+    lines = [line for line in text.splitlines() if line.strip()]
+    if len(lines) % 4 != 0:
+        raise ValueError(f"FASTQ line count {len(lines)} is not a multiple of 4")
+    reads: List[Read] = []
+    for i in range(0, len(lines), 4):
+        header, sequence, plus, quality = lines[i : i + 4]
+        if not header.startswith("@"):
+            raise ValueError(f"FASTQ record {i // 4} header does not start with '@'")
+        if not plus.startswith("+"):
+            raise ValueError(f"FASTQ record {i // 4} separator does not start with '+'")
+        name = header[1:].split()[0]
+        reads.append(Read(name=name, sequence=sequence.strip().upper(), quality=quality.strip()))
+    return reads
+
+
+def read_fastq(path: PathLike) -> List[Read]:
+    """Read a FASTQ file into :class:`Read` records."""
+    with open(path) as handle:
+        return parse_fastq(handle.read())
+
+
+def write_fastq(path: PathLike, reads: Iterable[Read]) -> None:
+    """Write reads as FASTQ (synthesizing flat qualities if absent)."""
+    with open(path, "w") as handle:
+        for read in reads:
+            quality = read.quality or ("I" * len(read.sequence))
+            handle.write(f"@{read.name}\n{read.sequence}\n+\n{quality}\n")
+
+
+def iter_fastq(path: PathLike) -> Iterator[Read]:
+    """Stream reads from a FASTQ file without loading it wholesale."""
+    with open(path) as handle:
+        while True:
+            header = handle.readline()
+            if not header:
+                return
+            sequence = handle.readline()
+            plus = handle.readline()
+            quality = handle.readline()
+            if not quality:
+                raise ValueError("truncated FASTQ record at end of file")
+            if not header.startswith("@") or not plus.startswith("+"):
+                raise ValueError("malformed FASTQ record")
+            yield Read(
+                name=header[1:].strip().split()[0],
+                sequence=sequence.strip().upper(),
+                quality=quality.strip(),
+            )

@@ -1,0 +1,210 @@
+"""Illumina-style short-read simulation.
+
+The paper's workload is 787M single-ended 101 bp Illumina reads with ~2%
+sequencing error and 30-50x coverage (§I, §VII).  This simulator substitutes
+for that dataset: it samples reads from a donor genome (reference +
+variants), injects sequencing errors with an Illumina-like profile
+(substitution-dominated, error rate rising toward the 3' end), and records
+ground truth so experiments can score alignment accuracy.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.genome.reference import ReferenceGenome
+from repro.genome.sequence import random_dna, reverse_complement
+from repro.genome.variants import VariantSet, apply_variants, donor_to_reference_map
+
+
+@dataclass(frozen=True)
+class Read:
+    """A sequencing read: a name, its bases and per-base qualities."""
+
+    name: str
+    sequence: str
+    quality: str = ""
+
+    def __post_init__(self) -> None:
+        if self.quality and len(self.quality) != len(self.sequence):
+            raise ValueError(
+                f"quality length {len(self.quality)} != sequence length "
+                f"{len(self.sequence)} for read {self.name!r}"
+            )
+
+    def __len__(self) -> int:
+        return len(self.sequence)
+
+
+@dataclass(frozen=True)
+class SimulatedRead:
+    """A read plus its simulation ground truth."""
+
+    read: Read
+    true_position: int  # reference coordinate of the read's first base
+    reverse: bool  # sampled from the reverse strand?
+    error_count: int  # injected sequencing errors
+    variant_edits: int  # true-variant edits overlapping the read
+
+    @property
+    def sequence(self) -> str:
+        return self.read.sequence
+
+    @property
+    def name(self) -> str:
+        return self.read.name
+
+
+@dataclass
+class ErrorProfile:
+    """Sequencing-error model.
+
+    Illumina errors are overwhelmingly substitutions; indel errors are rare.
+    The per-base error probability ramps linearly from ``rate_start`` at the
+    5' end to ``rate_end`` at the 3' end (matching the paper's observation
+    that read ends are less trustworthy, which motivates clipping, §IV-B).
+    """
+
+    rate_start: float = 0.005
+    rate_end: float = 0.035
+    indel_fraction: float = 0.01  # fraction of errors that are 1-bp indels
+
+    def error_probability(self, position: int, read_length: int) -> float:
+        """Per-base error probability at *position* of a *read_length* read."""
+        if read_length <= 1:
+            return self.rate_start
+        t = position / (read_length - 1)
+        return self.rate_start + t * (self.rate_end - self.rate_start)
+
+    def mean_rate(self, read_length: int) -> float:
+        """Average per-base error rate across the read."""
+        return (self.rate_start + self.rate_end) / 2.0
+
+
+def _phred_char(probability: float) -> str:
+    """Return the Phred+33 quality character for an error probability."""
+    import math
+
+    probability = min(max(probability, 1e-5), 0.75)
+    q = int(round(-10.0 * math.log10(probability)))
+    return chr(33 + min(q, 60))
+
+
+@dataclass
+class ReadSimulator:
+    """Sample error-bearing reads from a donor genome.
+
+    If a :class:`VariantSet` is supplied, reads are drawn from the donor
+    (reference + variants) and their true *reference* position is recovered
+    through the donor-to-reference anchor map; otherwise reads are drawn
+    straight from the reference.
+    """
+
+    reference: ReferenceGenome
+    variants: Optional[VariantSet] = None
+    read_length: int = 101
+    error_profile: ErrorProfile = field(default_factory=ErrorProfile)
+    seed: int = 0
+    both_strands: bool = True
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+        if self.variants is not None:
+            self._donor = apply_variants(self.reference.sequence, self.variants)
+            anchor_pairs = donor_to_reference_map(self.reference.sequence, self.variants)
+            self._donor_to_ref = dict(anchor_pairs)
+        else:
+            self._donor = self.reference.sequence
+            self._donor_to_ref = None
+        if self.read_length > len(self._donor):
+            raise ValueError(
+                f"read length {self.read_length} exceeds donor length {len(self._donor)}"
+            )
+
+    def simulate(self, count: int) -> List[SimulatedRead]:
+        """Generate *count* reads."""
+        return [self._one_read(i) for i in range(count)]
+
+    def simulate_coverage(self, coverage: float) -> List[SimulatedRead]:
+        """Generate enough reads for ~*coverage*x depth (paper uses 30-50x)."""
+        count = max(1, int(coverage * len(self._donor) / self.read_length))
+        return self.simulate(count)
+
+    def _one_read(self, index: int) -> SimulatedRead:
+        rng = self._rng
+        donor = self._donor
+        start = rng.randrange(0, len(donor) - self.read_length + 1)
+        fragment = donor[start : start + self.read_length]
+        reverse = self.both_strands and rng.random() < 0.5
+
+        variant_edits = 0
+        if self.variants is not None:
+            # Count true-variant edits within the sampled donor window by
+            # comparing against the corresponding reference window.
+            variant_edits = self._count_variant_edits(start)
+
+        true_position = self._reference_position(start)
+        if reverse:
+            fragment = reverse_complement(fragment)
+
+        bases, quality, error_count = self._inject_errors(fragment)
+        read = Read(name=f"simread_{index}", sequence=bases, quality=quality)
+        return SimulatedRead(
+            read=read,
+            true_position=true_position,
+            reverse=reverse,
+            error_count=error_count,
+            variant_edits=variant_edits,
+        )
+
+    def _reference_position(self, donor_start: int) -> int:
+        if self._donor_to_ref is None:
+            return donor_start
+        # Walk left to the nearest anchored donor coordinate (a read that
+        # starts inside an insertion has no exact reference coordinate).
+        pos = donor_start
+        while pos >= 0 and pos not in self._donor_to_ref:
+            pos -= 1
+        if pos < 0:
+            return 0
+        return self._donor_to_ref[pos] + (donor_start - pos)
+
+    def _count_variant_edits(self, donor_start: int) -> int:
+        assert self.variants is not None
+        ref_start = self._reference_position(donor_start)
+        window = self.variants.in_window(ref_start, ref_start + self.read_length)
+        return sum(v.edit_count for v in window)
+
+    def _inject_errors(self, fragment: str):
+        rng = self._rng
+        profile = self.error_profile
+        out: List[str] = []
+        quality: List[str] = []
+        errors = 0
+        n = len(fragment)
+        for position, base in enumerate(fragment):
+            p_err = profile.error_probability(position, n)
+            quality.append(_phred_char(p_err))
+            if rng.random() >= p_err:
+                out.append(base)
+                continue
+            errors += 1
+            if rng.random() < profile.indel_fraction:
+                if rng.random() < 0.5:
+                    # 1-bp insertion error: emit base plus a random extra.
+                    out.append(base)
+                    out.append(random_dna(1, rng))
+                    quality.append(_phred_char(p_err))
+                # else 1-bp deletion error: drop the base.
+            else:
+                out.append(rng.choice([b for b in "ACGT" if b != base]))
+        # Trim or pad so the read keeps its nominal length, as a sequencer
+        # emits a fixed number of cycles regardless of indel errors.
+        sequence = "".join(out)[:n]
+        quality_str = "".join(quality)[: len(sequence)]
+        while len(sequence) < n:
+            sequence += random_dna(1, rng)
+            quality_str += _phred_char(profile.rate_end)
+        return sequence, quality_str, errors

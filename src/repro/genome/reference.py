@@ -1,0 +1,185 @@
+"""Synthetic reference genomes and genome segmentation views.
+
+The paper aligns against GRCh38 (3.08 Gbp).  Offline we substitute a
+deterministic synthetic reference whose *repeat structure* is controllable,
+because repeats are what stress seeding (they inflate k-mer hit lists, the
+quantity Fig. 16 measures).  The generator plants tandem and dispersed
+repeats on top of a random background, loosely mimicking the repetitive
+fraction of real genomes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.genome.sequence import random_dna, validate_dna
+
+
+@dataclass(frozen=True)
+class SegmentView:
+    """A contiguous slice of the reference genome.
+
+    GenAx segments the genome into 512 pieces so each segment's index and
+    position tables fit in on-chip SRAM (§V, §VI).  A view records both the
+    local sequence and its offset into the full genome so hit positions can
+    be translated back to global coordinates.
+    """
+
+    index: int
+    start: int
+    sequence: str
+
+    @property
+    def end(self) -> int:
+        """One past the last global position covered by this segment."""
+        return self.start + len(self.sequence)
+
+    def __len__(self) -> int:
+        return len(self.sequence)
+
+    def to_global(self, local_position: int) -> int:
+        """Translate a segment-local position to a global genome position."""
+        if not 0 <= local_position <= len(self.sequence):
+            raise ValueError(
+                f"local position {local_position} outside segment of "
+                f"length {len(self.sequence)}"
+            )
+        return self.start + local_position
+
+
+@dataclass
+class ReferenceGenome:
+    """A reference genome with named sequence and segmentation support."""
+
+    sequence: str
+    name: str = "synthetic"
+
+    def __post_init__(self) -> None:
+        validate_dna(self.sequence, "reference")
+
+    def __len__(self) -> int:
+        return len(self.sequence)
+
+    def fetch(self, start: int, end: int) -> str:
+        """Return the reference substring over [start, end), clamped to bounds.
+
+        Clamping mirrors what the SillaX lane does when a seed hit sits near
+        a genome boundary: the reference cache simply runs out of symbols.
+        """
+        start = max(0, start)
+        end = min(len(self.sequence), end)
+        if start >= end:
+            return ""
+        return self.sequence[start:end]
+
+    def segments(self, count: int, overlap: int = 0) -> List[SegmentView]:
+        """Split the genome into *count* near-equal segments.
+
+        *overlap* extends each segment to the right so that seeds spanning a
+        segment boundary are still discoverable inside one segment (the
+        hardware streams a read against each segment independently, so a
+        match crossing the cut would otherwise be missed).
+        """
+        if count <= 0:
+            raise ValueError(f"segment count must be positive, got {count}")
+        if overlap < 0:
+            raise ValueError(f"overlap must be non-negative, got {overlap}")
+        total = len(self.sequence)
+        base = total // count
+        remainder = total % count
+        views: List[SegmentView] = []
+        start = 0
+        for index in range(count):
+            length = base + (1 if index < remainder else 0)
+            end = min(total, start + length + overlap)
+            views.append(SegmentView(index=index, start=start, sequence=self.sequence[start:end]))
+            start += length
+        return views
+
+
+@dataclass
+class RepeatSpec:
+    """Parameters controlling planted repeats in the synthetic genome."""
+
+    dispersed_repeat_count: int = 8
+    dispersed_repeat_length: int = 300
+    dispersed_copies: int = 6
+    tandem_repeat_count: int = 4
+    tandem_unit_length: int = 25
+    tandem_copies: int = 8
+    mutation_rate: float = 0.02  # per-base divergence between repeat copies
+
+
+@dataclass
+class ReferenceBuilder:
+    """Deterministic synthetic reference generator.
+
+    The builder lays down a random background and then plants dispersed and
+    tandem repeats (optionally slightly diverged copies) so that the k-mer
+    hit distribution has the long tail real genomes have — e.g. the paper
+    calls out poly-A and ``ATAT...`` k-mers as pathological (§VIII-B).
+    """
+
+    length: int
+    seed: int = 0
+    gc: float = 0.41  # human-like GC fraction
+    repeats: RepeatSpec = field(default_factory=RepeatSpec)
+
+    def build(self, name: str = "synthetic") -> ReferenceGenome:
+        """Generate the reference genome."""
+        if self.length <= 0:
+            raise ValueError(f"genome length must be positive, got {self.length}")
+        rng = random.Random(self.seed)
+        bases = list(random_dna(self.length, rng, gc=self.gc))
+        self._plant_dispersed(bases, rng)
+        self._plant_tandem(bases, rng)
+        return ReferenceGenome(sequence="".join(bases), name=name)
+
+    def _plant_dispersed(self, bases: List[str], rng: random.Random) -> None:
+        spec = self.repeats
+        for _ in range(spec.dispersed_repeat_count):
+            unit_len = min(spec.dispersed_repeat_length, max(1, len(bases) // 4))
+            unit = random_dna(unit_len, rng, gc=self.gc)
+            for _ in range(spec.dispersed_copies):
+                copy = self._mutate(unit, rng, spec.mutation_rate)
+                if len(bases) <= len(copy):
+                    continue
+                start = rng.randrange(0, len(bases) - len(copy))
+                bases[start : start + len(copy)] = list(copy)
+
+    def _plant_tandem(self, bases: List[str], rng: random.Random) -> None:
+        spec = self.repeats
+        for _ in range(spec.tandem_repeat_count):
+            unit = random_dna(spec.tandem_unit_length, rng, gc=self.gc)
+            block = unit * spec.tandem_copies
+            if len(bases) <= len(block):
+                continue
+            start = rng.randrange(0, len(bases) - len(block))
+            bases[start : start + len(block)] = list(block)
+
+    @staticmethod
+    def _mutate(sequence: str, rng: random.Random, rate: float) -> str:
+        out = []
+        for base in sequence:
+            if rng.random() < rate:
+                choices = [b for b in "ACGT" if b != base]
+                out.append(rng.choice(choices))
+            else:
+                out.append(base)
+        return "".join(out)
+
+
+def make_reference(
+    length: int,
+    seed: int = 0,
+    gc: float = 0.41,
+    repeats: Optional[RepeatSpec] = None,
+    name: str = "synthetic",
+) -> ReferenceGenome:
+    """Convenience wrapper: build a synthetic reference in one call."""
+    builder = ReferenceBuilder(length=length, seed=seed, gc=gc)
+    if repeats is not None:
+        builder.repeats = repeats
+    return builder.build(name=name)

@@ -1,0 +1,178 @@
+"""Genomic variants: the difference between an individual and the reference.
+
+Read alignment exists because a sequenced individual's genome differs from
+the reference by substitutions (SNPs) and small insertions/deletions — the
+very edits the Silla automaton models.  This module simulates a donor genome
+by injecting variants into a reference, so that simulated reads carry true
+biological edits in addition to sequencing errors.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+from repro.genome.sequence import random_dna
+
+
+@dataclass(frozen=True)
+class Variant:
+    """A single variant against the reference.
+
+    ``kind`` is one of ``"snp"``, ``"ins"``, ``"del"``.
+
+    * ``snp``: ``ref`` is the single reference base replaced by ``alt``.
+    * ``ins``: ``alt`` is inserted *after* reference position ``position``
+      (``ref`` is empty).
+    * ``del``: ``ref`` holds the deleted reference bases starting at
+      ``position`` (``alt`` is empty).
+    """
+
+    position: int
+    kind: str
+    ref: str
+    alt: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("snp", "ins", "del"):
+            raise ValueError(f"unknown variant kind {self.kind!r}")
+        if self.kind == "snp" and (len(self.ref) != 1 or len(self.alt) != 1):
+            raise ValueError("snp must have single-base ref and alt")
+        if self.kind == "ins" and (self.ref or not self.alt):
+            raise ValueError("ins must have empty ref and non-empty alt")
+        if self.kind == "del" and (self.alt or not self.ref):
+            raise ValueError("del must have non-empty ref and empty alt")
+
+    @property
+    def edit_count(self) -> int:
+        """Number of unit edits this variant contributes (Levenshtein ops)."""
+        if self.kind == "snp":
+            return 1
+        return len(self.ref) + len(self.alt)
+
+
+@dataclass
+class VariantSet:
+    """An ordered, non-overlapping set of variants on one reference."""
+
+    variants: List[Variant]
+
+    def __post_init__(self) -> None:
+        self.variants = sorted(self.variants, key=lambda v: v.position)
+        self._check_non_overlapping()
+
+    def _check_non_overlapping(self) -> None:
+        previous_end = -1
+        for variant in self.variants:
+            span = len(variant.ref) if variant.kind == "del" else 1
+            if variant.position < previous_end:
+                raise ValueError(
+                    f"variants overlap near reference position {variant.position}"
+                )
+            previous_end = variant.position + span
+
+    def __len__(self) -> int:
+        return len(self.variants)
+
+    def __iter__(self):
+        return iter(self.variants)
+
+    def in_window(self, start: int, end: int) -> List[Variant]:
+        """Return variants whose anchor position lies in [start, end)."""
+        return [v for v in self.variants if start <= v.position < end]
+
+
+def apply_variants(reference: str, variants: Iterable[Variant]) -> str:
+    """Return the donor sequence: *reference* with *variants* applied.
+
+    Variants must be non-overlapping; they are applied right-to-left so that
+    earlier positions stay valid.
+    """
+    ordered = sorted(variants, key=lambda v: v.position, reverse=True)
+    donor = reference
+    for variant in ordered:
+        p = variant.position
+        if variant.kind == "snp":
+            if donor[p] != variant.ref:
+                raise ValueError(
+                    f"snp ref mismatch at {p}: genome has {donor[p]!r}, "
+                    f"variant says {variant.ref!r}"
+                )
+            donor = donor[:p] + variant.alt + donor[p + 1 :]
+        elif variant.kind == "ins":
+            donor = donor[: p + 1] + variant.alt + donor[p + 1 :]
+        else:  # del
+            if donor[p : p + len(variant.ref)] != variant.ref:
+                raise ValueError(f"del ref mismatch at {p}")
+            donor = donor[:p] + donor[p + len(variant.ref) :]
+    return donor
+
+
+def simulate_variants(
+    reference: str,
+    rng: random.Random,
+    snp_rate: float = 0.001,
+    indel_rate: float = 0.0001,
+    max_indel_length: int = 6,
+) -> VariantSet:
+    """Draw a random, non-overlapping variant set over *reference*.
+
+    Default rates approximate a human genome (~1 SNP / kbp, ~1 indel / 10 kbp).
+    """
+    variants: List[Variant] = []
+    position = 0
+    n = len(reference)
+    while position < n:
+        roll = rng.random()
+        if roll < snp_rate:
+            ref_base = reference[position]
+            alt = rng.choice([b for b in "ACGT" if b != ref_base])
+            variants.append(Variant(position, "snp", ref_base, alt))
+            position += 1
+        elif roll < snp_rate + indel_rate:
+            length = rng.randint(1, max_indel_length)
+            if rng.random() < 0.5 and position + length <= n:
+                variants.append(
+                    Variant(position, "del", reference[position : position + length], "")
+                )
+                position += length
+            else:
+                variants.append(Variant(position, "ins", "", random_dna(length, rng)))
+                position += 1
+        else:
+            position += 1
+    return VariantSet(variants)
+
+
+def donor_to_reference_map(reference: str, variants: VariantSet) -> List[Tuple[int, int]]:
+    """Return (donor_position, reference_position) anchor pairs.
+
+    Each pair marks a donor coordinate that corresponds exactly to a
+    reference coordinate (i.e. a point outside any indel).  Read simulators
+    use this to record each read's true reference position.
+    """
+    anchors: List[Tuple[int, int]] = []
+    donor_pos = 0
+    ref_pos = 0
+    variant_iter = iter(variants)
+    current = next(variant_iter, None)
+    n = len(reference)
+    while ref_pos < n:
+        if current is not None and ref_pos == current.position:
+            if current.kind == "snp":
+                anchors.append((donor_pos, ref_pos))
+                donor_pos += 1
+                ref_pos += 1
+            elif current.kind == "ins":
+                anchors.append((donor_pos, ref_pos))
+                donor_pos += 1 + len(current.alt)
+                ref_pos += 1
+            else:  # del
+                ref_pos += len(current.ref)
+            current = next(variant_iter, None)
+        else:
+            anchors.append((donor_pos, ref_pos))
+            donor_pos += 1
+            ref_pos += 1
+    return anchors

@@ -1,0 +1,50 @@
+"""Analytical performance/area/power models calibrated to the paper.
+
+* :mod:`repro.model.constants` — every number the paper reports.
+* :mod:`repro.model.synthesis` — PE area/power vs frequency (Fig. 12).
+* :mod:`repro.model.memory` — DDR4 streaming (the Ramulator substitute).
+* :mod:`repro.model.throughput` — SillaX (Fig. 14) / GenAx (Fig. 15a).
+* :mod:`repro.model.power` — Fig. 15b.
+* :mod:`repro.model.area` — Table II.
+"""
+
+from repro.model import constants
+from repro.model.synthesis import (
+    EDIT_PE,
+    MACHINES,
+    SCORING_PE,
+    TRACEBACK_PE,
+    MachineSynthesis,
+    frequency_sweep,
+    optimal_frequency,
+)
+from repro.model.memory import DDR4Model, SegmentTraffic, read_stream_bytes, table_load_time_s
+from repro.model.throughput import (
+    GenAxThroughputModel,
+    GenAxWorkload,
+    SillaXCycleModel,
+    SillaXThroughputModel,
+)
+from repro.model.power import GenAxPowerModel
+from repro.model.area import GenAxAreaModel
+
+__all__ = [
+    "constants",
+    "EDIT_PE",
+    "MACHINES",
+    "SCORING_PE",
+    "TRACEBACK_PE",
+    "MachineSynthesis",
+    "frequency_sweep",
+    "optimal_frequency",
+    "DDR4Model",
+    "SegmentTraffic",
+    "read_stream_bytes",
+    "table_load_time_s",
+    "GenAxThroughputModel",
+    "GenAxWorkload",
+    "SillaXCycleModel",
+    "SillaXThroughputModel",
+    "GenAxPowerModel",
+    "GenAxAreaModel",
+]

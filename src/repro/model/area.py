@@ -1,0 +1,55 @@
+"""Area model: Table II regeneration and the area-reduction headline.
+
+Per-unit areas are derived from Table II itself (the paper's synthesis
+report), so the model can re-total the breakdown for any configuration —
+e.g. the ablation benches vary lane counts, CAM sizes and SRAM capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.model import constants
+
+SEEDING_LANE_AREA_MM2 = constants.SEEDING_LANES_AREA_MM2 / constants.SEEDING_LANES
+SILLAX_LANE_AREA_MM2 = constants.SILLAX_LANES_AREA_MM2 / constants.SILLAX_LANES
+SRAM_AREA_MM2_PER_MB = constants.ONCHIP_SRAM_AREA_MM2 / constants.ONCHIP_SRAM_MB
+
+
+@dataclass(frozen=True)
+class GenAxAreaModel:
+    """Bottom-up die area for a GenAx configuration."""
+
+    seeding_lanes: int = constants.SEEDING_LANES
+    sillax_lanes: int = constants.SILLAX_LANES
+    sram_mb: float = constants.ONCHIP_SRAM_MB
+
+    @property
+    def seeding_area_mm2(self) -> float:
+        return self.seeding_lanes * SEEDING_LANE_AREA_MM2
+
+    @property
+    def sillax_area_mm2(self) -> float:
+        return self.sillax_lanes * SILLAX_LANE_AREA_MM2
+
+    @property
+    def sram_area_mm2(self) -> float:
+        return self.sram_mb * SRAM_AREA_MM2_PER_MB
+
+    @property
+    def total_mm2(self) -> float:
+        return self.seeding_area_mm2 + self.sillax_area_mm2 + self.sram_area_mm2
+
+    def table2(self) -> Dict[str, float]:
+        """The Table II rows."""
+        return {
+            f"Seeding lanes (x{self.seeding_lanes})": self.seeding_area_mm2,
+            f"SillaX lanes (x{self.sillax_lanes})": self.sillax_area_mm2,
+            f"On-chip SRAM ({self.sram_mb:.0f} MB)": self.sram_area_mm2,
+            "Total": self.total_mm2,
+        }
+
+    def reduction_vs_cpu(self) -> float:
+        """The paper's 5.6x area headline (vs the dual-socket Xeon dies)."""
+        return constants.CPU_DIE_AREA_MM2 / self.total_mm2

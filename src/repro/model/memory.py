@@ -1,0 +1,71 @@
+"""DDR4 streaming model: the Ramulator substitute (§VII).
+
+GenAx's off-chip traffic is entirely sequential streaming: before each
+segment, the index table, position table and reference slice for that
+segment are burst in over 8 DDR4 channels; reads stream through a small
+buffer.  For fully sequential access a DRAM simulator reduces to
+``bytes / aggregate_bandwidth`` with a channel efficiency factor, which is
+what this model computes (the substitution is recorded in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model import constants
+
+
+@dataclass(frozen=True)
+class DDR4Model:
+    """Aggregate-bandwidth streaming model."""
+
+    channels: int = constants.DDR4_CHANNELS
+    channel_bandwidth_gbps: float = constants.DDR4_CHANNEL_BANDWIDTH_GBPS
+    stream_efficiency: float = 0.85  # achievable fraction of peak on bursts
+
+    @property
+    def aggregate_bandwidth_bytes_per_s(self) -> float:
+        return (
+            self.channels
+            * self.channel_bandwidth_gbps
+            * 1e9
+            * self.stream_efficiency
+        )
+
+    def stream_time_s(self, num_bytes: float) -> float:
+        """Seconds to stream *num_bytes* sequentially."""
+        if num_bytes < 0:
+            raise ValueError(f"bytes must be non-negative, got {num_bytes}")
+        return num_bytes / self.aggregate_bandwidth_bytes_per_s
+
+
+@dataclass(frozen=True)
+class SegmentTraffic:
+    """Per-segment table/reference traffic (Fig. 11 / §VI)."""
+
+    index_table_bytes: float = constants.INDEX_TABLE_MB * 1e6
+    position_table_bytes: float = constants.POSITION_TABLE_MB * 1e6
+    reference_bytes: float = constants.SEGMENT_BASEPAIRS / 4.0  # 2-bit packed
+
+    @property
+    def total_bytes(self) -> float:
+        return self.index_table_bytes + self.position_table_bytes + self.reference_bytes
+
+
+def table_load_time_s(
+    memory: DDR4Model = DDR4Model(),
+    traffic: SegmentTraffic = SegmentTraffic(),
+    segments: int = constants.SEGMENT_COUNT,
+) -> float:
+    """Time to stream every segment's tables once (one full pass)."""
+    return memory.stream_time_s(traffic.total_bytes * segments)
+
+
+def read_stream_bytes(
+    reads: int = constants.TOTAL_READS,
+    read_length: int = constants.READ_LENGTH_BP,
+) -> float:
+    """Bytes to deliver the read set once (2-bit packed plus headers)."""
+    payload = read_length / 4.0
+    header = 6.0  # read id + length metadata
+    return reads * (payload + header)

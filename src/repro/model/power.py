@@ -1,0 +1,80 @@
+"""Power model: GenAx breakdown and the Fig. 15b comparison.
+
+GenAx power is composed bottom-up from the paper's synthesis numbers
+(SillaX lanes) plus calibrated seeding-lane and SRAM terms chosen so the
+total reproduces the paper's headline 12x reduction versus the CPU running
+BWA-MEM.  The CPU/GPU figures are RAPL/board measurements from the paper's
+testbed, recorded in :mod:`repro.model.constants`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.model import constants
+
+
+@dataclass(frozen=True)
+class GenAxPowerModel:
+    """Bottom-up power breakdown of the GenAx die."""
+
+    sillax_lanes: int = constants.SILLAX_LANES
+    sillax_lane_power_w: float = constants.TRACEBACK_MACHINE_POWER_W
+    seeding_lanes: int = constants.SEEDING_LANES
+    seeding_lane_power_w: float = 0.025  # CAM + FSM per lane (calibrated)
+    sram_mb: float = constants.ONCHIP_SRAM_MB
+    sram_power_w_per_mb: float = 0.089  # 28 nm SRAM leak+dynamic (calibrated)
+
+    @property
+    def sillax_power_w(self) -> float:
+        return self.sillax_lanes * self.sillax_lane_power_w
+
+    @property
+    def seeding_power_w(self) -> float:
+        return self.seeding_lanes * self.seeding_lane_power_w
+
+    @property
+    def sram_power_w(self) -> float:
+        return self.sram_mb * self.sram_power_w_per_mb
+
+    @property
+    def total_w(self) -> float:
+        return self.sillax_power_w + self.seeding_power_w + self.sram_power_w
+
+    def breakdown(self) -> Dict[str, float]:
+        return {
+            "sillax_lanes_w": self.sillax_power_w,
+            "seeding_lanes_w": self.seeding_power_w,
+            "sram_w": self.sram_power_w,
+            "total_w": self.total_w,
+        }
+
+    def figure15b_watts(self) -> Dict[str, float]:
+        """Fig. 15b series."""
+        return {
+            "GenAx": self.total_w,
+            "BWA-MEM (CPU)": constants.CPU_POWER_W,
+            "CUSHAW2 (GPU)": constants.GPU_POWER_W,
+        }
+
+    def reduction_vs_cpu(self) -> float:
+        return constants.CPU_POWER_W / self.total_w
+
+    def energy_per_read_uj(
+        self, kreads_per_second: float = constants.GENAX_THROUGHPUT_KREADS_S
+    ) -> float:
+        """Energy per aligned read in microjoules."""
+        if kreads_per_second <= 0:
+            raise ValueError("throughput must be positive")
+        return self.total_w / (kreads_per_second * 1e3) * 1e6
+
+    def energy_efficiency_vs_cpu(self) -> float:
+        """Reads per joule, GenAx over the CPU running BWA-MEM.
+
+        Combines the two headlines: 31.7x the throughput at 1/12 the power
+        gives ~380x fewer joules per read.
+        """
+        genax = constants.GENAX_THROUGHPUT_KREADS_S * 1e3 / self.total_w
+        cpu = constants.BWA_MEM_THROUGHPUT_KREADS_S * 1e3 / constants.CPU_POWER_W
+        return genax / cpu

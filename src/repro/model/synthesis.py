@@ -1,0 +1,178 @@
+"""Analytical synthesis model: PE area/power vs clock frequency (Fig. 12).
+
+The paper synthesized the three Silla machines in a commercial 28 nm flow
+and swept the clock target; Fig. 12 plots per-PE area and power with an
+inflection at 2 GHz.  We reproduce the curves with the standard synthesis
+cost shape — area is flat at low frequency and blows up as the target
+approaches the critical-path limit, power scales with area x frequency:
+
+    area(f)  = a0 * (1 + c * (f / f_max)^3)
+    power(f) = p_ref * (f / f_ref) * (area(f) / area(f_ref))
+
+Each machine's (a0, c) is calibrated so the model passes exactly through
+the paper's quoted design points:
+
+* edit PE: 7.14 um^2 at 2 GHz (0.012 mm^2 / 1681 PEs) and 9.7 um^2 at
+  5 GHz (§VIII-C), f_max = 6 GHz;
+* traceback PE: 839 um^2 at 2 GHz (1.41 mm^2 / 1681), f_max = 3 GHz
+  (0.33 ns latency);
+* the scoring machine sits between the two ("comparable to the traceback
+  machine", §VIII-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.model import constants
+
+
+@dataclass(frozen=True)
+class MachineSynthesis:
+    """Calibrated area/power curves for one Silla machine flavour."""
+
+    name: str
+    area_um2_at_ref: float  # per-PE area at the 2 GHz reference point
+    power_uw_at_ref: float  # per-PE power at the reference point
+    f_max_ghz: float
+    curvature: float  # the fitted c in area(f)
+
+    f_ref_ghz: float = constants.SILLAX_FREQUENCY_GHZ
+
+    def area_um2(self, frequency_ghz: float) -> float:
+        """Per-PE area at a synthesis frequency target."""
+        self._check(frequency_ghz)
+        shape = 1.0 + self.curvature * (frequency_ghz / self.f_max_ghz) ** 3
+        ref_shape = 1.0 + self.curvature * (self.f_ref_ghz / self.f_max_ghz) ** 3
+        return self.area_um2_at_ref * shape / ref_shape
+
+    def power_uw(self, frequency_ghz: float) -> float:
+        """Per-PE power: dynamic scaling with frequency and upsized area."""
+        self._check(frequency_ghz)
+        return (
+            self.power_uw_at_ref
+            * (frequency_ghz / self.f_ref_ghz)
+            * (self.area_um2(frequency_ghz) / self.area_um2_at_ref)
+        )
+
+    def machine_area_mm2(self, frequency_ghz: float, k: int) -> float:
+        """Whole-machine area for edit bound *k* ((K+1)^2 PEs, paper sizing)."""
+        return self.area_um2(frequency_ghz) * (k + 1) ** 2 / 1e6
+
+    def machine_power_w(self, frequency_ghz: float, k: int) -> float:
+        return self.power_uw(frequency_ghz) * (k + 1) ** 2 / 1e6
+
+    def efficiency(self, frequency_ghz: float) -> float:
+        """Throughput per unit area (one symbol per cycle per PE)."""
+        return frequency_ghz / self.area_um2(frequency_ghz)
+
+    def area_elasticity(self, frequency_ghz: float) -> float:
+        """Relative marginal area cost of frequency: (f/area) * d(area)/df.
+
+        Below 1, raising the clock is cheaper than adding PEs; above 1 the
+        synthesis blow-up dominates.  The crossing is the Fig. 12 knee.
+        """
+        self._check(frequency_ghz)
+        x3 = self.curvature * (frequency_ghz / self.f_max_ghz) ** 3
+        return 3.0 * x3 / (1.0 + x3)
+
+    def _check(self, frequency_ghz: float) -> None:
+        if frequency_ghz <= 0:
+            raise ValueError(f"frequency must be positive, got {frequency_ghz}")
+        if frequency_ghz > self.f_max_ghz:
+            raise ValueError(
+                f"{self.name} PE cannot meet timing above {self.f_max_ghz} GHz "
+                f"(requested {frequency_ghz})"
+            )
+
+
+def _fit_curvature(
+    area_ref: float, f_ref: float, area_hi: float, f_hi: float, f_max: float
+) -> float:
+    """Solve area(f_hi)/area(f_ref) for c in the cubic shape function."""
+    ratio = area_hi / area_ref
+    x_ref = (f_ref / f_max) ** 3
+    x_hi = (f_hi / f_max) ** 3
+    # ratio = (1 + c*x_hi) / (1 + c*x_ref)  ->  c = (ratio - 1) / (x_hi - ratio*x_ref)
+    denominator = x_hi - ratio * x_ref
+    if denominator <= 0:
+        raise ValueError("calibration points inconsistent with the shape function")
+    return (ratio - 1.0) / denominator
+
+
+_PE_COUNT = constants.SILLAX_PE_COUNT
+
+EDIT_PE = MachineSynthesis(
+    name="edit",
+    area_um2_at_ref=constants.EDIT_MACHINE_AREA_MM2 * 1e6 / _PE_COUNT,
+    power_uw_at_ref=constants.EDIT_MACHINE_POWER_W * 1e6 / _PE_COUNT,
+    f_max_ghz=constants.EDIT_PE_MAX_FREQUENCY_GHZ,
+    curvature=_fit_curvature(
+        area_ref=constants.EDIT_MACHINE_AREA_MM2 * 1e6 / _PE_COUNT,
+        f_ref=constants.SILLAX_FREQUENCY_GHZ,
+        area_hi=constants.SILLAX_PE_AREA_UM2_5GHZ,
+        f_hi=5.0,
+        f_max=constants.EDIT_PE_MAX_FREQUENCY_GHZ,
+    ),
+)
+
+# Curvature 27/16 places the traceback machine's elasticity-1 knee exactly
+# at the paper's 2 GHz inflection point (x^3 = 1/(2c) with x = 2/3).
+TRACEBACK_PE = MachineSynthesis(
+    name="traceback",
+    area_um2_at_ref=constants.TRACEBACK_MACHINE_AREA_MM2 * 1e6 / _PE_COUNT,
+    power_uw_at_ref=constants.TRACEBACK_MACHINE_POWER_W * 1e6 / _PE_COUNT,
+    f_max_ghz=3.0,  # 0.33 ns critical path at the 2 GHz design point
+    curvature=27.0 / 16.0,
+)
+
+SCORING_PE = MachineSynthesis(
+    name="scoring",
+    # "Scoring machine is comparable to the traceback machine" (§VIII-A):
+    # traceback adds only the 2-bit pointer, match counter and best-cycle
+    # register on top of scoring, modelled as a ~12% overhead.
+    area_um2_at_ref=TRACEBACK_PE.area_um2_at_ref / 1.12,
+    power_uw_at_ref=TRACEBACK_PE.power_uw_at_ref / 1.12,
+    f_max_ghz=3.2,
+    curvature=27.0 / 16.0,
+)
+
+MACHINES: Dict[str, MachineSynthesis] = {
+    "edit": EDIT_PE,
+    "scoring": SCORING_PE,
+    "traceback": TRACEBACK_PE,
+}
+
+
+def frequency_sweep(
+    machine: MachineSynthesis, frequencies_ghz: List[float]
+) -> List[Tuple[float, float, float, float]]:
+    """(f, area um^2, power uW, efficiency) rows for Fig. 12."""
+    rows = []
+    for f in frequencies_ghz:
+        if f > machine.f_max_ghz:
+            continue
+        rows.append((f, machine.area_um2(f), machine.power_uw(f), machine.efficiency(f)))
+    return rows
+
+
+def optimal_frequency(machine: MachineSynthesis, resolution: float = 0.25) -> float:
+    """The Fig. 12 knee: the highest frequency with area elasticity <= 1."""
+    best_f = resolution
+    f = resolution
+    while f <= machine.f_max_ghz + 1e-9:
+        if machine.area_elasticity(f) <= 1.0:
+            best_f = f
+        f += resolution
+    return best_f
+
+
+def system_frequency(resolution: float = 0.25) -> float:
+    """The whole-SillaX operating point: the tightest machine's knee.
+
+    The edit machine alone could run much faster (its PEs meet 6 GHz), but
+    the scoring/traceback logic sets the shared clock — the paper lands at
+    2 GHz.
+    """
+    return min(optimal_frequency(machine, resolution) for machine in MACHINES.values())

@@ -1,0 +1,175 @@
+"""Throughput models for SillaX (Fig. 14) and GenAx (Fig. 15a).
+
+The accelerator side is a cycle model: per-hit SillaX cost comes from the
+traceback machine's phase structure (stream + control + collect + re-runs),
+with workload parameters either measured from the simulators in this
+repository or defaulted to the paper's operating point.  The CPU/GPU
+baselines (SeqAn, SW#, BWA-MEM, CUSHAW2) are empirical measurements of
+other people's machines that cannot be re-run offline; their absolute
+throughputs are taken from the paper (via its reported ratios) and recorded
+as such, while our benchmarks additionally measure *work ratios* (DP cells
+vs cycles) from the instrumented Python implementations to confirm the
+ordering and rough magnitudes independently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.model import constants
+from repro.model.memory import DDR4Model, SegmentTraffic, read_stream_bytes
+
+
+@dataclass
+class SillaXCycleModel:
+    """Cycles one SillaX lane spends per seed-extension (hit)."""
+
+    read_length: int = constants.READ_LENGTH_BP
+    edit_bound: int = constants.EDIT_DISTANCE_BOUND
+    rerun_fraction: float = constants.REEXECUTION_READ_FRACTION
+    mean_rerun_cycles: float = constants.READ_LENGTH_BP * 0.8
+
+    @property
+    def stream_cycles(self) -> float:
+        """Phase 1: one cycle per streamed symbol plus grid drain."""
+        return self.read_length + self.edit_bound + 2
+
+    @property
+    def control_cycles(self) -> float:
+        """Phases 2-4: back-propagation, winner notify, path flagging."""
+        return 3 * (self.edit_bound + 1)
+
+    @property
+    def collect_cycles(self) -> float:
+        """Phase 5: one trace element per cycle (~read length)."""
+        return self.read_length
+
+    @property
+    def cycles_per_hit(self) -> float:
+        return (
+            self.stream_cycles
+            + self.control_cycles
+            + self.collect_cycles
+            + self.rerun_fraction * self.mean_rerun_cycles
+        )
+
+
+@dataclass
+class SillaXThroughputModel:
+    """Raw alignment throughput of the SillaX lanes (Fig. 14)."""
+
+    lanes: int = constants.SILLAX_LANES
+    frequency_ghz: float = constants.SILLAX_FREQUENCY_GHZ
+    cycle_model: SillaXCycleModel = field(default_factory=SillaXCycleModel)
+
+    @property
+    def hits_per_second(self) -> float:
+        return self.lanes * self.frequency_ghz * 1e9 / self.cycle_model.cycles_per_hit
+
+    @property
+    def khits_per_second(self) -> float:
+        return self.hits_per_second / 1e3
+
+    def baseline_khits_per_second(self) -> Dict[str, float]:
+        """Fig. 14 series: SillaX (model) and the paper-measured baselines."""
+        sillax = self.khits_per_second
+        return {
+            "SillaX": sillax,
+            "SeqAn (CPU)": sillax / constants.SILLAX_SPEEDUP_VS_SEQAN,
+            "SW# (GPU)": sillax / constants.SILLAX_SPEEDUP_VS_SWSHARP,
+        }
+
+
+@dataclass
+class GenAxWorkload:
+    """Per-read workload statistics.
+
+    Defaults reflect the paper's dataset (§V, §VIII): ~55% of reads resolve
+    through the exact-match fast path; the rest carry an average of ~10
+    surviving SMEM hits into seed extension after the Fig. 16a filtering.
+    Benchmarks override these with values measured from the simulators.
+    """
+
+    reads: int = constants.TOTAL_READS
+    read_length: int = constants.READ_LENGTH_BP
+    exact_fraction: float = 1.0 - constants.NON_EXACT_READS / constants.TOTAL_READS
+    hits_per_nonexact_read: float = 10.0
+    seeding_lookups_per_read: float = 60.0
+    cycles_per_lookup: float = 2.0
+
+
+@dataclass
+class GenAxThroughputModel:
+    """End-to-end throughput: compute overlapped with streaming (Fig. 15a)."""
+
+    workload: GenAxWorkload = field(default_factory=GenAxWorkload)
+    cycle_model: SillaXCycleModel = field(default_factory=SillaXCycleModel)
+    memory: DDR4Model = field(default_factory=DDR4Model)
+    traffic: SegmentTraffic = field(default_factory=SegmentTraffic)
+    seeding_lanes: int = constants.SEEDING_LANES
+    sillax_lanes: int = constants.SILLAX_LANES
+    frequency_ghz: float = constants.SILLAX_FREQUENCY_GHZ
+    segments: int = constants.SEGMENT_COUNT
+    # Reads are re-streamed in batches against groups of resident segments;
+    # the batching factor is calibrated so read loading lands at the paper's
+    # "~10% of execution" (§VIII-B observation 3).
+    read_passes: int = 64
+
+    # ------------------------------------------------------------ components
+
+    def seeding_time_s(self) -> float:
+        w = self.workload
+        total_lookups = w.reads * w.seeding_lookups_per_read
+        cycles = total_lookups * w.cycles_per_lookup / self.seeding_lanes
+        return cycles / (self.frequency_ghz * 1e9)
+
+    def extension_time_s(self) -> float:
+        w = self.workload
+        extensions = w.reads * (1.0 - w.exact_fraction) * w.hits_per_nonexact_read
+        cycles = extensions * self.cycle_model.cycles_per_hit / self.sillax_lanes
+        return cycles / (self.frequency_ghz * 1e9)
+
+    def table_time_s(self) -> float:
+        return self.memory.stream_time_s(self.traffic.total_bytes * self.segments)
+
+    def read_time_s(self) -> float:
+        per_pass = read_stream_bytes(self.workload.reads, self.workload.read_length)
+        return self.memory.stream_time_s(per_pass * self.read_passes)
+
+    # --------------------------------------------------------------- results
+
+    def total_time_s(self) -> float:
+        """Total execution time.
+
+        Seeding and extension lanes run as a pipeline (the slower stage
+        dominates); table streaming is double-buffered behind compute; read
+        delivery is serialized with compute (the paper observes it costs
+        ~10% of execution rather than vanishing).
+        """
+        compute = max(self.seeding_time_s(), self.extension_time_s())
+        return max(compute, self.table_time_s()) + self.read_time_s()
+
+    def kreads_per_second(self) -> float:
+        return self.workload.reads / self.total_time_s() / 1e3
+
+    def read_load_fraction(self) -> float:
+        """Fraction of execution spent loading reads (paper: ~10%)."""
+        return self.read_time_s() / self.total_time_s()
+
+    def breakdown(self) -> Dict[str, float]:
+        return {
+            "seeding_s": self.seeding_time_s(),
+            "extension_s": self.extension_time_s(),
+            "tables_s": self.table_time_s(),
+            "reads_s": self.read_time_s(),
+            "total_s": self.total_time_s(),
+        }
+
+    def figure15a_kreads_s(self) -> Dict[str, float]:
+        """Fig. 15a series: GenAx (model) plus paper-measured baselines."""
+        return {
+            "GenAx": self.kreads_per_second(),
+            "BWA-MEM (CPU)": constants.BWA_MEM_THROUGHPUT_KREADS_S,
+            "CUSHAW2 (GPU)": constants.CUSHAW2_THROUGHPUT_KREADS_S,
+        }

@@ -1,0 +1,25 @@
+"""End-to-end read-alignment pipelines.
+
+* :mod:`repro.pipeline.bwamem` — the software gold standard: SMEM seeding +
+  banded affine-gap extension with clipping (the algorithm BWA-MEM runs,
+  which the paper treats as the reference output).
+* :mod:`repro.pipeline.genax` — the accelerator: seeding accelerator front-
+  end + SillaX traceback lanes, with full cycle/work accounting.
+* :mod:`repro.pipeline.sam` — minimal SAM-format output.
+"""
+
+from repro.pipeline.bwamem import BwaMemAligner, BwaMemConfig
+from repro.pipeline.genax import GenAxAligner, GenAxConfig
+from repro.pipeline.sam import sam_record, write_sam
+from repro.pipeline.assembly_aligner import AssemblyAligner, ContigMapping
+
+__all__ = [
+    "BwaMemAligner",
+    "BwaMemConfig",
+    "GenAxAligner",
+    "GenAxConfig",
+    "sam_record",
+    "write_sam",
+    "AssemblyAligner",
+    "ContigMapping",
+]

@@ -1,0 +1,104 @@
+"""Alignment against multi-contig assemblies.
+
+Wraps either pipeline around an :class:`repro.genome.assembly.Assembly`:
+the assembly is linearized for indexing/seeding, mappings are translated
+back to contig coordinates, and any candidate alignment whose window would
+span a contig boundary is rejected (a read cannot truly align across
+chromosomes — the concatenation boundary is an artifact).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+from repro.align.records import MappedRead
+from repro.genome.assembly import Assembly, ContigPosition
+from repro.pipeline.bwamem import BwaMemAligner, BwaMemConfig
+from repro.pipeline.genax import GenAxAligner, GenAxConfig
+
+
+@dataclass(frozen=True)
+class ContigMapping:
+    """A read mapping in contig coordinates."""
+
+    read_name: str
+    contig: str
+    offset: int
+    reverse: bool
+    score: int
+    mapping_quality: int
+    cigar: Optional[object]
+
+    @property
+    def is_unmapped(self) -> bool:
+        return self.offset < 0
+
+
+class AssemblyAligner:
+    """GenAx (or the software pipeline) over a multi-contig assembly."""
+
+    def __init__(
+        self,
+        assembly: Assembly,
+        config: Optional[Union[GenAxConfig, BwaMemConfig]] = None,
+    ) -> None:
+        self.assembly = assembly
+        self.reference = assembly.linearize()
+        config = config or GenAxConfig()
+        if isinstance(config, BwaMemConfig):
+            self._aligner = BwaMemAligner(self.reference, config)
+        else:
+            self._aligner = GenAxAligner(self.reference, config)
+
+    @property
+    def stats(self):
+        return self._aligner.stats
+
+    def align_read(self, name: str, sequence: str) -> ContigMapping:
+        mapped = self._aligner.align_read(name, sequence)
+        return self._translate(mapped, len(sequence))
+
+    def align_reads(self, reads) -> List[ContigMapping]:
+        out = []
+        for read in reads:
+            read_name, sequence = (
+                (read.name, read.sequence) if hasattr(read, "sequence") else read
+            )
+            out.append(self.align_read(read_name, sequence))
+        return out
+
+    def _translate(self, mapped: MappedRead, read_length: int) -> ContigMapping:
+        if mapped.is_unmapped:
+            return ContigMapping(
+                read_name=mapped.read_name,
+                contig="*",
+                offset=-1,
+                reverse=False,
+                score=0,
+                mapping_quality=0,
+                cigar=None,
+            )
+        span = mapped.cigar.reference_length if mapped.cigar else read_length
+        end = mapped.position + max(1, span)
+        if self.assembly.crosses_boundary(mapped.position, end):
+            # A concatenation artifact, not a real alignment.
+            return ContigMapping(
+                read_name=mapped.read_name,
+                contig="*",
+                offset=-1,
+                reverse=False,
+                score=0,
+                mapping_quality=0,
+                cigar=None,
+            )
+        where: ContigPosition = self.assembly.locate(mapped.position)
+        return ContigMapping(
+            read_name=mapped.read_name,
+            contig=where.contig,
+            offset=where.offset,
+            reverse=mapped.reverse,
+            score=mapped.score,
+            mapping_quality=mapped.mapping_quality,
+            cigar=mapped.cigar,
+        )

@@ -1,0 +1,100 @@
+"""Hardware-counter rollup: one report for a whole pipeline run.
+
+A real accelerator exposes performance counters; this module aggregates
+every statistic the GenAx simulator tracks (pipeline, seeding, SillaX
+lanes) into a single structured report with a readable rendering — what
+`quickstart.py` prints and what operations dashboards would scrape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.pipeline.genax import GenAxAligner
+
+
+@dataclass(frozen=True)
+class GenAxCounters:
+    """A snapshot of every counter after a run."""
+
+    reads_total: int
+    reads_mapped: int
+    reads_exact: int
+    reads_unmapped: int
+    extensions: int
+    sillax_cycles: int
+    sillax_cycles_per_extension: float
+    rerun_events: int
+    rerun_fraction: float
+    index_lookups: int
+    intersection_lookups: int
+    seeding_cycles: int
+    table_bytes_streamed: int
+
+    @property
+    def mapped_fraction(self) -> float:
+        if not self.reads_total:
+            return 0.0
+        return self.reads_mapped / self.reads_total
+
+    @property
+    def exact_fraction(self) -> float:
+        if not self.reads_total:
+            return 0.0
+        return self.reads_exact / self.reads_total
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "reads_total": self.reads_total,
+            "reads_mapped": self.reads_mapped,
+            "reads_exact": self.reads_exact,
+            "reads_unmapped": self.reads_unmapped,
+            "extensions": self.extensions,
+            "sillax_cycles": self.sillax_cycles,
+            "sillax_cycles_per_extension": self.sillax_cycles_per_extension,
+            "rerun_events": self.rerun_events,
+            "rerun_fraction": self.rerun_fraction,
+            "index_lookups": self.index_lookups,
+            "intersection_lookups": self.intersection_lookups,
+            "seeding_cycles": self.seeding_cycles,
+            "table_bytes_streamed": self.table_bytes_streamed,
+        }
+
+    def render(self) -> str:
+        """Human-readable counter block."""
+        lines = [
+            "GenAx counters",
+            f"  reads: {self.reads_total} total, {self.reads_mapped} mapped "
+            f"({self.mapped_fraction:.0%}), {self.reads_exact} exact "
+            f"({self.exact_fraction:.0%})",
+            f"  seed extension: {self.extensions} extensions, "
+            f"{self.sillax_cycles_per_extension:.0f} cycles each, "
+            f"{self.rerun_fraction:.1%} re-executed",
+            f"  seeding: {self.index_lookups} index lookups, "
+            f"{self.intersection_lookups} intersection lookups, "
+            f"{self.seeding_cycles} cycles",
+            f"  memory: {self.table_bytes_streamed:,} table bytes streamed",
+        ]
+        return "\n".join(lines)
+
+
+def collect_counters(aligner: GenAxAligner) -> GenAxCounters:
+    """Snapshot an aligner's counters."""
+    lane = aligner.lane_stats
+    seeding = aligner.seeding_stats
+    return GenAxCounters(
+        reads_total=aligner.stats.reads_total,
+        reads_mapped=aligner.stats.reads_mapped,
+        reads_exact=aligner.stats.reads_exact,
+        reads_unmapped=aligner.stats.reads_unmapped,
+        extensions=lane.extensions,
+        sillax_cycles=lane.cycles,
+        sillax_cycles_per_extension=lane.cycles_per_extension,
+        rerun_events=lane.rerun_events,
+        rerun_fraction=lane.rerun_fraction,
+        index_lookups=seeding.finder.index_lookups,
+        intersection_lookups=seeding.intersections.total_lookups,
+        seeding_cycles=seeding.cycles,
+        table_bytes_streamed=seeding.table_bytes_streamed,
+    )

@@ -1,0 +1,206 @@
+"""GenAx: the full accelerator pipeline (§VI).
+
+Architecture modelled (Fig. 11): 128 seeding lanes sharing segmented
+index/position tables in on-chip SRAM, feeding 4 SillaX traceback lanes
+that extend seed hits against windows fetched from the reference cache.
+Segments are processed sequentially; all per-segment table traffic is
+charged to the DDR4 streaming model.
+
+Functionally the pipeline mirrors :mod:`repro.pipeline.bwamem` — the
+concordance experiment (§VIII-A) compares the two mapping outputs — while
+the accounting (SillaX cycles, CAM lookups, bytes streamed) feeds the
+throughput model behind Fig. 15.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.align.records import AlignmentStats, MappedRead
+from repro.align.scoring import BWA_MEM_SCHEME, ScoringScheme
+from repro.genome.reference import ReferenceGenome
+from repro.pipeline.common import (
+    Candidate,
+    Extension,
+    candidates_from_seeds,
+    exact_match_cigar,
+    select_best,
+    strands,
+)
+from repro.seeding.accelerator import SeedingAccelerator, SeedingStats
+from repro.seeding.smem import SmemConfig
+from repro.sillax.lane import LaneStats, SillaXLane
+
+
+@dataclass
+class GenAxConfig:
+    """GenAx operating point; defaults follow §VI-§VIII."""
+
+    k: int = 12
+    edit_bound: int = 40  # conservative K from §VIII-A
+    min_score: int = 30
+    max_candidates: Optional[int] = 64
+    segment_count: int = 8  # 512 in the paper; scaled to the genome size
+    seeding_lanes: int = 128
+    sillax_lanes: int = 4
+    probe: bool = True
+    exact_match_fast_path: bool = True
+    scheme: ScoringScheme = field(default_factory=lambda: BWA_MEM_SCHEME)
+
+
+class GenAxAligner:
+    """The accelerator: segmented SMEM seeding + SillaX seed extension."""
+
+    def __init__(self, reference: ReferenceGenome, config: Optional[GenAxConfig] = None):
+        self.reference = reference
+        self.config = config or GenAxConfig()
+        smem_config = SmemConfig(
+            k=self.config.k,
+            probe=self.config.probe,
+            exact_match_fast_path=self.config.exact_match_fast_path,
+        )
+        self.seeder = SeedingAccelerator(
+            reference,
+            smem_config,
+            segment_count=self.config.segment_count,
+            lanes=self.config.seeding_lanes,
+        )
+        self._lanes = [
+            SillaXLane(self.config.edit_bound, self.config.scheme)
+            for _ in range(self.config.sillax_lanes)
+        ]
+        self._next_lane = 0
+        self.stats = AlignmentStats()
+
+    # ----------------------------------------------------------------- API
+
+    @property
+    def lane_stats(self) -> LaneStats:
+        """Merged SillaX lane statistics."""
+        merged = LaneStats()
+        for lane in self._lanes:
+            merged.merge(lane.stats)
+        return merged
+
+    @property
+    def seeding_stats(self) -> SeedingStats:
+        return self.seeder.stats
+
+    def align_read(self, name: str, sequence: str) -> MappedRead:
+        """Map one read through the accelerator."""
+        self.stats.reads_total += 1
+        extensions: List[Extension] = []
+        config = self.config
+        for oriented, reverse in strands(sequence):
+            seeds = self.seeder.seed_read(oriented)
+            exact = [s for s in seeds if s.exact_whole_read]
+            if exact:
+                self.stats.reads_exact += 1
+                for seed in exact:
+                    for position in seed.positions:
+                        extensions.append(
+                            Extension(
+                                candidate=Candidate(position, reverse, len(oriented)),
+                                score=config.scheme.match * len(oriented),
+                                position=position,
+                                cigar=exact_match_cigar(len(oriented)),
+                                query_end=len(oriented),
+                            )
+                        )
+                continue
+            for candidate in candidates_from_seeds(
+                seeds, reverse, config.max_candidates
+            ):
+                extensions.append(self._extend(oriented, candidate))
+        mapped = select_best(name, len(sequence), extensions, config.min_score)
+        if mapped.is_unmapped:
+            self.stats.reads_unmapped += 1
+        else:
+            self.stats.reads_mapped += 1
+        return mapped
+
+    def align_reads(self, reads) -> List[MappedRead]:
+        """Map a batch of (name, sequence) pairs or Read objects."""
+        out = []
+        for read in reads:
+            name, sequence = (
+                (read.name, read.sequence) if hasattr(read, "sequence") else read
+            )
+            out.append(self.align_read(name, sequence))
+        return out
+
+    def align_batch(self, reads) -> List[MappedRead]:
+        """Segment-major batch mapping — the order the hardware runs (§VI).
+
+        All reads (both orientations) are seeded against each segment in
+        turn, so each segment's tables are streamed **once per batch**
+        instead of once per read; the buffered hits then flow to the SillaX
+        lanes.  Functionally identical to :meth:`align_reads` (the tests
+        enforce it); the accounting difference is the point.
+        """
+        config = self.config
+        named = [
+            (read.name, read.sequence) if hasattr(read, "sequence") else read
+            for read in reads
+        ]
+        # One oriented sequence list: forward then reverse per read.
+        oriented: List[str] = []
+        for __, sequence in named:
+            for variant, __reverse in strands(sequence):
+                oriented.append(variant)
+        seed_lists = self.seeder.seed_reads(oriented)
+
+        out: List[MappedRead] = []
+        for index, (name, sequence) in enumerate(named):
+            self.stats.reads_total += 1
+            extensions: List[Extension] = []
+            exact_seen = False
+            for strand_index, (variant, reverse) in enumerate(strands(sequence)):
+                seeds = seed_lists[2 * index + strand_index]
+                exact = [s for s in seeds if s.exact_whole_read]
+                if exact:
+                    exact_seen = True
+                    for seed in exact:
+                        for position in seed.positions:
+                            extensions.append(
+                                Extension(
+                                    candidate=Candidate(position, reverse, len(variant)),
+                                    score=config.scheme.match * len(variant),
+                                    position=position,
+                                    cigar=exact_match_cigar(len(variant)),
+                                    query_end=len(variant),
+                                )
+                            )
+                    continue
+                for candidate in candidates_from_seeds(
+                    seeds, reverse, config.max_candidates
+                ):
+                    extensions.append(self._extend(variant, candidate))
+            if exact_seen:
+                self.stats.reads_exact += 1
+            mapped = select_best(name, len(sequence), extensions, config.min_score)
+            if mapped.is_unmapped:
+                self.stats.reads_unmapped += 1
+            else:
+                self.stats.reads_mapped += 1
+            out.append(mapped)
+        return out
+
+    # ------------------------------------------------------------ internals
+
+    def _extend(self, oriented: str, candidate: Candidate) -> Extension:
+        lane = self._lanes[self._next_lane]
+        self._next_lane = (self._next_lane + 1) % len(self._lanes)
+        outcome = lane.extend(self.reference, oriented, candidate.window_start)
+        self.stats.extensions += 1
+        self.stats.cycles += outcome.result.total_cycles
+        result = outcome.result
+        query_end = result.alignment.query_end if result.alignment else 0
+        return Extension(
+            candidate=candidate,
+            score=outcome.score,
+            position=outcome.position,
+            cigar=result.cigar,
+            query_end=query_end,
+        )

@@ -1,0 +1,112 @@
+"""Minimal SAM-format output for mapped reads.
+
+Enough of the SAM spec to make pipeline output inspectable with standard
+tooling conventions: header, FLAG (0x10 reverse / 0x4 unmapped), 1-based
+POS, MAPQ, CIGAR and the alignment score as the ``AS:i`` tag.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Optional, Union
+
+from repro.align.records import MappedRead
+from repro.genome.reads import Read
+from repro.genome.reference import ReferenceGenome
+from repro.genome.sequence import reverse_complement
+
+FLAG_UNMAPPED = 0x4
+FLAG_REVERSE = 0x10
+
+
+def sam_header(reference: ReferenceGenome) -> str:
+    return (
+        "@HD\tVN:1.6\tSO:unsorted\n"
+        f"@SQ\tSN:{reference.name}\tLN:{len(reference)}\n"
+        "@PG\tID:repro-genax\tPN:repro-genax\tVN:1.0.0\n"
+    )
+
+
+def sam_record(
+    mapped: MappedRead, read: Read, reference_name: str = "synthetic"
+) -> str:
+    """Render one alignment line."""
+    flag = 0
+    if mapped.is_unmapped:
+        flag |= FLAG_UNMAPPED
+    if mapped.reverse:
+        flag |= FLAG_REVERSE
+    sequence = read.sequence
+    quality = read.quality or "*"
+    if mapped.reverse and not mapped.is_unmapped:
+        sequence = reverse_complement(sequence)
+        quality = quality[::-1] if quality != "*" else quality
+    fields = [
+        read.name,
+        str(flag),
+        "*" if mapped.is_unmapped else reference_name,
+        "0" if mapped.is_unmapped else str(mapped.position + 1),
+        str(mapped.mapping_quality),
+        "*" if mapped.cigar is None else str(mapped.cigar),
+        "*",  # RNEXT
+        "0",  # PNEXT
+        "0",  # TLEN
+        sequence,
+        quality,
+        f"AS:i:{mapped.score}",
+    ]
+    return "\t".join(fields)
+
+
+def parse_sam_line(line: str) -> MappedRead:
+    """Parse one alignment line back into a :class:`MappedRead`.
+
+    Enough of the SAM spec for round-tripping this library's own output
+    (used by tests and downstream tooling examples).
+    """
+    fields = line.rstrip("\n").split("\t")
+    if len(fields) < 11:
+        raise ValueError(f"SAM line has {len(fields)} fields, expected >= 11")
+    flag = int(fields[1])
+    unmapped = bool(flag & FLAG_UNMAPPED)
+    score = 0
+    for tag in fields[11:]:
+        if tag.startswith("AS:i:"):
+            score = int(tag[5:])
+    from repro.align.cigar import Cigar
+
+    return MappedRead(
+        read_name=fields[0],
+        position=-1 if unmapped else int(fields[3]) - 1,
+        reverse=bool(flag & FLAG_REVERSE),
+        score=score,
+        cigar=None if fields[5] == "*" else Cigar.from_string(fields[5]),
+        mapping_quality=int(fields[4]),
+    )
+
+
+def read_sam(path: Union[str, Path]) -> list:
+    """Read a SAM file's alignment records (headers skipped)."""
+    records = []
+    with open(path) as handle:
+        for line in handle:
+            if line.startswith("@") or not line.strip():
+                continue
+            records.append(parse_sam_line(line))
+    return records
+
+
+def write_sam(
+    path: Union[str, Path],
+    reference: ReferenceGenome,
+    alignments: Iterable[MappedRead],
+    reads: Iterable[Read],
+) -> int:
+    """Write a SAM file; returns the number of records written."""
+    count = 0
+    with open(path, "w") as handle:
+        handle.write(sam_header(reference))
+        for mapped, read in zip(alignments, reads):
+            handle.write(sam_record(mapped, read, reference.name) + "\n")
+            count += 1
+    return count

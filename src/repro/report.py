@@ -1,0 +1,104 @@
+"""Evaluation-report rendering: the §VIII summary as text.
+
+Shared by ``examples/paper_evaluation.py`` and the ``repro-genax evaluate``
+CLI subcommand.  All numbers come from the calibrated models in
+:mod:`repro.model`; the measured (simulator) versions of each figure live
+in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.model import constants
+from repro.model.area import GenAxAreaModel
+from repro.model.power import GenAxPowerModel
+from repro.model.synthesis import EDIT_PE, TRACEBACK_PE, system_frequency
+from repro.model.throughput import GenAxThroughputModel, SillaXThroughputModel
+
+
+def bar(value: float, scale: float, width: int = 40) -> str:
+    """A proportional ASCII bar (used for the figure-like series)."""
+    if scale <= 0:
+        return ""
+    filled = int(round(width * min(1.0, value / scale)))
+    return "#" * filled
+
+
+def series_lines(series: Dict[str, float], unit: str, width: int = 40) -> List[str]:
+    """Render a named series with bars scaled to its maximum."""
+    scale = max(series.values())
+    return [
+        f"  {name:16s} {value:10.1f} {unit}  {bar(value, scale, width)}"
+        for name, value in series.items()
+    ]
+
+
+def evaluation_report() -> str:
+    """The full regenerated-evaluation summary as one string."""
+    lines: List[str] = []
+    push = lines.append
+    push("=" * 72)
+    push("GenAx (ISCA 2018) — regenerated evaluation summary")
+    push("=" * 72)
+
+    push("")
+    push("-- Fig. 12: SillaX machines at the 2 GHz operating point --")
+    push(f"  system knee frequency: {system_frequency():.1f} GHz (paper: 2 GHz)")
+    push(
+        f"  edit machine:      {EDIT_PE.machine_area_mm2(2.0, 40):.4f} mm^2, "
+        f"{EDIT_PE.machine_power_w(2.0, 40):.3f} W  (paper 0.012 / 0.047)"
+    )
+    push(
+        f"  traceback machine: {TRACEBACK_PE.machine_area_mm2(2.0, 40):.3f} mm^2, "
+        f"{TRACEBACK_PE.machine_power_w(2.0, 40):.3f} W  (paper 1.41 / 1.54)"
+    )
+
+    push("")
+    push("-- Fig. 14: raw seed-extension throughput --")
+    lines.extend(series_lines(SillaXThroughputModel().baseline_khits_per_second(), "Khits/s"))
+
+    push("")
+    push("-- Fig. 15a: end-to-end throughput --")
+    genax = GenAxThroughputModel()
+    series_a = genax.figure15a_kreads_s()
+    lines.extend(series_lines(series_a, "KReads/s"))
+    push(
+        f"  speedup vs BWA-MEM: {series_a['GenAx'] / series_a['BWA-MEM (CPU)']:.1f}x "
+        f"(paper {constants.GENAX_SPEEDUP_VS_BWA_MEM}x); read-load "
+        f"{genax.read_load_fraction():.1%} (paper ~10%)"
+    )
+
+    push("")
+    push("-- Fig. 15b: power --")
+    power = GenAxPowerModel()
+    lines.extend(series_lines(power.figure15b_watts(), "W"))
+    push(
+        f"  reduction vs CPU: {power.reduction_vs_cpu():.1f}x (paper 12x); "
+        f"energy/read {power.energy_per_read_uj():.1f} uJ "
+        f"({power.energy_efficiency_vs_cpu():.0f}x fewer J/read than the CPU)"
+    )
+
+    push("")
+    push("-- Table II: area (mm^2) --")
+    area = GenAxAreaModel()
+    for name, value in area.table2().items():
+        push(f"  {name:26s} {value:8.2f}")
+    push(f"  reduction vs dual Xeon: {area.reduction_vs_cpu():.2f}x (paper 5.6x)")
+
+    push("")
+    push("-- Workload constants recorded from the paper --")
+    push(
+        f"  reads: {constants.TOTAL_READS:,} x {constants.READ_LENGTH_BP} bp; "
+        f"non-exact: {constants.NON_EXACT_READS:,}"
+    )
+    push(
+        f"  re-execution rate: {constants.REEXECUTION_READ_FRACTION:.2%}; "
+        f"concordance variance: {constants.CONCORDANCE_VARIANCE:.4%}"
+    )
+    push("")
+    push(
+        "Measured (simulator) versions of every figure: "
+        "pytest benchmarks/ --benchmark-disable"
+    )
+    return "\n".join(lines)

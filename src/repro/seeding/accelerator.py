@@ -1,0 +1,187 @@
+"""Seeding accelerator front-end: lanes + genome segmentation (§V-§VI).
+
+GenAx instantiates 128 seeding lanes, each with a 512-entry CAM and a
+control FSM, fed from segmented index/position tables resident in on-chip
+SRAM.  Segments are processed sequentially: tables for one segment are
+streamed in, *all* reads are seeded against it, then the next segment's
+tables replace them — that is what buys table locality (§V).
+
+This model keeps the same structure so hit counts, CAM lookups and table
+traffic are measurable; lane-level parallelism is accounted (not threaded).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.genome.reference import ReferenceGenome, SegmentView
+from repro.seeding.cam import IntersectionEngine, IntersectionStats
+from repro.seeding.index import IndexTables, KmerIndex
+from repro.seeding.smem import FinderStats, Seed, SmemConfig, SmemFinder
+
+
+@dataclass
+class SeedingStats:
+    """Aggregate seeding counters (feeds Fig. 16 and the throughput model)."""
+
+    reads_processed: int = 0
+    finder: FinderStats = field(default_factory=FinderStats)
+    intersections: IntersectionStats = field(default_factory=IntersectionStats)
+    table_bytes_streamed: int = 0
+
+    @property
+    def hits_per_read(self) -> float:
+        if not self.reads_processed:
+            return 0.0
+        return self.finder.hits_reported / self.reads_processed
+
+    @property
+    def lookups_per_read(self) -> float:
+        if not self.reads_processed:
+            return 0.0
+        return self.intersections.total_lookups / self.reads_processed
+
+    @property
+    def cycles(self) -> int:
+        """Seeding-lane cycle estimate.
+
+        SRAM index fetches cost two cycles (index-table entry, then the
+        position-table burst setup); each CAM load/lookup and each binary
+        probe is one cycle.  Feeds the Fig. 15 throughput model with
+        measured seeding work.
+        """
+        return (
+            2 * self.finder.index_lookups
+            + self.intersections.cam_loads
+            + self.intersections.cam_lookups
+            + self.intersections.search_probes
+        )
+
+    @property
+    def cycles_per_read(self) -> float:
+        if not self.reads_processed:
+            return 0.0
+        return self.cycles / self.reads_processed
+
+
+@dataclass(frozen=True)
+class GlobalSeed:
+    """A seed translated into global genome coordinates."""
+
+    read_offset: int
+    length: int
+    positions: Tuple[int, ...]  # global positions of the seed start
+    exact_whole_read: bool = False
+
+
+class SeedingLane:
+    """One seeding lane: a finder + CAM engine bound to a segment's tables."""
+
+    def __init__(self, tables: IndexTables, config: Optional[SmemConfig] = None) -> None:
+        self.tables = tables
+        self.config = config or SmemConfig()
+        self.engine = IntersectionEngine(
+            cam_size=self.config.cam_size,
+            use_binary_fallback=self.config.use_binary_fallback,
+        )
+        self.finder = SmemFinder(tables.index, self.config, self.engine)
+
+    def seed_read(self, read: str) -> List[GlobalSeed]:
+        """Seed one read against this lane's segment, in global coordinates."""
+        seeds = self.finder.find_seeds(read)
+        start = self.tables.segment_start
+        out: List[GlobalSeed] = []
+        for seed in seeds:
+            out.append(
+                GlobalSeed(
+                    read_offset=seed.read_offset,
+                    length=seed.length,
+                    positions=tuple(start + hit for hit in seed.hits),
+                    exact_whole_read=(
+                        seed.read_offset == 0 and seed.length == len(read)
+                    ),
+                )
+            )
+        return out
+
+
+class SeedingAccelerator:
+    """The full segmented seeding front-end."""
+
+    def __init__(
+        self,
+        reference: ReferenceGenome,
+        config: Optional[SmemConfig] = None,
+        segment_count: int = 8,
+        lanes: int = 128,
+    ) -> None:
+        if segment_count <= 0:
+            raise ValueError(f"segment_count must be positive, got {segment_count}")
+        if lanes <= 0:
+            raise ValueError(f"lanes must be positive, got {lanes}")
+        self.reference = reference
+        self.config = config or SmemConfig()
+        self.lanes = lanes
+        # Overlap segments by one read length's worth so boundary-spanning
+        # seeds stay discoverable inside a single segment.
+        self.segments: List[SegmentView] = reference.segments(
+            segment_count, overlap=max(0, 256)
+        )
+        self.tables: List[IndexTables] = [
+            IndexTables(
+                segment_index=view.index,
+                segment_start=view.start,
+                index=KmerIndex.build(view.sequence, self.config.k),
+            )
+            for view in self.segments
+        ]
+        self.stats = SeedingStats()
+
+    @property
+    def sram_bytes_per_segment(self) -> int:
+        return max(tables.sram_bytes for tables in self.tables)
+
+    def seed_reads(self, reads: Sequence[str]) -> List[List[GlobalSeed]]:
+        """Seed every read against every segment (segment-major order).
+
+        Returns, per read, the merged seed list across all segments with
+        duplicate (offset, length, position) hits removed.
+        """
+        merged: List[Dict[Tuple[int, int, int], None]] = [dict() for _ in reads]
+        exact: List[bool] = [False] * len(reads)
+        for tables in self.tables:
+            self.stats.table_bytes_streamed += tables.sram_bytes
+            lane = SeedingLane(tables, self.config)
+            for read_id, read in enumerate(reads):
+                for seed in lane.seed_read(read):
+                    if seed.exact_whole_read:
+                        exact[read_id] = True
+                    for position in seed.positions:
+                        merged[read_id][(seed.read_offset, seed.length, position)] = None
+            self.stats.finder.merge(lane.finder.stats)
+            self.stats.intersections.merge(lane.engine.stats)
+        self.stats.reads_processed += len(reads)
+
+        out: List[List[GlobalSeed]] = []
+        for read_id, entries in enumerate(merged):
+            grouped: Dict[Tuple[int, int], List[int]] = {}
+            for offset, length, position in entries:
+                grouped.setdefault((offset, length), []).append(position)
+            seeds = [
+                GlobalSeed(
+                    read_offset=offset,
+                    length=length,
+                    positions=tuple(sorted(positions)),
+                    exact_whole_read=exact[read_id]
+                    and offset == 0
+                    and length == len(reads[read_id]),
+                )
+                for (offset, length), positions in sorted(grouped.items())
+            ]
+            out.append(seeds)
+        return out
+
+    def seed_read(self, read: str) -> List[GlobalSeed]:
+        """Convenience wrapper for a single read."""
+        return self.seed_reads([read])[0]

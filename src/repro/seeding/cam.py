@@ -1,0 +1,167 @@
+"""Hit-set intersection engine: 512-entry CAM + binary-search fallback (§V).
+
+Intersecting hit sets is the performance-critical inner loop of SMEM
+seeding.  The hardware holds one set in a per-lane CAM (sized 512 from the
+paper's empirical k-mer analysis) and probes it once per element of the
+other; when a list is longer than the CAM, the engine instead binary-
+searches the (offline-sorted) position list — logarithmic probes instead of
+a linear scan (§V optimizations 1-2).
+
+Both list lengths are architecturally visible (they are position-table
+counts), so the control FSM picks the cheapest feasible strategy each
+intersection:
+
+* ``cam``      — load the smaller set, stream the larger (cost = larger);
+* ``binary``   — binary-search the sorted larger list once per element of
+  the smaller (cost = smaller x log2(larger)); used when both lists
+  overflow the CAM or when it is outright cheaper, which is exactly the
+  paper's ">512 hits" regime for pathological k-mers.
+
+All work is counted: ``cam_lookups`` and ``search_probes`` feed Fig. 16b.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+
+@dataclass
+class IntersectionStats:
+    """Operation counters for one engine (Fig. 16b's y-axis)."""
+
+    cam_loads: int = 0  # entries written into the CAM
+    cam_lookups: int = 0  # associative probes
+    search_probes: int = 0  # binary-search comparisons
+    intersections: int = 0
+    overflow_fallbacks: int = 0  # times the binary path was taken
+
+    @property
+    def total_lookups(self) -> int:
+        """All associative/search work, the paper's 'CAM lookups' metric."""
+        return self.cam_lookups + self.search_probes
+
+    def merge(self, other: "IntersectionStats") -> None:
+        self.cam_loads += other.cam_loads
+        self.cam_lookups += other.cam_lookups
+        self.search_probes += other.search_probes
+        self.intersections += other.intersections
+        self.overflow_fallbacks += other.overflow_fallbacks
+
+
+@dataclass
+class IntersectionEngine:
+    """One seeding lane's intersection datapath."""
+
+    cam_size: int = 512
+    use_binary_fallback: bool = True
+    stats: IntersectionStats = field(default_factory=IntersectionStats)
+
+    def __post_init__(self) -> None:
+        if self.cam_size <= 0:
+            raise ValueError(f"cam_size must be positive, got {self.cam_size}")
+
+    def intersect(
+        self,
+        candidates: Sequence[int],
+        incoming_sorted: Sequence[int],
+        incoming_offset: int = 0,
+    ) -> List[int]:
+        """Return candidates also present in ``incoming - incoming_offset``.
+
+        *candidates* is the running (normalized, sorted) hit set;
+        *incoming_sorted* is a position-table list (sorted offline);
+        *incoming_offset* normalizes incoming hits to the pivot coordinate
+        system by subtraction, as §V describes.
+        """
+        self.stats.intersections += 1
+        if not candidates or not incoming_sorted:
+            return []
+
+        n_cand, n_in = len(candidates), len(incoming_sorted)
+        smaller, larger = min(n_cand, n_in), max(n_cand, n_in)
+        cam_cost = larger if smaller <= self.cam_size else (
+            -(-smaller // self.cam_size) * larger  # batched passes
+        )
+        binary_cost = smaller * max(1, larger).bit_length()
+        use_binary = self.use_binary_fallback and binary_cost < cam_cost
+
+        if use_binary:
+            self.stats.overflow_fallbacks += 1
+            if n_cand <= n_in:
+                return self._binary_probe_incoming(
+                    candidates, incoming_sorted, incoming_offset
+                )
+            return self._binary_probe_candidates(
+                candidates, incoming_sorted, incoming_offset
+            )
+        if n_cand <= n_in:
+            return self._cam_stream(
+                loaded=list(candidates),
+                streamed=incoming_sorted,
+                streamed_delta=-incoming_offset,
+            )
+        normalized = [hit - incoming_offset for hit in incoming_sorted]
+        return self._cam_stream(
+            loaded=normalized, streamed=candidates, streamed_delta=0
+        )
+
+    # ------------------------------------------------------------ strategies
+
+    def _binary_probe_incoming(
+        self,
+        candidates: Sequence[int],
+        incoming_sorted: Sequence[int],
+        incoming_offset: int,
+    ) -> List[int]:
+        """Probe the sorted incoming list once per candidate."""
+        probes_each = max(1, len(incoming_sorted)).bit_length()
+        survivors: List[int] = []
+        for candidate in candidates:
+            target = candidate + incoming_offset
+            self.stats.search_probes += probes_each
+            position = bisect_left(incoming_sorted, target)
+            if position < len(incoming_sorted) and incoming_sorted[position] == target:
+                survivors.append(candidate)
+        return survivors
+
+    def _binary_probe_candidates(
+        self,
+        candidates: Sequence[int],
+        incoming_sorted: Sequence[int],
+        incoming_offset: int,
+    ) -> List[int]:
+        """Probe the sorted candidate set once per incoming hit."""
+        ordered = sorted(candidates)
+        probes_each = max(1, len(ordered)).bit_length()
+        survivors: List[int] = []
+        for hit in incoming_sorted:
+            target = hit - incoming_offset
+            self.stats.search_probes += probes_each
+            position = bisect_left(ordered, target)
+            if position < len(ordered) and ordered[position] == target:
+                survivors.append(target)
+        survivors.sort()
+        return survivors
+
+    def _cam_stream(
+        self, loaded: List[int], streamed: Sequence[int], streamed_delta: int
+    ) -> List[int]:
+        """Load one set into the CAM, probe once per streamed element.
+
+        Sets larger than the CAM are processed in CAM-sized batches (the
+        hardware would spill; the lookup count reflects the extra passes).
+        """
+        survivors: List[int] = []
+        for batch_start in range(0, len(loaded), self.cam_size):
+            batch = loaded[batch_start : batch_start + self.cam_size]
+            self.stats.cam_loads += len(batch)
+            batch_set = set(batch)
+            for element in streamed:
+                self.stats.cam_lookups += 1
+                normalized = element + streamed_delta
+                if normalized in batch_set:
+                    survivors.append(normalized)
+        survivors.sort()
+        return survivors

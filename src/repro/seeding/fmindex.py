@@ -1,0 +1,275 @@
+"""FM-index (BWT) seeding — the baseline GenAx's seeding replaces (§V, §IX).
+
+BWA-MEM computes SMEMs over an FMD/FM-index: backward search walks the
+Burrows-Wheeler transform one character at a time, each step performing two
+rank (Occ) queries at *data-dependent* positions scattered across the
+index.  The paper's criticism — and the reason GenAx uses segmented
+position tables instead — is that this access pattern has poor locality and
+is hard to accelerate.
+
+This module implements the full substrate from scratch:
+
+* suffix-array construction (prefix doubling, O(n log^2 n));
+* the Burrows-Wheeler transform;
+* an FM-index with checkpointed Occ counts and sampled suffix-array
+  entries for ``locate``;
+* :class:`FmIndexSeeder` computing the same per-pivot RMEMs / SMEM seeds as
+  :class:`repro.seeding.smem.SmemFinder` (cross-checked in tests);
+* a :class:`MemoryTrace` that records every index word touched, so
+  benchmarks can *measure* the locality gap against table streaming.
+
+The sentinel ``$`` (lexicographically smallest) terminates the text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.seeding.smem import Seed
+
+SENTINEL = "$"
+
+
+def suffix_array(text: str) -> List[int]:
+    """Suffix array of ``text + '$'`` by prefix doubling."""
+    if SENTINEL in text:
+        raise ValueError("text must not contain the sentinel character '$'")
+    s = text + SENTINEL
+    n = len(s)
+    order = sorted(range(n), key=lambda i: s[i])
+    ranks = [0] * n
+    for position in range(1, n):
+        previous, current = order[position - 1], order[position]
+        ranks[current] = ranks[previous] + (s[current] != s[previous])
+    k = 1
+    while k < n and ranks[order[-1]] != n - 1:
+        def key(i: int) -> Tuple[int, int]:
+            second = ranks[i + k] if i + k < n else -1
+            return (ranks[i], second)
+
+        order.sort(key=key)
+        new_ranks = [0] * n
+        for position in range(1, n):
+            previous, current = order[position - 1], order[position]
+            new_ranks[current] = new_ranks[previous] + (key(current) != key(previous))
+        ranks = new_ranks
+        k *= 2
+    return order
+
+
+def bwt_from_suffix_array(text: str, sa: Sequence[int]) -> str:
+    """Burrows-Wheeler transform: the character preceding each suffix."""
+    s = text + SENTINEL
+    return "".join(s[i - 1] if i else SENTINEL for i in sa)
+
+
+@dataclass
+class MemoryTrace:
+    """Index-memory access recorder (the locality evidence for §V).
+
+    Each Occ/SA lookup records the byte address it touches; ``line_size``
+    models a cache line.  ``jump_total`` accumulates the absolute address
+    distance between consecutive accesses — streaming access patterns keep
+    it near zero, FM-index walks make it enormous.
+    """
+
+    line_size: int = 64
+    accesses: int = 0
+    jump_total: int = 0
+    _last_address: Optional[int] = None
+    _lines: set = field(default_factory=set)
+
+    def touch(self, address: int) -> None:
+        self.accesses += 1
+        self._lines.add(address // self.line_size)
+        if self._last_address is not None:
+            self.jump_total += abs(address - self._last_address)
+        self._last_address = address
+
+    @property
+    def distinct_lines(self) -> int:
+        return len(self._lines)
+
+    @property
+    def mean_jump(self) -> float:
+        if self.accesses <= 1:
+            return 0.0
+        return self.jump_total / (self.accesses - 1)
+
+
+class FmIndex:
+    """FM-index over one reference segment.
+
+    ``occ_rate`` spaces the Occ checkpoints (rank queries scan at most
+    ``occ_rate`` BWT characters past a checkpoint); ``sa_rate`` spaces the
+    suffix-array samples used by ``locate`` (unsampled rows walk LF steps
+    until they hit a sample — each step another scattered access).
+    """
+
+    def __init__(self, text: str, occ_rate: int = 32, sa_rate: int = 4) -> None:
+        if occ_rate <= 0 or sa_rate <= 0:
+            raise ValueError("occ_rate and sa_rate must be positive")
+        self.text = text
+        self.occ_rate = occ_rate
+        self.sa_rate = sa_rate
+        self.sa = suffix_array(text)
+        self.bwt = bwt_from_suffix_array(text, self.sa)
+        self.alphabet = sorted(set(self.bwt))
+        self.trace = MemoryTrace()
+
+        # C[c]: number of BWT characters strictly smaller than c.
+        counts: Dict[str, int] = {c: 0 for c in self.alphabet}
+        for char in self.bwt:
+            counts[char] += 1
+        total = 0
+        self.c_table: Dict[str, int] = {}
+        for char in self.alphabet:
+            self.c_table[char] = total
+            total += counts[char]
+
+        # Occ checkpoints every occ_rate rows.
+        self._checkpoints: List[Dict[str, int]] = []
+        running = {c: 0 for c in self.alphabet}
+        for row, char in enumerate(self.bwt):
+            if row % self.occ_rate == 0:
+                self._checkpoints.append(dict(running))
+            running[char] += 1
+        self._final_counts = running
+
+        # Sampled suffix array.
+        self._sa_samples: Dict[int, int] = {
+            row: value for row, value in enumerate(self.sa) if row % self.sa_rate == 0
+        }
+
+    def __len__(self) -> int:
+        return len(self.bwt)
+
+    # --------------------------------------------------------------- queries
+
+    def occ(self, char: str, row: int) -> int:
+        """Occurrences of *char* in ``bwt[:row]`` (one checkpointed rank)."""
+        if row <= 0:
+            return 0
+        if row > len(self.bwt):
+            raise ValueError(f"row {row} beyond BWT length {len(self.bwt)}")
+        checkpoint = (row - 1) // self.occ_rate
+        base_row = checkpoint * self.occ_rate
+        # One checkpoint word plus the scanned BWT bytes: data-dependent
+        # addresses, the locality problem the paper points at.
+        self.trace.touch(checkpoint * len(self.alphabet) * 8)
+        count = self._checkpoints[checkpoint].get(char, 0)
+        for position in range(base_row, row):
+            count += self.bwt[position] == char
+        if row - base_row > 0:
+            self.trace.touch(len(self._checkpoints) * len(self.alphabet) * 8 + base_row)
+        return count
+
+    def backward_extend(self, interval: Tuple[int, int], char: str) -> Tuple[int, int]:
+        """One backward-search step: prepend *char* to the current pattern."""
+        if char not in self.c_table:
+            return (0, 0)
+        lo, hi = interval
+        base = self.c_table[char]
+        return (base + self.occ(char, lo), base + self.occ(char, hi))
+
+    def search(self, pattern: str) -> Tuple[int, int]:
+        """Backward search: the SA interval of rows whose suffixes start
+        with *pattern* (empty interval if absent)."""
+        interval = (0, len(self.bwt))
+        for char in reversed(pattern):
+            interval = self.backward_extend(interval, char)
+            if interval[0] >= interval[1]:
+                return (0, 0)
+        return interval
+
+    def count(self, pattern: str) -> int:
+        lo, hi = self.search(pattern)
+        return hi - lo
+
+    def locate(self, pattern: str) -> List[int]:
+        """Text positions of *pattern*, via LF-walks to SA samples."""
+        lo, hi = self.search(pattern)
+        positions = [self._resolve_row(row) for row in range(lo, hi)]
+        positions.sort()
+        return positions
+
+    def _resolve_row(self, row: int) -> int:
+        steps = 0
+        while row not in self._sa_samples:
+            char = self.bwt[row]
+            self.trace.touch(row)  # BWT byte for the LF step
+            if char == SENTINEL:
+                # This row's suffix starts at text position 0; we walked
+                # *steps* positions leftward to discover that.
+                return steps
+            row = self.c_table[char] + self.occ(char, row)
+            steps += 1
+            if steps > len(self.bwt):
+                raise AssertionError("LF walk failed to terminate")
+        self.trace.touch(len(self.bwt) * 2 + row * 4)  # SA sample word
+        return (self._sa_samples[row] + steps) % len(self.bwt)
+
+
+class FmIndexSeeder:
+    """SMEM seeding over an FM-index (the software/BWT baseline).
+
+    Produces the same seeds as :class:`repro.seeding.smem.SmemFinder`: for
+    each pivot, the longest exact match starting there (length >= k) with
+    its hit positions, filtered to super-maximal matches.  Right-maximal
+    extension is performed by *backward search over the reversed segment*
+    (prepending characters extends the match rightward in text order).
+    """
+
+    def __init__(self, segment: str, k: int, occ_rate: int = 32, sa_rate: int = 4):
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        self.segment = segment
+        self.k = k
+        self.index = FmIndex(segment[::-1], occ_rate=occ_rate, sa_rate=sa_rate)
+
+    @property
+    def trace(self) -> MemoryTrace:
+        return self.index.trace
+
+    def rmem(self, read: str, pivot: int) -> Optional[Seed]:
+        k = self.k
+        if pivot + k > len(read):
+            return None
+        n = len(self.segment)
+        # Reversed-text interval for read[pivot : pivot + k].
+        interval = (0, len(self.index))
+        length = 0
+        last_good: Optional[Tuple[Tuple[int, int], int]] = None
+        while pivot + length < len(read):
+            char = read[pivot + length]
+            nxt = self.index.backward_extend(interval, char)
+            if nxt[0] >= nxt[1]:
+                break
+            interval = nxt
+            length += 1
+            if length >= k:
+                last_good = (interval, length)
+        if last_good is None:
+            return None
+        interval, length = last_good
+        # Rows locate occurrences of the reversed pattern in reversed text;
+        # translate to forward coordinates of the match start.
+        reversed_positions = self._locate(interval)
+        hits = sorted(n - (p + length) for p in reversed_positions)
+        return Seed(read_offset=pivot, length=length, hits=tuple(hits))
+
+    def find_seeds(self, read: str) -> List[Seed]:
+        seeds: List[Seed] = []
+        max_end = 0
+        for pivot in range(0, len(read) - self.k + 1):
+            seed = self.rmem(read, pivot)
+            if seed is None:
+                continue
+            if seed.end > max_end:
+                seeds.append(seed)
+                max_end = seed.end
+        return seeds
+
+    def _locate(self, interval: Tuple[int, int]) -> List[int]:
+        return [self.index._resolve_row(row) for row in range(*interval)]

@@ -1,0 +1,133 @@
+"""K-mer index and position tables (§V).
+
+GenAx's seeding tables have two levels, mirrored here exactly:
+
+* the **position table** is one flat array holding, for every k-mer in
+  lexicographic order, the sorted list of reference positions where that
+  k-mer occurs;
+* the **index table** has one entry per possible k-mer — ``(offset, count)``
+  into the position table.  With k = 12 the index is direct-mapped (4^12
+  entries) so "does not require additional tag meta-data to handle
+  collisions" (§VII); position lists are sorted offline, enabling the
+  binary-search intersection fallback.
+
+Sizes in bytes are modelled so the memory/area models (Table II: 48 MB
+index + 18 MB position for a 6 Mbp segment scheme) can be regenerated for
+any genome scale.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.genome.sequence import encode
+
+
+def kmer_code(kmer: str) -> int:
+    """Pack a k-mer into its 2-bit-per-base integer code (the index key)."""
+    code = 0
+    for base_code in encode(kmer):
+        code = (code << 2) | base_code
+    return code
+
+
+@dataclass
+class KmerIndex:
+    """Index + position tables for one reference segment."""
+
+    k: int
+    sequence_length: int
+    _positions: Dict[int, List[int]] = field(default_factory=dict, repr=False)
+
+    @classmethod
+    def build(cls, sequence: str, k: int) -> "KmerIndex":
+        """Offline table construction (done once per segment)."""
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        positions: Dict[int, List[int]] = {}
+        if len(sequence) >= k:
+            # Rolling 2-bit encoding keeps construction O(N).
+            mask = (1 << (2 * k)) - 1
+            code = kmer_code(sequence[:k])
+            positions.setdefault(code, []).append(0)
+            encoded = encode(sequence)
+            for start in range(1, len(sequence) - k + 1):
+                code = ((code << 2) | encoded[start + k - 1]) & mask
+                positions.setdefault(code, []).append(start)
+        return cls(k=k, sequence_length=len(sequence), _positions=positions)
+
+    def hits(self, kmer: str) -> Sequence[int]:
+        """Sorted reference positions of *kmer* (empty if absent).
+
+        K-mers containing non-ACGT characters (sequencer ambiguity codes
+        such as ``N``) have no index entry by construction and return no
+        hits rather than raising — reads carrying them still seed through
+        their clean k-mers.
+        """
+        if len(kmer) != self.k:
+            raise ValueError(f"expected a {self.k}-mer, got length {len(kmer)}")
+        try:
+            code = kmer_code(kmer)
+        except ValueError:
+            return ()
+        return self._positions.get(code, ())
+
+    def hit_count(self, kmer: str) -> int:
+        return len(self.hits(kmer))
+
+    def contains(self, kmer: str) -> bool:
+        return kmer_code(kmer) in self._positions
+
+    @property
+    def distinct_kmers(self) -> int:
+        return len(self._positions)
+
+    @property
+    def total_positions(self) -> int:
+        """Total entries in the position table (= |segment| - k + 1)."""
+        return sum(len(v) for v in self._positions.values())
+
+    def position_table_bytes(self, bytes_per_entry: int = 4) -> int:
+        """Position-table footprint: one word per k-mer occurrence."""
+        return self.total_positions * bytes_per_entry
+
+    def index_table_bytes(self, bytes_per_entry: int = 6) -> int:
+        """Index-table footprint: (offset, count) per possible k-mer.
+
+        Direct-mapped over all 4^k keys, as in the paper's k = 12 design.
+        """
+        return (4**self.k) * bytes_per_entry
+
+    def hit_histogram(self) -> Dict[int, int]:
+        """Map hit-list length -> number of k-mers with that length."""
+        histogram: Dict[int, int] = {}
+        for hits in self._positions.values():
+            histogram[len(hits)] = histogram.get(len(hits), 0) + 1
+        return histogram
+
+
+@dataclass
+class IndexTables:
+    """The per-segment tables GenAx streams into on-chip SRAM (§VI)."""
+
+    segment_index: int
+    segment_start: int
+    index: KmerIndex
+
+    @property
+    def sram_bytes(self) -> int:
+        return self.index.position_table_bytes() + self.index.index_table_bytes()
+
+
+def build_segment_tables(segments, k: int) -> List[IndexTables]:
+    """Build tables for every :class:`repro.genome.reference.SegmentView`."""
+    return [
+        IndexTables(
+            segment_index=view.index,
+            segment_start=view.start,
+            index=KmerIndex.build(view.sequence, k),
+        )
+        for view in segments
+    ]

@@ -1,0 +1,70 @@
+"""Brute-force SMEM ground truth for verifying the seeding accelerator.
+
+Definitions follow §V exactly:
+
+* an **RMEM** at pivot p is the longest substring ``read[p : p + L]``
+  (L >= k) occurring exactly somewhere in the segment;
+* the RMEM at pivot 0 is an SMEM; a later RMEM is an SMEM unless it is a
+  substring (positional containment in the read) of a previously
+  discovered SMEM.
+
+This implementation scans the segment directly (no index), so it is
+independent of every data structure the accelerated path uses.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.seeding.smem import Seed
+
+
+def brute_force_rmem(segment: str, read: str, pivot: int, k: int) -> Optional[Seed]:
+    """Longest exact match starting at *pivot*, by direct string scanning."""
+    if pivot + k > len(read):
+        return None
+    first = read[pivot : pivot + k]
+    candidates = [
+        position
+        for position in range(len(segment) - k + 1)
+        if segment[position : position + k] == first
+    ]
+    if not candidates:
+        return None
+    length = k
+    while pivot + length < len(read):
+        next_char = read[pivot + length]
+        survivors = [
+            position
+            for position in candidates
+            if position + length < len(segment)
+            and segment[position + length] == next_char
+        ]
+        if not survivors:
+            break
+        candidates = survivors
+        length += 1
+    return Seed(read_offset=pivot, length=length, hits=tuple(candidates))
+
+
+def brute_force_smems(segment: str, read: str, k: int) -> List[Seed]:
+    """All SMEM seeds of *read* against *segment* (ground truth)."""
+    seeds: List[Seed] = []
+    max_end = 0
+    for pivot in range(0, len(read) - k + 1):
+        seed = brute_force_rmem(segment, read, pivot, k)
+        if seed is None:
+            continue
+        if seed.end > max_end:
+            seeds.append(seed)
+            max_end = seed.end
+    return seeds
+
+
+def brute_force_exact_match(segment: str, read: str) -> Tuple[int, ...]:
+    """All positions where the whole read occurs exactly in the segment."""
+    return tuple(
+        position
+        for position in range(len(segment) - len(read) + 1)
+        if segment[position : position + len(read)] == read
+    )

@@ -1,0 +1,130 @@
+"""Composable SillaX tiles (§IV-D): trading engine count for edit distance.
+
+A physical SillaX die carries a grid of T small tiles, each a complete
+accelerator with edit bound K.  Mux reconfiguration can fuse groups of
+tiles into fewer, larger engines: fusing a p x p block of tiles (with
+alternating forward/flipped orientations so state activation flows
+corner-to-corner) yields one engine with edit bound p*K, at the price of
+p^2 - ... tiles' worth of independent engines.
+
+The model below tracks the combinatorics and overheads (the paper charges
+only "a small overhead of MUXes between tiles and for each PE") and lets
+benchmarks sweep configurations; functional correctness of a fused engine
+is delegated to an ordinary machine with the fused K, which tests verify
+equals the tile-level composition semantics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.align.scoring import BWA_MEM_SCHEME, ScoringScheme
+from repro.sillax.traceback_machine import TracebackMachine, TracebackResult
+
+
+@dataclass(frozen=True)
+class TileConfig:
+    """One reconfiguration of the tile array.
+
+    ``fused_factor`` p means p x p tiles fuse into one engine of edit bound
+    ``p * base_k``; the remaining tiles keep running as independent base-K
+    engines (the paper's example fuses 4 of 6 tiles and leaves 2 free).
+    """
+
+    base_k: int
+    tiles: int
+    fused_factor: int = 1
+
+    def __post_init__(self) -> None:
+        if self.base_k < 0:
+            raise ValueError(f"base_k must be non-negative, got {self.base_k}")
+        if self.tiles <= 0:
+            raise ValueError(f"tiles must be positive, got {self.tiles}")
+        if self.fused_factor < 1:
+            raise ValueError(f"fused_factor must be >= 1, got {self.fused_factor}")
+        if self.fused_factor**2 > self.tiles:
+            raise ValueError(
+                f"fusing {self.fused_factor}x{self.fused_factor} tiles needs "
+                f"{self.fused_factor ** 2} tiles, only {self.tiles} available"
+            )
+
+    @property
+    def max_fused_factor(self) -> int:
+        """p = sqrt(T): the largest fusion the array supports (paper §IV-D)."""
+        return int(math.isqrt(self.tiles))
+
+    @property
+    def fused_k(self) -> int:
+        """Edit bound of the fused engine."""
+        return self.base_k * self.fused_factor
+
+    @property
+    def fused_engines(self) -> int:
+        return 1 if self.fused_factor > 1 else 0
+
+    @property
+    def independent_engines(self) -> int:
+        """Tiles left running as base-K engines."""
+        return self.tiles - (self.fused_factor**2 if self.fused_factor > 1 else 0)
+
+    @property
+    def engine_ks(self) -> List[int]:
+        """Edit bounds of every engine in this configuration."""
+        engines = [self.fused_k] * self.fused_engines
+        engines.extend([self.base_k] * self.independent_engines)
+        return engines
+
+
+@dataclass
+class ComposableArray:
+    """A tile array that can be reconfigured between alignments."""
+
+    base_k: int
+    tiles: int
+    scheme: ScoringScheme = BWA_MEM_SCHEME
+    reconfigurations: int = field(default=0, init=False)
+    _config: Optional[TileConfig] = field(default=None, init=False)
+
+    def __post_init__(self) -> None:
+        self._config = TileConfig(base_k=self.base_k, tiles=self.tiles)
+
+    @property
+    def config(self) -> TileConfig:
+        assert self._config is not None
+        return self._config
+
+    def reconfigure(self, fused_factor: int) -> TileConfig:
+        """Switch the mux mode; a cheap operation (one mode register write)."""
+        self._config = TileConfig(
+            base_k=self.base_k, tiles=self.tiles, fused_factor=fused_factor
+        )
+        self.reconfigurations += 1
+        return self._config
+
+    def required_factor(self, k_needed: int) -> int:
+        """Smallest fusion factor whose engine covers *k_needed* edits."""
+        if k_needed <= self.base_k:
+            return 1
+        factor = -(-k_needed // self.base_k)  # ceil division
+        if factor > self.config.max_fused_factor:
+            raise ValueError(
+                f"edit distance {k_needed} needs fusion factor {factor}, but a "
+                f"{self.tiles}-tile array supports at most "
+                f"{self.config.max_fused_factor}"
+            )
+        return factor
+
+    def align(self, reference: str, query: str, k_needed: int) -> TracebackResult:
+        """Align one pair, fusing tiles if the required K exceeds a tile.
+
+        The fused engine is functionally a single machine with the fused
+        bound — which is what the muxed composition produces in hardware.
+        """
+        factor = self.required_factor(k_needed)
+        if factor != self.config.fused_factor:
+            self.reconfigure(factor)
+        engine_k = self.base_k * factor if factor > 1 else self.base_k
+        machine = TracebackMachine(engine_k, self.scheme)
+        return machine.align(reference, query)

@@ -1,0 +1,171 @@
+"""Dense (numpy) SillaX scoring machine — a fast functional model.
+
+The reference :class:`repro.sillax.scoring_machine.ScoringMachine` updates
+PEs one Python object at a time, which is perfect for inspecting the
+dataflow but slow for K = 40 sweeps.  This model evaluates the *same*
+recurrences as whole-grid numpy operations — exactly the spatial update the
+silicon performs in parallel each cycle — and is verified bit-exact against
+the reference machine in the test suite.
+
+It computes scores only (clipped best + final); traceback needs the
+per-register provenance records and stays on the reference machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.align.scoring import BWA_MEM_SCHEME, ScoringScheme
+
+NEG = np.int64(-(10**15))
+
+
+@dataclass(frozen=True)
+class DenseScoringResult:
+    best_score: int
+    final_score: Optional[int]
+    cycles: int
+
+
+class DenseScoringMachine:
+    """Vectorized scoring machine for edit bound K."""
+
+    def __init__(self, k: int, scheme: ScoringScheme = BWA_MEM_SCHEME) -> None:
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        self.k = k
+        self.scheme = scheme
+        size = k + 1
+        i_idx, d_idx = np.meshgrid(np.arange(size), np.arange(size), indexing="ij")
+        self._i = i_idx
+        self._d = d_idx
+        self._grid_mask = (i_idx + d_idx) <= k  # the half-square grid
+        # Edits within bound per layer: i + d + layer <= K.
+        self._edits_ok = np.stack(
+            [(i_idx + d_idx) <= k, (i_idx + d_idx + 1) <= k], axis=0
+        )
+
+    def run(self, reference: str, query: str) -> DenseScoringResult:
+        k = self.k
+        scheme = self.scheme
+        n_ref, n_query = len(reference), len(query)
+        size = k + 1
+        r_codes = np.frombuffer(reference.encode("ascii"), dtype=np.uint8)
+        q_codes = np.frombuffer(query.encode("ascii"), dtype=np.uint8)
+
+        h = np.full((2, size, size), NEG, dtype=np.int64)
+        e = np.full((2, size, size), NEG, dtype=np.int64)
+        f = np.full((2, size, size), NEG, dtype=np.int64)
+        wait = np.full((size, size), NEG, dtype=np.int64)
+        h[0, 0, 0] = 0
+
+        open_ext = scheme.gap_open + scheme.gap_extend
+        ext = scheme.gap_extend
+        best = np.int64(0)
+        final: Optional[int] = None
+
+        idx = np.arange(size)
+        last_cycle = max(n_ref, n_query) + k + 2
+        for cycle in range(1, last_cycle + 1):
+            # Character vectors for this cycle's comparisons (cell chars are
+            # R[r_len - 1] = R[cycle - 1 - i], Q[q_len - 1] = Q[cycle - 1 - d]).
+            r_pos = cycle - 1 - idx
+            q_pos = cycle - 1 - idx
+            r_valid = (r_pos >= 0) & (r_pos < n_ref)
+            q_valid = (q_pos >= 0) & (q_pos < n_query)
+            if n_ref:
+                r_vec = np.where(r_valid, r_codes[np.clip(r_pos, 0, n_ref - 1)], -1)
+            else:
+                r_vec = np.full(size, -1, dtype=np.int64)
+            if n_query:
+                q_vec = np.where(q_valid, q_codes[np.clip(q_pos, 0, n_query - 1)], -2)
+            else:
+                q_vec = np.full(size, -2, dtype=np.int64)
+            match = r_vec[:, None] == q_vec[None, :]
+            mismatch = (r_vec[:, None] >= 0) & (q_vec[None, :] >= 0) & ~match
+
+            r_len = cycle - self._i
+            q_len = cycle - self._d
+            valid = (
+                self._grid_mask
+                & (r_len >= 0)
+                & (r_len <= n_ref)
+                & (q_len >= 0)
+                & (q_len <= n_query)
+            )
+
+            # Wait-cell latch: layer-1 states whose previous-cycle retro
+            # comparison (chars at cycle-1, exactly this iteration's
+            # ``mismatch`` matrix) failed.
+            new_wait = np.full((size, size), NEG, dtype=np.int64)
+            can_wait = (h[1] > NEG) & mismatch & ((self._i + self._d + 2) <= k)
+            new_wait[can_wait] = h[1][can_wait] + scheme.substitution
+
+            # E latch: insertion edge shifts along i; consumes a query char.
+            e_new = np.full((2, size, size), NEG, dtype=np.int64)
+            parent_h = h[:, :-1, :]
+            parent_e = e[:, :-1, :]
+            e_new[:, 1:, :] = np.maximum(
+                np.where(parent_h > NEG, parent_h + open_ext, NEG),
+                np.where(parent_e > NEG, parent_e + ext, NEG),
+            )
+            e_new[:, :, :][:, ~((q_len >= 1) & valid)] = NEG
+
+            # F latch: deletion edge shifts along d; consumes a reference char.
+            f_new = np.full((2, size, size), NEG, dtype=np.int64)
+            parent_h = h[:, :, :-1]
+            parent_f = f[:, :, :-1]
+            f_new[:, :, 1:] = np.maximum(
+                np.where(parent_h > NEG, parent_h + open_ext, NEG),
+                np.where(parent_f > NEG, parent_f + ext, NEG),
+            )
+            f_new[:, ~((r_len >= 1) & valid)] = NEG
+
+            # H candidates.
+            h_new = np.maximum(e_new, f_new)
+            chars_ok = (r_len >= 1) & (q_len >= 1) & valid
+            # Match self-loop.
+            match_cand = np.where(
+                (h > NEG) & match[None, :, :] & chars_ok[None, :, :],
+                h + scheme.match,
+                NEG,
+            )
+            h_new = np.maximum(h_new, match_cand)
+            # Substitution layer 0 -> layer 1 (same grid cell, one cycle).
+            sub_cand = np.where(
+                (h[0] > NEG) & mismatch & chars_ok, h[0] + scheme.substitution, NEG
+            )
+            h_new[1] = np.maximum(h_new[1], sub_cand)
+            # Wait delivery into layer 0, shifted one diagonal.
+            deliver = np.full((size, size), NEG, dtype=np.int64)
+            deliver[1:, 1:] = wait[:-1, :-1]
+            deliver[~chars_ok] = NEG
+            h_new[0] = np.maximum(h_new[0], deliver)
+            # Cell validity.
+            h_new[:, ~valid] = NEG
+
+            h, e, f, wait = h_new, e_new, f_new, new_wait
+
+            scoped = np.where(self._edits_ok, h, NEG)
+            cycle_best = scoped.max()
+            if cycle_best > best:
+                best = cycle_best
+            # Final readout: the unique diagonal cell with both strings done.
+            fi, fd = cycle - n_ref, cycle - n_query
+            if 0 <= fi <= k and 0 <= fd <= k and fi + fd <= k:
+                for layer in (0, 1):
+                    if fi + fd + layer <= k and h[layer, fi, fd] > NEG:
+                        value = int(h[layer, fi, fd])
+                        if final is None or value > final:
+                            final = value
+        if n_ref == 0 and n_query == 0:
+            final = 0
+        return DenseScoringResult(
+            best_score=int(best), final_score=final, cycles=last_cycle
+        )
+
+    def best_score(self, reference: str, query: str) -> int:
+        return self.run(reference, query).best_score

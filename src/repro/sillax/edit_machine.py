@@ -1,0 +1,175 @@
+"""SillaX edit machine: the systolic-array realization of Silla (§IV-A).
+
+The functional automaton in :mod:`repro.core.silla` indexes the strings
+arbitrarily (``R[c-i]``); hardware cannot.  The edit machine instead:
+
+* streams one character of R and one of Q per cycle into two depth-(K+1)
+  **shift registers**;
+* computes only ``2K+1`` fresh **peripheral comparisons** per cycle — for
+  the edge states ``(i, 0)`` (R delayed by i vs live Q) and ``(0, d)``
+  (live R vs Q delayed by d);
+* **forwards comparisons diagonally**: state ``(i, d)`` latches the result
+  it receives and hands it to ``(i+1, d+1)`` next cycle, because that state
+  needs the same comparison one cycle later.
+
+This module simulates that structure register-for-register (the comparison
+pipeline is explicit), so the test suite can check it never disagrees with
+the functional Silla while exercising the actual hardware dataflow.
+
+Each PE is 13 gates in the paper's 28 nm synthesis; the constant is recorded
+in :mod:`repro.model.constants` for the area model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+GridPos = Tuple[int, int]
+
+# Sentinel streamed through the shift registers before/after the strings.
+PAD = "\x00"
+
+
+def grid_positions(k: int) -> List[GridPos]:
+    """All (i, d) cells of the half-square Silla grid."""
+    return [(i, d) for i in range(k + 1) for d in range(k + 1 - i)]
+
+
+@dataclass
+class EditMachineResult:
+    """Outcome of streaming one (reference, query) pair."""
+
+    distance: Optional[int]
+    cycles: int
+    peak_active: int
+    comparisons_computed: int  # peripheral comparator invocations
+
+
+@dataclass
+class EditMachine:
+    """Cycle-level model of the SillaX edit machine for edit bound K."""
+
+    k: int
+
+    def __post_init__(self) -> None:
+        if self.k < 0:
+            raise ValueError(f"k must be non-negative, got {self.k}")
+        self._grid = grid_positions(self.k)
+
+    @property
+    def pe_count(self) -> int:
+        """Regular PEs: two layers over the half-square grid plus wait cells.
+
+        The paper sizes the machine as (K+1)^2 PEs for K = 40 -> 1,681; the
+        exact count here separates regular and wait cells.
+        """
+        per_layer = len(self._grid)
+        return 3 * per_layer
+
+    def run(self, reference: str, query: str) -> EditMachineResult:
+        """Stream the pair through the array; return distance if <= K."""
+        k = self.k
+        n_ref, n_query = len(reference), len(query)
+        if abs(n_ref - n_query) > k:
+            return EditMachineResult(None, 0, 0, 0)
+
+        # Shift registers: index 0 holds the character that entered this
+        # cycle; index i holds the character delayed by i cycles.
+        ref_shift: List[str] = [PAD] * (k + 1)
+        query_shift: List[str] = [PAD] * (k + 1)
+
+        # Comparison latches: comp[(i, d)] is the retro-comparison result
+        # state (i, d) sees *this* cycle.  Interior cells receive last
+        # cycle's value from their (i-1, d-1) neighbor.
+        comp: Dict[GridPos, bool] = {pos: False for pos in self._grid}
+
+        # Activation bits per layer, plus the wait-cell pipeline.
+        active0: Set[GridPos] = {(0, 0)}
+        active1: Set[GridPos] = set()
+        waiting: Set[GridPos] = set()
+
+        best: Optional[int] = None
+        peak = 1
+        comparisons = 0
+        last_cycle = max(n_ref, n_query) + k + 2
+        executed = 0
+
+        for cycle in range(last_cycle + 1):
+            executed = cycle + 1
+            # --- Stream stage: shift in this cycle's characters. ---
+            ref_char = reference[cycle] if cycle < n_ref else PAD
+            query_char = query[cycle] if cycle < n_query else PAD
+            ref_shift = [ref_char] + ref_shift[:-1]
+            query_shift = [query_char] + query_shift[:-1]
+
+            # --- Comparison distribution stage. ---
+            next_comp: Dict[GridPos, bool] = {}
+            for i in range(k + 1):
+                # State (i, 0): R delayed by i against the live Q character.
+                next_comp[(i, 0)] = (
+                    ref_shift[i] != PAD
+                    and query_char != PAD
+                    and ref_shift[i] == query_char
+                )
+                comparisons += 1
+            for d in range(1, k + 1):
+                # State (0, d): live R against Q delayed by d.
+                next_comp[(0, d)] = (
+                    ref_char != PAD
+                    and query_shift[d] != PAD
+                    and ref_char == query_shift[d]
+                )
+                comparisons += 1
+            # Interior states reuse the neighbor's latched comparison.
+            for i, d in self._grid:
+                if i >= 1 and d >= 1:
+                    next_comp[(i, d)] = comp[(i - 1, d - 1)]
+            comp = next_comp
+
+            # --- State-transition stage (identical rules to core Silla). ---
+            next_active0: Set[GridPos] = set()
+            next_active1: Set[GridPos] = set()
+            next_waiting: Set[GridPos] = set()
+
+            for i, d in waiting:
+                if i + d + 2 <= k:
+                    next_active0.add((i + 1, d + 1))
+
+            for layer, active, next_same in (
+                (0, active0, next_active0),
+                (1, active1, next_active1),
+            ):
+                for i, d in active:
+                    if cycle - i == n_ref and cycle - d == n_query:
+                        total = i + d + layer
+                        if total <= k and (best is None or total < best):
+                            best = total
+                        continue
+                    if comp[(i, d)]:
+                        next_same.add((i, d))
+                        continue
+                    if i + d + 1 <= k:
+                        next_same.add((i + 1, d))
+                        next_same.add((i, d + 1))
+                    if layer == 0:
+                        if i + d + 1 <= k:
+                            next_active1.add((i, d))
+                    else:
+                        next_waiting.add((i, d))
+
+            active0, active1, waiting = next_active0, next_active1, next_waiting
+            peak = max(peak, len(active0) + len(active1) + len(waiting))
+            if not active0 and not active1 and not waiting:
+                break
+
+        return EditMachineResult(
+            distance=best,
+            cycles=executed,
+            peak_active=peak,
+            comparisons_computed=comparisons,
+        )
+
+    def distance(self, reference: str, query: str) -> Optional[int]:
+        """Edit distance if <= K else None."""
+        return self.run(reference, query).distance

@@ -1,0 +1,317 @@
+"""SillaX scoring machine: affine-gap scoring on the Silla grid (§IV-B).
+
+Each PE (Fig. 7) extends the edit-machine state with score registers:
+
+* ``H`` — the *closed-path* score of the path currently occupying the state
+  (its last operation was a match, substitution, or a gap that just closed);
+* ``E`` / ``F`` — **delayed-merge latches**: the scores of insertion /
+  deletion *open paths* that arrived this cycle.  They cannot be merged
+  with the closed path immediately because an open path extends future gaps
+  without re-paying the gap-open penalty (Fig. 8); the selection happens on
+  the next cycle's comparison outcome.
+* ``best`` / ``best_cycle`` — **clipping**: the best prefix score this
+  state has ever held and the cycle it occurred (the latter feeds the
+  traceback machine's re-execution logic).
+
+Because a grid state ``(i, d, layer)`` at cycle ``c`` is exactly the DP cell
+``(r, q, e) = (c-i, c-d, i+d+layer)``, the machine is a systolic schedule of
+the edit-bounded Gotoh extension DP, and the test suite checks it against
+:func:`repro.align.extension_oracle.extension_oracle` cell for cell.
+
+Gap transitions fire **every** cycle (even on a match) — the paper's
+"conservative activation" — so a gap can open after a matching prefix.
+Readout is restricted to states whose edit total ``i+d+layer`` is within K.
+
+Score **back-propagation** (the reverse mode that funnels every state's
+best score to the origin through local links only) is implemented in
+:meth:`ScoringMachine.backpropagate_best`, and the main result checks it
+agrees with the directly-observed maximum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.align.scoring import BWA_MEM_SCHEME, ScoringScheme
+from repro.sillax.edit_machine import grid_positions
+
+NEG_INF = -(10**9)
+
+State = Tuple[int, int, int]  # (i, d, layer)
+
+
+@dataclass
+class ScoringMachineResult:
+    """Outcome of streaming one (reference, query) pair through the scorer."""
+
+    best_score: int
+    best_state: Optional[State]
+    best_cycle: int
+    final_score: Optional[int]
+    final_state: Optional[State]
+    stream_cycles: int
+    backprop_cycles: int
+
+    @property
+    def total_cycles(self) -> int:
+        return self.stream_cycles + self.backprop_cycles
+
+
+@dataclass
+class _Registers:
+    """Per-state score registers (one copy per grid state per layer)."""
+
+    h: int = NEG_INF
+    e: int = NEG_INF
+    f: int = NEG_INF
+    best: int = NEG_INF
+    best_cycle: int = -1
+
+
+class ScoringMachine:
+    """Cycle-level model of the SillaX scoring machine for edit bound K."""
+
+    def __init__(self, k: int, scheme: ScoringScheme = BWA_MEM_SCHEME) -> None:
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        self.k = k
+        self.scheme = scheme
+        self._grid = grid_positions(k)
+        self._states: List[State] = [
+            (i, d, layer) for (i, d) in self._grid for layer in (0, 1)
+        ]
+
+    # ------------------------------------------------------------------ run
+
+    def run(self, reference: str, query: str) -> ScoringMachineResult:
+        """Stream the pair and return clipped best / final scores."""
+        regs, wait, stream_cycles = self._forward(reference, query)
+        k = self.k
+        n_ref, n_query = len(reference), len(query)
+
+        best_score, best_state, best_cycle = 0, None, 0
+        for state, reg in regs.items():
+            i, d, layer = state
+            if i + d + layer > k:
+                continue  # layer-1 states at the grid rim exceed the bound
+            if reg.best > best_score:
+                best_score, best_state, best_cycle = reg.best, state, reg.best_cycle
+
+        final_score, final_state = self._final_readout(regs)
+        backprop = self.backpropagate_best(regs)
+        if backprop.score != best_score:
+            raise AssertionError(
+                f"back-propagation disagrees with direct max: "
+                f"{backprop.score} != {best_score}"
+            )
+        return ScoringMachineResult(
+            best_score=best_score,
+            best_state=best_state,
+            best_cycle=best_cycle,
+            final_score=final_score,
+            final_state=final_state,
+            stream_cycles=stream_cycles,
+            backprop_cycles=backprop.cycles,
+        )
+
+    def best_score(self, reference: str, query: str) -> int:
+        """Clipped best prefix score within K edits (>= 0)."""
+        return self.run(reference, query).best_score
+
+    # -------------------------------------------------------------- forward
+
+    def _forward(self, reference: str, query: str):
+        """The streaming phase.  Returns final registers and cycle count.
+
+        ``self._final_candidates`` collects (state, score) pairs observed at
+        each state's acceptance cycle (both strings fully consumed).
+        """
+        k = self.k
+        scheme = self.scheme
+        n_ref, n_query = len(reference), len(query)
+        open_ext = scheme.gap_open + scheme.gap_extend
+        ext = scheme.gap_extend
+
+        regs: Dict[State, _Registers] = {s: _Registers() for s in self._states}
+        # Wait-cell score pipeline: value arriving at (i+1, d+1, 0) next cycle.
+        wait: Dict[Tuple[int, int], int] = {}
+
+        start = regs[(0, 0, 0)]
+        start.h = 0
+        start.best = 0
+        start.best_cycle = 0
+        self._final_candidates: List[Tuple[State, int]] = []
+        if n_ref == 0 and n_query == 0:
+            self._final_candidates.append(((0, 0, 0), 0))
+
+        last_cycle = max(n_ref, n_query) + k + 2
+        # Liveness tracking: only states holding a finite register (or
+        # reachable from one this cycle) are recomputed.  A pure simulation
+        # speedup — dead PEs can only produce -inf.
+        live = {(0, 0, 0)}
+        for cycle in range(1, last_cycle + 1):
+            new_regs: Dict[State, _Registers] = regs.copy()
+            new_wait: Dict[Tuple[int, int], int] = {}
+
+            # Wait cells latch the substitution value leaving layer 1.
+            for i, d, layer in live:
+                if layer != 1:
+                    continue
+                prev = regs[(i, d, 1)]
+                if prev.h <= NEG_INF:
+                    continue
+                # Mismatch at cycle-1 drives the substitution exploration.
+                r_idx, q_idx = (cycle - 1) - i, (cycle - 1) - d
+                if 0 <= r_idx < n_ref and 0 <= q_idx < n_query:
+                    if reference[r_idx] != query[q_idx]:
+                        if i + d + 2 <= k:
+                            new_wait[(i, d)] = prev.h + scheme.substitution
+
+            candidates = set()
+            for i, d, layer in live:
+                candidates.add((i, d, layer))
+                if i + d + 1 <= k:
+                    candidates.add((i + 1, d, layer))
+                    candidates.add((i, d + 1, layer))
+                    if layer == 0:
+                        candidates.add((i, d, 1))
+            for i, d in wait:
+                if i + d + 2 <= k:
+                    candidates.add((i + 1, d + 1, 0))
+
+            next_live = set()
+            for state in candidates:
+                i, d, layer = state
+                reg = _Registers()
+                r_len, q_len = cycle - i, cycle - d
+                prev_reg = regs[state]
+                # Preserve clipping history regardless of liveness.
+                reg.best = prev_reg.best
+                reg.best_cycle = prev_reg.best_cycle
+                new_regs[state] = reg
+                if r_len > n_ref or q_len > n_query or r_len < 0 or q_len < 0:
+                    continue  # cell outside the DP table: state expired/idle
+
+                # E latch: insertion edge from (i-1, d, layer), parent cycle-1.
+                if i >= 1:
+                    parent = regs[(i - 1, d, layer)]
+                    candidates = []
+                    if parent.h > NEG_INF:
+                        candidates.append(parent.h + open_ext)
+                    if parent.e > NEG_INF:
+                        candidates.append(parent.e + ext)
+                    if candidates and q_len >= 1:
+                        reg.e = max(candidates)
+
+                # F latch: deletion edge from (i, d-1, layer).
+                if d >= 1:
+                    parent = regs[(i, d - 1, layer)]
+                    candidates = []
+                    if parent.h > NEG_INF:
+                        candidates.append(parent.h + open_ext)
+                    if parent.f > NEG_INF:
+                        candidates.append(parent.f + ext)
+                    if candidates and r_len >= 1:
+                        reg.f = max(candidates)
+
+                # H candidates.
+                h_candidates = []
+                if r_len >= 1 and q_len >= 1:
+                    r_char, q_char = reference[r_len - 1], query[q_len - 1]
+                    # Match self-loop.
+                    if prev_reg.h > NEG_INF and r_char == q_char:
+                        h_candidates.append(prev_reg.h + scheme.match)
+                    # Substitution arriving from layer 0, same (i, d): the
+                    # mismatch fired at the parent one cycle earlier.
+                    if r_char != q_char and layer == 1:
+                        sub_parent = regs[(i, d, 0)]
+                        if sub_parent.h > NEG_INF:
+                            h_candidates.append(sub_parent.h + scheme.substitution)
+                    # Wait-cell delivery: substitution that left layer 1 two
+                    # cycles ago, merged one grid diagonal later (§III-C).
+                    if layer == 0 and (i - 1, d - 1) in wait:
+                        h_candidates.append(wait[(i - 1, d - 1)])
+                # Gap closes merge combinationally into H.
+                if reg.e > NEG_INF:
+                    h_candidates.append(reg.e)
+                if reg.f > NEG_INF:
+                    h_candidates.append(reg.f)
+                if h_candidates:
+                    reg.h = max(h_candidates)
+                    if i + d + layer <= k and reg.h > reg.best:
+                        reg.best = reg.h
+                        reg.best_cycle = cycle
+                # Acceptance-cycle readout for the final (unclipped) score.
+                if reg.h > NEG_INF and r_len == n_ref and q_len == n_query:
+                    self._final_candidates.append((state, reg.h))
+                if reg.h > NEG_INF or reg.e > NEG_INF or reg.f > NEG_INF:
+                    next_live.add(state)
+
+            regs = new_regs
+            wait = new_wait
+            live = next_live
+            if not live and not wait:
+                break
+        return regs, wait, last_cycle
+
+    def _final_readout(self, regs) -> Tuple[Optional[int], Optional[State]]:
+        best: Optional[int] = None
+        best_state: Optional[State] = None
+        for state, score in self._final_candidates:
+            i, d, layer = state
+            if i + d + layer > self.k:
+                continue
+            if best is None or score > best:
+                best, best_state = score, state
+        return best, best_state
+
+    # --------------------------------------------------------- backprop
+
+    @dataclass
+    class _BackpropResult:
+        score: int
+        cycles: int
+
+    def backpropagate_best(self, regs: Dict[State, _Registers]) -> "_BackpropResult":
+        """Reverse-mode max-reduction through local links only (§IV-B).
+
+        Each state repeatedly takes the max of its own clipping best and the
+        values of its downstream (outgoing-edge) neighbors; after a number
+        of rounds bounded by the grid diameter the origin holds the global
+        maximum.  Models the K-cycle overhead the paper charges.
+        """
+        k = self.k
+        value: Dict[State, int] = {}
+        for state, reg in regs.items():
+            i, d, layer = state
+            value[state] = reg.best if i + d + layer <= k else NEG_INF
+        value[(0, 0, 0)] = max(value[(0, 0, 0)], 0)
+
+        def downstream(state: State) -> List[State]:
+            i, d, layer = state
+            neighbors = []
+            if i + d + 1 <= k:
+                neighbors.append((i + 1, d, layer))
+                neighbors.append((i, d + 1, layer))
+            if layer == 0:
+                if i + d + 1 <= k:
+                    neighbors.append((i, d, 1))
+            else:
+                if i + d + 2 <= k:
+                    neighbors.append((i + 1, d + 1, 0))
+            return neighbors
+
+        rounds = 0
+        changed = True
+        while changed:
+            changed = False
+            rounds += 1
+            for state in self._states:
+                for nb in downstream(state):
+                    if value[nb] > value[state]:
+                        value[state] = value[nb]
+                        changed = True
+            if rounds > 4 * (k + 2):
+                raise AssertionError("back-propagation failed to converge")
+        return self._BackpropResult(score=value[(0, 0, 0)], cycles=rounds + k)

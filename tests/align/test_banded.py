@@ -1,0 +1,88 @@
+"""Tests for repro.align.banded."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.align.banded import banded_extension_align, banded_extension_score
+from repro.align.scoring import BWA_MEM_SCHEME
+from repro.align.smith_waterman import extension_align
+
+dna = st.text(alphabet="ACGT", min_size=1, max_size=14)
+
+
+class TestBandedExtension:
+    def test_identical_strings(self):
+        result = banded_extension_align("ACGTACGT", "ACGTACGT", band=2)
+        assert result.alignment.score == 8
+
+    def test_matches_full_dp_when_band_covers_grid(self):
+        ref, qry = "ACGTTGCA", "ACGATGCA"
+        wide = banded_extension_align(ref, qry, band=10)
+        full = extension_align(ref, qry)
+        assert wide.alignment.score == full.alignment.score
+
+    def test_band_restricts_indels(self):
+        # The alignment needs a 3-base deletion; band=1 cannot express it,
+        # so the narrow band is stuck with the clipped 6-base prefix.
+        ref = "A" * 6 + "CCC" + "T" * 12
+        qry = "A" * 6 + "T" * 12
+        narrow = banded_extension_align(ref, qry, band=1)
+        wide = banded_extension_align(ref, qry, band=4)
+        assert narrow.alignment.score == 6
+        assert wide.alignment.score == 18 - 9
+        assert wide.alignment.score > narrow.alignment.score
+
+    def test_cell_count_is_linear_in_band(self):
+        ref = qry = "ACGT" * 25
+        narrow = banded_extension_align(ref, qry, band=2)
+        wide = banded_extension_align(ref, qry, band=10)
+        assert narrow.cells_computed < wide.cells_computed
+        # ~ (2K+1) * N cells.
+        assert narrow.cells_computed <= 5 * len(ref)
+
+    def test_negative_band_rejected(self):
+        with pytest.raises(ValueError):
+            banded_extension_align("AC", "AC", band=-1)
+
+    def test_cigar_rescores(self):
+        ref, qry = "ACGTAACGGTACGT", "ACGTACGGTACGA"
+        result = banded_extension_align(ref, qry, band=5)
+        a = result.alignment
+        rescored = a.cigar.score(
+            ref[: a.reference_end], qry[: a.query_end], BWA_MEM_SCHEME
+        )
+        assert rescored == a.score
+
+    @given(dna, dna)
+    @settings(max_examples=60, deadline=None)
+    def test_wide_band_equals_full_dp(self, ref, qry):
+        band = len(ref) + len(qry) + 1
+        banded = banded_extension_align(ref, qry, band=band)
+        full = extension_align(ref, qry)
+        assert banded.alignment.score == full.alignment.score
+
+    @given(dna, dna, st.integers(1, 6))
+    @settings(max_examples=60, deadline=None)
+    def test_banded_never_exceeds_full_dp(self, ref, qry, band):
+        banded = banded_extension_align(ref, qry, band=band)
+        full = extension_align(ref, qry)
+        assert banded.alignment.score <= full.alignment.score
+
+
+class TestScoreOnly:
+    def test_agrees_with_traceback_variant(self):
+        ref, qry = "ACGTAACGGTACGT", "ACGTACGGTACGA"
+        for band in (1, 3, 8):
+            score, __ = banded_extension_score(ref, qry, band)
+            full = banded_extension_align(ref, qry, band)
+            assert score == full.alignment.score
+
+    @given(dna, dna, st.integers(0, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_agreement_property(self, ref, qry, band):
+        score, __ = banded_extension_score(ref, qry, band)
+        assert score == banded_extension_align(ref, qry, band).alignment.score
+
+    def test_counts_cells(self):
+        __, cells = banded_extension_score("ACGT" * 10, "ACGT" * 10, 3)
+        assert 0 < cells <= 7 * 40

@@ -1,0 +1,135 @@
+"""Tests for repro.align.cigar."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.align.cigar import Cigar, trace_from_pairs
+from repro.align.scoring import BWA_MEM_SCHEME
+
+
+class TestConstruction:
+    def test_from_ops_merges_adjacent(self):
+        cigar = Cigar.from_ops([(2, "="), (3, "="), (1, "X")])
+        assert str(cigar) == "5=1X"
+
+    def test_from_ops_drops_zero_runs(self):
+        assert str(Cigar.from_ops([(0, "="), (2, "I")])) == "2I"
+
+    def test_from_ops_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Cigar.from_ops([(-1, "=")])
+
+    def test_from_ops_rejects_unknown_op(self):
+        with pytest.raises(ValueError):
+            Cigar.from_ops([(1, "Q")])
+
+    def test_from_string(self):
+        cigar = Cigar.from_string("10=2X3I4D5S")
+        assert cigar.ops == ((10, "="), (2, "X"), (3, "I"), (4, "D"), (5, "S"))
+
+    def test_from_string_empty(self):
+        assert Cigar.from_string("").ops == ()
+
+    def test_from_string_malformed(self):
+        with pytest.raises(ValueError):
+            Cigar.from_string("10=junk")
+
+    def test_from_string_missing_count(self):
+        with pytest.raises(ValueError):
+            Cigar.from_string("=X")
+
+    def test_from_edit_trace(self):
+        assert str(Cigar.from_edit_trace("==XI=")) == "2=1X1I1="
+
+    def test_roundtrip(self):
+        text = "5=1X3I2D10="
+        assert str(Cigar.from_string(text)) == text
+
+
+class TestLengths:
+    def test_query_length_counts_clips(self):
+        cigar = Cigar.from_string("5=2I3S")
+        assert cigar.query_length == 10
+
+    def test_reference_length(self):
+        cigar = Cigar.from_string("5=2I3D")
+        assert cigar.reference_length == 8
+
+    def test_aligned_query_excludes_clips(self):
+        cigar = Cigar.from_string("5=2I3S")
+        assert cigar.aligned_query_length == 7
+
+    def test_edit_count(self):
+        cigar = Cigar.from_string("10=2X3I4D")
+        assert cigar.edit_count() == 9
+
+    def test_count_single_op(self):
+        cigar = Cigar.from_string("3I1=2I")
+        assert cigar.count("I") == 5
+
+    def test_expand(self):
+        assert Cigar.from_string("2=1X").expand() == "==X"
+
+
+class TestScore:
+    def test_perfect_match(self):
+        cigar = Cigar.from_string("4=")
+        assert cigar.score("ACGT", "ACGT", BWA_MEM_SCHEME) == 4
+
+    def test_substitution(self):
+        cigar = Cigar.from_string("1=1X2=")
+        assert cigar.score("ACGT", "AGGT", BWA_MEM_SCHEME) == 3 - 4
+
+    def test_affine_gap_single_penalty_per_run(self):
+        cigar = Cigar.from_string("2=3I2=")
+        # One open (-6) + 3 extends (-3) + 4 matches.
+        assert cigar.score("ACGT", "ACTTTGT", BWA_MEM_SCHEME) == 4 - 9
+
+    def test_deletion(self):
+        cigar = Cigar.from_string("2=2D2=")
+        assert cigar.score("ACTTGT", "ACGT", BWA_MEM_SCHEME) == 4 - 8
+
+    def test_soft_clip_skips_query(self):
+        cigar = Cigar.from_string("4=2S")
+        assert cigar.score("ACGT", "ACGTNN".replace("N", "A"), BWA_MEM_SCHEME) == 4
+
+    def test_match_op_over_mismatch_rejected(self):
+        cigar = Cigar.from_string("4=")
+        with pytest.raises(ValueError):
+            cigar.score("ACGT", "AGGT", BWA_MEM_SCHEME)
+
+    def test_x_op_over_match_rejected(self):
+        cigar = Cigar.from_string("1X3=")
+        with pytest.raises(ValueError):
+            cigar.score("ACGT", "ACGT", BWA_MEM_SCHEME)
+
+    def test_overrun_rejected(self):
+        cigar = Cigar.from_string("5=")
+        with pytest.raises(ValueError):
+            cigar.score("ACGT", "ACGT", BWA_MEM_SCHEME)
+
+    def test_underrun_rejected(self):
+        cigar = Cigar.from_string("3=")
+        with pytest.raises(ValueError):
+            cigar.score("ACGT", "ACGT", BWA_MEM_SCHEME)
+
+
+class TestTraceFromPairs:
+    def test_pure_matches(self):
+        cigar = trace_from_pairs("ACG", "ACG", [(0, 0), (1, 1), (2, 2)])
+        assert str(cigar) == "3="
+
+    def test_gap_inference(self):
+        # Reference jumps by 2 -> one deletion between pairs.
+        cigar = trace_from_pairs("AXCG", "ACG", [(0, 0), (2, 1), (3, 2)])
+        assert str(cigar) == "1=1D2="
+
+    def test_non_monotone_rejected(self):
+        with pytest.raises(ValueError):
+            trace_from_pairs("AC", "AC", [(1, 1), (0, 0)])
+
+
+@given(st.lists(st.tuples(st.integers(1, 9), st.sampled_from("=XIDS")), max_size=12))
+def test_string_roundtrip_property(ops):
+    cigar = Cigar.from_ops(ops)
+    assert Cigar.from_string(str(cigar)) == cigar

@@ -1,0 +1,96 @@
+"""Tests for repro.align.edit_distance."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.align.edit_distance import (
+    bounded_levenshtein,
+    edit_distance_matrix,
+    levenshtein,
+)
+
+dna = st.text(alphabet="ACGT", max_size=16)
+
+
+class TestLevenshtein:
+    def test_identity(self):
+        assert levenshtein("GATTACA", "GATTACA") == 0
+
+    def test_substitution(self):
+        assert levenshtein("AAAA", "AACA") == 1
+
+    def test_insertion(self):
+        assert levenshtein("ACGT", "ACGGT") == 1
+
+    def test_deletion(self):
+        assert levenshtein("ACGT", "AGT") == 1
+
+    def test_empty_vs_string(self):
+        assert levenshtein("", "ACGT") == 4
+        assert levenshtein("ACGT", "") == 4
+
+    def test_both_empty(self):
+        assert levenshtein("", "") == 0
+
+    def test_classic_example(self):
+        assert levenshtein("kitten", "sitting") == 3
+
+    def test_paper_figure3_example(self):
+        # Fig. 3: "AxBCD" vs "yABCD" aligns with 2 edits.
+        assert levenshtein("AXBCD", "YABCD") == 2
+
+    @given(dna, dna)
+    def test_symmetry(self, a, b):
+        assert levenshtein(a, b) == levenshtein(b, a)
+
+    @given(dna, dna)
+    def test_bounds(self, a, b):
+        d = levenshtein(a, b)
+        assert abs(len(a) - len(b)) <= d <= max(len(a), len(b))
+
+    @given(dna, dna, dna)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+
+class TestBoundedLevenshtein:
+    def test_within_bound(self):
+        assert bounded_levenshtein("ACGT", "ACCT", 2) == 1
+
+    def test_exceeds_bound(self):
+        assert bounded_levenshtein("AAAA", "TTTT", 2) is None
+
+    def test_length_difference_short_circuit(self):
+        assert bounded_levenshtein("A" * 10, "A", 3) is None
+
+    def test_exact_bound(self):
+        assert bounded_levenshtein("AAAA", "TTTT", 4) == 4
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            bounded_levenshtein("A", "A", -1)
+
+    def test_k_zero(self):
+        assert bounded_levenshtein("ACGT", "ACGT", 0) == 0
+        assert bounded_levenshtein("ACGT", "ACGA", 0) is None
+
+    @given(dna, dna, st.integers(0, 6))
+    def test_agrees_with_full_dp(self, a, b, k):
+        truth = levenshtein(a, b)
+        expected = truth if truth <= k else None
+        assert bounded_levenshtein(a, b, k) == expected
+
+
+class TestMatrix:
+    def test_shape(self):
+        matrix = edit_distance_matrix("ACG", "AC")
+        assert len(matrix) == 4 and len(matrix[0]) == 3
+
+    def test_corner_is_distance(self):
+        matrix = edit_distance_matrix("kitten", "sitting")
+        assert matrix[-1][-1] == 3
+
+    def test_first_row_and_column(self):
+        matrix = edit_distance_matrix("ACG", "AC")
+        assert [row[0] for row in matrix] == [0, 1, 2, 3]
+        assert matrix[0] == [0, 1, 2]

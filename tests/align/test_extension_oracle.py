@@ -1,0 +1,82 @@
+"""Tests for repro.align.extension_oracle (the scoring-machine ground truth)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.align.extension_oracle import clipped_best_score, extension_oracle
+from repro.align.smith_waterman import extension_align, global_score
+
+dna = st.text(alphabet="ACGT", max_size=12)
+
+
+class TestExtensionOracle:
+    def test_identical_strings(self):
+        result = extension_oracle("ACGT", "ACGT", k=2)
+        assert result.best_clipped_score == 4
+        assert result.final_score == 4
+        assert result.final_edits == 0
+
+    def test_empty_strings(self):
+        result = extension_oracle("", "", k=0)
+        assert result.best_clipped_score == 0
+        assert result.final_score == 0
+
+    def test_no_alignment_within_k(self):
+        result = extension_oracle("AAAA", "TTTT", k=2)
+        assert result.final_score is None
+        assert result.best_clipped_score == 0
+
+    def test_single_substitution(self):
+        result = extension_oracle("ACGT", "AGGT", k=1)
+        assert result.final_score == 3 - 4
+        assert result.final_edits == 1
+
+    def test_clipping_beats_full(self):
+        # A bad tail: clipping keeps the good prefix.
+        result = extension_oracle("ACGTACGT" + "AAAA", "ACGTACGT" + "TTTT", k=4)
+        assert result.best_clipped_score == 8
+        assert result.best_end[0] == 8 and result.best_end[1] == 8
+
+    def test_edit_budget_blocks_expensive_paths(self):
+        # Two substitutions needed; k=1 forbids the full alignment.
+        limited = extension_oracle("AACC", "ATCT", k=1)
+        relaxed = extension_oracle("AACC", "ATCT", k=2)
+        assert limited.final_score is None
+        assert relaxed.final_score == 2 - 8
+
+    def test_affine_gap_costing(self):
+        # One 2-base insertion: open+2*extend = -8, plus 4 matches.
+        result = extension_oracle("ACGT", "ACTTGT", k=2)
+        assert result.final_score == 4 - 8
+
+    def test_substitution_only_on_mismatch(self):
+        # With k=0 matching strings still align perfectly.
+        result = extension_oracle("ACGT", "ACGT", k=0)
+        assert result.final_score == 4
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            extension_oracle("A", "A", -1)
+
+    @given(dna, dna)
+    @settings(max_examples=50, deadline=None)
+    def test_large_k_matches_unbounded_dp(self, ref, qry):
+        k = len(ref) + len(qry)
+        oracle = extension_oracle(ref, qry, k)
+        assert oracle.best_clipped_score == max(
+            0, extension_align(ref, qry).alignment.score
+        )
+        assert oracle.final_score == global_score(ref, qry)
+
+    @given(dna, dna, st.integers(0, 5))
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_in_k(self, ref, qry, k):
+        tight = extension_oracle(ref, qry, k)
+        loose = extension_oracle(ref, qry, k + 1)
+        assert loose.best_clipped_score >= tight.best_clipped_score
+        if tight.final_score is not None:
+            assert loose.final_score is not None
+            assert loose.final_score >= tight.final_score
+
+    def test_convenience_wrapper(self):
+        assert clipped_best_score("ACGT", "ACGT", 1) == 4

@@ -1,0 +1,123 @@
+"""Tests for repro.align.hirschberg and repro.align.xdrop."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.align.hirschberg import (
+    LinearScoring,
+    hirschberg_align,
+    nw_global_align,
+)
+from repro.align.smith_waterman import extension_align
+from repro.align.xdrop import xdrop_extension_score
+
+dna = st.text(alphabet="ACGT", min_size=1, max_size=16)
+
+
+class TestHirschberg:
+    def test_identical_strings(self):
+        result = hirschberg_align("ACGTACGT", "ACGTACGT")
+        assert result.score == 8
+        assert str(result.cigar) == "8="
+
+    def test_single_substitution(self):
+        result = hirschberg_align("ACGT", "AGGT")
+        assert result.score == 3 - 1
+        assert result.cigar.count("X") == 1
+
+    def test_gap(self):
+        result = hirschberg_align("ACGT", "AGT")
+        assert result.cigar.count("D") == 1
+        assert result.score == 3 - 1
+
+    def test_empty_query(self):
+        result = hirschberg_align("ACGT", "A")
+        assert result.cigar.count("D") == 3
+
+    def test_cigar_consumes_both_strings(self):
+        ref, qry = "ACGTACGTAC", "ACTTACGAC"
+        result = hirschberg_align(ref, qry)
+        assert result.cigar.reference_length == len(ref)
+        assert result.cigar.aligned_query_length == len(qry)
+
+    def test_linear_space_claim(self):
+        result = hirschberg_align("ACGT" * 20, "ACGT" * 20)
+        assert result.peak_rows == 2
+        full = nw_global_align("ACGT" * 20, "ACGT" * 20)
+        assert full.peak_rows == 81
+
+    def test_recompute_overhead_about_2x(self):
+        """§VIII-C: linear space costs extra time (recomputation)."""
+        ref = "ACGTAGGTAC" * 8
+        qry = "ACGTACGTAC" * 8
+        linear = hirschberg_align(ref, qry)
+        full = nw_global_align(ref, qry)
+        assert full.cells_computed < linear.cells_computed <= 3 * full.cells_computed
+
+    @given(dna, dna)
+    @settings(max_examples=80, deadline=None)
+    def test_optimal_score_matches_full_nw(self, ref, qry):
+        assert hirschberg_align(ref, qry).score == nw_global_align(ref, qry).score
+
+    @given(dna, dna)
+    @settings(max_examples=40, deadline=None)
+    def test_cigar_valid(self, ref, qry):
+        result = hirschberg_align(ref, qry)
+        assert result.cigar.reference_length == len(ref)
+        assert result.cigar.aligned_query_length == len(qry)
+
+    def test_custom_scoring(self):
+        scoring = LinearScoring(match=2, mismatch=-3, gap=-2)
+        result = hirschberg_align("ACGT", "ACGT", scoring)
+        assert result.score == 8
+
+
+class TestXDrop:
+    def test_identical_strings(self):
+        result = xdrop_extension_score("ACGTACGT", "ACGTACGT", x_drop=10)
+        assert result.score == 8
+        assert not result.terminated_early
+
+    def test_generous_x_matches_exact_dp(self):
+        ref, qry = "ACGTAACGGTACGT", "ACGTACGGTACGA"
+        exact = extension_align(ref, qry).alignment.score
+        result = xdrop_extension_score(ref, qry, x_drop=1000)
+        assert result.score == exact
+
+    def test_tight_x_computes_fewer_cells(self):
+        ref = "ACGTACGT" + "TTTTTTTT" + "ACGTACGT"
+        qry = "ACGTACGT" + "AAAAAAAA" + "ACGTACGT"
+        loose = xdrop_extension_score(ref, qry, x_drop=1000)
+        tight = xdrop_extension_score(ref, qry, x_drop=5)
+        assert tight.cells_computed < loose.cells_computed
+
+    def test_tight_x_can_miss_the_optimum(self):
+        """The heuristic's defining failure: a dip deeper than X hides a
+        better alignment beyond it (why GenAx avoids heuristics, §I)."""
+        ref = "ACGTACGT" + "TTTT" + "ACGTACGTACGTACGT"
+        qry = "ACGTACGT" + "AAAA" + "ACGTACGTACGTACGT"
+        exact = xdrop_extension_score(ref, qry, x_drop=10_000)
+        tight = xdrop_extension_score(ref, qry, x_drop=2)
+        assert tight.terminated_early
+        assert tight.score < exact.score
+
+    def test_never_exceeds_exact(self):
+        import random
+
+        rng = random.Random(9)
+        for __ in range(20):
+            ref = "".join(rng.choice("ACGT") for _ in range(20))
+            qry = "".join(rng.choice("ACGT") for _ in range(20))
+            exact = extension_align(ref, qry).alignment.score
+            for x in (0, 3, 10):
+                assert xdrop_extension_score(ref, qry, x).score <= exact
+
+    @given(dna, dna)
+    @settings(max_examples=60, deadline=None)
+    def test_huge_x_equals_exact_property(self, ref, qry):
+        exact = extension_align(ref, qry).alignment.score
+        assert xdrop_extension_score(ref, qry, 10**6).score == exact
+
+    def test_negative_x_rejected(self):
+        with pytest.raises(ValueError):
+            xdrop_extension_score("A", "A", -1)

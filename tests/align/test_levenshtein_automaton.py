@@ -1,0 +1,79 @@
+"""Tests for repro.align.levenshtein_automaton (the §II baseline)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.align.edit_distance import levenshtein
+from repro.align.levenshtein_automaton import (
+    LevenshteinAutomaton,
+    la_stream_cost,
+)
+
+dna = st.text(alphabet="ACGT", max_size=12)
+
+
+class TestAutomaton:
+    def test_accepts_exact(self):
+        assert LevenshteinAutomaton("ACGT", 0).accepts("ACGT")
+
+    def test_rejects_beyond_k(self):
+        assert not LevenshteinAutomaton("ACGT", 1).accepts("AGGA")
+
+    def test_accepts_substitution(self):
+        assert LevenshteinAutomaton("ACGT", 1).accepts("AGGT")
+
+    def test_accepts_insertion(self):
+        assert LevenshteinAutomaton("ACGT", 1).accepts("ACGGT")
+
+    def test_accepts_deletion(self):
+        assert LevenshteinAutomaton("ACGT", 1).accepts("AGT")
+
+    def test_distance_value(self):
+        assert LevenshteinAutomaton("ACGT", 2).distance("AGGA") == 2
+
+    def test_distance_none_beyond_k(self):
+        assert LevenshteinAutomaton("AAAA", 2).distance("TTTT") is None
+
+    def test_empty_pattern(self):
+        automaton = LevenshteinAutomaton("", 2)
+        assert automaton.distance("AC") == 2
+        assert automaton.distance("ACG") is None
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            LevenshteinAutomaton("A", -1)
+
+    @given(dna, dna, st.integers(0, 4))
+    @settings(max_examples=80, deadline=None)
+    def test_matches_dp(self, pattern, text, k):
+        truth = levenshtein(pattern, text)
+        expected = truth if truth <= k else None
+        assert LevenshteinAutomaton(pattern, k).distance(text) == expected
+
+
+class TestPaperCriticisms:
+    """The properties §II holds against LA, made measurable."""
+
+    def test_state_count_scales_with_pattern_length(self):
+        short = LevenshteinAutomaton("ACGT", 2)
+        long = LevenshteinAutomaton("ACGT" * 25, 2)
+        assert long.state_count == 25 * short.state_count - 24 * (2 + 1)
+        assert long.state_count > 100  # O(K*N), not O(K^2)
+
+    def test_construction_cost_proportional_to_states(self):
+        automaton = LevenshteinAutomaton("ACGT" * 10, 3)
+        assert automaton.construction_cost == automaton.state_count
+
+    def test_stream_cost_dominated_by_reprogramming(self):
+        """Seed extension = a different pattern per item (the §II argument)."""
+        items = [("ACGTACGTACGTACGTACGT", "ACGTACGTACGTACGTACGA", 2)] * 20
+        # Different pattern per item: reprogram every time.
+        varied = [
+            ("ACGTACGTACGTACGTACG" + base, text, k)
+            for (____, text, k), base in zip(items, "ACGT" * 5)
+        ]
+        cost = la_stream_cost(varied)
+        assert cost.pairs == 20
+        assert cost.reprogram_states > 0
+        # Reprogramming is a significant fraction of all work.
+        assert cost.reprogram_states >= 0.2 * cost.total

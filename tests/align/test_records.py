@@ -1,0 +1,49 @@
+"""Tests for repro.align.records."""
+
+import pytest
+
+from repro.align.cigar import Cigar
+from repro.align.records import Alignment, AlignmentStats, MappedRead
+
+
+class TestAlignment:
+    def test_spans(self):
+        a = Alignment(score=5, reference_start=10, reference_end=20, query_start=0, query_end=9)
+        assert a.reference_span == 10
+        assert a.query_span == 9
+
+    def test_inverted_reference_rejected(self):
+        with pytest.raises(ValueError):
+            Alignment(score=0, reference_start=5, reference_end=4, query_start=0, query_end=0)
+
+    def test_inverted_query_rejected(self):
+        with pytest.raises(ValueError):
+            Alignment(score=0, reference_start=0, reference_end=0, query_start=3, query_end=1)
+
+    def test_carries_cigar(self):
+        cigar = Cigar.from_string("4=")
+        a = Alignment(score=4, reference_start=0, reference_end=4, query_start=0, query_end=4, cigar=cigar)
+        assert str(a.cigar) == "4="
+
+
+class TestMappedRead:
+    def test_unmapped_flag(self):
+        assert MappedRead("r", position=-1, reverse=False, score=0).is_unmapped
+
+    def test_mapped(self):
+        assert not MappedRead("r", position=100, reverse=True, score=90).is_unmapped
+
+
+class TestStats:
+    def test_merge(self):
+        a = AlignmentStats(reads_total=5, reads_mapped=4, dp_cells=100)
+        b = AlignmentStats(reads_total=2, reads_mapped=2, dp_cells=50, cycles=7)
+        a.merge(b)
+        assert a.reads_total == 7
+        assert a.reads_mapped == 6
+        assert a.dp_cells == 150
+        assert a.cycles == 7
+
+    def test_defaults_zero(self):
+        stats = AlignmentStats()
+        assert stats.reads_total == 0 and stats.extensions == 0

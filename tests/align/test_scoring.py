@@ -1,0 +1,67 @@
+"""Tests for repro.align.scoring."""
+
+import pytest
+
+from repro.align.scoring import BWA_MEM_SCHEME, EDIT_DISTANCE_SCHEME, ScoringScheme
+
+
+class TestScoringScheme:
+    def test_bwa_mem_defaults_match_paper(self):
+        # §IV-B: match +1, substitution -4, g_open -6, g_extend -1.
+        assert BWA_MEM_SCHEME.match == 1
+        assert BWA_MEM_SCHEME.substitution == -4
+        assert BWA_MEM_SCHEME.gap_open == -6
+        assert BWA_MEM_SCHEME.gap_extend == -1
+
+    def test_affine_gap_formula(self):
+        # G = g_open + g_extend * id  (§IV-B).
+        assert BWA_MEM_SCHEME.gap(1) == -7
+        assert BWA_MEM_SCHEME.gap(5) == -11
+
+    def test_gap_rejects_nonpositive_length(self):
+        with pytest.raises(ValueError):
+            BWA_MEM_SCHEME.gap(0)
+
+    def test_compare(self):
+        assert BWA_MEM_SCHEME.compare("A", "A") == 1
+        assert BWA_MEM_SCHEME.compare("A", "C") == -4
+
+    def test_invalid_match_score(self):
+        with pytest.raises(ValueError):
+            ScoringScheme(match=0)
+
+    def test_invalid_substitution(self):
+        with pytest.raises(ValueError):
+            ScoringScheme(substitution=1)
+
+    def test_invalid_gap(self):
+        with pytest.raises(ValueError):
+            ScoringScheme(gap_extend=0)
+
+    def test_edit_scheme_unit_costs(self):
+        assert EDIT_DISTANCE_SCHEME.gap(3) == -3
+        assert EDIT_DISTANCE_SCHEME.compare("A", "C") == -1
+
+
+class TestEditBoundDerivation:
+    def test_paper_operating_point(self):
+        """§VIII-A: score > 30 on 101 bp reads bounds the edit distance.
+
+        The paper's empirical estimate is < 32 (K = 40 conservative); the
+        strict worst case (pure-deletion alignments) is higher — the strict
+        bound must cover the paper's estimate.
+        """
+        bound = BWA_MEM_SCHEME.max_edits_for_score(101, 30)
+        assert bound == 65  # (101 - 30 - 6) // 1
+        assert bound >= 32
+
+    def test_perfect_score_leaves_no_edit_budget(self):
+        assert BWA_MEM_SCHEME.max_edits_for_score(101, 101) == 0
+
+    def test_bound_grows_with_laxer_score(self):
+        strict = BWA_MEM_SCHEME.max_edits_for_score(101, 60)
+        lax = BWA_MEM_SCHEME.max_edits_for_score(101, 10)
+        assert lax > strict
+
+    def test_impossible_score(self):
+        assert BWA_MEM_SCHEME.max_edits_for_score(10, 100) == 0

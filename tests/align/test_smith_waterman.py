@@ -1,0 +1,124 @@
+"""Tests for repro.align.smith_waterman (full Gotoh DP)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.align.scoring import BWA_MEM_SCHEME, ScoringScheme
+from repro.align.smith_waterman import (
+    extension_align,
+    extension_score_matrix,
+    global_score,
+    local_align,
+)
+
+dna = st.text(alphabet="ACGT", min_size=1, max_size=14)
+
+
+class TestLocalAlign:
+    def test_identical_strings(self):
+        result = local_align("ACGTACGT", "ACGTACGT")
+        assert result.alignment.score == 8
+        assert str(result.alignment.cigar) == "8="
+
+    def test_finds_embedded_match(self):
+        result = local_align("TTTTACGTACGTTTTT", "ACGTACGT")
+        a = result.alignment
+        assert a.score == 8
+        assert a.reference_start == 4
+        assert a.reference_end == 12
+
+    def test_local_clips_mismatching_ends(self):
+        result = local_align("GGGGACGTGGGG", "TTACGTTT")
+        assert result.alignment.score == 4  # just the ACGT core
+
+    def test_substitution_included_when_profitable(self):
+        # Long match - one substitution - long match beats clipping.
+        ref = "ACGTACGTAC" + "G" + "ACGTACGTAC"
+        qry = "ACGTACGTAC" + "T" + "ACGTACGTAC"
+        result = local_align(ref, qry)
+        assert result.alignment.score == 20 - 4
+        assert result.alignment.cigar.count("X") == 1
+
+    def test_affine_gap_preferred_over_clipping(self):
+        ref = "A" * 10 + "CC" + "T" * 10
+        qry = "A" * 10 + "T" * 10
+        result = local_align(ref, qry)
+        # One 2-base deletion gap: 20 matches - (6 + 2).
+        assert result.alignment.cigar.count("D") == 2
+        assert result.alignment.score == 20 - 8
+
+    def test_score_never_negative(self):
+        result = local_align("AAAA", "TTTT")
+        assert result.alignment.score == 0
+
+    def test_cells_counted(self):
+        result = local_align("ACGT", "ACG")
+        assert result.cells_computed == 12
+
+    def test_cigar_rescores_to_reported_score(self):
+        ref, qry = "ACGTTTACGGACGT", "ACGTACGTACGT"
+        result = local_align(ref, qry)
+        a = result.alignment
+        rescored = a.cigar.score(
+            ref[a.reference_start : a.reference_end],
+            qry[a.query_start : a.query_end],
+            BWA_MEM_SCHEME,
+        )
+        assert rescored == a.score
+
+
+class TestExtensionAlign:
+    def test_anchored_at_origin(self):
+        result = extension_align("ACGT", "ACGT")
+        assert result.alignment.reference_start == 0
+        assert result.alignment.query_start == 0
+
+    def test_clips_bad_tail(self):
+        # Good prefix then garbage: clipping keeps the prefix only.
+        result = extension_align("ACGTACGT" + "AAAA", "ACGTACGT" + "TTTT")
+        assert result.alignment.score == 8
+        assert result.alignment.query_end == 8
+
+    def test_full_alignment_when_profitable(self):
+        result = extension_align("ACGTACGT", "ACGAACGT")
+        assert result.alignment.score == 7 - 4
+
+    def test_extension_score_ge_zero(self):
+        result = extension_align("TTTT", "AAAA")
+        assert result.alignment.score == 0
+
+    def test_matrix_corner_is_global_score(self):
+        ref, qry = "ACGTAC", "ACTTAC"
+        matrix = extension_score_matrix(ref, qry)
+        assert matrix[len(ref)][len(qry)] == global_score(ref, qry)
+
+    @given(dna, dna)
+    @settings(max_examples=60, deadline=None)
+    def test_extension_at_least_local_minus_anchoring(self, ref, qry):
+        # The extension best is the max prefix-pair score; it can never
+        # exceed the local (unanchored) optimum.
+        ext = extension_align(ref, qry).alignment.score
+        loc = local_align(ref, qry).alignment.score
+        assert ext <= loc
+
+    @given(dna)
+    @settings(max_examples=40, deadline=None)
+    def test_self_alignment_is_perfect(self, s):
+        result = extension_align(s, s)
+        assert result.alignment.score == len(s)
+        assert str(result.alignment.cigar) == f"{len(s)}="
+
+
+class TestGlobalScore:
+    def test_equal_strings(self):
+        assert global_score("ACGT", "ACGT") == 4
+
+    def test_single_substitution(self):
+        assert global_score("ACGT", "AGGT") == 3 - 4
+
+    def test_pure_gap(self):
+        assert global_score("ACGT", "") == -10  # open -6, 4 extends
+
+    def test_custom_scheme(self):
+        scheme = ScoringScheme(match=2, substitution=-1, gap_open=-2, gap_extend=-1)
+        assert global_score("ACGT", "ACGT", scheme) == 8

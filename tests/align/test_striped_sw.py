@@ -1,0 +1,62 @@
+"""Tests for repro.align.striped_sw (Farrar's SIMD formulation [14])."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.align.smith_waterman import local_align
+from repro.align.striped_sw import striped_local_score
+
+dna = st.text(alphabet="ACGT", min_size=1, max_size=20)
+
+
+class TestStripedSW:
+    def test_identical_strings(self):
+        assert striped_local_score("ACGTACGT", "ACGTACGT").score == 8
+
+    def test_embedded_match(self):
+        assert striped_local_score("TTTTACGTACGTTTTT", "ACGTACGT").score == 8
+
+    def test_empty_inputs(self):
+        assert striped_local_score("", "ACGT").score == 0
+        assert striped_local_score("ACGT", "").score == 0
+
+    def test_invalid_lanes(self):
+        with pytest.raises(ValueError):
+            striped_local_score("A", "A", lanes=0)
+
+    def test_lane_count_does_not_change_score(self):
+        rng = random.Random(7)
+        ref = "".join(rng.choice("ACGT") for _ in range(60))
+        qry = "".join(rng.choice("ACGT") for _ in range(50))
+        scores = {
+            striped_local_score(ref, qry, lanes=lanes).score
+            for lanes in (1, 3, 8, 16, 64)
+        }
+        assert len(scores) == 1
+
+    def test_gap_crossing_stripes_triggers_lazy_f(self):
+        """A long vertical gap forces the lazy-F correction passes."""
+        ref = "ACGTACGTACGTACGTACGT"
+        qry = ref[:8] + "TTTTTTTTTT" + ref[8:]
+        result = striped_local_score(ref, qry, lanes=4)
+        assert result.lazy_f_passes > 0
+        assert result.score == local_align(ref, qry).alignment.score
+
+    def test_vector_ops_counted(self):
+        result = striped_local_score("ACGT" * 10, "ACGT" * 10, lanes=8)
+        assert result.vector_ops > 0
+
+    @given(dna, dna, st.sampled_from([1, 2, 8, 16]))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_scalar_gotoh(self, ref, qry, lanes):
+        striped = striped_local_score(ref, qry, lanes=lanes).score
+        scalar = local_align(ref, qry).alignment.score
+        assert striped == scalar
+
+    def test_simd_work_scales_with_nm_over_lanes(self):
+        """The §II point: striping speeds SW up but stays O(N*M)."""
+        short = striped_local_score("ACGT" * 10, "ACGT" * 10, lanes=16)
+        long = striped_local_score("ACGT" * 40, "ACGT" * 40, lanes=16)
+        assert long.vector_ops > 3 * short.vector_ops

@@ -1,0 +1,67 @@
+"""Tests for repro.align.systolic_sw (the wavefront hardware baseline)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.align.banded import banded_extension_score
+from repro.align.systolic_sw import SystolicBandedSW
+
+dna = st.text(alphabet="ACGT", max_size=14)
+
+
+class TestSystolicSW:
+    def test_identical_strings(self):
+        result = SystolicBandedSW(band=2).run("ACGTACGT", "ACGTACGT")
+        assert result.best_score == 8
+
+    def test_pe_count_is_2k_plus_1(self):
+        assert SystolicBandedSW(band=5).pe_count == 11
+        assert SystolicBandedSW(band=0).pe_count == 1
+
+    def test_cycles_linear_in_length(self):
+        short = SystolicBandedSW(band=3).run("ACGT" * 5, "ACGT" * 5)
+        long = SystolicBandedSW(band=3).run("ACGT" * 20, "ACGT" * 20)
+        assert long.cycles == pytest.approx(4 * short.cycles, rel=0.1)
+
+    def test_traceback_storage_scales_with_kn(self):
+        """§VIII-C: hardware banded SW needs O(K*N) traceback memory."""
+        small = SystolicBandedSW(band=4).run("ACGT" * 10, "ACGT" * 10)
+        large = SystolicBandedSW(band=4).run("ACGT" * 40, "ACGT" * 40)
+        assert large.traceback_bits > 3 * small.traceback_bits
+        assert small.traceback_bits == 4 * small.pe_updates
+
+    def test_occupancy_at_most_half(self):
+        # A PE fires on alternating anti-diagonals: occupancy <= ~50%.
+        result = SystolicBandedSW(band=4).run("ACGT" * 10, "ACGT" * 10)
+        assert 0 < result.pe_occupancy <= 0.55
+
+    def test_negative_band_rejected(self):
+        with pytest.raises(ValueError):
+            SystolicBandedSW(band=-1)
+
+    def test_empty_inputs(self):
+        result = SystolicBandedSW(band=2).run("", "")
+        assert result.best_score == 0
+        assert result.cycles == 0
+
+    @given(dna, dna, st.integers(0, 6))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_software_banded_dp(self, ref, qry, band):
+        hardware = SystolicBandedSW(band).best_score(ref, qry)
+        software, __ = banded_extension_score(ref, qry, band)
+        assert hardware == software
+
+    def test_random_mutated_reads(self):
+        rng = random.Random(3)
+        for __ in range(10):
+            ref = "".join(rng.choice("ACGT") for _ in range(80))
+            qry = list(ref[:70])
+            for __ in range(4):
+                qry[rng.randrange(70)] = rng.choice("ACGT")
+            qry = "".join(qry)
+            assert (
+                SystolicBandedSW(6).best_score(ref, qry)
+                == banded_extension_score(ref, qry, 6)[0]
+            )

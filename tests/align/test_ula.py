@@ -1,0 +1,80 @@
+"""Tests for repro.align.ula (Universal Levenshtein Automaton)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.align.edit_distance import levenshtein
+from repro.align.ula import (
+    UniversalLevenshteinAutomaton,
+    characteristic_vector,
+    reduce_positions,
+)
+
+dna = st.text(alphabet="ACGT", max_size=12)
+
+
+class TestCharacteristicVector:
+    def test_marks_occurrences(self):
+        assert characteristic_vector("A", "ACAG", 0, 4) == (True, False, True, False)
+
+    def test_window_offset(self):
+        assert characteristic_vector("G", "ACAG", 2, 2) == (False, True)
+
+    def test_pads_past_pattern_end(self):
+        assert characteristic_vector("A", "AC", 1, 3) == (False, False, False)
+
+
+class TestSubsumption:
+    def test_lower_error_subsumes(self):
+        reduced = reduce_positions({(3, 0), (3, 1)})
+        assert reduced == frozenset({(3, 0)})
+
+    def test_distant_positions_kept(self):
+        reduced = reduce_positions({(0, 0), (5, 1)})
+        assert reduced == frozenset({(0, 0), (5, 1)})
+
+    def test_diagonal_subsumption(self):
+        # (2,0) subsumes (3,1): |3-2| <= 1-0.
+        assert reduce_positions({(2, 0), (3, 1)}) == frozenset({(2, 0)})
+
+
+class TestULA:
+    def test_exact(self):
+        assert UniversalLevenshteinAutomaton(0).run("ACGT", "ACGT") == 0
+
+    def test_substitution(self):
+        assert UniversalLevenshteinAutomaton(1).run("ACGT", "AGGT") == 1
+
+    def test_insertion_and_deletion(self):
+        ula = UniversalLevenshteinAutomaton(2)
+        assert ula.run("ACGT", "ACGGT") == 1
+        assert ula.run("ACGT", "AGT") == 1
+
+    def test_rejects_beyond_k(self):
+        assert UniversalLevenshteinAutomaton(1).run("AAAA", "TTTT") is None
+
+    def test_string_independence_one_instance_many_patterns(self):
+        """The defining ULA property: one automaton serves every pattern."""
+        ula = UniversalLevenshteinAutomaton(2)
+        assert ula.run("ACGT", "ACGA") == 1
+        assert ula.run("TTTTTT", "TTATTT") == 1
+        assert ula.run("GATTACA", "GATTACA") == 0
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            UniversalLevenshteinAutomaton(-1)
+
+    def test_fanout_grows_with_k(self):
+        """The paper's §II criticism: deletion fan-out is O(K)."""
+        small = UniversalLevenshteinAutomaton(1)
+        small.run("ACGTACGTAC", "ACAC")
+        large = UniversalLevenshteinAutomaton(4)
+        large.run("ACGTACGTAC", "ACAC")
+        assert large.max_fanout > small.max_fanout
+
+    @given(dna, dna, st.integers(0, 4))
+    @settings(max_examples=80, deadline=None)
+    def test_matches_dp(self, pattern, text, k):
+        truth = levenshtein(pattern, text)
+        expected = truth if truth <= k else None
+        assert UniversalLevenshteinAutomaton(k).run(pattern, text) == expected

@@ -1,0 +1,150 @@
+"""Tests for repro.automata (STE substrate + Levenshtein compilation)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.align.edit_distance import levenshtein
+from repro.automata.levenshtein_nfa import compile_levenshtein_nfa
+from repro.automata.nfa import HomogeneousNFA, SymbolClass
+from repro.automata.processor import AutomataProcessor
+
+dna = st.text(alphabet="ACGT", max_size=9)
+
+
+class TestSymbolClass:
+    def test_exactly(self):
+        sc = SymbolClass.exactly("A", "C")
+        assert sc.matches("A") and sc.matches("C")
+        assert not sc.matches("G")
+
+    def test_anything(self):
+        assert SymbolClass.anything().matches("X")
+
+    def test_anything_but(self):
+        sc = SymbolClass.anything_but("A")
+        assert not sc.matches("A")
+        assert sc.matches("T")
+
+
+class TestHomogeneousNFA:
+    def _simple(self):
+        nfa = HomogeneousNFA()
+        nfa.add_state("a", SymbolClass.exactly("A"), start=True)
+        nfa.add_state("b", SymbolClass.exactly("C"), accept=True)
+        nfa.add_edge("a", "b")
+        return nfa
+
+    def test_accepts_exact_sequence(self):
+        assert self._simple().run("AC")
+
+    def test_rejects_wrong_symbol(self):
+        assert not self._simple().run("AG")
+
+    def test_rejects_short_input(self):
+        assert not self._simple().run("A")
+
+    def test_rejects_empty(self):
+        assert not self._simple().run("")
+
+    def test_duplicate_state_rejected(self):
+        nfa = self._simple()
+        with pytest.raises(ValueError):
+            nfa.add_state("a", SymbolClass.anything())
+
+    def test_edge_to_unknown_state_rejected(self):
+        nfa = self._simple()
+        with pytest.raises(ValueError):
+            nfa.add_edge("a", "zzz")
+
+    def test_counts(self):
+        nfa = self._simple()
+        assert nfa.state_count == 2
+        assert nfa.edge_count == 1
+        assert nfa.max_fanout() == 1
+
+    def test_mark_start(self):
+        nfa = self._simple()
+        nfa.mark_start("b")
+        assert "b" in nfa.start_states()
+
+
+class TestCompiledLevenshtein:
+    def test_exact_match(self):
+        compiled = compile_levenshtein_nfa("ACGT", 0)
+        assert compiled.accepts("ACGT")
+        assert not compiled.accepts("ACGA")
+
+    def test_substitution(self):
+        compiled = compile_levenshtein_nfa("ACGT", 1)
+        assert compiled.accepts("AGGT")
+
+    def test_insertion_and_deletion(self):
+        compiled = compile_levenshtein_nfa("ACGT", 1)
+        assert compiled.accepts("ACGGT")
+        assert compiled.accepts("AGT")
+
+    def test_trailing_deletion_acceptance(self):
+        compiled = compile_levenshtein_nfa("ACGT", 2)
+        assert compiled.accepts("AC")  # delete the 'GT' tail
+
+    def test_empty_text(self):
+        assert compile_levenshtein_nfa("AC", 2).accepts("")
+        assert not compile_levenshtein_nfa("ACG", 2).accepts("")
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            compile_levenshtein_nfa("A", -1)
+
+    def test_ste_count_scales_with_pattern_length(self):
+        """The §II complaint: O(K*N) STEs per pattern."""
+        short = compile_levenshtein_nfa("ACGT" * 2, 2).nfa.state_count
+        long = compile_levenshtein_nfa("ACGT" * 8, 2).nfa.state_count
+        assert long > 3 * short
+
+    def test_fanout_grows_with_k(self):
+        small = compile_levenshtein_nfa("ACGTACGT", 1).nfa.max_fanout()
+        large = compile_levenshtein_nfa("ACGTACGT", 4).nfa.max_fanout()
+        assert large > small
+
+    @given(dna, dna, st.integers(0, 3))
+    @settings(max_examples=80, deadline=None)
+    def test_accepts_exactly_within_k(self, pattern, text, k):
+        compiled = compile_levenshtein_nfa(pattern, k)
+        assert compiled.accepts(text) == (levenshtein(pattern, text) <= k)
+
+
+class TestProcessor:
+    def test_load_and_run(self):
+        processor = AutomataProcessor()
+        processor.load(compile_levenshtein_nfa("ACGT", 1).nfa)
+        assert processor.run("ACGA")
+        assert not processor.run("TTTT")
+
+    def test_run_without_load(self):
+        with pytest.raises(RuntimeError):
+            AutomataProcessor().run("A")
+
+    def test_capacity_enforced(self):
+        processor = AutomataProcessor(capacity=5)
+        with pytest.raises(ValueError):
+            processor.load(compile_levenshtein_nfa("ACGTACGT", 2).nfa)
+
+    def test_reconfiguration_cost_charged_per_pattern(self):
+        """The §II context-switch argument: per-read reprogramming cost."""
+        processor = AutomataProcessor()
+        patterns = ["ACGTACGTAC", "TTGCAACGTT", "GGGTACCACG"]
+        for pattern in patterns:
+            processor.load(compile_levenshtein_nfa(pattern, 2).nfa)
+            processor.run("ACGTACCTAC")
+        stats = processor.stats
+        assert stats.reconfigurations == 3
+        assert stats.total_config_writes > 3 * 100
+        # Config writes dwarf the streaming cycles for short reads.
+        assert stats.total_config_writes > stats.cycles
+
+    def test_activation_accounting(self):
+        processor = AutomataProcessor()
+        processor.load(compile_levenshtein_nfa("ACGT", 1).nfa)
+        processor.run("ACGT")
+        assert processor.stats.ste_activations > 0
+        assert processor.stats.cycles == 4

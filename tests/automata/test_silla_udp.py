@@ -1,0 +1,67 @@
+"""Tests for repro.automata.silla_udp (the §VIII-C UDP mapping)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.automata.silla_udp import (
+    ComparisonWord,
+    UdpSillaMachine,
+    comparison_word_stream,
+)
+from repro.sillax.edit_machine import EditMachine
+
+dna = st.text(alphabet="ACGT", max_size=12)
+
+
+class TestComparisonWordStream:
+    def test_word_width(self):
+        words = list(comparison_word_stream("ACGT", "ACGT", k=3))
+        # 2K+1 comparison bits plus the two exhaustion bits.
+        assert words[0].width_bits == 2 * 3 + 1 + 2
+
+    def test_exhaustion_bits(self):
+        words = list(comparison_word_stream("AC", "ACGT", k=2))
+        assert not words[0].r_done and not words[0].q_done
+        assert words[2].r_done and not words[2].q_done  # R ends first
+        assert words[4].q_done
+
+    def test_matching_prefix_bits(self):
+        words = list(comparison_word_stream("ACGT", "ACGT", k=1))
+        # With no edits, the (0,0) comparison matches every in-range cycle.
+        assert words[0].row[0] and words[3].row[0]
+        assert not words[4].row[0]  # past the end
+
+
+class TestUdpSillaMachine:
+    def test_identity(self):
+        assert UdpSillaMachine(2).distance("GATTACA", "GATTACA") == 0
+
+    def test_mixed_edits(self):
+        assert UdpSillaMachine(2).distance("AXBCD".replace("X", "T"), "YABCD".replace("Y", "G")) == 2
+
+    def test_beyond_k(self):
+        assert UdpSillaMachine(1).distance("AAAA", "TTTT") is None
+
+    def test_empty(self):
+        assert UdpSillaMachine(0).distance("", "") == 0
+
+    def test_negative_k(self):
+        with pytest.raises(ValueError):
+            UdpSillaMachine(-1)
+
+    def test_wrong_word_width_rejected(self):
+        machine = UdpSillaMachine(3)
+        words = comparison_word_stream("AC", "AC", k=2)  # width mismatch
+        with pytest.raises(ValueError):
+            machine.run(words)
+
+    def test_machine_never_touches_strings(self):
+        """The mapping's point: the back-end consumes only words."""
+        machine = UdpSillaMachine(2)
+        words = list(comparison_word_stream("ACGTA", "ACCTA", 2))
+        assert machine.run(iter(words)) == 1  # no strings in sight
+
+    @given(dna, dna, st.integers(0, 5))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_edit_machine(self, a, b, k):
+        assert UdpSillaMachine(k).distance(a, b) == EditMachine(k).distance(a, b)

@@ -1,0 +1,41 @@
+"""Shared fixtures: small deterministic genomes, reads and helpers."""
+
+import random
+
+import pytest
+
+from repro.genome.reads import ReadSimulator
+from repro.genome.reference import ReferenceGenome, make_reference
+from repro.genome.variants import simulate_variants
+
+
+@pytest.fixture(scope="session")
+def small_reference() -> ReferenceGenome:
+    """A 20 kbp synthetic reference with planted repeats."""
+    return make_reference(20_000, seed=11)
+
+
+@pytest.fixture(scope="session")
+def tiny_reference() -> ReferenceGenome:
+    """A 2 kbp reference for the most expensive integration tests."""
+    return make_reference(2_000, seed=5)
+
+
+@pytest.fixture(scope="session")
+def simulated_reads(small_reference):
+    """Reads with variants + sequencing errors and their ground truth."""
+    rng = random.Random(23)
+    variants = simulate_variants(small_reference.sequence, rng)
+    simulator = ReadSimulator(
+        small_reference, variants, read_length=101, seed=29
+    )
+    return simulator.simulate(24)
+
+
+def random_dna_pair(rng: random.Random, max_len: int = 14, alphabet: str = "ACGT"):
+    """A pair of short random strings (shared by the fuzz helpers)."""
+    n = rng.randrange(0, max_len)
+    m = rng.randrange(0, max_len)
+    left = "".join(rng.choice(alphabet) for _ in range(n))
+    right = "".join(rng.choice(alphabet) for _ in range(m))
+    return left, right

@@ -1,0 +1,104 @@
+"""Tests for repro.core.applications (§VIII-C extensions)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.applications import (
+    best_corrections,
+    edit_distance_unbounded,
+    lcs_length,
+    similarity_filter,
+)
+from repro.align.edit_distance import levenshtein
+
+dna = st.text(alphabet="ACGT", max_size=14)
+words = st.text(alphabet="abcdefg", min_size=1, max_size=8)
+
+
+def lcs_oracle(a: str, b: str) -> int:
+    previous = [0] * (len(b) + 1)
+    for ch in a:
+        current = [0]
+        for j, other in enumerate(b, start=1):
+            if ch == other:
+                current.append(previous[j - 1] + 1)
+            else:
+                current.append(max(previous[j], current[j - 1]))
+        previous = current
+    return previous[-1]
+
+
+class TestLCS:
+    def test_identical(self):
+        assert lcs_length("GATTACA", "GATTACA") == 7
+
+    def test_classic(self):
+        assert lcs_length("AGGTAB".lower().upper(), "GXTXAYB".replace("X", "C").replace("Y", "C")) == 4
+
+    def test_disjoint(self):
+        assert lcs_length("AAAA", "TTTT") == 0
+
+    def test_empty(self):
+        assert lcs_length("", "ACGT") == 0
+        assert lcs_length("ACGT", "") == 0
+
+    def test_subsequence(self):
+        assert lcs_length("ACGTACGT", "CGAG") == 4
+
+    @given(dna, dna)
+    @settings(max_examples=80, deadline=None)
+    def test_matches_dp_oracle(self, a, b):
+        assert lcs_length(a, b) == lcs_oracle(a, b)
+
+
+class TestUnboundedEditDistance:
+    def test_widening_finds_large_distances(self):
+        assert edit_distance_unbounded("AAAAAAAA", "TTTTTTTT") == 8
+
+    def test_zero(self):
+        assert edit_distance_unbounded("ACGT", "ACGT") == 0
+
+    def test_empty(self):
+        assert edit_distance_unbounded("", "") == 0
+        assert edit_distance_unbounded("ACG", "") == 3
+
+    @given(dna, dna)
+    @settings(max_examples=60, deadline=None)
+    def test_matches_levenshtein(self, a, b):
+        assert edit_distance_unbounded(a, b) == levenshtein(a, b)
+
+
+class TestSpellCorrection:
+    DICTIONARY = ["accept", "except", "expect", "aspect", "access"]
+
+    def test_exact_word_ranked_first(self):
+        matches = best_corrections("accept", self.DICTIONARY)
+        assert matches[0].word == "accept"
+        assert matches[0].distance == 0
+
+    def test_near_miss(self):
+        matches = best_corrections("acept", self.DICTIONARY, max_edits=1)
+        assert matches[0].word == "accept"
+
+    def test_no_match_beyond_k(self):
+        assert best_corrections("zzzzzz", self.DICTIONARY, max_edits=1) == []
+
+    def test_limit(self):
+        matches = best_corrections("excep", self.DICTIONARY, max_edits=2, limit=1)
+        assert len(matches) == 1
+
+    def test_deterministic_tie_order(self):
+        matches = best_corrections("exept", self.DICTIONARY, max_edits=2)
+        distances = [m.distance for m in matches]
+        assert distances == sorted(distances)
+
+
+class TestSimilarityFilter:
+    def test_thresholding(self):
+        verdicts = similarity_filter(
+            [("ACGT", "ACGT"), ("ACGT", "ACGA"), ("ACGT", "TTTT")], max_edits=1
+        )
+        assert verdicts == [True, True, False]
+
+    def test_empty_batch(self):
+        assert similarity_filter([], max_edits=2) == []

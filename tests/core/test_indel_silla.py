@@ -1,0 +1,100 @@
+"""Tests for repro.core.indel_silla (§III-A)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.indel_silla import IndelSilla, indel_distance, indel_state_count
+
+dna = st.text(alphabet="ACGT", max_size=14)
+binary = st.text(alphabet="AC", max_size=12)
+
+
+class TestIndelDistanceOracle:
+    def test_identity(self):
+        assert indel_distance("ACGT", "ACGT") == 0
+
+    def test_single_insertion(self):
+        assert indel_distance("ACGT", "ACGGT") == 1
+
+    def test_substitution_costs_two(self):
+        # Without substitutions, a changed base needs delete + insert.
+        assert indel_distance("ACGT", "AGGT") == 2
+
+    def test_relates_to_lcs(self):
+        # |a| + |b| - 2*LCS.
+        assert indel_distance("ABCD", "BD".replace("B", "C").replace("D", "G")) >= 2
+
+
+class TestStateCount:
+    def test_half_square(self):
+        # (K+1)(K+2)/2 exact; the paper rounds to (K+1)^2/2.
+        assert indel_state_count(0) == 1
+        assert indel_state_count(1) == 3
+        assert indel_state_count(2) == 6
+        assert indel_state_count(40) == 41 * 42 // 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            indel_state_count(-1)
+
+
+class TestIndelSilla:
+    def test_identical(self):
+        assert IndelSilla(2).distance("ACGT", "ACGT") == 0
+
+    def test_paper_figure3a(self):
+        """Fig. 3a: one insertion + one deletion aligns the strings."""
+        assert IndelSilla(2).distance("AXBCD", "YABCD") == 2
+
+    def test_insertion(self):
+        assert IndelSilla(2).distance("ACGT", "AACGT") == 1
+
+    def test_deletion(self):
+        assert IndelSilla(2).distance("AACGT", "ACGT") == 1
+
+    def test_beyond_k_returns_none(self):
+        assert IndelSilla(1).distance("ACGT", "ACGTTTT") is None
+
+    def test_length_gap_short_circuit(self):
+        result = IndelSilla(2).run("A" * 10, "A")
+        assert result.distance is None
+        assert result.cycles == 0
+
+    def test_empty_strings(self):
+        assert IndelSilla(0).distance("", "") == 0
+
+    def test_empty_vs_short(self):
+        assert IndelSilla(3).distance("", "ACG") == 3
+
+    def test_accepting_state_offsets_match_length_difference(self):
+        result = IndelSilla(4).run("ACGT", "ACGGTT")
+        assert result.accepting_states
+        for i, d in result.accepting_states:
+            # i - d = |Q| - |R|: surplus query characters are insertions.
+            assert i - d == len("ACGGTT") - len("ACGT")
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            IndelSilla(-1)
+
+    def test_history_recording(self):
+        silla = IndelSilla(1)
+        silla.run("AC", "AC", record_history=True)
+        assert silla.active_history[0] == frozenset({(0, 0)})
+
+    @given(dna, dna, st.integers(0, 5))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_oracle(self, a, b, k):
+        truth = indel_distance(a, b)
+        expected = truth if truth <= k else None
+        assert IndelSilla(k).distance(a, b) == expected
+
+    @given(binary, binary, st.integers(0, 4))
+    @settings(max_examples=60, deadline=None)
+    def test_string_independence(self, a, b, k):
+        """One automaton instance processes many different pairs."""
+        silla = IndelSilla(k)
+        first = silla.distance(a, b)
+        second = silla.distance(b, a)
+        assert first == silla.distance(a, b)  # no state leaks between runs
+        assert second == silla.distance(b, a)

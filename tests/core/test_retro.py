@@ -1,0 +1,62 @@
+"""Tests for repro.core.retro."""
+
+from repro.core.retro import peripheral_comparisons, retro_compare, retro_positions
+
+
+class TestRetroCompare:
+    def test_matches_aligned_characters(self):
+        # No edits: cycle c compares R[c] with Q[c].
+        assert retro_compare("ACGT", "ACGT", 2, 0, 0)
+
+    def test_insertion_offsets_reference(self):
+        # One insertion: state compares R[c-1] with Q[c] (Fig. 2a).
+        assert retro_compare("AB", "XAB", 1, 1, 0)  # R[0]='A' vs Q[1]='A'
+
+    def test_deletion_offsets_query(self):
+        assert retro_compare("XAB", "AB", 1, 0, 1)  # R[1]='A' vs Q[0]='A'
+
+    def test_out_of_range_reference_never_matches(self):
+        assert not retro_compare("A", "AAAA", 2, 0, 0)
+
+    def test_out_of_range_query_never_matches(self):
+        assert not retro_compare("AAAA", "A", 2, 0, 0)
+
+    def test_negative_position_never_matches(self):
+        assert not retro_compare("A", "A", 0, 1, 0)
+
+    def test_paper_figure3a_walkthrough(self):
+        """Fig. 3a: R='AxBCD', Q='yABCD' resolved by one ins + one del."""
+        reference, query = "AXBCD", "YABCD"
+        # Cycle 0 at (0,0): A vs y mismatches.
+        assert not retro_compare(reference, query, 0, 0, 0)
+        # Cycle 1 at (1,0): A vs A matches (insertion explored).
+        assert retro_compare(reference, query, 1, 1, 0)
+        # Cycle 2 at (1,0): x vs B mismatches.
+        assert not retro_compare(reference, query, 2, 1, 0)
+        # Cycle 3 at (1,1): B vs B matches (deletion explored).
+        assert retro_compare(reference, query, 3, 1, 1)
+        # Cycles 4: C/C, D/D complete the alignment at (1,1).
+        assert retro_compare(reference, query, 4, 1, 1)
+
+
+class TestRetroPositions:
+    def test_positions(self):
+        pos = retro_positions(cycle=7, insertions=2, deletions=3)
+        assert pos.as_tuple == (5, 4)
+
+
+class TestPeripheralComparisons:
+    def test_count_is_2k_plus_1(self):
+        row, column = peripheral_comparisons("ACGT", "ACGT", 1, k=3)
+        # K+1 per dimension sharing the (0, 0) entry.
+        assert len(row) == 4 and len(column) == 4
+        assert row[0] == column[0]
+
+    def test_values_match_direct_computation(self):
+        reference, query = "ACGTAC", "AGGTAC"
+        for cycle in range(6):
+            row, column = peripheral_comparisons(reference, query, cycle, k=2)
+            for i in range(3):
+                assert row[i] == retro_compare(reference, query, cycle, i, 0)
+            for d in range(3):
+                assert column[d] == retro_compare(reference, query, cycle, 0, d)

@@ -1,0 +1,125 @@
+"""Tests for repro.core.silla — the collapsed automaton (§III-C/D)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.align.edit_distance import levenshtein
+from repro.core.silla import Silla, silla_state_count
+from repro.core.three_d_silla import ThreeDSilla, three_d_state_count
+
+dna = st.text(alphabet="ACGT", max_size=14)
+binary = st.text(alphabet="AC", max_size=12)
+
+
+class TestStateCount:
+    def test_collapse_is_quadratic(self):
+        # 3 layers (two regular + wait) over the half-square grid; the paper
+        # rounds to 3(K+1)^2/2.
+        assert silla_state_count(2) == 18
+        assert silla_state_count(40) == 3 * (41 * 42 // 2)
+
+    def test_collapse_beats_3d(self):
+        # Equal at K = 2 (3 layers either way), strictly smaller beyond.
+        assert silla_state_count(2) == three_d_state_count(2)
+        for k in (3, 5, 10, 40):
+            assert silla_state_count(k) < three_d_state_count(k)
+
+    def test_k0(self):
+        assert silla_state_count(0) == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            silla_state_count(-1)
+
+
+class TestSillaBasics:
+    def test_identity(self):
+        assert Silla(2).distance("GATTACA", "GATTACA") == 0
+
+    def test_substitution(self):
+        assert Silla(1).distance("ACGT", "AGGT") == 1
+
+    def test_two_substitutions_via_wait_state(self):
+        """Fig. 3b: the wait-cycle merge path recovers 2-sub solutions."""
+        assert Silla(2).distance("AXBCD", "YABCD") == 2
+
+    def test_insertion(self):
+        assert Silla(1).distance("ACGT", "ACGGT") == 1
+
+    def test_deletion(self):
+        assert Silla(1).distance("ACGGT", "ACGT") == 1
+
+    def test_k0_exact_match_only(self):
+        assert Silla(0).distance("ACGT", "ACGT") == 0
+        assert Silla(0).distance("ACGT", "ACGA") is None
+
+    def test_beyond_k(self):
+        assert Silla(2).distance("AAAA", "TTTT") is None
+
+    def test_empty_strings(self):
+        assert Silla(0).distance("", "") == 0
+
+    def test_one_empty(self):
+        assert Silla(4).distance("ACGT", "") == 4
+        assert Silla(3).distance("ACGT", "") is None
+
+    def test_matches_method(self):
+        assert Silla(1).matches("ACGT", "ACGA")
+        assert not Silla(1).matches("ACGT", "TTTT")
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            Silla(-1)
+
+    def test_runtime_is_linear_in_string_length(self):
+        """Silla computes in ~N cycles (§III intro), not N^2."""
+        silla = Silla(2)
+        result = silla.run("ACGT" * 50, "ACGT" * 50)
+        assert result.distance == 0
+        assert result.cycles <= 4 * 50 + 2 + 3
+
+    def test_history_starts_at_origin(self):
+        silla = Silla(2)
+        silla.run("AC", "AC", record_history=True)
+        assert silla.active_history[0] == frozenset({(0, 0, 0)})
+
+
+class TestStringIndependence:
+    """Unlike LA, one Silla instance handles every string pair (§III)."""
+
+    def test_many_pairs_one_automaton(self):
+        silla = Silla(3)
+        rng = random.Random(4)
+        for _ in range(30):
+            a = "".join(rng.choice("ACGT") for _ in range(rng.randrange(0, 12)))
+            b = "".join(rng.choice("ACGT") for _ in range(rng.randrange(0, 12)))
+            truth = levenshtein(a, b)
+            assert silla.distance(a, b) == (truth if truth <= 3 else None)
+
+
+class TestAgainstOracles:
+    @given(dna, dna, st.integers(0, 5))
+    @settings(max_examples=150, deadline=None)
+    def test_matches_levenshtein(self, a, b, k):
+        truth = levenshtein(a, b)
+        expected = truth if truth <= k else None
+        assert Silla(k).distance(a, b) == expected
+
+    @given(binary, binary, st.integers(0, 4))
+    @settings(max_examples=80, deadline=None)
+    def test_collapse_equivalent_to_3d(self, a, b, k):
+        """§III-C: the collapsed automaton equals the explicit 3-D one."""
+        assert Silla(k).distance(a, b) == ThreeDSilla(k).distance(a, b)
+
+    @given(dna, dna)
+    @settings(max_examples=60, deadline=None)
+    def test_accepting_edits_are_consistent(self, a, b):
+        """Every accepting state's (i, d, layer) is a real alignment bound."""
+        result = Silla(4).run(a, b)
+        truth = levenshtein(a, b)
+        for i, d, layer in result.accepting_states:
+            assert i + d + layer >= truth  # soundness: no underestimates
+            # Acceptance fixes the indel imbalance: i - d = |Q| - |R|.
+            assert i - d == len(b) - len(a)

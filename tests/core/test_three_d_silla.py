@@ -1,0 +1,54 @@
+"""Tests for repro.core.three_d_silla (§III-B)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.align.edit_distance import levenshtein
+from repro.core.three_d_silla import ThreeDSilla, three_d_state_count
+
+dna = st.text(alphabet="ACGT", max_size=12)
+
+
+class TestStateCount:
+    def test_cubic_scaling(self):
+        # (K+1) layers of the half-square grid; paper rounds to (K+1)^3/2.
+        assert three_d_state_count(1) == 3 * 2
+        assert three_d_state_count(2) == 6 * 3
+        assert three_d_state_count(40) == (41 * 42 // 2) * 41
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            three_d_state_count(-1)
+
+
+class TestThreeDSilla:
+    def test_identity(self):
+        assert ThreeDSilla(1).distance("ACGT", "ACGT") == 0
+
+    def test_substitution_single_edit(self):
+        assert ThreeDSilla(1).distance("ACGT", "AGGT") == 1
+
+    def test_paper_figure3b_two_substitutions(self):
+        """Fig. 3b: the same strings also align with two substitutions."""
+        result = ThreeDSilla(2).run("AXBCD", "YABCD")
+        assert result.distance == 2
+        # Both the 2-sub and the ins+del solutions are accepting.
+        edit_mixes = {(i, d, s) for i, d, s in result.accepting_states if i + d + s == 2}
+        assert (0, 0, 2) in edit_mixes
+        assert (1, 1, 0) in edit_mixes
+
+    def test_mixed_edits(self):
+        assert ThreeDSilla(3).distance("ACGTACG", "AGGTCG") == 2
+
+    def test_beyond_k(self):
+        assert ThreeDSilla(2).distance("AAAA", "TTTT") is None
+
+    def test_empty(self):
+        assert ThreeDSilla(0).distance("", "") == 0
+
+    @given(dna, dna, st.integers(0, 4))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_levenshtein(self, a, b, k):
+        truth = levenshtein(a, b)
+        expected = truth if truth <= k else None
+        assert ThreeDSilla(k).distance(a, b) == expected

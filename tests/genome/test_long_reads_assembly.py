@@ -1,0 +1,157 @@
+"""Tests for repro.genome.long_reads and repro.genome.assembly."""
+
+import pytest
+
+from repro.genome.assembly import Assembly, Contig
+from repro.genome.long_reads import LongReadErrorModel, LongReadSimulator
+from repro.genome.reference import make_reference
+from repro.genome.sequence import is_dna, reverse_complement
+
+
+class TestLongReadErrorModel:
+    def test_defaults_indel_dominated(self):
+        model = LongReadErrorModel()
+        assert model.insertion_fraction + model.deletion_fraction > 0.5
+        assert model.substitution_fraction == pytest.approx(0.25)
+
+    def test_expected_edits(self):
+        assert LongReadErrorModel(error_rate=0.1).expected_edits(1000) == 100
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            LongReadErrorModel(error_rate=1.0)
+
+    def test_invalid_fractions(self):
+        with pytest.raises(ValueError):
+            LongReadErrorModel(insertion_fraction=0.7, deletion_fraction=0.5)
+
+
+class TestLongReadSimulator:
+    @pytest.fixture(scope="class")
+    def reference(self):
+        return make_reference(30_000, seed=41)
+
+    def test_lengths_heavy_tailed_and_bounded(self, reference):
+        sim = LongReadSimulator(reference, mean_length=800, seed=1)
+        lengths = [len(r.sequence) for r in sim.simulate(50)]
+        # Errors change the final length a little, but the spread should be
+        # wide and the minimum respected within error slack.
+        assert min(lengths) >= sim.min_length * 0.8
+        assert max(lengths) > 1.3 * min(lengths)
+
+    def test_error_rate_ballpark(self, reference):
+        sim = LongReadSimulator(
+            reference,
+            mean_length=600,
+            seed=2,
+            error_model=LongReadErrorModel(error_rate=0.1),
+            both_strands=False,
+        )
+        reads = sim.simulate(30)
+        rates = [r.error_count / max(1, len(r.sequence)) for r in reads]
+        mean_rate = sum(rates) / len(rates)
+        assert 0.06 < mean_rate < 0.14
+
+    def test_zero_error_reads_match_reference(self, reference):
+        sim = LongReadSimulator(
+            reference,
+            mean_length=400,
+            seed=3,
+            error_model=LongReadErrorModel(error_rate=0.0),
+            both_strands=False,
+        )
+        for read in sim.simulate(10):
+            window = reference.sequence[
+                read.true_position : read.true_position + len(read.sequence)
+            ]
+            assert window == read.sequence
+
+    def test_reverse_strand(self, reference):
+        sim = LongReadSimulator(
+            reference,
+            mean_length=300,
+            seed=4,
+            error_model=LongReadErrorModel(error_rate=0.0),
+        )
+        reverse_reads = [r for r in sim.simulate(30) if r.reverse]
+        assert reverse_reads
+        read = reverse_reads[0]
+        window = reference.sequence[
+            read.true_position : read.true_position + len(read.sequence)
+        ]
+        assert reverse_complement(window) == read.sequence
+
+    def test_valid_dna(self, reference):
+        sim = LongReadSimulator(reference, seed=5)
+        assert all(is_dna(r.sequence) for r in sim.simulate(10))
+
+    def test_min_length_vs_reference(self):
+        tiny = make_reference(100, seed=1)
+        with pytest.raises(ValueError):
+            LongReadSimulator(tiny, min_length=200)
+
+
+class TestAssembly:
+    def _assembly(self):
+        return Assembly(
+            [
+                Contig("chr1", "ACGT" * 10),
+                Contig("chr2", "GGCC" * 5),
+                Contig("chrM", "TTAA"),
+            ]
+        )
+
+    def test_total_length(self):
+        assert len(self._assembly()) == 40 + 20 + 4
+
+    def test_contig_names(self):
+        assert self._assembly().contig_names == ["chr1", "chr2", "chrM"]
+
+    def test_locate_first_contig(self):
+        where = self._assembly().locate(5)
+        assert (where.contig, where.offset) == ("chr1", 5)
+
+    def test_locate_later_contigs(self):
+        assembly = self._assembly()
+        assert assembly.locate(40).contig == "chr2"
+        assert assembly.locate(40).offset == 0
+        assert assembly.locate(63).contig == "chrM"
+
+    def test_locate_out_of_range(self):
+        with pytest.raises(ValueError):
+            self._assembly().locate(64)
+        with pytest.raises(ValueError):
+            self._assembly().locate(-1)
+
+    def test_linearize_roundtrip(self):
+        assembly = self._assembly()
+        linear = assembly.linearize()
+        assert len(linear) == len(assembly)
+        start = assembly.contig_start("chr2")
+        assert linear.sequence[start : start + 20] == "GGCC" * 5
+
+    def test_boundaries(self):
+        assert self._assembly().boundaries() == [40, 60]
+
+    def test_crosses_boundary(self):
+        assembly = self._assembly()
+        assert assembly.crosses_boundary(38, 44)
+        assert not assembly.crosses_boundary(10, 20)
+        assert not assembly.crosses_boundary(40, 60)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            Assembly([Contig("a", "AC"), Contig("a", "GT")])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Assembly([])
+
+    def test_sam_header_lists_all_contigs(self):
+        header = self._assembly().sam_header()
+        assert "@SQ\tSN:chr1\tLN:40" in header
+        assert "@SQ\tSN:chrM\tLN:4" in header
+
+    def test_unknown_contig(self):
+        with pytest.raises(KeyError):
+            self._assembly().contig("chrX")

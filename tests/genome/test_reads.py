@@ -1,0 +1,115 @@
+"""Tests for repro.genome.reads."""
+
+import random
+
+import pytest
+
+from repro.genome.reads import ErrorProfile, Read, ReadSimulator
+from repro.genome.reference import make_reference
+from repro.genome.sequence import is_dna, reverse_complement
+from repro.genome.variants import simulate_variants
+
+
+class TestRead:
+    def test_len(self):
+        assert len(Read("r", "ACGT")) == 4
+
+    def test_quality_length_checked(self):
+        with pytest.raises(ValueError):
+            Read("r", "ACGT", "II")
+
+    def test_quality_optional(self):
+        assert Read("r", "ACGT").quality == ""
+
+
+class TestErrorProfile:
+    def test_ramps_toward_three_prime_end(self):
+        profile = ErrorProfile(rate_start=0.01, rate_end=0.05)
+        assert profile.error_probability(0, 100) == pytest.approx(0.01)
+        assert profile.error_probability(99, 100) == pytest.approx(0.05)
+
+    def test_monotone(self):
+        profile = ErrorProfile()
+        probs = [profile.error_probability(i, 101) for i in range(101)]
+        assert probs == sorted(probs)
+
+    def test_mean(self):
+        profile = ErrorProfile(rate_start=0.01, rate_end=0.03)
+        assert profile.mean_rate(101) == pytest.approx(0.02)
+
+
+class TestReadSimulator:
+    @pytest.fixture(scope="class")
+    def reference(self):
+        return make_reference(10_000, seed=17)
+
+    def test_read_length(self, reference):
+        sim = ReadSimulator(reference, read_length=101, seed=1)
+        for read in sim.simulate(20):
+            assert len(read.sequence) == 101
+
+    def test_reads_are_dna(self, reference):
+        sim = ReadSimulator(reference, read_length=80, seed=2)
+        assert all(is_dna(r.sequence) for r in sim.simulate(20))
+
+    def test_deterministic(self, reference):
+        a = ReadSimulator(reference, read_length=50, seed=3).simulate(10)
+        b = ReadSimulator(reference, read_length=50, seed=3).simulate(10)
+        assert [r.sequence for r in a] == [r.sequence for r in b]
+
+    def test_error_free_forward_reads_match_reference(self, reference):
+        profile = ErrorProfile(rate_start=0.0, rate_end=0.0)
+        sim = ReadSimulator(
+            reference, read_length=60, seed=4, error_profile=profile, both_strands=False
+        )
+        for read in sim.simulate(15):
+            start = read.true_position
+            assert reference.sequence[start : start + 60] == read.sequence
+            assert read.error_count == 0
+
+    def test_reverse_reads_match_reverse_strand(self, reference):
+        profile = ErrorProfile(rate_start=0.0, rate_end=0.0)
+        sim = ReadSimulator(reference, read_length=60, seed=5, error_profile=profile)
+        reverse_reads = [r for r in sim.simulate(40) if r.reverse]
+        assert reverse_reads, "expected some reverse-strand reads"
+        for read in reverse_reads:
+            start = read.true_position
+            fragment = reference.sequence[start : start + 60]
+            assert reverse_complement(fragment) == read.sequence
+
+    def test_error_rate_in_expected_range(self, reference):
+        profile = ErrorProfile(rate_start=0.02, rate_end=0.02, indel_fraction=0.0)
+        sim = ReadSimulator(reference, read_length=101, seed=6, error_profile=profile)
+        reads = sim.simulate(200)
+        total_errors = sum(r.error_count for r in reads)
+        expected = 0.02 * 101 * 200
+        assert 0.6 * expected < total_errors < 1.4 * expected
+
+    def test_coverage_read_count(self, reference):
+        sim = ReadSimulator(reference, read_length=100, seed=7)
+        reads = sim.simulate_coverage(5.0)
+        assert len(reads) == 5 * len(reference) // 100
+
+    def test_quality_string_present(self, reference):
+        sim = ReadSimulator(reference, read_length=50, seed=8)
+        read = sim.simulate(1)[0]
+        assert len(read.read.quality) == 50
+
+    def test_with_variants_positions_still_reasonable(self, reference):
+        rng = random.Random(31)
+        variants = simulate_variants(reference.sequence, rng, snp_rate=0.002)
+        profile = ErrorProfile(rate_start=0.0, rate_end=0.0)
+        sim = ReadSimulator(
+            reference, variants, read_length=80, seed=9, error_profile=profile,
+            both_strands=False,
+        )
+        for read in sim.simulate(20):
+            window = reference.sequence[read.true_position : read.true_position + 80]
+            # Reads may differ from the reference only through variants.
+            mismatches = sum(1 for a, b in zip(window, read.sequence) if a != b)
+            assert mismatches <= read.variant_edits + 5
+
+    def test_read_longer_than_genome_rejected(self):
+        tiny = make_reference(50, seed=1)
+        with pytest.raises(ValueError):
+            ReadSimulator(tiny, read_length=101, seed=0)

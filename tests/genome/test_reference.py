@@ -1,0 +1,118 @@
+"""Tests for repro.genome.reference."""
+
+import pytest
+
+from repro.genome.reference import (
+    ReferenceBuilder,
+    ReferenceGenome,
+    RepeatSpec,
+    SegmentView,
+    make_reference,
+)
+from repro.genome.sequence import is_dna
+
+
+class TestReferenceGenome:
+    def test_validates_sequence(self):
+        with pytest.raises(ValueError):
+            ReferenceGenome("ACGN")
+
+    def test_len(self):
+        assert len(ReferenceGenome("ACGT")) == 4
+
+    def test_fetch_basic(self):
+        ref = ReferenceGenome("ACGTACGT")
+        assert ref.fetch(2, 6) == "GTAC"
+
+    def test_fetch_clamps_left(self):
+        ref = ReferenceGenome("ACGT")
+        assert ref.fetch(-5, 2) == "AC"
+
+    def test_fetch_clamps_right(self):
+        ref = ReferenceGenome("ACGT")
+        assert ref.fetch(2, 100) == "GT"
+
+    def test_fetch_empty_when_inverted(self):
+        ref = ReferenceGenome("ACGT")
+        assert ref.fetch(3, 1) == ""
+
+
+class TestSegmentation:
+    def test_segments_cover_genome(self):
+        ref = make_reference(10_003, seed=1)
+        views = ref.segments(7)
+        reconstructed = "".join(
+            view.sequence[: view.end - view.start] for view in views
+        )
+        # Without overlap the concatenation is exactly the genome.
+        assert reconstructed == ref.sequence
+
+    def test_segment_count(self):
+        ref = make_reference(5_000, seed=2)
+        assert len(ref.segments(16)) == 16
+
+    def test_overlap_extends_segments(self):
+        ref = make_reference(4_000, seed=3)
+        plain = ref.segments(4, overlap=0)
+        overlapped = ref.segments(4, overlap=100)
+        for a, b in zip(plain[:-1], overlapped[:-1]):
+            assert len(b) == len(a) + 100
+        # Final segment cannot extend past the genome.
+        assert overlapped[-1].end == len(ref)
+
+    def test_to_global(self):
+        view = SegmentView(index=1, start=500, sequence="ACGT")
+        assert view.to_global(2) == 502
+
+    def test_to_global_out_of_range(self):
+        view = SegmentView(index=0, start=0, sequence="AC")
+        with pytest.raises(ValueError):
+            view.to_global(5)
+
+    def test_segment_content_matches_genome(self):
+        ref = make_reference(3_000, seed=4)
+        for view in ref.segments(5, overlap=50):
+            assert ref.sequence[view.start : view.end] == view.sequence
+
+    def test_invalid_count(self):
+        ref = make_reference(1_000, seed=5)
+        with pytest.raises(ValueError):
+            ref.segments(0)
+
+    def test_negative_overlap(self):
+        ref = make_reference(1_000, seed=5)
+        with pytest.raises(ValueError):
+            ref.segments(2, overlap=-1)
+
+
+class TestBuilder:
+    def test_deterministic(self):
+        assert make_reference(2_000, seed=9).sequence == make_reference(2_000, seed=9).sequence
+
+    def test_different_seeds_differ(self):
+        assert make_reference(2_000, seed=1).sequence != make_reference(2_000, seed=2).sequence
+
+    def test_valid_dna(self):
+        assert is_dna(make_reference(5_000, seed=7).sequence)
+
+    def test_length(self):
+        assert len(make_reference(12_345, seed=0)) == 12_345
+
+    def test_tandem_repeats_planted(self):
+        spec = RepeatSpec(
+            dispersed_repeat_count=0,
+            tandem_repeat_count=1,
+            tandem_unit_length=20,
+            tandem_copies=6,
+        )
+        ref = make_reference(5_000, seed=3, repeats=spec)
+        # A planted tandem repeat means some 20-mer occurs >= 5 times.
+        counts = {}
+        seq = ref.sequence
+        for i in range(len(seq) - 19):
+            counts[seq[i : i + 20]] = counts.get(seq[i : i + 20], 0) + 1
+        assert max(counts.values()) >= 5
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ValueError):
+            ReferenceBuilder(length=0).build()

@@ -1,0 +1,133 @@
+"""Tests for repro.genome.variants."""
+
+import random
+
+import pytest
+
+from repro.align.edit_distance import levenshtein
+from repro.genome.variants import (
+    Variant,
+    VariantSet,
+    apply_variants,
+    donor_to_reference_map,
+    simulate_variants,
+)
+
+
+class TestVariant:
+    def test_snp_shape(self):
+        v = Variant(3, "snp", "A", "G")
+        assert v.edit_count == 1
+
+    def test_ins_shape(self):
+        v = Variant(3, "ins", "", "GG")
+        assert v.edit_count == 2
+
+    def test_del_shape(self):
+        v = Variant(3, "del", "ACG", "")
+        assert v.edit_count == 3
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Variant(0, "dup", "A", "AA")
+
+    def test_snp_length_enforced(self):
+        with pytest.raises(ValueError):
+            Variant(0, "snp", "AC", "GG")
+
+    def test_ins_requires_empty_ref(self):
+        with pytest.raises(ValueError):
+            Variant(0, "ins", "A", "G")
+
+    def test_del_requires_empty_alt(self):
+        with pytest.raises(ValueError):
+            Variant(0, "del", "A", "G")
+
+
+class TestVariantSet:
+    def test_sorted_by_position(self):
+        vs = VariantSet([Variant(5, "snp", "A", "C"), Variant(1, "snp", "G", "T")])
+        assert [v.position for v in vs] == [1, 5]
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            VariantSet([Variant(2, "del", "ACG", ""), Variant(3, "snp", "A", "C")])
+
+    def test_in_window(self):
+        vs = VariantSet([Variant(1, "snp", "A", "C"), Variant(10, "snp", "G", "T")])
+        assert [v.position for v in vs.in_window(0, 5)] == [1]
+
+    def test_len(self):
+        assert len(VariantSet([Variant(0, "snp", "A", "C")])) == 1
+
+
+class TestApplyVariants:
+    def test_snp(self):
+        assert apply_variants("AAAA", [Variant(1, "snp", "A", "G")]) == "AGAA"
+
+    def test_ins_after_position(self):
+        assert apply_variants("AAAA", [Variant(1, "ins", "", "GG")]) == "AAGGAA"
+
+    def test_del(self):
+        assert apply_variants("ACGTA", [Variant(1, "del", "CG", "")]) == "ATA"
+
+    def test_multiple_applied_right_to_left(self):
+        donor = apply_variants(
+            "AAAAAAAA",
+            [Variant(1, "snp", "A", "C"), Variant(5, "del", "AA", "")],
+        )
+        assert donor == "ACAAAA"
+
+    def test_snp_ref_mismatch_detected(self):
+        with pytest.raises(ValueError):
+            apply_variants("AAAA", [Variant(0, "snp", "G", "C")])
+
+    def test_del_ref_mismatch_detected(self):
+        with pytest.raises(ValueError):
+            apply_variants("AAAA", [Variant(0, "del", "GG", "")])
+
+    def test_edit_distance_bounded_by_edit_count(self):
+        rng = random.Random(7)
+        reference = "".join(rng.choice("ACGT") for _ in range(500))
+        variants = simulate_variants(reference, rng, snp_rate=0.02, indel_rate=0.005)
+        donor = apply_variants(reference, variants)
+        budget = sum(v.edit_count for v in variants)
+        assert levenshtein(reference, donor) <= budget
+
+
+class TestSimulateVariants:
+    def test_deterministic(self):
+        reference = "ACGT" * 200
+        a = simulate_variants(reference, random.Random(3))
+        b = simulate_variants(reference, random.Random(3))
+        assert [(v.position, v.kind) for v in a] == [(v.position, v.kind) for v in b]
+
+    def test_rates_scale(self):
+        rng = random.Random(5)
+        reference = "".join(rng.choice("ACGT") for _ in range(50_000))
+        vs = simulate_variants(reference, random.Random(1), snp_rate=0.01, indel_rate=0.0)
+        snps = sum(1 for v in vs if v.kind == "snp")
+        assert 300 < snps < 700  # ~500 expected
+
+    def test_non_overlapping(self):
+        rng = random.Random(9)
+        reference = "".join(rng.choice("ACGT") for _ in range(5_000))
+        # Constructor enforces the invariant; just building it is the test.
+        simulate_variants(reference, rng, snp_rate=0.05, indel_rate=0.01)
+
+
+class TestDonorMap:
+    def test_identity_without_variants(self):
+        anchors = donor_to_reference_map("ACGT", VariantSet([]))
+        assert anchors == [(0, 0), (1, 1), (2, 2), (3, 3)]
+
+    def test_insertion_shifts_donor(self):
+        anchors = dict(donor_to_reference_map("AAAA", VariantSet([Variant(0, "ins", "", "GG")])))
+        # Donor: A GG AAA -> reference positions 1..3 map to donor 3..5.
+        assert anchors[3] == 1
+
+    def test_deletion_skips_reference(self):
+        anchors = dict(donor_to_reference_map("ACGTA", VariantSet([Variant(1, "del", "CG", "")])))
+        assert 1 not in anchors.values() or anchors.get(1) != 1
+        # Donor "ATA": donor position 1 corresponds to reference 3.
+        assert anchors[1] == 3

@@ -1,0 +1,191 @@
+"""Tests for repro.model: calibration against every paper-reported number."""
+
+import pytest
+
+from repro.model import constants
+from repro.model.area import GenAxAreaModel
+from repro.model.memory import DDR4Model, SegmentTraffic, read_stream_bytes, table_load_time_s
+from repro.model.power import GenAxPowerModel
+from repro.model.synthesis import (
+    EDIT_PE,
+    SCORING_PE,
+    TRACEBACK_PE,
+    frequency_sweep,
+    optimal_frequency,
+    system_frequency,
+)
+from repro.model.throughput import (
+    GenAxThroughputModel,
+    GenAxWorkload,
+    SillaXCycleModel,
+    SillaXThroughputModel,
+)
+
+
+class TestConstants:
+    def test_pe_count_formula(self):
+        assert constants.SILLAX_PE_COUNT == (constants.EDIT_DISTANCE_BOUND + 1) ** 2
+
+    def test_implied_baseline_throughputs(self):
+        assert constants.BWA_MEM_THROUGHPUT_KREADS_S == pytest.approx(128.0, rel=0.01)
+        assert constants.CUSHAW2_THROUGHPUT_KREADS_S == pytest.approx(56.05, rel=0.01)
+
+    def test_genax_power_implied(self):
+        assert constants.GENAX_POWER_W == pytest.approx(15.4, rel=0.01)
+
+
+class TestSynthesis:
+    def test_edit_machine_calibration_points(self):
+        """Fig. 12 anchors: the quoted 2 GHz and 5 GHz design points."""
+        assert EDIT_PE.machine_area_mm2(2.0, 40) == pytest.approx(0.012, rel=0.01)
+        assert EDIT_PE.machine_power_w(2.0, 40) == pytest.approx(0.047, rel=0.01)
+        assert EDIT_PE.area_um2(5.0) == pytest.approx(
+            constants.SILLAX_PE_AREA_UM2_5GHZ, rel=0.01
+        )
+
+    def test_traceback_machine_calibration(self):
+        assert TRACEBACK_PE.machine_area_mm2(2.0, 40) == pytest.approx(1.41, rel=0.01)
+        assert TRACEBACK_PE.machine_power_w(2.0, 40) == pytest.approx(1.54, rel=0.01)
+
+    def test_area_monotone_in_frequency(self):
+        areas = [EDIT_PE.area_um2(f) for f in (1, 2, 3, 4, 5, 6)]
+        assert areas == sorted(areas)
+
+    def test_power_superlinear_in_frequency(self):
+        assert EDIT_PE.power_uw(4.0) > 2 * EDIT_PE.power_uw(2.0)
+
+    def test_beyond_fmax_rejected(self):
+        with pytest.raises(ValueError):
+            EDIT_PE.area_um2(7.0)
+        with pytest.raises(ValueError):
+            TRACEBACK_PE.area_um2(3.5)
+
+    def test_system_knee_is_2ghz(self):
+        """Fig. 12: '2 GHz is the inflection point'."""
+        assert system_frequency() == pytest.approx(2.0)
+
+    def test_edit_pe_meets_higher_clock(self):
+        """§IV-A: edit PEs alone close timing at much higher clocks."""
+        assert optimal_frequency(EDIT_PE) > 4.0
+
+    def test_banded_sw_pe_ratio(self):
+        """§VIII-C: a banded-SW PE is ~30x larger than a SillaX edit PE."""
+        ratio = constants.BANDED_SW_PE_AREA_UM2 / EDIT_PE.area_um2(5.0)
+        assert ratio == pytest.approx(constants.PE_AREA_RATIO, rel=0.05)
+
+    def test_sweep_rows(self):
+        rows = frequency_sweep(EDIT_PE, [1, 2, 3, 4, 5, 6, 7, 8])
+        assert len(rows) == 6  # 7 and 8 GHz are unreachable
+        assert rows[1][0] == 2
+
+
+class TestMemory:
+    def test_aggregate_bandwidth(self):
+        memory = DDR4Model(stream_efficiency=1.0)
+        assert memory.aggregate_bandwidth_bytes_per_s == pytest.approx(8 * 19.2e9)
+
+    def test_stream_time_linear(self):
+        memory = DDR4Model()
+        assert memory.stream_time_s(2e9) == pytest.approx(2 * memory.stream_time_s(1e9))
+
+    def test_segment_traffic_sums(self):
+        traffic = SegmentTraffic()
+        assert traffic.total_bytes == pytest.approx(
+            48e6 + 18e6 + constants.SEGMENT_BASEPAIRS / 4
+        )
+
+    def test_full_table_pass_under_a_second(self):
+        """All 512 segments' tables stream in well under the run time."""
+        assert table_load_time_s() < 1.0
+
+    def test_read_bytes(self):
+        assert read_stream_bytes(reads=1_000, read_length=101) == pytest.approx(
+            1_000 * (101 / 4 + 6)
+        )
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            DDR4Model().stream_time_s(-1)
+
+
+class TestSillaXThroughput:
+    def test_cycle_model_components(self):
+        cycles = SillaXCycleModel()
+        assert cycles.stream_cycles == 101 + 40 + 2
+        assert cycles.control_cycles == 3 * 41
+        assert cycles.cycles_per_hit > cycles.stream_cycles
+
+    def test_khits_in_paper_ballpark(self):
+        """Fig. 14: 4 lanes at 2 GHz land in the 10^4 Khits/s decade."""
+        model = SillaXThroughputModel()
+        assert 10_000 < model.khits_per_second < 40_000
+
+    def test_baseline_ratios_match_paper(self):
+        series = SillaXThroughputModel().baseline_khits_per_second()
+        assert series["SillaX"] / series["SeqAn (CPU)"] == pytest.approx(62.9, rel=0.01)
+        assert series["SillaX"] / series["SW# (GPU)"] == pytest.approx(5287, rel=0.01)
+
+
+class TestGenAxThroughput:
+    def test_headline_within_15_percent(self):
+        """Fig. 15a: the model lands near the paper's 4,058 Kreads/s."""
+        model = GenAxThroughputModel()
+        assert model.kreads_per_second() == pytest.approx(4058, rel=0.15)
+
+    def test_read_load_fraction_near_10_percent(self):
+        model = GenAxThroughputModel()
+        assert 0.03 < model.read_load_fraction() < 0.15
+
+    def test_speedup_ordering_preserved(self):
+        series = GenAxThroughputModel().figure15a_kreads_s()
+        assert series["GenAx"] > series["BWA-MEM (CPU)"] > series["CUSHAW2 (GPU)"]
+
+    def test_speedup_magnitude(self):
+        series = GenAxThroughputModel().figure15a_kreads_s()
+        speedup = series["GenAx"] / series["BWA-MEM (CPU)"]
+        assert 25 < speedup < 40  # paper: 31.7x
+
+    def test_extension_dominates_compute(self):
+        model = GenAxThroughputModel()
+        breakdown = model.breakdown()
+        assert breakdown["extension_s"] > breakdown["seeding_s"]
+
+    def test_workload_sensitivity(self):
+        light = GenAxThroughputModel(workload=GenAxWorkload(hits_per_nonexact_read=2))
+        heavy = GenAxThroughputModel(workload=GenAxWorkload(hits_per_nonexact_read=50))
+        assert light.kreads_per_second() > heavy.kreads_per_second()
+
+
+class TestPowerArea:
+    def test_power_total_matches_12x_headline(self):
+        model = GenAxPowerModel()
+        assert model.reduction_vs_cpu() == pytest.approx(12.0, rel=0.03)
+
+    def test_power_breakdown_sums(self):
+        model = GenAxPowerModel()
+        breakdown = model.breakdown()
+        assert breakdown["total_w"] == pytest.approx(
+            breakdown["sillax_lanes_w"]
+            + breakdown["seeding_lanes_w"]
+            + breakdown["sram_w"]
+        )
+
+    def test_figure15b_ordering(self):
+        series = GenAxPowerModel().figure15b_watts()
+        assert series["GenAx"] < series["BWA-MEM (CPU)"]
+        assert series["GenAx"] < series["CUSHAW2 (GPU)"]
+
+    def test_table2_reproduced_exactly(self):
+        model = GenAxAreaModel()
+        table = model.table2()
+        assert table["Seeding lanes (x128)"] == pytest.approx(4.224)
+        assert table["SillaX lanes (x4)"] == pytest.approx(5.36)
+        assert table["On-chip SRAM (68 MB)"] == pytest.approx(163.2)
+        assert table["Total"] == pytest.approx(172.78, abs=0.01)
+
+    def test_area_reduction_vs_cpu(self):
+        assert GenAxAreaModel().reduction_vs_cpu() == pytest.approx(5.6, rel=0.02)
+
+    def test_area_scales_with_configuration(self):
+        half = GenAxAreaModel(seeding_lanes=64, sillax_lanes=2, sram_mb=34)
+        assert half.total_mm2 == pytest.approx(GenAxAreaModel().total_mm2 / 2)

@@ -1,0 +1,51 @@
+"""Tests for repro.report (the regenerated-evaluation summary)."""
+
+import pytest
+
+from repro.report import bar, evaluation_report, series_lines
+
+
+class TestBar:
+    def test_full_scale(self):
+        assert bar(10, 10, width=20) == "#" * 20
+
+    def test_half_scale(self):
+        assert bar(5, 10, width=20) == "#" * 10
+
+    def test_clamps_overflow(self):
+        assert bar(50, 10, width=8) == "#" * 8
+
+    def test_zero_scale(self):
+        assert bar(5, 0) == ""
+
+
+class TestSeriesLines:
+    def test_renders_each_entry(self):
+        lines = series_lines({"a": 10.0, "b": 5.0}, "X")
+        assert len(lines) == 2
+        assert "a" in lines[0] and "X" in lines[0]
+        assert lines[0].count("#") > lines[1].count("#")
+
+
+class TestEvaluationReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return evaluation_report()
+
+    def test_contains_every_figure(self, report):
+        for marker in ("Fig. 12", "Fig. 14", "Fig. 15a", "Fig. 15b", "Table II"):
+            assert marker in report
+
+    def test_headline_numbers_present(self, report):
+        assert "2.0 GHz" in report  # Fig. 12 knee
+        assert "172.78" in report  # Table II total
+        assert "reduction vs CPU: 12.0x" in report
+
+    def test_paper_references_present(self, report):
+        assert "paper 0.012 / 0.047" in report
+        assert "787,265,109" in report
+
+    def test_multiline_and_bounded(self, report):
+        lines = report.splitlines()
+        assert 30 < len(lines) < 100
+        assert all(len(line) < 120 for line in lines)

@@ -1,0 +1,58 @@
+"""Tests for repro.model.schedule."""
+
+import pytest
+
+from repro.model import constants
+from repro.model.schedule import GenAxSchedule, ScheduleResult
+
+
+class TestSchedule:
+    def test_resolves_all_segments(self):
+        schedule = GenAxSchedule(segments=16)
+        result = schedule.resolve()
+        assert len(result.segments) == 16
+        assert result.total_s > 0
+
+    def test_extension_is_the_bottleneck_at_paper_operating_point(self):
+        result = GenAxSchedule().resolve()
+        assert result.bottleneck == "extension"
+        assert result.utilization("extension") > result.utilization("seeding")
+
+    def test_throughput_in_paper_ballpark(self):
+        kreads = GenAxSchedule().kreads_per_second()
+        assert 2_000 < kreads < 10_000  # paper: 4,058
+
+    def test_agrees_with_coarse_throughput_model(self):
+        """The timeline model and the coarse model must roughly agree."""
+        from repro.model.throughput import GenAxThroughputModel
+
+        fine = GenAxSchedule(cycles_per_hit=GenAxThroughputModel().cycle_model.cycles_per_hit)
+        coarse = GenAxThroughputModel()
+        ratio = fine.kreads_per_second() / coarse.kreads_per_second()
+        assert 0.5 < ratio < 2.0
+
+    def test_loads_overlap_compute(self):
+        """Doubling table traffic must not double runtime when compute-bound."""
+        base = GenAxSchedule().resolve().total_s
+        heavy_traffic = GenAxSchedule(
+            traffic=type(GenAxSchedule().traffic)(
+                index_table_bytes=2 * constants.INDEX_TABLE_MB * 1e6,
+                position_table_bytes=2 * constants.POSITION_TABLE_MB * 1e6,
+            )
+        ).resolve().total_s
+        assert heavy_traffic < 1.5 * base
+
+    def test_more_lanes_less_time(self):
+        slow = GenAxSchedule(sillax_lanes=2).resolve().total_s
+        fast = GenAxSchedule(sillax_lanes=8).resolve().total_s
+        assert fast < slow
+
+    def test_exact_fraction_reduces_extension_time(self):
+        few_exact = GenAxSchedule(exact_fraction=0.1).resolve()
+        many_exact = GenAxSchedule(exact_fraction=0.9).resolve()
+        assert many_exact.stage_busy_s["extension"] < few_exact.stage_busy_s["extension"]
+
+    def test_utilization_bounded(self):
+        result = GenAxSchedule().resolve()
+        for stage in ("seeding", "extension", "tables", "reads"):
+            assert 0.0 <= result.utilization(stage) <= 1.0

@@ -1,0 +1,77 @@
+"""Tests for repro.pipeline.bwamem."""
+
+import pytest
+
+from repro.genome.sequence import reverse_complement
+from repro.pipeline.bwamem import BwaMemAligner, BwaMemConfig
+
+
+@pytest.fixture(scope="module")
+def aligner(small_reference):
+    return BwaMemAligner(small_reference, BwaMemConfig(band=12))
+
+
+class TestBwaMem:
+    def test_exact_read_maps_to_origin(self, small_reference, aligner):
+        read = small_reference.sequence[700:801]
+        mapped = aligner.align_read("exact", read)
+        assert mapped.position == 700
+        assert not mapped.reverse
+        assert mapped.score == 101
+        assert str(mapped.cigar) == "101="
+
+    def test_exact_fast_path_counted(self, small_reference):
+        aligner = BwaMemAligner(small_reference, BwaMemConfig(band=12))
+        aligner.align_read("exact", small_reference.sequence[50:151])
+        assert aligner.stats.reads_exact >= 1
+
+    def test_read_with_substitution(self, small_reference, aligner):
+        read = list(small_reference.sequence[1200:1301])
+        read[50] = "A" if read[50] != "A" else "C"
+        mapped = aligner.align_read("sub", "".join(read))
+        assert mapped.position == 1200
+        assert mapped.score == 100 - 4
+        assert mapped.cigar.count("X") == 1
+
+    def test_reverse_strand_read(self, small_reference, aligner):
+        read = reverse_complement(small_reference.sequence[3000:3101])
+        mapped = aligner.align_read("rev", read)
+        assert mapped.position == 3000
+        assert mapped.reverse
+
+    def test_read_with_deletion(self, small_reference, aligner):
+        window = small_reference.sequence[5000:5106]
+        read = window[:50] + window[53:104]  # 3-base deletion
+        mapped = aligner.align_read("del", read)
+        assert mapped.position == 5000
+        assert mapped.cigar.count("D") == 3
+
+    def test_unmappable_read(self, aligner):
+        mapped = aligner.align_read("junk", "ACGT" * 25 + "A")
+        # A random-ish repeat probably maps nowhere with score >= 30 unless
+        # the genome contains it; just require a coherent answer.
+        assert mapped.is_unmapped or mapped.score >= 30
+
+    def test_align_reads_batch(self, small_reference, aligner):
+        reads = [
+            ("a", small_reference.sequence[100:201]),
+            ("b", small_reference.sequence[400:501]),
+        ]
+        mapped = aligner.align_reads(reads)
+        assert [m.position for m in mapped] == [100, 400]
+
+    def test_dp_cells_counted_for_inexact_reads(self, small_reference):
+        aligner = BwaMemAligner(small_reference, BwaMemConfig(band=12))
+        read = list(small_reference.sequence[2000:2101])
+        read[10] = "A" if read[10] != "A" else "C"
+        aligner.align_read("x", "".join(read))
+        assert aligner.stats.dp_cells > 0
+
+    def test_simulated_reads_map_near_truth(self, small_reference, simulated_reads):
+        aligner = BwaMemAligner(small_reference, BwaMemConfig(band=12))
+        near = 0
+        for sim in simulated_reads:
+            mapped = aligner.align_read(sim.name, sim.sequence)
+            if not mapped.is_unmapped and abs(mapped.position - sim.true_position) <= 12:
+                near += 1
+        assert near >= int(0.8 * len(simulated_reads))

@@ -1,0 +1,95 @@
+"""Tests for repro.pipeline.common."""
+
+from repro.align.cigar import Cigar
+from repro.pipeline.common import (
+    Candidate,
+    Extension,
+    candidates_from_seeds,
+    exact_match_cigar,
+    select_best,
+    strands,
+)
+from repro.seeding.accelerator import GlobalSeed
+
+
+def seed(offset, length, positions):
+    return GlobalSeed(read_offset=offset, length=length, positions=tuple(positions))
+
+
+class TestCandidates:
+    def test_seed_predicts_window_start(self):
+        candidates = candidates_from_seeds([seed(10, 20, [110])], reverse=False)
+        assert candidates[0].window_start == 100
+
+    def test_agreeing_seeds_merged(self):
+        candidates = candidates_from_seeds(
+            [seed(0, 20, [100]), seed(30, 15, [130])], reverse=False
+        )
+        assert len(candidates) == 1
+        assert candidates[0].seed_length == 20  # longest supporter kept
+
+    def test_negative_window_dropped(self):
+        candidates = candidates_from_seeds([seed(50, 10, [5])], reverse=False)
+        assert candidates == []
+
+    def test_cap_prefers_long_seeds(self):
+        seeds = [seed(0, 10, [100]), seed(0, 40, [500]), seed(0, 25, [900])]
+        candidates = candidates_from_seeds(seeds, reverse=False, max_candidates=2)
+        assert [c.seed_length for c in candidates] == [40, 25]
+
+    def test_reverse_flag_propagates(self):
+        candidates = candidates_from_seeds([seed(0, 10, [100])], reverse=True)
+        assert candidates[0].reverse
+
+
+class TestSelectBest:
+    def _extension(self, score, position, reverse=False, query_end=10):
+        return Extension(
+            candidate=Candidate(position, reverse, 10),
+            score=score,
+            position=position,
+            cigar=Cigar.from_ops([(query_end, "=")]),
+            query_end=query_end,
+        )
+
+    def test_highest_score_wins(self):
+        best = select_best("r", 10, [self._extension(5, 0), self._extension(9, 50)], 1)
+        assert best.position == 50
+        assert best.score == 9
+
+    def test_min_score_filters(self):
+        best = select_best("r", 10, [self._extension(5, 0)], min_score=6)
+        assert best.is_unmapped
+        assert best.mapping_quality == 0
+
+    def test_tie_break_lowest_position_forward_first(self):
+        best = select_best(
+            "r",
+            10,
+            [self._extension(7, 300), self._extension(7, 100), self._extension(7, 200)],
+            1,
+        )
+        assert best.position == 100
+        assert best.secondary_count == 2
+
+    def test_tie_lowers_mapping_quality(self):
+        unique = select_best("r", 10, [self._extension(7, 1)], 1)
+        tied = select_best("r", 10, [self._extension(7, 1), self._extension(7, 2)], 1)
+        assert unique.mapping_quality > tied.mapping_quality
+
+    def test_clip_appended_to_cigar(self):
+        best = select_best("r", 15, [self._extension(8, 0, query_end=10)], 1)
+        assert str(best.cigar).endswith("5S")
+
+    def test_no_extensions(self):
+        assert select_best("r", 10, [], 1).is_unmapped
+
+
+class TestHelpers:
+    def test_exact_match_cigar(self):
+        assert str(exact_match_cigar(101)) == "101="
+
+    def test_strands(self):
+        pairs = strands("AACG")
+        assert pairs[0] == ("AACG", False)
+        assert pairs[1] == ("CGTT", True)

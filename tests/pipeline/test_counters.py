@@ -1,0 +1,60 @@
+"""Tests for repro.pipeline.counters."""
+
+import pytest
+
+from repro.pipeline.counters import GenAxCounters, collect_counters
+from repro.pipeline.genax import GenAxAligner, GenAxConfig
+
+
+@pytest.fixture(scope="module")
+def run_counters(small_reference, simulated_reads):
+    aligner = GenAxAligner(small_reference, GenAxConfig(edit_bound=10, segment_count=3))
+    aligner.align_batch([(s.name, s.sequence) for s in simulated_reads[:8]])
+    return collect_counters(aligner)
+
+
+class TestCounters:
+    def test_read_accounting_consistent(self, run_counters):
+        c = run_counters
+        assert c.reads_total == 8
+        assert c.reads_mapped + c.reads_unmapped == c.reads_total
+        assert 0 <= c.reads_exact <= c.reads_total
+
+    def test_fractions(self, run_counters):
+        assert 0.0 <= run_counters.mapped_fraction <= 1.0
+        assert 0.0 <= run_counters.exact_fraction <= 1.0
+
+    def test_cycles_positive_when_extensions_ran(self, run_counters):
+        if run_counters.extensions:
+            assert run_counters.sillax_cycles > 0
+            assert run_counters.sillax_cycles_per_extension > 100
+
+    def test_seeding_counters_populated(self, run_counters):
+        assert run_counters.index_lookups > 0
+        assert run_counters.seeding_cycles >= 2 * run_counters.index_lookups
+        assert run_counters.table_bytes_streamed > 0
+
+    def test_as_dict_complete(self, run_counters):
+        d = run_counters.as_dict()
+        assert set(d) >= {
+            "reads_total",
+            "extensions",
+            "sillax_cycles",
+            "seeding_cycles",
+            "table_bytes_streamed",
+        }
+
+    def test_render_readable(self, run_counters):
+        text = run_counters.render()
+        assert "GenAx counters" in text
+        assert "reads: 8 total" in text
+
+    def test_empty_counters(self):
+        empty = GenAxCounters(
+            reads_total=0, reads_mapped=0, reads_exact=0, reads_unmapped=0,
+            extensions=0, sillax_cycles=0, sillax_cycles_per_extension=0.0,
+            rerun_events=0, rerun_fraction=0.0, index_lookups=0,
+            intersection_lookups=0, seeding_cycles=0, table_bytes_streamed=0,
+        )
+        assert empty.mapped_fraction == 0.0
+        assert empty.exact_fraction == 0.0

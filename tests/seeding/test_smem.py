@@ -1,0 +1,236 @@
+"""Tests for repro.seeding.smem against the brute-force oracle."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.seeding.cam import IntersectionEngine
+from repro.seeding.index import KmerIndex
+from repro.seeding.smem import Seed, SeedingMode, SmemConfig, SmemFinder
+from repro.seeding.smem_oracle import (
+    brute_force_exact_match,
+    brute_force_rmem,
+    brute_force_smems,
+)
+
+
+def make_finder(segment: str, k: int, **kwargs) -> SmemFinder:
+    return SmemFinder(KmerIndex.build(segment, k), SmemConfig(k=k, **kwargs))
+
+
+class TestSeed:
+    def test_end(self):
+        assert Seed(3, 10, (0,)).end == 13
+
+    def test_containment(self):
+        outer = Seed(2, 10, (0,))
+        inner = Seed(4, 5, (0,))
+        assert outer.contains(inner)
+        assert not inner.contains(outer)
+
+
+class TestRmem:
+    def test_exact_substring_extends_fully(self):
+        segment = "TTTTACGTACGTTTTT"
+        finder = make_finder(segment, 4)
+        seed = finder.rmem("ACGTACGT", 0)
+        assert seed.length == 8
+        assert seed.hits == (4,)
+
+    def test_stops_at_mismatch(self):
+        segment = "AAAACGTTTTTT"
+        finder = make_finder(segment, 3)
+        # Read diverges from every occurrence after 6 characters.
+        seed = finder.rmem("AAACGTGGG", 0)
+        assert seed is not None
+        assert seed.length == 6
+
+    def test_no_hits_returns_none(self):
+        finder = make_finder("AAAAAAA", 3)
+        assert finder.rmem("GGGGGG", 0) is None
+
+    def test_pivot_too_close_to_end(self):
+        finder = make_finder("ACGTACGT", 4)
+        assert finder.rmem("ACGT", 1) is None
+
+    def test_matches_brute_force(self):
+        rng = random.Random(8)
+        segment = "".join(rng.choice("ACG") for _ in range(150))
+        finder = make_finder(segment, 4)
+        read = segment[37:70]
+        for pivot in range(0, len(read) - 4):
+            got = finder.rmem(read, pivot)
+            want = brute_force_rmem(segment, read, pivot, 4)
+            if want is None:
+                assert got is None
+            else:
+                assert (got.read_offset, got.length, got.hits) == (
+                    want.read_offset,
+                    want.length,
+                    want.hits,
+                )
+
+    def test_config_k_must_match_index(self):
+        index = KmerIndex.build("ACGTACGT", 4)
+        with pytest.raises(ValueError):
+            SmemFinder(index, SmemConfig(k=5))
+
+
+class TestSmems:
+    def test_single_exact_read(self):
+        segment = "GGGG" + "ACGTACGTACGT" + "CCCC"
+        finder = make_finder(segment, 4)
+        seeds = finder.find_seeds("ACGTACGTACGT")
+        assert len(seeds) == 1
+        assert seeds[0].length == 12
+        assert seeds[0].hits == (4,)
+
+    def test_contained_rmems_filtered(self):
+        """§V: an RMEM inside a previously found SMEM is not reported."""
+        rng = random.Random(12)
+        segment = "".join(rng.choice("ACGT") for _ in range(300))
+        read = segment[100:140]
+        finder = make_finder(segment, 5)
+        seeds = finder.find_seeds(read)
+        ends = [s.end for s in seeds]
+        assert ends == sorted(ends)
+        assert len(set(ends)) == len(ends)  # strictly increasing => no containment
+
+    def test_split_read_produces_multiple_seeds(self):
+        rng = random.Random(3)
+        left = "".join(rng.choice("ACGT") for _ in range(60))
+        right = "".join(rng.choice("ACGT") for _ in range(60))
+        segment = left + right
+        # A read straddling a mutation: left half matches, right half too,
+        # but not contiguously.
+        read = left[-20:] + "T" + right[:20]
+        finder = make_finder(segment, 6)
+        seeds = finder.find_seeds(read)
+        assert len(seeds) >= 2
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_oracle_property(self, seed_value):
+        rng = random.Random(seed_value)
+        segment = "".join(rng.choice("AC" if seed_value % 2 else "ACGT") for _ in range(120))
+        k = rng.choice([3, 4])
+        if rng.random() < 0.7:
+            start = rng.randrange(0, 90)
+            read = list(segment[start : start + 30])
+            for __ in range(rng.randrange(0, 3)):
+                read[rng.randrange(len(read))] = rng.choice("ACGT")
+            read = "".join(read)
+        else:
+            read = "".join(rng.choice("ACGT") for _ in range(20))
+        finder = make_finder(segment, k)
+        got = [(s.read_offset, s.length, s.hits) for s in finder.find_seeds(read)]
+        want = [
+            (s.read_offset, s.length, s.hits)
+            for s in brute_force_smems(segment, read, k)
+        ]
+        assert got == want
+
+
+class TestModes:
+    def test_naive_mode_reports_every_kmer_hit(self):
+        segment = "ACGTACGTACGT"
+        finder = make_finder(segment, 4, mode=SeedingMode.NAIVE)
+        seeds = finder.find_seeds("ACGTACGT")
+        assert all(s.length == 4 for s in seeds)
+        total_hits = sum(len(s.hits) for s in seeds)
+        assert total_hits > 5  # repetitive segment: many raw hits
+
+    def test_naive_produces_more_hits_than_smem(self):
+        """Fig. 16a: SMEM filtering removes orders of magnitude of hits."""
+        rng = random.Random(5)
+        segment = ("ACGT" * 30) + "".join(rng.choice("ACGT") for _ in range(200))
+        read = segment[10:50]
+        naive = make_finder(segment, 4, mode=SeedingMode.NAIVE)
+        smem = make_finder(segment, 4, mode=SeedingMode.SMEM)
+        naive_hits = sum(len(s.hits) for s in naive.find_seeds(read))
+        smem_hits = sum(len(s.hits) for s in smem.find_seeds(read))
+        assert naive_hits > smem_hits
+
+    def test_fixed_stride_never_longer_than_binary(self):
+        """Binary extension pins the exact maximal length (>= fixed stride)."""
+        rng = random.Random(6)
+        segment = "".join(rng.choice("ACGT") for _ in range(400))
+        read = segment[50:90]
+        fixed = make_finder(segment, 5, mode=SeedingMode.SMEM_FIXED)
+        binary = make_finder(segment, 5, mode=SeedingMode.SMEM)
+        fixed_seeds = {s.read_offset: s.length for s in fixed.find_seeds(read)}
+        binary_seeds = {s.read_offset: s.length for s in binary.find_seeds(read)}
+        for offset, length in fixed_seeds.items():
+            if offset in binary_seeds:
+                assert binary_seeds[offset] >= length
+
+
+class TestProbing:
+    def test_probe_mode_same_seeds(self):
+        rng = random.Random(7)
+        segment = "".join(rng.choice("ACGT") for _ in range(300))
+        read = segment[40:80]
+        plain = make_finder(segment, 4)
+        probing = make_finder(segment, 4, probe=True)
+        assert [
+            (s.read_offset, s.length, s.hits) for s in plain.find_seeds(read)
+        ] == [(s.read_offset, s.length, s.hits) for s in probing.find_seeds(read)]
+
+    def test_probe_selects_cheapest_second_kmer(self):
+        """Fig. 16b: probing intersects with the k-mer owning fewest hits.
+
+        The stride-k second k-mer lands inside a poly-A run (large hit
+        list, the paper's pathological case) while the stride-k/2 one still
+        overlaps unique sequence.  Probing must pay only the rare k-mer's
+        lookups for the first intersection.
+        """
+        rng = random.Random(9)
+        unique = "".join(rng.choice("CG") for _ in range(100))
+        segment = unique + "A" * 24 + unique[::-1]
+        # Pivot: last unique 4-mer before the homopolymer; the stride-4
+        # k-mer is pure 'AAAA', the stride-2 k-mer is half unique.
+        read = segment[96:140]
+        plain = make_finder(segment, 4)
+        probing = make_finder(segment, 4, probe=True)
+        plain_seed = plain.rmem(read, 0)
+        probe_seed = probing.rmem(read, 0)
+        assert (plain_seed.read_offset, plain_seed.length, plain_seed.hits) == (
+            probe_seed.read_offset,
+            probe_seed.length,
+            probe_seed.hits,
+        )
+        # Plain's first intersection streams the 'AAAA' hit list (~21
+        # positions); probing's streams the rare boundary k-mer's.
+        plain_first = plain.engine.stats
+        probe_first = probing.engine.stats
+        assert probe_first.total_lookups < plain_first.total_lookups
+
+
+class TestExactMatchFastPath:
+    def test_detects_exact_read(self):
+        rng = random.Random(10)
+        segment = "".join(rng.choice("ACGT") for _ in range(400))
+        read = segment[100:160]
+        finder = make_finder(segment, 6, exact_match_fast_path=True)
+        hits = finder.exact_match_hits(read)
+        assert hits == brute_force_exact_match(segment, read)
+        assert 100 in hits
+
+    def test_rejects_inexact_read(self):
+        rng = random.Random(11)
+        segment = "".join(rng.choice("ACGT") for _ in range(400))
+        read = list(segment[100:160])
+        read[30] = "A" if read[30] != "A" else "C"
+        finder = make_finder(segment, 6, exact_match_fast_path=True)
+        assert finder.exact_match_hits("".join(read)) is None
+
+    def test_fast_path_counted(self):
+        segment = "GGGG" + "ACGTAACCGGTTACGT" + "CCCC"
+        finder = make_finder(segment, 4, exact_match_fast_path=True)
+        finder.find_seeds("ACGTAACCGGTTACGT")
+        assert finder.stats.exact_match_reads == 1
+
+    def test_read_shorter_than_k(self):
+        finder = make_finder("ACGTACGT", 4, exact_match_fast_path=True)
+        assert finder.exact_match_hits("AC") is None

@@ -1,0 +1,74 @@
+"""Tests for repro.sillax.composable (§IV-D)."""
+
+import pytest
+
+from repro.sillax.composable import ComposableArray, TileConfig
+from repro.sillax.traceback_machine import TracebackMachine
+
+
+class TestTileConfig:
+    def test_unfused_engines(self):
+        config = TileConfig(base_k=10, tiles=6)
+        assert config.fused_engines == 0
+        assert config.independent_engines == 6
+        assert config.engine_ks == [10] * 6
+
+    def test_paper_example_fuse_4_of_6(self):
+        """§IV-D: fusing 2x2 of 6 tiles gives one 2K engine + 2 K engines."""
+        config = TileConfig(base_k=10, tiles=6, fused_factor=2)
+        assert config.fused_k == 20
+        assert config.fused_engines == 1
+        assert config.independent_engines == 2
+        assert sorted(config.engine_ks) == [10, 10, 20]
+
+    def test_max_fusion_is_sqrt_tiles(self):
+        assert TileConfig(base_k=8, tiles=9).max_fused_factor == 3
+        assert TileConfig(base_k=8, tiles=6).max_fused_factor == 2
+
+    def test_overfusion_rejected(self):
+        with pytest.raises(ValueError):
+            TileConfig(base_k=8, tiles=6, fused_factor=3)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            TileConfig(base_k=-1, tiles=4)
+        with pytest.raises(ValueError):
+            TileConfig(base_k=4, tiles=0)
+        with pytest.raises(ValueError):
+            TileConfig(base_k=4, tiles=4, fused_factor=0)
+
+
+class TestComposableArray:
+    def test_required_factor(self):
+        array = ComposableArray(base_k=5, tiles=9)
+        assert array.required_factor(4) == 1
+        assert array.required_factor(5) == 1
+        assert array.required_factor(6) == 2
+        assert array.required_factor(11) == 3
+
+    def test_required_factor_beyond_array(self):
+        array = ComposableArray(base_k=5, tiles=4)
+        with pytest.raises(ValueError):
+            array.required_factor(11)
+
+    def test_reconfiguration_counted(self):
+        array = ComposableArray(base_k=4, tiles=4)
+        array.align("ACGT", "ACGT", k_needed=2)
+        assert array.reconfigurations == 0
+        array.align("ACGTACGTAC", "AC", k_needed=8)  # needs fusion
+        assert array.reconfigurations == 1
+
+    def test_fused_engine_matches_monolithic_machine(self):
+        """A fused p x p block behaves as one machine with bound p*K."""
+        array = ComposableArray(base_k=3, tiles=4)
+        ref, qry = "ACGTACGTAC", "ACGAACCTAC"
+        fused = array.align(ref, qry, k_needed=6)
+        monolithic = TracebackMachine(6).align(ref, qry)
+        assert fused.score == monolithic.score
+        assert str(fused.cigar) == str(monolithic.cigar)
+
+    def test_small_k_stays_unfused(self):
+        array = ComposableArray(base_k=6, tiles=4)
+        result = array.align("ACGTACGT", "ACGAACGT", k_needed=3)
+        assert array.config.fused_factor == 1
+        assert result.score == 3

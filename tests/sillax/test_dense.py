@@ -1,0 +1,85 @@
+"""Tests for repro.sillax.dense (vectorized scoring machine)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.align.extension_oracle import extension_oracle
+from repro.align.scoring import ScoringScheme
+from repro.sillax.dense import DenseScoringMachine
+from repro.sillax.scoring_machine import ScoringMachine
+
+dna = st.text(alphabet="ACGT", max_size=12)
+
+
+class TestDenseBasics:
+    def test_perfect_match(self):
+        result = DenseScoringMachine(2).run("ACGT", "ACGT")
+        assert result.best_score == 4
+        assert result.final_score == 4
+
+    def test_empty_pair(self):
+        result = DenseScoringMachine(1).run("", "")
+        assert result.best_score == 0
+        assert result.final_score == 0
+
+    def test_one_empty(self):
+        result = DenseScoringMachine(4).run("ACGT", "")
+        assert result.final_score == -10  # open + 4 extends
+
+    def test_no_alignment_within_k(self):
+        result = DenseScoringMachine(1).run("AAAA", "TTTT")
+        assert result.final_score is None
+        assert result.best_score == 0
+
+    def test_clipping(self):
+        result = DenseScoringMachine(4).run("ACGTACGT" + "AAAA", "ACGTACGT" + "TTTT")
+        assert result.best_score == 8
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            DenseScoringMachine(-1)
+
+    def test_custom_scheme(self):
+        scheme = ScoringScheme(match=2, substitution=-1, gap_open=-2, gap_extend=-1)
+        result = DenseScoringMachine(1, scheme).run("ACGT", "ACGA")
+        assert result.final_score == 6 - 1
+
+    def test_wait_path_two_substitutions(self):
+        """Fig. 3b: the 2-substitution solution through the wait cell."""
+        result = DenseScoringMachine(2).run("AXBCD".replace("X", "T"), "YABCD".replace("Y", "G"))
+        assert result.final_score is not None
+
+
+class TestDenseEquivalence:
+    """The dense model must be bit-exact against the reference machine."""
+
+    @given(dna, dna, st.integers(0, 6))
+    @settings(max_examples=120, deadline=None)
+    def test_matches_reference_machine(self, ref, qry, k):
+        a = ScoringMachine(k).run(ref, qry)
+        b = DenseScoringMachine(k).run(ref, qry)
+        assert a.best_score == b.best_score
+        assert a.final_score == b.final_score
+
+    @given(dna, dna, st.integers(0, 5))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_oracle(self, ref, qry, k):
+        oracle = extension_oracle(ref, qry, k)
+        result = DenseScoringMachine(k).run(ref, qry)
+        assert result.best_score == oracle.best_clipped_score
+        assert result.final_score == oracle.final_score
+
+    def test_large_k_long_strings(self):
+        """The configuration the dense model exists for: K = 40, 101 bp."""
+        import random
+
+        rng = random.Random(47)
+        reference = "".join(rng.choice("ACGT") for _ in range(141))
+        query = list(reference[:101])
+        for __ in range(6):
+            query[rng.randrange(101)] = rng.choice("ACGT")
+        query = "".join(query)
+        a = ScoringMachine(40).run(reference, query)
+        b = DenseScoringMachine(40).run(reference, query)
+        assert a.best_score == b.best_score
+        assert a.final_score == b.final_score

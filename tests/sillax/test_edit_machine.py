@@ -1,0 +1,77 @@
+"""Tests for repro.sillax.edit_machine (§IV-A)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.align.edit_distance import levenshtein
+from repro.core.silla import Silla
+from repro.sillax.edit_machine import EditMachine, grid_positions
+
+dna = st.text(alphabet="ACGT", max_size=14)
+
+
+class TestGrid:
+    def test_grid_positions_half_square(self):
+        assert set(grid_positions(1)) == {(0, 0), (1, 0), (0, 1)}
+
+    def test_pe_count(self):
+        # 3 cells (two regular layers + wait) per grid position.
+        machine = EditMachine(2)
+        assert machine.pe_count == 18
+
+
+class TestEditMachine:
+    def test_identity(self):
+        assert EditMachine(2).distance("GATTACA", "GATTACA") == 0
+
+    def test_substitution(self):
+        assert EditMachine(1).distance("ACGT", "AGGT") == 1
+
+    def test_indel(self):
+        assert EditMachine(2).distance("ACGT", "AACGTT") == 2
+
+    def test_paper_walkthrough(self):
+        assert EditMachine(2).distance("AXBCD", "YABCD") == 2
+
+    def test_beyond_k(self):
+        assert EditMachine(2).distance("AAAA", "TTTT") is None
+
+    def test_empty(self):
+        assert EditMachine(0).distance("", "") == 0
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            EditMachine(-1)
+
+    def test_cycles_linear_in_length(self):
+        result = EditMachine(2).run("ACGT" * 30, "ACGT" * 30)
+        assert result.distance == 0
+        assert result.cycles <= 120 + 2 + 3
+
+    def test_comparator_budget_is_2k_plus_1_per_cycle(self):
+        """§IV-A: only 2K+1 fresh comparisons per cycle, reused diagonally."""
+        k = 3
+        machine = EditMachine(k)
+        result = machine.run("ACGTACGT", "ACGTACGT")
+        assert result.comparisons_computed == result.cycles * (2 * k + 1)
+
+    def test_length_gap_short_circuit(self):
+        result = EditMachine(1).run("A" * 10, "A")
+        assert result.distance is None
+        assert result.comparisons_computed == 0
+
+
+class TestEquivalenceWithFunctionalSilla:
+    """The systolic machine must match the abstract automaton exactly."""
+
+    @given(dna, dna, st.integers(0, 5))
+    @settings(max_examples=120, deadline=None)
+    def test_distance_equivalence(self, a, b, k):
+        assert EditMachine(k).distance(a, b) == Silla(k).distance(a, b)
+
+    @given(dna, dna, st.integers(0, 5))
+    @settings(max_examples=80, deadline=None)
+    def test_matches_dp(self, a, b, k):
+        truth = levenshtein(a, b)
+        expected = truth if truth <= k else None
+        assert EditMachine(k).distance(a, b) == expected

@@ -1,0 +1,58 @@
+"""Tests for repro.sillax.lane."""
+
+from repro.genome.reference import ReferenceGenome
+from repro.sillax.lane import LaneStats, SillaXLane
+
+
+class TestSillaXLane:
+    def test_extend_exact_hit(self):
+        ref = ReferenceGenome("TTTT" + "ACGTACGTAC" + "GGGG")
+        lane = SillaXLane(k=4)
+        outcome = lane.extend(ref, "ACGTACGTAC", window_start=4)
+        assert outcome.score == 10
+        assert outcome.position == 4
+
+    def test_extend_with_errors(self):
+        ref = ReferenceGenome("AAAA" + "ACGTACGTACGT" + "CCCC")
+        lane = SillaXLane(k=4)
+        outcome = lane.extend(ref, "ACGTACCTACGT", window_start=4)
+        assert outcome.score == 11 - 4
+        assert outcome.position == 4
+
+    def test_window_clamped_at_genome_start(self):
+        ref = ReferenceGenome("ACGTACGTACGT")
+        lane = SillaXLane(k=2)
+        outcome = lane.extend(ref, "ACGTACGT", window_start=-1)
+        assert outcome.position >= 0
+
+    def test_stats_accumulate(self):
+        ref = ReferenceGenome("ACGT" * 10)
+        lane = SillaXLane(k=2)
+        lane.extend(ref, "ACGTACGT", 0)
+        lane.extend(ref, "ACGTACGT", 4)
+        assert lane.stats.extensions == 2
+        assert lane.stats.cycles > 0
+        assert lane.stats.cycles_per_extension > 0
+
+    def test_unalignable_window(self):
+        ref = ReferenceGenome("TTTTTTTTTTTT")
+        lane = SillaXLane(k=1)
+        outcome = lane.extend(ref, "ACGCACGA", 0)
+        assert outcome.score == 0
+        assert outcome.position == -1
+
+
+class TestLaneStats:
+    def test_merge(self):
+        a = LaneStats(extensions=2, cycles=100, rerun_events=1, rerun_cycles=10,
+                      rerun_cycle_samples=[10])
+        b = LaneStats(extensions=3, cycles=200)
+        a.merge(b)
+        assert a.extensions == 5
+        assert a.cycles == 300
+        assert a.rerun_fraction == 0.2
+
+    def test_empty_fractions(self):
+        stats = LaneStats()
+        assert stats.rerun_fraction == 0.0
+        assert stats.cycles_per_extension == 0.0

@@ -1,0 +1,144 @@
+"""Tests for repro.sillax.traceback_machine (§IV-C)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.align.extension_oracle import extension_oracle
+from repro.align.scoring import BWA_MEM_SCHEME
+from repro.sillax.scoring_machine import ScoringMachine
+from repro.sillax.traceback_machine import TracebackMachine
+
+dna = st.text(alphabet="ACGT", max_size=12)
+
+
+def mutate(rng: random.Random, s: str, errors: int) -> str:
+    out = list(s)
+    for _ in range(errors):
+        p = rng.randrange(max(1, len(out)))
+        roll = rng.random()
+        if roll < 0.7 and out:
+            out[p] = rng.choice([b for b in "ACGT" if b != out[p]])
+        elif roll < 0.85:
+            out.insert(p, rng.choice("ACGT"))
+        elif out:
+            del out[p]
+    return "".join(out)
+
+
+class TestBasics:
+    def test_perfect_match_trace(self):
+        result = TracebackMachine(2).align("ACGT", "ACGT")
+        assert result.score == 4
+        assert str(result.cigar) == "4="
+        assert not result.reran
+
+    def test_substitution_trace(self):
+        # Long suffix after the mismatch makes crossing it worthwhile
+        # (otherwise clipping at the mismatch ties and wins).
+        result = TracebackMachine(1).align("ACGTACGTACGT", "ACGAACGTACGT")
+        assert result.cigar.count("X") == 1
+        assert result.score == 11 - 4
+
+    def test_insertion_trace(self):
+        ref = "ACGT" * 6
+        qry = ref[:8] + "T" + ref[8:]  # ref[8] is 'A': a genuine insertion
+        result = TracebackMachine(1).align(ref, qry)
+        assert result.cigar.count("I") == 1
+        assert result.score == 24 - 7
+
+    def test_deletion_trace(self):
+        ref = "ACGT" * 6
+        qry = ref[:8] + ref[9:]
+        result = TracebackMachine(1).align(ref, qry)
+        assert result.cigar.count("D") == 1
+        assert result.score == 23 - 7
+
+    def test_clipped_tail_absent_from_trace(self):
+        result = TracebackMachine(4).align("ACGTACGT" + "AAAA", "ACGTACGT" + "TTTT")
+        assert result.score == 8
+        assert result.alignment.query_end == 8
+
+    def test_fully_clipped_read(self):
+        result = TracebackMachine(1).align("AAAA", "TTTT")
+        assert result.score == 0
+        assert result.alignment is None
+        assert result.cigar is None
+
+    def test_empty_inputs(self):
+        result = TracebackMachine(0).align("", "")
+        assert result.score == 0
+
+    def test_match_count_compression_long_run(self):
+        """A long pure-match run compresses into one CIGAR element."""
+        s = "ACGT" * 20
+        result = TracebackMachine(2).align(s, s)
+        assert result.cigar.ops == ((80, "="),)
+
+    def test_cycle_accounting(self):
+        result = TracebackMachine(3).align("ACGTACGT", "ACGTACGT")
+        assert result.stream_cycles == 8 + 3 + 2
+        assert result.control_cycles == 3 * 4
+        assert result.collect_cycles == 8
+        assert result.total_cycles >= result.stream_cycles
+
+
+class TestTraceValidity:
+    """Contract 4 of DESIGN.md: the trace re-scores to the reported score."""
+
+    @given(dna, dna, st.integers(0, 5))
+    @settings(max_examples=100, deadline=None)
+    def test_trace_rescoring(self, ref, qry, k):
+        result = TracebackMachine(k).align(ref, qry)
+        oracle = extension_oracle(ref, qry, k)
+        assert result.score == oracle.best_clipped_score
+        if result.alignment is not None:
+            a = result.alignment
+            rescored = result.cigar.score(
+                ref[: a.reference_end], qry[: a.query_end], BWA_MEM_SCHEME
+            )
+            assert rescored == result.score
+            assert result.cigar.edit_count() <= k
+
+    @given(dna, dna, st.integers(0, 4))
+    @settings(max_examples=60, deadline=None)
+    def test_agrees_with_scoring_machine(self, ref, qry, k):
+        tb = TracebackMachine(k).align(ref, qry)
+        sm = ScoringMachine(k).run(ref, qry)
+        assert tb.score == sm.best_score
+
+
+class TestBrokenTrails:
+    """§IV-C: pointer trails break rarely; re-execution recovers them."""
+
+    def test_reruns_occur_and_recover_on_noisy_reads(self):
+        rng = random.Random(41)
+        machine = TracebackMachine(8)
+        reran = 0
+        for _ in range(40):
+            ref = "".join(rng.choice("ACGT") for _ in range(60))
+            qry = mutate(rng, ref[:50], rng.randrange(0, 4))[:50]
+            result = machine.align(ref, qry)
+            if result.alignment is not None:
+                a = result.alignment
+                rescored = result.cigar.score(
+                    ref[: a.reference_end], qry[: a.query_end], BWA_MEM_SCHEME
+                )
+                assert rescored == result.score
+            if result.reran:
+                reran += 1
+                assert result.rerun_cycles > 0
+        # Re-execution should be the exception, not the rule (paper: 7.59%).
+        assert 0 < reran < 20
+
+    def test_rerun_cycles_bounded_by_stream_length(self):
+        rng = random.Random(17)
+        machine = TracebackMachine(6)
+        for _ in range(20):
+            ref = "".join(rng.choice("AC") for _ in range(40))
+            qry = mutate(rng, ref[:36], 3)[:36]
+            result = machine.align(ref, qry)
+            if result.reran:
+                # Each re-run replays at most one full stream.
+                assert result.rerun_cycles <= result.rerun_count * result.stream_cycles

@@ -1,0 +1,78 @@
+"""Smoke tests: every example script must run to completion.
+
+The heavyweight pipelines inside quickstart/variant_calling are already
+exercised by the unit suite on the shared fixtures, so this module runs the
+*fast* examples end-to-end and checks the slow ones are importable with a
+callable ``main``.
+"""
+
+import importlib
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+@pytest.fixture(autouse=True)
+def examples_on_path(monkeypatch):
+    monkeypatch.syspath_prepend(str(EXAMPLES))
+
+
+class TestFastExamples:
+    def test_spell_correction_runs(self, capsys):
+        module = importlib.import_module("spell_correction")
+        module.main()
+        out = capsys.readouterr().out
+        assert "genome (1)" in out
+        assert "zero rebuilds" in out
+
+    def test_long_read_scaling_runs(self, capsys, monkeypatch):
+        module = importlib.import_module("long_read_scaling")
+        monkeypatch.setattr(module, "LENGTHS", [100, 200])
+        module.main()
+        out = capsys.readouterr().out
+        assert "Takeaways" in out
+
+    def test_nanopore_example_importable(self):
+        module = importlib.import_module("nanopore_long_reads")
+        assert callable(module.main)
+
+    def test_quickstart_importable(self):
+        module = importlib.import_module("quickstart")
+        assert callable(module.main)
+
+    def test_variant_calling_importable(self):
+        module = importlib.import_module("variant_calling")
+        assert callable(module.main)
+
+    def test_paper_evaluation_runs(self, capsys):
+        module = importlib.import_module("paper_evaluation")
+        module.main()
+        out = capsys.readouterr().out
+        assert "Table II" in out
+        assert "reduction vs CPU: 12.0x" in out
+
+    def test_variant_calling_pileup_unit(self):
+        """The pileup caller itself, on a hand-built alignment."""
+        from variant_calling import pileup_snp_calls
+
+        from repro.align.cigar import Cigar
+        from repro.align.records import MappedRead
+        from repro.genome.reference import ReferenceGenome
+
+        reference = ReferenceGenome("ACGTACGTACGT")
+        # Five reads covering position 4 with 'C' instead of 'A'.
+        alignments = []
+        for i in range(5):
+            mapped = MappedRead(
+                read_name=f"r{i}",
+                position=0,
+                reverse=False,
+                score=10,
+                cigar=Cigar.from_string("4=1X7="),
+            )
+            alignments.append((mapped, "ACGTCCGTACGT"))
+        calls = pileup_snp_calls(reference, alignments, min_depth=4)
+        assert calls == {4: "C"}
