@@ -68,6 +68,9 @@ class AlignmentStats:
     extensions: int = 0  # seed-extension invocations (hits scored)
     dp_cells: int = 0  # DP cells computed (software baselines)
     cycles: int = 0  # accelerator cycles (hardware models)
+    candidates_filtered: int = 0  # candidates rejected by the prefilter
+    candidates_survived: int = 0  # candidates that passed the prefilter
+    prefilter_cycles: int = 0  # modelled bit-vector filter cycles
 
     def merge(self, other: "AlignmentStats") -> None:
         self.reads_total += other.reads_total
@@ -77,3 +80,6 @@ class AlignmentStats:
         self.extensions += other.extensions
         self.dp_cells += other.dp_cells
         self.cycles += other.cycles
+        self.candidates_filtered += other.candidates_filtered
+        self.candidates_survived += other.candidates_survived
+        self.prefilter_cycles += other.prefilter_cycles

@@ -57,6 +57,22 @@ def _build_parser() -> argparse.ArgumentParser:
     align.add_argument("--segments", type=int, default=4)
     align.add_argument("--kmer", type=int, default=12)
     align.add_argument("--min-score", type=int, default=30)
+    align.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the genax pipeline (1 = in-process serial)",
+    )
+    align.add_argument(
+        "--prefilter",
+        action="store_true",
+        help="Myers bit-vector pre-alignment filter before SillaX extension",
+    )
+    align.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory for persisted index tables (skips the O(genome) rebuild)",
+    )
 
     distance = sub.add_parser("distance", help="Silla edit distance of two strings")
     distance.add_argument("left")
@@ -115,31 +131,53 @@ def _load_reference(path: str) -> ReferenceGenome:
 def _cmd_align(args: argparse.Namespace) -> int:
     reference = _load_reference(args.reference)
     reads = read_fastq(args.reads)
+    if args.jobs < 1:
+        raise SystemExit(f"--jobs must be >= 1, got {args.jobs}")
     started = time.time()
     if args.pipeline == "genax":
-        aligner = GenAxAligner(
-            reference,
-            GenAxConfig(
-                k=args.kmer,
-                edit_bound=args.edit_bound,
-                segment_count=args.segments,
-                min_score=args.min_score,
-            ),
+        config = GenAxConfig(
+            k=args.kmer,
+            edit_bound=args.edit_bound,
+            segment_count=args.segments,
+            min_score=args.min_score,
+            prefilter=args.prefilter,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
         )
+        if args.jobs > 1:
+            from repro.parallel import ParallelAligner
+
+            aligner = ParallelAligner(reference, config)
+        else:
+            aligner = GenAxAligner(reference, config)
+        mapped = aligner.align_batch(reads)
     else:
+        if args.jobs > 1 or args.prefilter or args.cache_dir:
+            print(
+                "warning: --jobs/--prefilter/--cache-dir only apply to the "
+                "genax pipeline",
+                file=sys.stderr,
+            )
         aligner = BwaMemAligner(
             reference,
             BwaMemConfig(
                 k=args.kmer, band=args.edit_bound, min_score=args.min_score
             ),
         )
-    mapped = [aligner.align_read(read.name, read.sequence) for read in reads]
+        mapped = [aligner.align_read(read.name, read.sequence) for read in reads]
     elapsed = time.time() - started
     write_sam(args.output, reference, mapped, reads)
     stats = aligner.stats
+    suffix = ""
+    if args.pipeline == "genax":
+        suffix += f" with {args.jobs} job(s)"
+        if args.prefilter:
+            checked = stats.candidates_filtered + stats.candidates_survived
+            suffix += f", prefilter rejected {stats.candidates_filtered}/{checked}"
     print(
         f"{args.pipeline}: mapped {stats.reads_mapped}/{stats.reads_total} reads "
-        f"({stats.reads_exact} exact) in {elapsed:.1f}s -> {args.output}"
+        f"({stats.reads_exact} exact) in {elapsed:.1f}s"
+        f"{suffix} -> {args.output}"
     )
     return 0
 

@@ -1,0 +1,220 @@
+"""Shard-parallel batch alignment driver.
+
+The paper's GenAx gets its throughput from 128 seeding lanes and 4 SillaX
+lanes running concurrently (§VI, Fig. 11); the pure-Python simulator runs
+every lane serially.  :class:`ParallelAligner` recovers data-parallelism at
+the *batch* level instead: the read batch is sharded into contiguous
+chunks (:mod:`repro.parallel.sharding`), each chunk is mapped by a worker
+process running the unmodified segment-major :class:`GenAxAligner` inner
+loop, and the per-worker counters are merged back into one snapshot in
+deterministic chunk order.
+
+Because reads are independent in the GenAx pipeline — seeding, candidate
+generation and SillaX extension never look across reads, and the lane
+round-robin only spreads accounting — the sharded output is **bit-identical**
+to ``GenAxAligner.align_batch`` on the same batch, for any worker count.
+The concordance tests assert exactly that.  Every merged counter is also
+identical to the serial run's — except ``table_bytes_streamed``, which
+grows with the chunk count because each shard streams the segment tables
+through its own (modelled) SRAM; that is the honest DDR-traffic price of
+sharding a segment-major pipeline and is asserted, not hidden, in tests.
+
+Worker bootstrap cost is kept off the hot path two ways: the parent builds
+(or cache-loads, see :mod:`repro.seeding.cache`) the segmented index tables
+once and shares them with fork-started workers copy-on-write; on spawn-based
+platforms each worker falls back to ``cache_dir`` so at most one cold build
+happens per machine.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.align.prefilter import PrefilterStats
+from repro.align.records import AlignmentStats, MappedRead
+from repro.genome.reference import ReferenceGenome
+from repro.parallel.sharding import shard_batch
+from repro.pipeline.genax import GenAxAligner, GenAxConfig
+from repro.seeding.accelerator import SeedingAccelerator, SeedingStats
+from repro.seeding.cache import IndexCache
+from repro.seeding.index import IndexTables, build_segment_tables
+from repro.sillax.lane import LaneStats
+
+NamedRead = Tuple[str, str]
+
+
+@dataclass
+class ShardResult:
+    """One chunk's mappings plus the counters its worker accumulated."""
+
+    chunk_id: int
+    mapped: List[MappedRead]
+    stats: AlignmentStats
+    lane_stats: LaneStats
+    seeding_stats: SeedingStats
+
+
+# Worker-process state.  ``_FORK_TABLES`` is set in the parent immediately
+# before the pool is created so fork-started workers inherit the built
+# tables copy-on-write; ``_WORKER_FACTORY`` is installed by the pool
+# initializer in each worker.
+_FORK_TABLES: Optional[List[IndexTables]] = None
+_WORKER_FACTORY: Optional[Callable[[], GenAxAligner]] = None
+
+
+def _init_worker(reference: ReferenceGenome, config: GenAxConfig) -> None:
+    global _WORKER_FACTORY
+    tables = _FORK_TABLES  # None on spawn platforms -> rebuild/cache-load
+
+    def factory() -> GenAxAligner:
+        return GenAxAligner(reference, config, tables=tables)
+
+    _WORKER_FACTORY = factory
+
+
+def _align_chunk(chunk_id: int, reads: Sequence[NamedRead]) -> ShardResult:
+    assert _WORKER_FACTORY is not None, "worker used before initialization"
+    aligner = _WORKER_FACTORY()
+    mapped = aligner.align_batch(reads)
+    return ShardResult(
+        chunk_id=chunk_id,
+        mapped=mapped,
+        stats=aligner.stats,
+        lane_stats=aligner.lane_stats,
+        seeding_stats=aligner.seeding_stats,
+    )
+
+
+class ParallelAligner:
+    """``GenAxAligner``-compatible driver that shards batches across processes.
+
+    Exposes the same ``align_batch`` / ``align_reads`` / ``align_read``
+    contract and the same ``stats`` / ``lane_stats`` / ``seeding_stats``
+    counter surface, so :func:`repro.pipeline.counters.collect_counters`
+    and the concordance tests treat it as a drop-in aligner.
+    """
+
+    def __init__(
+        self,
+        reference: ReferenceGenome,
+        config: Optional[GenAxConfig] = None,
+        jobs: Optional[int] = None,
+        chunks_per_job: int = 4,
+    ) -> None:
+        self.reference = reference
+        self.config = config or GenAxConfig()
+        self.jobs = jobs if jobs is not None else max(1, self.config.jobs)
+        if self.jobs <= 0:
+            raise ValueError(f"jobs must be positive, got {self.jobs}")
+        self.chunks_per_job = chunks_per_job
+        self.stats = AlignmentStats()
+        self._lane_stats = LaneStats()
+        self._seeding_stats = SeedingStats()
+        self._tables: Optional[List[IndexTables]] = None
+
+    # ----------------------------------------------------------------- API
+
+    @property
+    def lane_stats(self) -> LaneStats:
+        return self._lane_stats
+
+    @property
+    def seeding_stats(self) -> SeedingStats:
+        return self._seeding_stats
+
+    @property
+    def prefilter_stats(self) -> Optional[PrefilterStats]:
+        """Merged prefilter counters (None when the filter is disabled).
+
+        Reconstructed from the merged :class:`AlignmentStats`, which carry
+        the same candidate/cycle counts the per-worker filters recorded.
+        """
+        if not self.config.prefilter:
+            return None
+        return PrefilterStats(
+            candidates_checked=(
+                self.stats.candidates_filtered + self.stats.candidates_survived
+            ),
+            candidates_rejected=self.stats.candidates_filtered,
+            cycles=self.stats.prefilter_cycles,
+        )
+
+    def align_read(self, name: str, sequence: str) -> MappedRead:
+        return self.align_batch([(name, sequence)])[0]
+
+    def align_reads(self, reads) -> List[MappedRead]:
+        return self.align_batch(reads)
+
+    def align_batch(self, reads) -> List[MappedRead]:
+        """Map a batch, sharded over ``jobs`` workers; order is preserved."""
+        named: List[NamedRead] = [
+            (read.name, read.sequence) if hasattr(read, "sequence") else tuple(read)
+            for read in reads
+        ]
+        if not named:
+            return []
+        tables = self._ensure_tables()
+        if self.jobs == 1 or len(named) == 1:
+            # In-process fast path: no pool, no pickling, same code path
+            # the workers run.
+            aligner = GenAxAligner(self.reference, self.config, tables=tables)
+            mapped = aligner.align_batch(named)
+            self._absorb(aligner.stats, aligner.lane_stats, aligner.seeding_stats)
+            return mapped
+
+        chunks = shard_batch(named, self.jobs, self.chunks_per_job)
+        results = self._dispatch(chunks, tables)
+        results.sort(key=lambda result: result.chunk_id)
+        mapped: List[MappedRead] = []
+        for result in results:
+            mapped.extend(result.mapped)
+            self._absorb(result.stats, result.lane_stats, result.seeding_stats)
+        return mapped
+
+    # ------------------------------------------------------------ internals
+
+    def _ensure_tables(self) -> List[IndexTables]:
+        """Build (or cache-load) the segmented index once, in the parent."""
+        if self._tables is None:
+            config = self.config
+            overlap = SeedingAccelerator.SEGMENT_OVERLAP
+            if config.cache_dir is not None:
+                self._tables = IndexCache(config.cache_dir).load_or_build(
+                    self.reference, config.k, config.segment_count, overlap
+                )
+            else:
+                self._tables = build_segment_tables(
+                    self.reference.segments(config.segment_count, overlap=overlap),
+                    config.k,
+                )
+        return self._tables
+
+    def _dispatch(
+        self, chunks: List[Tuple[int, Sequence[NamedRead]]], tables: List[IndexTables]
+    ) -> List[ShardResult]:
+        global _FORK_TABLES
+        workers = min(self.jobs, len(chunks))
+        _FORK_TABLES = tables
+        try:
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_worker,
+                initargs=(self.reference, self.config),
+            ) as pool:
+                futures = [
+                    pool.submit(_align_chunk, chunk_id, chunk)
+                    for chunk_id, chunk in chunks
+                ]
+                return [future.result() for future in futures]
+        finally:
+            _FORK_TABLES = None
+
+    def _absorb(
+        self, stats: AlignmentStats, lanes: LaneStats, seeding: SeedingStats
+    ) -> None:
+        self.stats.merge(stats)
+        self._lane_stats.merge(lanes)
+        self._seeding_stats.merge(seeding)

@@ -122,6 +122,34 @@ def exact_match_cigar(read_length: int) -> Cigar:
     return Cigar.from_ops([(read_length, "=")])
 
 
+def exact_match_extensions(
+    exact_seeds: Sequence[GlobalSeed],
+    reverse: bool,
+    read_length: int,
+    match_score: int,
+) -> List[Extension]:
+    """Extensions for the exact-match fast path (§V optimization 3).
+
+    A whole-read exact seed needs no SillaX verification: every hit
+    position is already a perfect placement with the maximum score and an
+    all-``=`` CIGAR.  Shared by the per-read and segment-major paths so
+    their outputs stay bit-identical.
+    """
+    out: List[Extension] = []
+    for seed in exact_seeds:
+        for position in seed.positions:
+            out.append(
+                Extension(
+                    candidate=Candidate(position, reverse, read_length),
+                    score=match_score * read_length,
+                    position=position,
+                    cigar=exact_match_cigar(read_length),
+                    query_end=read_length,
+                )
+            )
+    return out
+
+
 def strands(read_sequence: str) -> List[Tuple[str, bool]]:
     """The two orientations to try: (sequence, is_reverse)."""
     return [(read_sequence, False), (reverse_complement(read_sequence), True)]

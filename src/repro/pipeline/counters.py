@@ -31,6 +31,16 @@ class GenAxCounters:
     intersection_lookups: int
     seeding_cycles: int
     table_bytes_streamed: int
+    candidates_filtered: int = 0
+    candidates_survived: int = 0
+    prefilter_cycles: int = 0
+
+    @property
+    def prefilter_reject_fraction(self) -> float:
+        checked = self.candidates_filtered + self.candidates_survived
+        if not checked:
+            return 0.0
+        return self.candidates_filtered / checked
 
     @property
     def mapped_fraction(self) -> float:
@@ -59,6 +69,9 @@ class GenAxCounters:
             "intersection_lookups": self.intersection_lookups,
             "seeding_cycles": self.seeding_cycles,
             "table_bytes_streamed": self.table_bytes_streamed,
+            "candidates_filtered": self.candidates_filtered,
+            "candidates_survived": self.candidates_survived,
+            "prefilter_cycles": self.prefilter_cycles,
         }
 
     def render(self) -> str:
@@ -76,6 +89,14 @@ class GenAxCounters:
             f"{self.seeding_cycles} cycles",
             f"  memory: {self.table_bytes_streamed:,} table bytes streamed",
         ]
+        if self.candidates_filtered or self.candidates_survived:
+            lines.insert(
+                3,
+                f"  prefilter: {self.candidates_filtered} rejected / "
+                f"{self.candidates_filtered + self.candidates_survived} checked "
+                f"({self.prefilter_reject_fraction:.0%}), "
+                f"{self.prefilter_cycles} cycles",
+            )
         return "\n".join(lines)
 
 
@@ -97,4 +118,7 @@ def collect_counters(aligner: GenAxAligner) -> GenAxCounters:
         intersection_lookups=seeding.intersections.total_lookups,
         seeding_cycles=seeding.cycles,
         table_bytes_streamed=seeding.table_bytes_streamed,
+        candidates_filtered=aligner.stats.candidates_filtered,
+        candidates_survived=aligner.stats.candidates_survived,
+        prefilter_cycles=aligner.stats.prefilter_cycles,
     )

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
+from repro.align.prefilter import MyersPrefilter
 from repro.align.records import AlignmentStats, MappedRead
 from repro.align.scoring import BWA_MEM_SCHEME, ScoringScheme
 from repro.genome.reference import ReferenceGenome
@@ -24,11 +25,13 @@ from repro.pipeline.common import (
     Candidate,
     Extension,
     candidates_from_seeds,
-    exact_match_cigar,
+    exact_match_extensions,
     select_best,
     strands,
 )
 from repro.seeding.accelerator import SeedingAccelerator, SeedingStats
+from repro.seeding.cache import IndexCache
+from repro.seeding.index import IndexTables
 from repro.seeding.smem import SmemConfig
 from repro.sillax.lane import LaneStats, SillaXLane
 
@@ -47,12 +50,28 @@ class GenAxConfig:
     probe: bool = True
     exact_match_fast_path: bool = True
     scheme: ScoringScheme = field(default_factory=lambda: BWA_MEM_SCHEME)
+    # Myers bit-vector pre-alignment filter (repro.align.prefilter): reject
+    # candidate windows with no semi-global placement of the read within
+    # ``prefilter_k`` edits (None -> ``edit_bound``, the SillaX budget)
+    # before the cycle-accurate lane runs.
+    prefilter: bool = False
+    prefilter_k: Optional[int] = None
+    # Shard-parallel driver knobs (consumed by repro.parallel.ParallelAligner).
+    jobs: int = 1
+    # Persist built index tables keyed by (sequence, k, segments) so
+    # repeated runs skip the O(genome) rebuild (repro.seeding.cache).
+    cache_dir: Optional[str] = None
 
 
 class GenAxAligner:
     """The accelerator: segmented SMEM seeding + SillaX seed extension."""
 
-    def __init__(self, reference: ReferenceGenome, config: Optional[GenAxConfig] = None):
+    def __init__(
+        self,
+        reference: ReferenceGenome,
+        config: Optional[GenAxConfig] = None,
+        tables: Optional[List[IndexTables]] = None,
+    ):
         self.reference = reference
         self.config = config or GenAxConfig()
         smem_config = SmemConfig(
@@ -60,17 +79,33 @@ class GenAxAligner:
             probe=self.config.probe,
             exact_match_fast_path=self.config.exact_match_fast_path,
         )
+        cache = (
+            IndexCache(self.config.cache_dir)
+            if self.config.cache_dir is not None
+            else None
+        )
         self.seeder = SeedingAccelerator(
             reference,
             smem_config,
             segment_count=self.config.segment_count,
             lanes=self.config.seeding_lanes,
+            cache=cache,
+            tables=tables,
         )
         self._lanes = [
             SillaXLane(self.config.edit_bound, self.config.scheme)
             for _ in range(self.config.sillax_lanes)
         ]
         self._next_lane = 0
+        self._prefilter = (
+            MyersPrefilter(
+                self.config.prefilter_k
+                if self.config.prefilter_k is not None
+                else self.config.edit_bound
+            )
+            if self.config.prefilter
+            else None
+        )
         self.stats = AlignmentStats()
 
     # ----------------------------------------------------------------- API
@@ -92,27 +127,26 @@ class GenAxAligner:
         self.stats.reads_total += 1
         extensions: List[Extension] = []
         config = self.config
+        exact_seen = False
         for oriented, reverse in strands(sequence):
             seeds = self.seeder.seed_read(oriented)
             exact = [s for s in seeds if s.exact_whole_read]
             if exact:
-                self.stats.reads_exact += 1
-                for seed in exact:
-                    for position in seed.positions:
-                        extensions.append(
-                            Extension(
-                                candidate=Candidate(position, reverse, len(oriented)),
-                                score=config.scheme.match * len(oriented),
-                                position=position,
-                                cigar=exact_match_cigar(len(oriented)),
-                                query_end=len(oriented),
-                            )
-                        )
+                exact_seen = True
+                extensions.extend(
+                    exact_match_extensions(
+                        exact, reverse, len(oriented), config.scheme.match
+                    )
+                )
                 continue
             for candidate in candidates_from_seeds(
                 seeds, reverse, config.max_candidates
             ):
-                extensions.append(self._extend(oriented, candidate))
+                extension = self._extend(oriented, candidate)
+                if extension is not None:
+                    extensions.append(extension)
+        if exact_seen:
+            self.stats.reads_exact += 1
         mapped = select_best(name, len(sequence), extensions, config.min_score)
         if mapped.is_unmapped:
             self.stats.reads_unmapped += 1
@@ -161,22 +195,18 @@ class GenAxAligner:
                 exact = [s for s in seeds if s.exact_whole_read]
                 if exact:
                     exact_seen = True
-                    for seed in exact:
-                        for position in seed.positions:
-                            extensions.append(
-                                Extension(
-                                    candidate=Candidate(position, reverse, len(variant)),
-                                    score=config.scheme.match * len(variant),
-                                    position=position,
-                                    cigar=exact_match_cigar(len(variant)),
-                                    query_end=len(variant),
-                                )
-                            )
+                    extensions.extend(
+                        exact_match_extensions(
+                            exact, reverse, len(variant), config.scheme.match
+                        )
+                    )
                     continue
                 for candidate in candidates_from_seeds(
                     seeds, reverse, config.max_candidates
                 ):
-                    extensions.append(self._extend(variant, candidate))
+                    extension = self._extend(variant, candidate)
+                    if extension is not None:
+                        extensions.append(extension)
             if exact_seen:
                 self.stats.reads_exact += 1
             mapped = select_best(name, len(sequence), extensions, config.min_score)
@@ -189,7 +219,23 @@ class GenAxAligner:
 
     # ------------------------------------------------------------ internals
 
-    def _extend(self, oriented: str, candidate: Candidate) -> Extension:
+    @property
+    def prefilter_stats(self):
+        """The Myers prefilter's own counters (None when disabled)."""
+        return self._prefilter.stats if self._prefilter is not None else None
+
+    def _extend(self, oriented: str, candidate: Candidate) -> Optional[Extension]:
+        if self._prefilter is not None:
+            # Same window the lane would fetch (read length + K slack).
+            window = self.reference.fetch(
+                candidate.window_start,
+                candidate.window_start + len(oriented) + self.config.edit_bound,
+            )
+            self.stats.prefilter_cycles += len(window)
+            if not self._prefilter.survives(oriented, window):
+                self.stats.candidates_filtered += 1
+                return None
+            self.stats.candidates_survived += 1
         lane = self._lanes[self._next_lane]
         self._next_lane = (self._next_lane + 1) % len(self._lanes)
         outcome = lane.extend(self.reference, oriented, candidate.window_start)

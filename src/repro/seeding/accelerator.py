@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.genome.reference import ReferenceGenome, SegmentView
+from repro.seeding.cache import IndexCache
 from repro.seeding.cam import IntersectionEngine, IntersectionStats
 from repro.seeding.index import IndexTables, KmerIndex
 from repro.seeding.smem import FinderStats, Seed, SmemConfig, SmemFinder
@@ -29,6 +30,13 @@ class SeedingStats:
     finder: FinderStats = field(default_factory=FinderStats)
     intersections: IntersectionStats = field(default_factory=IntersectionStats)
     table_bytes_streamed: int = 0
+
+    def merge(self, other: "SeedingStats") -> None:
+        """Fold another accelerator's counters in (shard merging)."""
+        self.reads_processed += other.reads_processed
+        self.finder.merge(other.finder)
+        self.intersections.merge(other.intersections)
+        self.table_bytes_streamed += other.table_bytes_streamed
 
     @property
     def hits_per_read(self) -> float:
@@ -109,12 +117,17 @@ class SeedingLane:
 class SeedingAccelerator:
     """The full segmented seeding front-end."""
 
+    SEGMENT_OVERLAP = 256  # one read length's worth, so boundary-spanning
+    # seeds stay discoverable inside a single segment.
+
     def __init__(
         self,
         reference: ReferenceGenome,
         config: Optional[SmemConfig] = None,
         segment_count: int = 8,
         lanes: int = 128,
+        cache: Optional["IndexCache"] = None,
+        tables: Optional[List[IndexTables]] = None,
     ) -> None:
         if segment_count <= 0:
             raise ValueError(f"segment_count must be positive, got {segment_count}")
@@ -123,19 +136,25 @@ class SeedingAccelerator:
         self.reference = reference
         self.config = config or SmemConfig()
         self.lanes = lanes
-        # Overlap segments by one read length's worth so boundary-spanning
-        # seeds stay discoverable inside a single segment.
         self.segments: List[SegmentView] = reference.segments(
-            segment_count, overlap=max(0, 256)
+            segment_count, overlap=self.SEGMENT_OVERLAP
         )
-        self.tables: List[IndexTables] = [
-            IndexTables(
-                segment_index=view.index,
-                segment_start=view.start,
-                index=KmerIndex.build(view.sequence, self.config.k),
+        if tables is not None:
+            # Pre-built tables (shared across forked shard workers).
+            self.tables = tables
+        elif cache is not None:
+            self.tables = cache.load_or_build(
+                reference, self.config.k, segment_count, self.SEGMENT_OVERLAP
             )
-            for view in self.segments
-        ]
+        else:
+            self.tables = [
+                IndexTables(
+                    segment_index=view.index,
+                    segment_start=view.start,
+                    index=KmerIndex.build(view.sequence, self.config.k),
+                )
+                for view in self.segments
+            ]
         self.stats = SeedingStats()
 
     @property

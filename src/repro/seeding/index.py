@@ -109,6 +109,108 @@ class KmerIndex:
 
 
 @dataclass
+class PackedKmerIndex:
+    """CSR-packed, read-only k-mer index with ``KmerIndex``'s lookup API.
+
+    The paper's actual table layout (§V): one flat **position table** and a
+    per-k-mer ``(offset, count)`` **index table**, here as three numpy
+    arrays — sorted k-mer codes, prefix-sum offsets, flat positions.  The
+    point of this representation is the cache (:mod:`repro.seeding.cache`):
+    the arrays deserialize with a zero-copy ``frombuffer`` instead of
+    materializing hundreds of thousands of Python lists, which is what
+    makes a warm index load orders of magnitude faster than a rebuild.
+
+    Lookups binary-search the code array (the hardware's direct-mapped
+    index access is modelled identically for both representations by the
+    seeding stats, which count lookups, not Python instructions).
+    ``hits`` materializes only the requested slice, as plain ``int``s, so
+    downstream coordinates are type-identical to the dict-backed path.
+    """
+
+    k: int
+    sequence_length: int
+    _keys: "object" = field(repr=False, default=None)  # int64 codes, sorted
+    _offsets: "object" = field(repr=False, default=None)  # int64, len(keys)+1
+    _flat: "object" = field(repr=False, default=None)  # int64 position table
+
+    @classmethod
+    def pack(cls, index: KmerIndex) -> "PackedKmerIndex":
+        """Pack a dict-backed index into CSR arrays (offline/cold path)."""
+        import itertools
+
+        import numpy
+
+        items = sorted(index._positions.items())
+        keys = numpy.array([code for code, __ in items], dtype=numpy.int64)
+        counts = numpy.array([len(v) for __, v in items], dtype=numpy.int64)
+        offsets = numpy.zeros(len(items) + 1, dtype=numpy.int64)
+        numpy.cumsum(counts, out=offsets[1:])
+        flat = numpy.array(
+            list(itertools.chain.from_iterable(v for __, v in items)),
+            dtype=numpy.int64,
+        )
+        return cls(
+            k=index.k,
+            sequence_length=index.sequence_length,
+            _keys=keys,
+            _offsets=offsets,
+            _flat=flat,
+        )
+
+    def _find(self, kmer: str) -> int:
+        """Row of *kmer* in the key array, or -1 if absent/ambiguous."""
+        import numpy
+
+        if len(kmer) != self.k:
+            raise ValueError(f"expected a {self.k}-mer, got length {len(kmer)}")
+        try:
+            code = kmer_code(kmer)
+        except ValueError:
+            return -1  # non-ACGT characters have no entry, same as KmerIndex
+        row = int(numpy.searchsorted(self._keys, code))
+        if row >= len(self._keys) or int(self._keys[row]) != code:
+            return -1
+        return row
+
+    def hits(self, kmer: str) -> Sequence[int]:
+        """Sorted reference positions of *kmer* (empty if absent)."""
+        row = self._find(kmer)
+        if row < 0:
+            return ()
+        return self._flat[self._offsets[row] : self._offsets[row + 1]].tolist()
+
+    def hit_count(self, kmer: str) -> int:
+        row = self._find(kmer)
+        if row < 0:
+            return 0
+        return int(self._offsets[row + 1] - self._offsets[row])
+
+    def contains(self, kmer: str) -> bool:
+        return self._find(kmer) >= 0
+
+    @property
+    def distinct_kmers(self) -> int:
+        return len(self._keys)
+
+    @property
+    def total_positions(self) -> int:
+        return len(self._flat)
+
+    def position_table_bytes(self, bytes_per_entry: int = 4) -> int:
+        return self.total_positions * bytes_per_entry
+
+    def index_table_bytes(self, bytes_per_entry: int = 6) -> int:
+        return (4**self.k) * bytes_per_entry
+
+    def hit_histogram(self) -> Dict[int, int]:
+        histogram: Dict[int, int] = {}
+        for row in range(len(self._keys)):
+            length = int(self._offsets[row + 1] - self._offsets[row])
+            histogram[length] = histogram.get(length, 0) + 1
+        return histogram
+
+
+@dataclass
 class IndexTables:
     """The per-segment tables GenAx streams into on-chip SRAM (§VI)."""
 

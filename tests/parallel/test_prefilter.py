@@ -1,0 +1,146 @@
+"""Tests for the Myers pre-alignment filter and its pipeline integration."""
+
+import pytest
+
+from repro.align.prefilter import (
+    MyersPrefilter,
+    PrefilterStats,
+    lossless_threshold,
+)
+from repro.align.scoring import BWA_MEM_SCHEME, ScoringScheme
+from repro.pipeline.genax import GenAxAligner, GenAxConfig
+
+CONFIG = dict(edit_bound=12, segment_count=4)
+
+
+def mapping_key(mapped):
+    return [
+        (m.read_name, m.position, m.reverse, m.score, str(m.cigar),
+         m.mapping_quality, m.secondary_count)
+        for m in mapped
+    ]
+
+
+class TestMyersPrefilter:
+    def test_exact_window_survives(self):
+        prefilter = MyersPrefilter(max_edits=0)
+        assert prefilter.survives("ACGTACGT", "TTACGTACGTTT")
+        assert prefilter.stats.candidates_checked == 1
+        assert prefilter.stats.candidates_rejected == 0
+        assert prefilter.stats.candidates_survived == 1
+
+    def test_hopeless_window_rejected(self):
+        prefilter = MyersPrefilter(max_edits=1)
+        window = "T" * 20
+        assert not prefilter.survives("ACAGACAG", window)
+        assert prefilter.stats.candidates_rejected == 1
+        assert prefilter.stats.cycles == len(window)
+
+    def test_edit_budget_boundary(self):
+        read = "AAAACCCC"
+        window = "GGAAAACTCCGG"  # one substitution inside the best placement
+        assert not MyersPrefilter(max_edits=0).survives(read, window)
+        assert MyersPrefilter(max_edits=1).survives(read, window)
+
+    def test_reject_fraction(self):
+        prefilter = MyersPrefilter(max_edits=0)
+        prefilter.survives("ACGT", "ACGT")
+        prefilter.survives("ACGT", "TTTT")
+        assert prefilter.stats.reject_fraction == pytest.approx(0.5)
+        assert PrefilterStats().reject_fraction == 0.0
+
+    def test_stats_merge(self):
+        left = PrefilterStats(candidates_checked=4, candidates_rejected=1,
+                              cycles=100)
+        right = PrefilterStats(candidates_checked=2, candidates_rejected=2,
+                               cycles=40)
+        left.merge(right)
+        assert left == PrefilterStats(candidates_checked=6,
+                                      candidates_rejected=3, cycles=140)
+        assert left.candidates_survived == 3
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            MyersPrefilter(max_edits=-1)
+
+
+class TestLosslessThreshold:
+    def test_formula(self):
+        scheme = ScoringScheme(match=2, substitution=-4, gap_open=-6,
+                               gap_extend=-1)
+        # unit = min(2, 1) = 1; (2*100 - 30) // 1 = 170.
+        assert lossless_threshold(100, scheme, 30) == 170
+
+    def test_bwa_scheme(self):
+        expected = (
+            BWA_MEM_SCHEME.match * 101 - 30
+        ) // min(BWA_MEM_SCHEME.match, -BWA_MEM_SCHEME.gap_extend)
+        assert lossless_threshold(101, BWA_MEM_SCHEME, 30) == expected
+
+    def test_perfect_score_requires_zero_edits(self):
+        scheme = ScoringScheme(match=1, substitution=-4, gap_open=-6,
+                               gap_extend=-1)
+        assert lossless_threshold(50, scheme, 50) == 0
+
+
+class TestPipelineIntegration:
+    @pytest.fixture(scope="class")
+    def baseline(self, small_reference, simulated_reads):
+        aligner = GenAxAligner(small_reference, GenAxConfig(**CONFIG))
+        batch = [(s.name, s.sequence) for s in simulated_reads[:8]]
+        return batch, aligner.align_batch(batch), aligner
+
+    def test_default_threshold_counters_consistent(
+        self, small_reference, baseline
+    ):
+        batch, __, plain = baseline
+        aligner = GenAxAligner(
+            small_reference, GenAxConfig(prefilter=True, **CONFIG)
+        )
+        aligner.align_batch(batch)
+        stats = aligner.stats
+        assert stats.candidates_filtered + stats.candidates_survived > 0
+        assert stats.candidates_filtered == (
+            aligner.prefilter_stats.candidates_rejected
+        )
+        assert stats.candidates_survived == (
+            aligner.prefilter_stats.candidates_survived
+        )
+        # Only survivors reach the SillaX lanes.
+        assert aligner.lane_stats.extensions == stats.candidates_survived
+        assert plain.lane_stats.extensions == (
+            stats.candidates_filtered + stats.candidates_survived
+        )
+        assert stats.prefilter_cycles > 0
+
+    def test_lossless_threshold_preserves_mappings(
+        self, small_reference, baseline
+    ):
+        """With the provably-safe budget, the filter never changes output."""
+        batch, plain_mapped, plain = baseline
+        threshold = lossless_threshold(
+            len(batch[0][1]), plain.config.scheme, plain.config.min_score
+        )
+        aligner = GenAxAligner(
+            small_reference,
+            GenAxConfig(prefilter=True, prefilter_k=threshold, **CONFIG),
+        )
+        assert mapping_key(aligner.align_batch(batch)) == mapping_key(
+            plain_mapped
+        )
+
+    def test_default_threshold_preserves_mappings_on_workload(
+        self, small_reference, baseline
+    ):
+        """Simulated reads stay within the edit bound, so defaults agree too."""
+        batch, plain_mapped, __ = baseline
+        aligner = GenAxAligner(
+            small_reference, GenAxConfig(prefilter=True, **CONFIG)
+        )
+        assert mapping_key(aligner.align_batch(batch)) == mapping_key(
+            plain_mapped
+        )
+
+    def test_prefilter_stats_none_when_disabled(self, small_reference):
+        aligner = GenAxAligner(small_reference, GenAxConfig(**CONFIG))
+        assert aligner.prefilter_stats is None

@@ -1,0 +1,52 @@
+"""Tests for repro.parallel.sharding."""
+
+import pytest
+
+from repro.parallel.sharding import chunk_bounds, shard_batch
+
+
+class TestChunkBounds:
+    def test_covers_everything_in_order(self):
+        bounds = chunk_bounds(10, 3)
+        assert bounds == [(0, 4), (4, 7), (7, 10)]
+
+    def test_near_equal_sizes(self):
+        sizes = [end - start for start, end in chunk_bounds(23, 5)]
+        assert sum(sizes) == 23
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_chunks_than_items_drops_empties(self):
+        bounds = chunk_bounds(2, 5)
+        assert bounds == [(0, 1), (1, 2)]
+
+    def test_zero_items(self):
+        assert chunk_bounds(0, 4) == []
+
+    def test_invalid_chunk_count(self):
+        with pytest.raises(ValueError):
+            chunk_bounds(5, 0)
+
+
+class TestShardBatch:
+    def test_concat_restores_batch(self):
+        items = list(range(17))
+        chunks = shard_batch(items, jobs=3, chunks_per_job=2)
+        restored = [item for __, chunk in chunks for item in chunk]
+        assert restored == items
+
+    def test_chunk_ids_sequential(self):
+        chunks = shard_batch(list(range(9)), jobs=2)
+        assert [chunk_id for chunk_id, __ in chunks] == list(range(len(chunks)))
+
+    def test_chunk_count_capped_by_items(self):
+        chunks = shard_batch([1, 2], jobs=4, chunks_per_job=4)
+        assert len(chunks) == 2
+
+    def test_empty_batch(self):
+        assert shard_batch([], jobs=4) == []
+
+    def test_invalid_jobs(self):
+        with pytest.raises(ValueError):
+            shard_batch([1], jobs=0)
+        with pytest.raises(ValueError):
+            shard_batch([1], jobs=1, chunks_per_job=0)

@@ -41,6 +41,23 @@ class TestAlignBatch:
             == len(read_batch)
         )
 
+    def test_alignment_stats_identical_to_per_read_mode(
+        self, small_reference, read_batch
+    ):
+        """Per-read and batch modes count the same events — including
+        ``reads_exact``, which once diverged because per-read mode counted
+        a read twice when both strands matched exactly."""
+        per_read = GenAxAligner(
+            small_reference, GenAxConfig(edit_bound=12, segment_count=4)
+        )
+        batch = GenAxAligner(
+            small_reference, GenAxConfig(edit_bound=12, segment_count=4)
+        )
+        per_read.align_reads(read_batch)
+        batch.align_batch(read_batch)
+        assert per_read.stats == batch.stats
+        assert per_read.stats.reads_exact == batch.stats.reads_exact
+
     def test_empty_batch(self, small_reference):
         aligner = GenAxAligner(small_reference, GenAxConfig(edit_bound=8, segment_count=2))
         assert aligner.align_batch([]) == []

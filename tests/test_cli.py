@@ -74,6 +74,39 @@ class TestAlign:
         assert hits >= 6  # most of the 8 reads land on the truth
 
 
+class TestAlignParallel:
+    def test_jobs_prefilter_cache_matches_serial(self, simulated, tmp_path, capsys):
+        """`--jobs/--prefilter/--cache-dir` produce the same SAM as serial."""
+        ref, reads = simulated
+        serial_out = tmp_path / "serial.sam"
+        parallel_out = tmp_path / "parallel.sam"
+        base = ["align", str(ref), str(reads),
+                "--edit-bound", "10", "--segments", "2"]
+        assert main(base + [str(serial_out)]) == 0
+        code = main(
+            base
+            + [str(parallel_out), "--jobs", "2", "--prefilter",
+               "--cache-dir", str(tmp_path / "cache")]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "jobs" in out
+        assert "prefilter" in out
+        serial_body = [l for l in serial_out.read_text().splitlines()
+                       if not l.startswith("@")]
+        parallel_body = [l for l in parallel_out.read_text().splitlines()
+                         if not l.startswith("@")]
+        assert parallel_body == serial_body
+        # The cache directory now holds a persisted index entry.
+        assert list((tmp_path / "cache").glob("genax-index-*.tables"))
+
+    def test_invalid_jobs_rejected(self, simulated, tmp_path):
+        ref, reads = simulated
+        with pytest.raises(SystemExit):
+            main(["align", str(ref), str(reads), str(tmp_path / "x.sam"),
+                  "--jobs", "0"])
+
+
 class TestDistance:
     def test_within_k(self, capsys):
         assert main(["distance", "GATTACA", "GATTTACA"]) == 0
