@@ -6,7 +6,14 @@ oracles the test suite uses as ground truth.
 
 from repro.align.scoring import BWA_MEM_SCHEME, EDIT_DISTANCE_SCHEME, ScoringScheme
 from repro.align.cigar import Cigar, trace_from_pairs
-from repro.align.records import Alignment, AlignmentStats, MappedRead
+from repro.align.records import (
+    Alignment,
+    AlignmentStats,
+    MappedRead,
+    NamedRead,
+    ReadInput,
+    as_named_read,
+)
 from repro.align.edit_distance import (
     bounded_levenshtein,
     edit_distance_matrix,
@@ -51,6 +58,9 @@ __all__ = [
     "Alignment",
     "AlignmentStats",
     "MappedRead",
+    "NamedRead",
+    "ReadInput",
+    "as_named_read",
     "bounded_levenshtein",
     "edit_distance_matrix",
     "levenshtein",

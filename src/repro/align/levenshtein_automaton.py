@@ -19,7 +19,7 @@ a closure after each consumed character.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
 
 State = Tuple[int, int]  # (pattern position, errors)
 
@@ -119,7 +119,7 @@ class LAWorkloadCost:
         return self.reprogram_states + self.step_states
 
 
-def la_stream_cost(pairs) -> LAWorkloadCost:
+def la_stream_cost(pairs: Iterable[Tuple[str, str, int]]) -> LAWorkloadCost:
     """Charge the full LA cost model over (pattern, text, k) work items.
 
     Demonstrates the §II argument: when every item carries a *different*

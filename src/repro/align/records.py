@@ -3,9 +3,30 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Protocol, Tuple, Union
 
 from repro.align.cigar import Cigar
+
+NamedRead = Tuple[str, str]
+
+
+class SupportsNamedSequence(Protocol):
+    """Anything with a ``name`` and a ``sequence`` (e.g. ``genome.reads.Read``)."""
+
+    name: str
+    sequence: str
+
+
+ReadInput = Union[NamedRead, SupportsNamedSequence]
+"""What every aligner's batch API accepts: pairs or read-like objects."""
+
+
+def as_named_read(read: ReadInput) -> NamedRead:
+    """Normalise a batch item to a ``(name, sequence)`` pair."""
+    if isinstance(read, tuple):
+        name, sequence = read
+        return (name, sequence)
+    return (read.name, read.sequence)
 
 
 @dataclass(frozen=True)

@@ -18,7 +18,7 @@ exactly one character per step.  We verify it agrees with the DP oracle.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import FrozenSet, List, Optional, Set, Tuple
+from typing import Callable, FrozenSet, List, Optional, Set, Tuple
 
 Position = Tuple[int, int]  # (pattern chars consumed, errors)
 
@@ -78,7 +78,7 @@ class UniversalLevenshteinAutomaton:
         self,
         state: FrozenSet[Position],
         pattern_length: int,
-        vector_at,
+        vector_at: Callable[[int, int], Tuple[bool, ...]],
     ) -> FrozenSet[Position]:
         """Advance by one text character.
 
@@ -118,7 +118,7 @@ class UniversalLevenshteinAutomaton:
         state = self.initial_state()
         n = len(pattern)
         for char in text:
-            def vector_at(i: int, length: int, _char=char) -> Tuple[bool, ...]:
+            def vector_at(i: int, length: int, _char: str = char) -> Tuple[bool, ...]:
                 return characteristic_vector(_char, pattern, i, length)
 
             state = self.step(state, n, vector_at)

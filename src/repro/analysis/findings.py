@@ -1,0 +1,79 @@
+"""Structured lint findings and their JSON / human renderings."""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Union
+
+
+class Severity(enum.Enum):
+    """How a finding gates CI.
+
+    Every shipped rule emits ``ERROR`` — the suite is a hard gate and a
+    rule whose findings could be ignored would not be worth running.  The
+    level exists so downstream tooling (editor integrations, trend
+    dashboards) can grade future advisory rules without a schema change.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation, pinned to a source location.
+
+    ``rule`` is the stable kebab-case rule name used in suppression
+    comments; ``code`` is the short ``GX###`` identifier used in summary
+    tables.  ``hint`` tells the author how to fix the finding — every rule
+    must provide one, because a gate that only says "no" teaches nothing.
+    """
+
+    path: str
+    line: int
+    column: int
+    rule: str
+    code: str
+    message: str
+    hint: str
+    severity: Severity = Severity.ERROR
+
+    def as_dict(self) -> Dict[str, Union[str, int]]:
+        data = asdict(self)
+        data["severity"] = self.severity.value
+        return data
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.column}: "
+            f"{self.code} [{self.rule}] {self.message}\n"
+            f"    hint: {self.hint}"
+        )
+
+
+def render_text(findings: List[Finding]) -> str:
+    """Human-readable report: one block per finding plus a summary line."""
+    if not findings:
+        return "genaxlint: clean (0 findings)"
+    blocks = [finding.render() for finding in findings]
+    by_rule: Dict[str, int] = {}
+    for finding in findings:
+        by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+    summary = ", ".join(f"{count}x {name}" for name, count in sorted(by_rule.items()))
+    blocks.append(f"genaxlint: {len(findings)} finding(s) ({summary})")
+    return "\n".join(blocks)
+
+
+def render_json(findings: List[Finding]) -> str:
+    """Machine-readable report (what CI consumes)."""
+    payload = {
+        "tool": "repro-genaxlint",
+        "finding_count": len(findings),
+        "findings": [finding.as_dict() for finding in findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,118 @@
+"""API-hygiene rules: mutable defaults, bare excepts, float equality.
+
+Small, classic Python hazards that have outsized blast radius in a
+simulator: a mutable default argument aliases state across calls (and
+across *reads*, in batch loops); a bare ``except`` swallows
+``KeyboardInterrupt`` and worker-pool ``BrokenProcessPool`` errors; a
+float ``==`` in scoring or model code turns representation noise into
+score differences that break bit-identical concordance.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import RuleContext, rule
+
+_MUTABLE_CALLS: Tuple[str, ...] = ("list", "dict", "set", "defaultdict", "deque")
+
+#: Path fragments where float-equality is tolerated: tests pin exact
+#: fractions on purpose (``gc_content("ATGC") == 0.5`` is a legitimate
+#: oracle — 0.5 is exactly representable and the test *should* be exact).
+_FLOAT_EQ_EXEMPT_PARTS: Tuple[str, ...] = ("tests", "benchmarks", "examples")
+
+
+def _is_mutable_default(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in _MUTABLE_CALLS
+    return False
+
+
+@rule(
+    "mutable-default",
+    "GX401",
+    "a mutable default argument is shared across every call of the function",
+)
+def check_mutable_default(ctx: RuleContext) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        defaults = list(node.args.defaults) + [
+            default for default in node.args.kw_defaults if default is not None
+        ]
+        for default in defaults:
+            if _is_mutable_default(default):
+                name = getattr(node, "name", "<lambda>")
+                yield ctx.finding(
+                    default,
+                    "mutable-default",
+                    "GX401",
+                    f"mutable default argument in {name}()",
+                    "default to None and construct inside the body, or use "
+                    "dataclasses.field(default_factory=...) for dataclasses",
+                )
+
+
+@rule(
+    "bare-except",
+    "GX402",
+    "a bare except swallows KeyboardInterrupt, SystemExit and worker-pool "
+    "failures indiscriminately",
+)
+def check_bare_except(ctx: RuleContext) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.ExceptHandler) and node.type is None:
+            yield ctx.finding(
+                node,
+                "bare-except",
+                "GX402",
+                "bare except clause",
+                "name the exception type being handled; use 'except Exception' "
+                "only at a top-level boundary that re-reports the error",
+            )
+
+
+def _is_float_constant(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return True
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return _is_float_constant(node.operand)
+    return False
+
+
+@rule(
+    "float-equality",
+    "GX403",
+    "== on floats compares representations, not values; scoring and model "
+    "code must use tolerances",
+)
+def check_float_equality(ctx: RuleContext) -> Iterator[Finding]:
+    """Flag ``==`` / ``!=`` against a float literal in library code.
+
+    Test, benchmark and example trees are exempt: a test asserting an
+    exactly-representable expected value (``== 0.5``) is a deliberate
+    oracle, not a hazard.
+    """
+    parts = ctx.path.replace("\\", "/").split("/")
+    if any(part in _FLOAT_EQ_EXEMPT_PARTS for part in parts):
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        operands = [node.left] + list(node.comparators)
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            if _is_float_constant(left) or _is_float_constant(right):
+                yield ctx.finding(
+                    node,
+                    "float-equality",
+                    "GX403",
+                    "float equality comparison in library code",
+                    "use math.isclose(x, y, rel_tol=...) or an explicit "
+                    "threshold comparison",
+                )

@@ -1,0 +1,150 @@
+"""Counter-hygiene rules for the hardware-counter dataclasses.
+
+The shard-parallel driver (:mod:`repro.parallel.engine`) reconstructs a
+serial run's counters by folding per-worker stats dataclasses through
+their ``merge`` methods.  A counter field added to a ``*Stats`` dataclass
+but forgotten in ``merge`` is *silently dropped* in every parallel run —
+the exact bug class PR 1 had to hand-audit for ``table_bytes_streamed``.
+These rules make the audit mechanical:
+
+* ``counter-merge`` (GX201): every field declared on a ``@dataclass``
+  whose name ends in ``Stats`` *and* that defines ``merge`` must be
+  referenced inside the ``merge`` body, unless ``ClassName.field`` is in
+  the documented allowlist (:data:`repro.analysis.config.COUNTER_ALLOWLIST`).
+* ``counter-snapshot`` (GX202): every field declared on a ``@dataclass``
+  whose name ends in ``Counters`` *and* that defines ``as_dict`` must be
+  referenced inside the ``as_dict`` body, so a new counter cannot vanish
+  from reports and dashboards.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.config import merge_exempt_fields
+from repro.analysis.findings import Finding
+from repro.analysis.registry import RuleContext, rule
+
+
+def _is_dataclass(node: ast.ClassDef) -> bool:
+    """True if *node* carries a ``@dataclass`` / ``@dataclasses.dataclass``
+    decorator (bare or called)."""
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return True
+        if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+            return True
+    return False
+
+
+def _declared_fields(node: ast.ClassDef) -> List[Tuple[str, ast.AnnAssign]]:
+    """Annotated field declarations in the class body, skipping ClassVars."""
+    fields: List[Tuple[str, ast.AnnAssign]] = []
+    for statement in node.body:
+        if not isinstance(statement, ast.AnnAssign):
+            continue
+        if not isinstance(statement.target, ast.Name):
+            continue
+        annotation = statement.annotation
+        if isinstance(annotation, ast.Subscript):
+            base = annotation.value
+            if isinstance(base, ast.Name) and base.id == "ClassVar":
+                continue
+            if isinstance(base, ast.Attribute) and base.attr == "ClassVar":
+                continue
+        fields.append((statement.target.id, statement))
+    return fields
+
+
+def _find_method(node: ast.ClassDef, name: str) -> Optional[ast.FunctionDef]:
+    for statement in node.body:
+        if isinstance(statement, ast.FunctionDef) and statement.name == name:
+            return statement
+    return None
+
+
+def _referenced_names(method: ast.FunctionDef, include_strings: bool) -> Set[str]:
+    """Attribute names (and optionally string constants) in the method body.
+
+    Attribute accesses cover ``self.field += other.field`` /
+    ``self.field.merge(...)``.  String constants cover dict-building styles
+    like ``{"field": self.field}``; they are only counted for ``as_dict``
+    checks — in ``merge`` a field named in a docstring is not merged.
+    """
+    names: Set[str] = set()
+    for sub in ast.walk(method):
+        if isinstance(sub, ast.Attribute):
+            names.add(sub.attr)
+        elif (
+            include_strings
+            and isinstance(sub, ast.Constant)
+            and isinstance(sub.value, str)
+        ):
+            names.add(sub.value)
+    return names
+
+
+@rule(
+    "counter-merge",
+    "GX201",
+    "a stats-dataclass field missing from merge() is silently dropped by "
+    "every parallel run",
+)
+def check_counter_merge(ctx: RuleContext) -> Iterator[Finding]:
+    exempt = merge_exempt_fields()
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        if not node.name.endswith("Stats") or not _is_dataclass(node):
+            continue
+        merge = _find_method(node, "merge")
+        if merge is None:
+            # Snapshot-style stats (e.g. cache hit/miss tallies) that are
+            # never shard-merged legitimately have no merge method.
+            continue
+        referenced = _referenced_names(merge, include_strings=False)
+        for field_name, declaration in _declared_fields(node):
+            key = f"{node.name}.{field_name}"
+            if field_name in referenced or key in exempt:
+                continue
+            yield ctx.finding(
+                declaration,
+                "counter-merge",
+                "GX201",
+                f"field {node.name}.{field_name} is not handled in merge(); "
+                "parallel runs will silently drop it",
+                "fold it into merge() (+= for counts, .extend for samples, "
+                ".merge for nested stats) or add a documented "
+                "CounterException to repro.analysis.config.COUNTER_ALLOWLIST",
+            )
+
+
+@rule(
+    "counter-snapshot",
+    "GX202",
+    "a counters-dataclass field missing from as_dict() vanishes from "
+    "reports and dashboards",
+)
+def check_counter_snapshot(ctx: RuleContext) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        if not node.name.endswith("Counters") or not _is_dataclass(node):
+            continue
+        as_dict = _find_method(node, "as_dict")
+        if as_dict is None:
+            continue
+        referenced = _referenced_names(as_dict, include_strings=True)
+        for field_name, declaration in _declared_fields(node):
+            if field_name in referenced:
+                continue
+            yield ctx.finding(
+                declaration,
+                "counter-snapshot",
+                "GX202",
+                f"field {node.name}.{field_name} is not exported by as_dict()",
+                "add the field to the as_dict() mapping so dashboards and "
+                "the JSON report see it",
+            )

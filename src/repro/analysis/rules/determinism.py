@@ -1,0 +1,260 @@
+"""Determinism rules: seeded RNG, monotonic clocks, ordered iteration.
+
+The whole reproduction is a *deterministic simulator*: identical inputs
+and seeds must give bit-identical mappings, counters and benchmark
+tables, or the serial/parallel concordance contract (DESIGN.md) is
+unverifiable.  These rules catch the three ways Python code silently
+loses that property.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import RuleContext, rule
+
+#: ``random`` module functions that read or mutate the hidden global RNG.
+_GLOBAL_RANDOM_FUNCS: Tuple[str, ...] = (
+    "betavariate",
+    "choice",
+    "choices",
+    "expovariate",
+    "gammavariate",
+    "gauss",
+    "getrandbits",
+    "lognormvariate",
+    "normalvariate",
+    "paretovariate",
+    "randbytes",
+    "randint",
+    "random",
+    "randrange",
+    "sample",
+    "seed",
+    "setstate",
+    "shuffle",
+    "triangular",
+    "uniform",
+    "vonmisesvariate",
+    "weibullvariate",
+)
+
+#: ``numpy.random`` entry points that are *allowed*: constructing an
+#: explicitly seeded generator object is exactly what we want.
+_NUMPY_ALLOWED: Tuple[str, ...] = ("Generator", "RandomState", "SeedSequence", "PCG64")
+
+
+def _imported_names(tree: ast.Module, module: str, names: Tuple[str, ...]) -> Set[str]:
+    """Local bindings created by ``from <module> import <name>`` statements."""
+    bound: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == module:
+            for alias in node.names:
+                if alias.name in names:
+                    bound.add(alias.asname or alias.name)
+    return bound
+
+
+def _is_numpy_random(node: ast.AST) -> bool:
+    """True for ``numpy.random`` / ``np.random`` attribute chains."""
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr == "random"
+        and isinstance(node.value, ast.Name)
+        and node.value.id in ("numpy", "np")
+    )
+
+
+@rule(
+    "unseeded-random",
+    "GX101",
+    "module-level random functions draw from hidden global state; every RNG "
+    "must be an explicitly seeded instance",
+)
+def check_unseeded_random(ctx: RuleContext) -> Iterator[Finding]:
+    """Flag ``random.<fn>()``, ``from random import <fn>`` calls, and
+    ``numpy.random`` global-state usage (including unseeded ``default_rng()``).
+    """
+    from_imports = _imported_names(ctx.tree, "random", _GLOBAL_RANDOM_FUNCS)
+    hint = (
+        "construct a seeded instance — rng = random.Random(seed) — and thread "
+        "it through, as repro.genome.reads.ReadSimulator does; for numpy use "
+        "numpy.random.default_rng(seed)"
+    )
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        # random.<fn>(...) on the module itself.
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "random"
+            and func.attr in _GLOBAL_RANDOM_FUNCS
+        ):
+            yield ctx.finding(
+                node,
+                "unseeded-random",
+                "GX101",
+                f"call to random.{func.attr}() uses the global (unseeded) RNG",
+                hint,
+            )
+        # A bare name imported from the random module.
+        elif isinstance(func, ast.Name) and func.id in from_imports:
+            yield ctx.finding(
+                node,
+                "unseeded-random",
+                "GX101",
+                f"call to {func.id}() (imported from random) uses the global RNG",
+                hint,
+            )
+        # numpy.random.<fn>(...) legacy global API, and default_rng() with
+        # no seed argument.
+        elif isinstance(func, ast.Attribute) and _is_numpy_random(func.value):
+            if func.attr == "default_rng":
+                if not node.args and not node.keywords:
+                    yield ctx.finding(
+                        node,
+                        "unseeded-random",
+                        "GX101",
+                        "numpy.random.default_rng() without a seed is "
+                        "nondeterministic",
+                        hint,
+                    )
+            elif func.attr not in _NUMPY_ALLOWED:
+                yield ctx.finding(
+                    node,
+                    "unseeded-random",
+                    "GX101",
+                    f"call to numpy.random.{func.attr}() uses numpy's global RNG",
+                    hint,
+                )
+
+
+@rule(
+    "wall-clock",
+    "GX102",
+    "time.time() is wall-clock time — not monotonic, steps with NTP — so it "
+    "must never measure elapsed time in cycle/throughput models",
+)
+def check_wall_clock(ctx: RuleContext) -> Iterator[Finding]:
+    """Flag ``time.time()`` / ``time.clock()`` and their from-imports."""
+    from_imports = _imported_names(ctx.tree, "time", ("time", "clock"))
+    hint = (
+        "use time.perf_counter() for elapsed-time measurement — the exemplar "
+        "is _cmd_align in src/repro/cli.py, which times alignment runs with "
+        "perf_counter() precisely because wall-clock time can step backwards"
+    )
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "time"
+            and func.attr in ("time", "clock")
+        ):
+            yield ctx.finding(
+                node,
+                "wall-clock",
+                "GX102",
+                f"time.{func.attr}() reads the non-monotonic wall clock",
+                hint,
+            )
+        elif isinstance(func, ast.Name) and func.id in from_imports:
+            yield ctx.finding(
+                node,
+                "wall-clock",
+                "GX102",
+                f"{func.id}() (imported from time) reads the non-monotonic "
+                "wall clock",
+                hint,
+            )
+
+
+def _is_set_expression(node: ast.AST) -> bool:
+    """Syntactically set-typed: literal, comprehension, or set()/frozenset()."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    ):
+        return True
+    # Set algebra over set expressions (a | b, a & b, a - b) stays a set.
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _is_set_expression(node.left) or _is_set_expression(node.right)
+    return False
+
+
+#: Callables that materialise their argument's iteration order.
+_ORDER_SENSITIVE_CALLS: Tuple[str, ...] = ("list", "tuple", "enumerate")
+
+
+@rule(
+    "set-iteration",
+    "GX103",
+    "iterating a set materialises hash order, which varies across runs and "
+    "interpreters; output-affecting paths must sort first",
+)
+def check_set_iteration(ctx: RuleContext) -> Iterator[Finding]:
+    """Flag for-loops, comprehensions, list()/tuple()/enumerate() and
+    str.join() consuming a syntactic set expression.
+
+    ``sorted(set(...))`` is the sanctioned fix and is not flagged —
+    ``sorted`` imposes a total order, which is the point.
+    """
+    hint = "impose an order first: sorted(<set>) (see repro/seeding/fmindex.py)"
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.For) and _is_set_expression(node.iter):
+            yield ctx.finding(
+                node.iter,
+                "set-iteration",
+                "GX103",
+                "for-loop iterates a set in hash order",
+                hint,
+            )
+        elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+            for generator in node.generators:
+                if _is_set_expression(generator.iter):
+                    yield ctx.finding(
+                        generator.iter,
+                        "set-iteration",
+                        "GX103",
+                        "comprehension iterates a set in hash order",
+                        hint,
+                    )
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Name)
+                and func.id in _ORDER_SENSITIVE_CALLS
+                and node.args
+                and _is_set_expression(node.args[0])
+            ):
+                yield ctx.finding(
+                    node,
+                    "set-iteration",
+                    "GX103",
+                    f"{func.id}() materialises a set's hash order",
+                    hint,
+                )
+            elif (
+                isinstance(func, ast.Attribute)
+                and func.attr == "join"
+                and node.args
+                and _is_set_expression(node.args[0])
+            ):
+                yield ctx.finding(
+                    node,
+                    "set-iteration",
+                    "GX103",
+                    "str.join() materialises a set's hash order",
+                    hint,
+                )

@@ -1,0 +1,130 @@
+"""Pickle-safety rule for the multiprocess engine.
+
+``ProcessPoolExecutor`` / ``multiprocessing`` ship work to workers by
+pickling the callable.  Pickle serialises functions *by qualified name*,
+so lambdas and functions defined inside another function (whose
+``__qualname__`` contains ``<locals>``) raise ``PicklingError`` — but
+only at runtime, only on spawn-based platforms, and only once a worker
+actually receives the task.  This rule moves that failure to lint time:
+any lambda or nested function handed to a pool-submission site is a
+finding (``pickle-callable``, GX301).
+
+Submission sites recognised:
+
+* ``<obj>.submit(fn, ...)``, ``<obj>.apply_async(fn, ...)``,
+  ``<obj>.starmap(fn, ...)``, ``<obj>.imap*(fn, ...)``, ``<obj>.map_async``
+* ``<obj>.map(fn, ...)`` when the receiver's name mentions a pool or
+  executor (plain ``.map`` on arbitrary objects is too common to flag)
+* ``initializer=`` keywords (pool constructors)
+* ``target=`` keywords (``multiprocessing.Process``)
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import RuleContext, rule
+
+_SUBMIT_METHODS: Tuple[str, ...] = (
+    "apply_async",
+    "imap",
+    "imap_unordered",
+    "map_async",
+    "starmap",
+    "starmap_async",
+    "submit",
+)
+
+_POOLISH_HINTS: Tuple[str, ...] = ("pool", "executor")
+
+
+def _local_callables(tree: ast.Module) -> Set[str]:
+    """Names bound to unpicklable callables: nested defs and lambdas.
+
+    A function defined inside another function pickles by a qualified
+    name containing ``<locals>`` and cannot be imported by a worker; a
+    lambda has no importable name at all, wherever it is assigned.
+    """
+    unpicklable: Set[str] = set()
+
+    def visit(node: ast.AST, inside_function: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if inside_function:
+                    unpicklable.add(child.name)
+                visit(child, True)
+            elif isinstance(child, ast.Assign):
+                if isinstance(child.value, ast.Lambda):
+                    for target in child.targets:
+                        if isinstance(target, ast.Name):
+                            unpicklable.add(target.id)
+                visit(child, inside_function)
+            else:
+                visit(child, inside_function)
+
+    visit(tree, False)
+    return unpicklable
+
+
+def _receiver_name(func: ast.Attribute) -> Optional[str]:
+    value = func.value
+    if isinstance(value, ast.Name):
+        return value.id
+    if isinstance(value, ast.Attribute):
+        return value.attr
+    return None
+
+
+def _looks_poolish(name: Optional[str]) -> bool:
+    if name is None:
+        return False
+    lowered = name.lower()
+    return any(hint in lowered for hint in _POOLISH_HINTS)
+
+
+@rule(
+    "pickle-callable",
+    "GX301",
+    "lambdas and nested functions cannot be pickled to worker processes; "
+    "only module-level callables may cross the process boundary",
+)
+def check_pickle_callable(ctx: RuleContext) -> Iterator[Finding]:
+    unpicklable = _local_callables(ctx.tree)
+    hint = (
+        "hoist the callable to module level (see _align_chunk and "
+        "_init_worker in repro/parallel/engine.py) so workers can import "
+        "it by qualified name"
+    )
+
+    def judge(value: ast.AST, where: str) -> Optional[Tuple[ast.AST, str]]:
+        if isinstance(value, ast.Lambda):
+            return value, f"lambda passed to {where} cannot be pickled"
+        if isinstance(value, ast.Name) and value.id in unpicklable:
+            return (
+                value,
+                f"{value.id!r} passed to {where} is a nested function or "
+                "lambda and cannot be pickled",
+            )
+        return None
+
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        candidates: List[Tuple[ast.AST, str]] = []
+        func = node.func
+        if isinstance(func, ast.Attribute) and node.args:
+            is_submit = func.attr in _SUBMIT_METHODS
+            is_pool_map = func.attr == "map" and _looks_poolish(_receiver_name(func))
+            if is_submit or is_pool_map:
+                verdict = judge(node.args[0], f"{func.attr}()")
+                if verdict is not None:
+                    candidates.append(verdict)
+        for keyword in node.keywords:
+            if keyword.arg in ("initializer", "target"):
+                verdict = judge(keyword.value, f"{keyword.arg}=")
+                if verdict is not None:
+                    candidates.append(verdict)
+        for anchor, message in candidates:
+            yield ctx.finding(anchor, "pickle-callable", "GX301", message, hint)

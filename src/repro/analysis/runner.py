@@ -1,0 +1,127 @@
+"""File collection and rule execution for genaxlint.
+
+One parse per module: the runner tokenises (for suppressions) and parses
+(for rules) each file once, hands the shared :class:`RuleContext` to every
+rule, then filters findings through the inline suppressions.  Runner-level
+problems — unparseable files, malformed or unknown suppression directives —
+are reported as findings too (codes ``GX001``/``GX002``), because a lint
+gate that crashes on bad input can be defeated by bad input.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import RuleContext, RuleSpec, all_rules
+from repro.analysis.suppress import SuppressionError, is_suppressed, parse_suppressions
+
+_SKIP_DIR_NAMES = frozenset(
+    {"__pycache__", ".git", ".mypy_cache", ".pytest_cache", "build", "dist"}
+)
+
+
+def collect_files(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories into a sorted, deduplicated .py file list."""
+    seen: Dict[str, None] = {}
+    for path in paths:
+        if os.path.isfile(path):
+            if path.endswith(".py"):
+                seen[os.path.normpath(path)] = None
+            continue
+        if not os.path.isdir(path):
+            raise FileNotFoundError(f"lint path does not exist: {path}")
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(
+                name
+                for name in dirnames
+                if name not in _SKIP_DIR_NAMES and not name.startswith(".")
+            )
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    seen[os.path.normpath(os.path.join(dirpath, filename))] = None
+    return sorted(seen)
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Sequence[RuleSpec]] = None,
+) -> List[Finding]:
+    """Run *rules* (default: all registered) over one module's source."""
+    if rules is None:
+        rules = all_rules()
+    findings: List[Finding] = []
+
+    try:
+        suppressions = parse_suppressions(source)
+    except SuppressionError as error:
+        findings.append(_meta_finding(path, 1, "GX002", str(error)))
+        suppressions = {}
+
+    known_rules = {spec.name for spec in all_rules()} | {"all"}
+    for line, names in sorted(suppressions.items()):
+        for name in sorted(names - known_rules):
+            findings.append(
+                _meta_finding(
+                    path,
+                    line,
+                    "GX002",
+                    f"suppression names unknown rule {name!r}",
+                )
+            )
+
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        findings.append(
+            _meta_finding(path, error.lineno or 1, "GX001", f"syntax error: {error.msg}")
+        )
+        return findings
+
+    ctx = RuleContext(path=path, source=source, tree=tree, suppressions=suppressions)
+    for spec in rules:
+        for finding in spec.func(ctx):
+            if not is_suppressed(suppressions, finding.line, finding.rule):
+                findings.append(finding)
+    findings.sort(key=lambda finding: (finding.path, finding.line, finding.code))
+    return findings
+
+
+def lint_files(
+    files: Iterable[str], rules: Optional[Sequence[RuleSpec]] = None
+) -> List[Finding]:
+    findings: List[Finding] = []
+    for path in files:
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        findings.extend(lint_source(source, path=path, rules=rules))
+    return findings
+
+
+def lint_paths(
+    paths: Sequence[str],
+    only: Optional[FrozenSet[str]] = None,
+) -> List[Finding]:
+    """Lint files/directories with all (or ``only``-restricted) rules."""
+    return lint_files(collect_files(paths), rules=all_rules(only))
+
+
+def _meta_finding(path: str, line: int, code: str, message: str) -> Finding:
+    rule_name = "parse-error" if code == "GX001" else "bad-suppression"
+    hints = {
+        "GX001": "fix the syntax error; unparseable files cannot be linted",
+        "GX002": "use '# genaxlint: disable=<rule>[,<rule>...]' with "
+        "registered rule names (repro-genaxlint --list-rules)",
+    }
+    return Finding(
+        path=path,
+        line=line,
+        column=1,
+        rule=rule_name,
+        code=code,
+        message=message,
+        hint=hints[code],
+    )

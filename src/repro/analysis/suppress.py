@@ -1,0 +1,71 @@
+"""Inline suppression comments: ``# genaxlint: disable=<rule>[,<rule>...]``.
+
+A suppression on a physical line silences findings *reported on that
+line* (the line of the AST node the rule anchors to).  ``disable=all``
+silences every rule on the line.  Suppressions are parsed from the token
+stream, not with a regex over raw source, so a ``disable=`` inside a
+string literal is never mistaken for one.
+"""
+
+from __future__ import annotations
+
+import io
+import tokenize
+from typing import Dict, FrozenSet, Set
+
+_MARKER = "genaxlint:"
+_ALL = "all"
+
+
+class SuppressionError(ValueError):
+    """A malformed ``genaxlint:`` comment (unknown directive, empty list)."""
+
+
+def parse_suppressions(source: str) -> Dict[int, FrozenSet[str]]:
+    """Map line number -> set of suppressed rule names (``{'all'}`` for all).
+
+    Raises :class:`SuppressionError` on a ``genaxlint:`` comment that is
+    not a well-formed ``disable=`` directive — a typo in a suppression
+    must fail loudly, otherwise it silently *enables* the finding it was
+    meant to waive.
+    """
+    suppressions: Dict[int, FrozenSet[str]] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError):
+        # Unparseable files are reported by the runner as syntax findings;
+        # there is nothing to suppress in them.
+        return suppressions
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        text = token.string.lstrip("#").strip()
+        if not text.startswith(_MARKER):
+            continue
+        directive = text[len(_MARKER) :].strip()
+        if not directive.startswith("disable="):
+            raise SuppressionError(
+                f"line {token.start[0]}: unknown genaxlint directive {directive!r} "
+                "(expected 'disable=<rule>[,<rule>...]')"
+            )
+        names: Set[str] = set()
+        for part in directive[len("disable=") :].split(","):
+            name = part.strip()
+            if not name:
+                raise SuppressionError(
+                    f"line {token.start[0]}: empty rule name in {directive!r}"
+                )
+            names.add(name)
+        line = token.start[0]
+        suppressions[line] = frozenset(names) | suppressions.get(line, frozenset())
+    return suppressions
+
+
+def is_suppressed(
+    suppressions: Dict[int, FrozenSet[str]], line: int, rule_name: str
+) -> bool:
+    """True if *rule_name* is disabled on *line*."""
+    names = suppressions.get(line)
+    if names is None:
+        return False
+    return _ALL in names or rule_name in names

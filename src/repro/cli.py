@@ -133,7 +133,10 @@ def _cmd_align(args: argparse.Namespace) -> int:
     reads = read_fastq(args.reads)
     if args.jobs < 1:
         raise SystemExit(f"--jobs must be >= 1, got {args.jobs}")
-    started = time.time()
+    # perf_counter, not time.time(): wall-clock time is not monotonic (NTP
+    # steps, DST) and must never measure elapsed time.  genaxlint's
+    # wall-clock rule (GX102) cites this site as the exemplar.
+    started = time.perf_counter()
     if args.pipeline == "genax":
         config = GenAxConfig(
             k=args.kmer,
@@ -165,7 +168,7 @@ def _cmd_align(args: argparse.Namespace) -> int:
             ),
         )
         mapped = [aligner.align_read(read.name, read.sequence) for read in reads]
-    elapsed = time.time() - started
+    elapsed = time.perf_counter() - started
     write_sam(args.output, reference, mapped, reads)
     stats = aligner.stats
     suffix = ""

@@ -15,7 +15,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional
 
 from repro.genome.reads import Read, SimulatedRead
 from repro.genome.reference import ReferenceGenome
@@ -62,9 +62,13 @@ class LongReadSimulator:
     error_model: LongReadErrorModel = field(default_factory=LongReadErrorModel)
     seed: int = 0
     both_strands: bool = True
+    rng: Optional[random.Random] = None  # explicit RNG; overrides ``seed``
 
     def __post_init__(self) -> None:
-        self._rng = random.Random(self.seed)
+        # One explicitly seeded RNG instance threaded through every draw:
+        # identical seeds give identical reads regardless of global RNG
+        # state (genaxlint GX101).
+        self._rng = self.rng if self.rng is not None else random.Random(self.seed)
         if self.min_length > len(self.reference):
             raise ValueError(
                 f"min_length {self.min_length} exceeds reference length "

@@ -108,9 +108,13 @@ class ReadSimulator:
     error_profile: ErrorProfile = field(default_factory=ErrorProfile)
     seed: int = 0
     both_strands: bool = True
+    rng: Optional[random.Random] = None  # explicit RNG; overrides ``seed``
 
     def __post_init__(self) -> None:
-        self._rng = random.Random(self.seed)
+        # One explicitly seeded RNG instance threaded through every draw:
+        # identical seeds give identical reads regardless of global RNG
+        # state (genaxlint GX101).
+        self._rng = self.rng if self.rng is not None else random.Random(self.seed)
         if self.variants is not None:
             self._donor = apply_variants(self.reference.sequence, self.variants)
             anchor_pairs = donor_to_reference_map(self.reference.sequence, self.variants)

@@ -126,12 +126,19 @@ class ReferenceBuilder:
     seed: int = 0
     gc: float = 0.41  # human-like GC fraction
     repeats: RepeatSpec = field(default_factory=RepeatSpec)
+    rng: Optional[random.Random] = None  # explicit RNG; overrides ``seed``
 
     def build(self, name: str = "synthetic") -> ReferenceGenome:
-        """Generate the reference genome."""
+        """Generate the reference genome.
+
+        All randomness comes from ``self.rng`` (if supplied) or a
+        ``random.Random(self.seed)`` constructed here — never from the
+        module-level global RNG — so identical seeds give identical
+        references regardless of global RNG state (genaxlint GX101).
+        """
         if self.length <= 0:
             raise ValueError(f"genome length must be positive, got {self.length}")
-        rng = random.Random(self.seed)
+        rng = self.rng if self.rng is not None else random.Random(self.seed)
         bases = list(random_dna(self.length, rng, gc=self.gc))
         self._plant_dispersed(bases, rng)
         self._plant_tandem(bases, rng)

@@ -31,10 +31,16 @@ from __future__ import annotations
 import multiprocessing
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.align.prefilter import PrefilterStats
-from repro.align.records import AlignmentStats, MappedRead
+from repro.align.records import (
+    AlignmentStats,
+    MappedRead,
+    NamedRead,
+    ReadInput,
+    as_named_read,
+)
 from repro.genome.reference import ReferenceGenome
 from repro.parallel.sharding import shard_batch
 from repro.pipeline.genax import GenAxAligner, GenAxConfig
@@ -43,7 +49,6 @@ from repro.seeding.cache import IndexCache
 from repro.seeding.index import IndexTables, build_segment_tables
 from repro.sillax.lane import LaneStats
 
-NamedRead = Tuple[str, str]
 
 
 @dataclass
@@ -145,15 +150,12 @@ class ParallelAligner:
     def align_read(self, name: str, sequence: str) -> MappedRead:
         return self.align_batch([(name, sequence)])[0]
 
-    def align_reads(self, reads) -> List[MappedRead]:
+    def align_reads(self, reads: Iterable[ReadInput]) -> List[MappedRead]:
         return self.align_batch(reads)
 
-    def align_batch(self, reads) -> List[MappedRead]:
+    def align_batch(self, reads: Iterable[ReadInput]) -> List[MappedRead]:
         """Map a batch, sharded over ``jobs`` workers; order is preserved."""
-        named: List[NamedRead] = [
-            (read.name, read.sequence) if hasattr(read, "sequence") else tuple(read)
-            for read in reads
-        ]
+        named: List[NamedRead] = [as_named_read(read) for read in reads]
         if not named:
             return []
         tables = self._ensure_tables()

@@ -15,10 +15,15 @@ throughput model behind Fig. 15.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence
 
-from repro.align.prefilter import MyersPrefilter
-from repro.align.records import AlignmentStats, MappedRead
+from repro.align.prefilter import MyersPrefilter, PrefilterStats
+from repro.align.records import (
+    AlignmentStats,
+    MappedRead,
+    ReadInput,
+    as_named_read,
+)
 from repro.align.scoring import BWA_MEM_SCHEME, ScoringScheme
 from repro.genome.reference import ReferenceGenome
 from repro.pipeline.common import (
@@ -154,17 +159,15 @@ class GenAxAligner:
             self.stats.reads_mapped += 1
         return mapped
 
-    def align_reads(self, reads) -> List[MappedRead]:
+    def align_reads(self, reads: Iterable[ReadInput]) -> List[MappedRead]:
         """Map a batch of (name, sequence) pairs or Read objects."""
         out = []
         for read in reads:
-            name, sequence = (
-                (read.name, read.sequence) if hasattr(read, "sequence") else read
-            )
+            name, sequence = as_named_read(read)
             out.append(self.align_read(name, sequence))
         return out
 
-    def align_batch(self, reads) -> List[MappedRead]:
+    def align_batch(self, reads: Iterable[ReadInput]) -> List[MappedRead]:
         """Segment-major batch mapping — the order the hardware runs (§VI).
 
         All reads (both orientations) are seeded against each segment in
@@ -174,10 +177,7 @@ class GenAxAligner:
         enforce it); the accounting difference is the point.
         """
         config = self.config
-        named = [
-            (read.name, read.sequence) if hasattr(read, "sequence") else read
-            for read in reads
-        ]
+        named = [as_named_read(read) for read in reads]
         # One oriented sequence list: forward then reverse per read.
         oriented: List[str] = []
         for __, sequence in named:
@@ -220,7 +220,7 @@ class GenAxAligner:
     # ------------------------------------------------------------ internals
 
     @property
-    def prefilter_stats(self):
+    def prefilter_stats(self) -> Optional["PrefilterStats"]:
         """The Myers prefilter's own counters (None when disabled)."""
         return self._prefilter.stats if self._prefilter is not None else None
 

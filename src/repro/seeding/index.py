@@ -20,9 +20,12 @@ from __future__ import annotations
 
 from bisect import bisect_left
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Sequence, Tuple
 
 from repro.genome.sequence import encode
+
+if TYPE_CHECKING:
+    from repro.genome.reference import SegmentView
 
 
 def kmer_code(kmer: str) -> int:
@@ -223,7 +226,7 @@ class IndexTables:
         return self.index.position_table_bytes() + self.index.index_table_bytes()
 
 
-def build_segment_tables(segments, k: int) -> List[IndexTables]:
+def build_segment_tables(segments: Iterable["SegmentView"], k: int) -> List[IndexTables]:
     """Build tables for every :class:`repro.genome.reference.SegmentView`."""
     return [
         IndexTables(

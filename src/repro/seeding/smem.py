@@ -207,7 +207,7 @@ class SmemFinder:
 
     def _probe_first_extension(
         self, read: str, pivot: int, candidates: List[int], length: int
-    ):
+    ) -> Tuple[List[int], int]:
         """Probing optimization: pick the cheapest second k-mer (§V item 3)."""
         k = self.config.k
         best: Optional[Tuple[int, int, Sequence[int]]] = None

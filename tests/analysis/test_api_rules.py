@@ -1,0 +1,163 @@
+"""Unit tests for the API-hygiene rules (GX401/GX402/GX403)."""
+
+import textwrap
+
+from repro.analysis import lint_source
+from repro.analysis.registry import all_rules
+
+
+def findings_for(source, rule, path="<string>"):
+    return [
+        f
+        for f in lint_source(textwrap.dedent(source), path=path)
+        if f.rule == rule
+    ]
+
+
+class TestMutableDefault:
+    def test_list_literal_default_caught(self):
+        found = findings_for(
+            """
+            def accumulate(item, into=[]):
+                into.append(item)
+                return into
+            """,
+            "mutable-default",
+        )
+        assert len(found) == 1
+        assert found[0].code == "GX401"
+        assert "accumulate" in found[0].message
+        assert "default_factory" in found[0].hint
+
+    def test_dict_call_and_kwonly_defaults_caught(self):
+        source = """
+            def configure(*, options=dict(), extras={}):
+                return options, extras
+            """
+        found = findings_for(source, "mutable-default")
+        assert len(found) == 2
+
+    def test_none_default_clean(self):
+        found = findings_for(
+            """
+            def accumulate(item, into=None):
+                if into is None:
+                    into = []
+                into.append(item)
+                return into
+            """,
+            "mutable-default",
+        )
+        assert found == []
+
+    def test_tuple_and_frozenset_defaults_clean(self):
+        found = findings_for(
+            """
+            def configure(order=(1, 2), flags=frozenset()):
+                return order, flags
+            """,
+            "mutable-default",
+        )
+        assert found == []
+
+
+class TestBareExcept:
+    def test_bare_except_caught(self):
+        found = findings_for(
+            """
+            def load(path):
+                try:
+                    return open(path).read()
+                except:
+                    return None
+            """,
+            "bare-except",
+        )
+        assert len(found) == 1
+        assert found[0].code == "GX402"
+
+    def test_typed_except_clean(self):
+        found = findings_for(
+            """
+            def load(path):
+                try:
+                    return open(path).read()
+                except OSError:
+                    return None
+            """,
+            "bare-except",
+        )
+        assert found == []
+
+
+class TestFloatEquality:
+    def test_float_literal_equality_caught(self):
+        source = """
+            def is_perfect(score):
+                return score == 1.0
+            """
+        found = findings_for(source, "float-equality", path="src/repro/x.py")
+        assert len(found) == 1
+        assert found[0].code == "GX403"
+        assert "isclose" in found[0].hint
+
+    def test_negative_float_and_noteq_caught(self):
+        source = """
+            def check(x, y):
+                return x != -0.5 or 2.5 == y
+            """
+        found = findings_for(source, "float-equality", path="src/repro/x.py")
+        assert len(found) == 2
+
+    def test_int_equality_clean(self):
+        source = """
+            def check(score):
+                return score == 1
+            """
+        assert findings_for(source, "float-equality", path="src/repro/x.py") == []
+
+    def test_inequality_comparisons_clean(self):
+        source = """
+            def check(score):
+                return score >= 1.0 or score < 0.25
+            """
+        assert findings_for(source, "float-equality", path="src/repro/x.py") == []
+
+    def test_tests_tree_is_exempt(self):
+        source = """
+            def test_fraction():
+                assert 0.5 == 0.5
+            """
+        assert (
+            findings_for(source, "float-equality", path="tests/test_x.py") == []
+        )
+
+
+class TestRegistry:
+    def test_all_shipped_rules_registered_with_unique_codes(self):
+        specs = all_rules()
+        names = {spec.name for spec in specs}
+        assert {
+            "unseeded-random",
+            "wall-clock",
+            "set-iteration",
+            "counter-merge",
+            "counter-snapshot",
+            "pickle-callable",
+            "mutable-default",
+            "bare-except",
+            "float-equality",
+        } <= names
+        codes = [spec.code for spec in specs]
+        assert len(codes) == len(set(codes))
+        assert all(spec.description for spec in specs)
+
+    def test_rule_restriction_and_unknown_rule(self):
+        restricted = all_rules(frozenset({"wall-clock"}))
+        assert [spec.name for spec in restricted] == ["wall-clock"]
+        try:
+            all_rules(frozenset({"no-such-rule"}))
+        except KeyError as error:
+            assert "no-such-rule" in str(error)
+        else:
+            raise AssertionError("unknown rule name must raise KeyError")

@@ -1,0 +1,169 @@
+"""Unit tests for the counter-hygiene rules (GX201/GX202).
+
+The regression this guards: a counter field added to a stats dataclass
+without a matching merge entry must be caught at lint time, because the
+parallel driver silently drops it otherwise (the ``table_bytes_streamed``
+audit from PR 1, made mechanical).
+"""
+
+import textwrap
+
+import repro.analysis.rules.counters as counters_rules
+from repro.analysis import lint_source
+from repro.analysis.config import (
+    COUNTER_ALLOWLIST,
+    allowlist_reasons,
+    merge_exempt_fields,
+    shard_variant_counters,
+)
+
+
+def findings_for(source, rule):
+    return [
+        f for f in lint_source(textwrap.dedent(source)) if f.rule == rule
+    ]
+
+
+COMPLETE_STATS = """
+    from dataclasses import dataclass
+
+    @dataclass
+    class FixtureStats:
+        hits: int = 0
+        misses: int = 0
+
+        def merge(self, other):
+            self.hits += other.hits
+            self.misses += other.misses
+    """
+
+# The regression fixture: ``misses`` declared but never merged.
+UNMERGED_FIELD_STATS = """
+    from dataclasses import dataclass
+
+    @dataclass
+    class FixtureStats:
+        hits: int = 0
+        misses: int = 0
+
+        def merge(self, other):
+            self.hits += other.hits
+    """
+
+
+class TestCounterMerge:
+    def test_complete_merge_clean(self):
+        assert findings_for(COMPLETE_STATS, "counter-merge") == []
+
+    def test_field_added_without_merge_entry_is_caught(self):
+        found = findings_for(UNMERGED_FIELD_STATS, "counter-merge")
+        assert len(found) == 1
+        assert found[0].code == "GX201"
+        assert "FixtureStats.misses" in found[0].message
+        # The finding points at the field declaration, not the class head.
+        assert "COUNTER_ALLOWLIST" in found[0].hint
+
+    def test_nested_merge_and_extend_count_as_handled(self):
+        source = """
+            from dataclasses import dataclass, field
+
+            @dataclass
+            class FixtureStats:
+                inner: object = None
+                samples: list = field(default_factory=list)
+
+                def merge(self, other):
+                    self.inner.merge(other.inner)
+                    self.samples.extend(other.samples)
+            """
+        assert findings_for(source, "counter-merge") == []
+
+    def test_docstring_mention_does_not_count_as_merged(self):
+        source = """
+            from dataclasses import dataclass
+
+            @dataclass
+            class FixtureStats:
+                hits: int = 0
+
+                def merge(self, other):
+                    "merges hits"
+            """
+        found = findings_for(source, "counter-merge")
+        assert len(found) == 1
+
+    def test_stats_class_without_merge_is_out_of_scope(self):
+        source = """
+            from dataclasses import dataclass
+
+            @dataclass
+            class SnapshotOnlyStats:
+                hits: int = 0
+            """
+        assert findings_for(source, "counter-merge") == []
+
+    def test_non_dataclass_ignored(self):
+        source = """
+            class FixtureStats:
+                def merge(self, other):
+                    pass
+            """
+        assert findings_for(source, "counter-merge") == []
+
+    def test_allowlisted_field_is_exempt(self, monkeypatch):
+        monkeypatch.setattr(
+            counters_rules,
+            "merge_exempt_fields",
+            lambda: frozenset({"FixtureStats.misses"}),
+        )
+        assert findings_for(UNMERGED_FIELD_STATS, "counter-merge") == []
+
+
+class TestCounterSnapshot:
+    def test_complete_as_dict_clean(self):
+        source = """
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class FixtureCounters:
+                hits: int
+                misses: int
+
+                def as_dict(self):
+                    return {"hits": self.hits, "misses": self.misses}
+            """
+        assert findings_for(source, "counter-snapshot") == []
+
+    def test_missing_export_is_caught(self):
+        source = """
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class FixtureCounters:
+                hits: int
+                misses: int
+
+                def as_dict(self):
+                    return {"hits": self.hits}
+            """
+        found = findings_for(source, "counter-snapshot")
+        assert len(found) == 1
+        assert found[0].code == "GX202"
+        assert "misses" in found[0].message
+
+
+class TestAllowlistPolicy:
+    def test_table_bytes_streamed_is_documented_shard_variant(self):
+        assert "table_bytes_streamed" in shard_variant_counters()
+        reasons = allowlist_reasons()
+        assert "SeedingStats.table_bytes_streamed" in reasons
+        # The allowlist IS the documentation: reasons must be substantive.
+        assert all(len(reason) > 40 for reason in reasons.values())
+
+    def test_shipped_allowlist_has_no_merge_exemptions(self):
+        # Every current counter is merged; the merge-exemption escape
+        # hatch exists but starts empty.  If this fails, a new exemption
+        # was added — make sure DESIGN.md's allowlist policy section was
+        # updated with it.
+        assert merge_exempt_fields() == frozenset()
+        assert all(entry.reason for entry in COUNTER_ALLOWLIST)

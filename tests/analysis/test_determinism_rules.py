@@ -1,0 +1,196 @@
+"""Unit tests for the determinism rules (GX101/GX102/GX103).
+
+Fixtures are source *strings*, never real code, so the repo self-check
+(tests are linted too) stays clean.
+"""
+
+import textwrap
+
+from repro.analysis import lint_source
+
+
+def findings_for(source, rule):
+    return [
+        f for f in lint_source(textwrap.dedent(source)) if f.rule == rule
+    ]
+
+
+class TestUnseededRandom:
+    def test_module_level_call_flagged(self):
+        found = findings_for(
+            """
+            import random
+
+            def pick():
+                return random.randint(0, 3)
+            """,
+            "unseeded-random",
+        )
+        assert len(found) == 1
+        assert found[0].code == "GX101"
+        assert "random.randint" in found[0].message
+        assert "random.Random(seed)" in found[0].hint
+
+    def test_from_import_call_flagged(self):
+        found = findings_for(
+            """
+            from random import shuffle
+
+            def scramble(items):
+                shuffle(items)
+            """,
+            "unseeded-random",
+        )
+        assert len(found) == 1
+        assert "shuffle" in found[0].message
+
+    def test_seeded_instance_clean(self):
+        found = findings_for(
+            """
+            import random
+
+            def pick(seed):
+                rng = random.Random(seed)
+                return rng.randint(0, 3)
+            """,
+            "unseeded-random",
+        )
+        assert found == []
+
+    def test_numpy_global_flagged_seeded_generator_clean(self):
+        source = """
+            import numpy as np
+
+            def bad():
+                return np.random.rand(4)
+
+            def good(seed):
+                return np.random.default_rng(seed).random(4)
+            """
+        found = findings_for(source, "unseeded-random")
+        assert len(found) == 1
+        assert "numpy.random.rand" in found[0].message
+
+    def test_unseeded_default_rng_flagged(self):
+        found = findings_for(
+            """
+            import numpy as np
+
+            def bad():
+                return np.random.default_rng()
+            """,
+            "unseeded-random",
+        )
+        assert len(found) == 1
+        assert "default_rng" in found[0].message
+
+    def test_instance_methods_on_other_names_clean(self):
+        # rng.random() is an instance draw, not the module-level global.
+        found = findings_for(
+            """
+            def corrupt(rng):
+                return rng.random() < 0.5
+            """,
+            "unseeded-random",
+        )
+        assert found == []
+
+
+class TestWallClock:
+    def test_time_time_flagged_with_cli_exemplar_hint(self):
+        found = findings_for(
+            """
+            import time
+
+            def measure():
+                return time.time()
+            """,
+            "wall-clock",
+        )
+        assert len(found) == 1
+        assert found[0].code == "GX102"
+        # The rule cites the fixed CLI site as its exemplar (satellite).
+        assert "repro/cli.py" in found[0].hint
+        assert "perf_counter" in found[0].hint
+
+    def test_from_import_flagged(self):
+        found = findings_for(
+            """
+            from time import time
+
+            def measure():
+                return time()
+            """,
+            "wall-clock",
+        )
+        assert len(found) == 1
+
+    def test_perf_counter_clean(self):
+        found = findings_for(
+            """
+            import time
+
+            def measure():
+                return time.perf_counter()
+            """,
+            "wall-clock",
+        )
+        assert found == []
+
+
+class TestSetIteration:
+    def test_for_over_set_call_flagged(self):
+        found = findings_for(
+            """
+            def emit(items):
+                for item in set(items):
+                    print(item)
+            """,
+            "set-iteration",
+        )
+        assert len(found) == 1
+        assert found[0].code == "GX103"
+        assert "sorted" in found[0].hint
+
+    def test_list_of_set_and_join_flagged(self):
+        source = """
+            def emit(items):
+                order = list({1, 2, 3})
+                text = ",".join(set(items))
+                return order, text
+            """
+        found = findings_for(source, "set-iteration")
+        assert len(found) == 2
+
+    def test_comprehension_over_set_flagged(self):
+        found = findings_for(
+            """
+            def emit(items):
+                return [item for item in set(items)]
+            """,
+            "set-iteration",
+        )
+        assert len(found) == 1
+
+    def test_sorted_set_clean(self):
+        found = findings_for(
+            """
+            def emit(items):
+                for item in sorted(set(items)):
+                    print(item)
+                return sorted({1, 2})
+            """,
+            "set-iteration",
+        )
+        assert found == []
+
+    def test_set_union_iteration_flagged(self):
+        found = findings_for(
+            """
+            def emit(a, b):
+                for item in set(a) | set(b):
+                    print(item)
+            """,
+            "set-iteration",
+        )
+        assert len(found) == 1

@@ -1,0 +1,115 @@
+"""Unit tests for the pickle-safety rule (GX301)."""
+
+import textwrap
+
+from repro.analysis import lint_source
+
+
+def findings_for(source, rule="pickle-callable"):
+    return [
+        f for f in lint_source(textwrap.dedent(source)) if f.rule == rule
+    ]
+
+
+class TestPickleCallable:
+    def test_lambda_submitted_to_pool_is_caught(self):
+        found = findings_for(
+            """
+            def run(pool, chunk):
+                return pool.submit(lambda c: c * 2, chunk)
+            """
+        )
+        assert len(found) == 1
+        assert found[0].code == "GX301"
+        assert "lambda" in found[0].message
+        assert "engine.py" in found[0].hint
+
+    def test_nested_function_submitted_is_caught(self):
+        found = findings_for(
+            """
+            def run(executor, chunks):
+                def work(chunk):
+                    return chunk * 2
+                return [executor.submit(work, c) for c in chunks]
+            """
+        )
+        assert len(found) == 1
+        assert "'work'" in found[0].message
+
+    def test_module_level_function_clean(self):
+        found = findings_for(
+            """
+            def work(chunk):
+                return chunk * 2
+
+            def run(pool, chunks):
+                return [pool.submit(work, c) for c in chunks]
+            """
+        )
+        assert found == []
+
+    def test_lambda_initializer_caught(self):
+        found = findings_for(
+            """
+            def run(make_pool):
+                return make_pool(max_workers=2, initializer=lambda: None)
+            """
+        )
+        assert len(found) == 1
+
+    def test_nested_process_target_caught(self):
+        found = findings_for(
+            """
+            import multiprocessing
+
+            def run():
+                def job():
+                    pass
+                p = multiprocessing.Process(target=job)
+                p.start()
+            """
+        )
+        assert len(found) == 1
+
+    def test_pool_map_with_lambda_caught(self):
+        found = findings_for(
+            """
+            def run(pool, chunks):
+                return pool.map(lambda c: c * 2, chunks)
+            """
+        )
+        assert len(found) == 1
+
+    def test_plain_map_on_non_pool_receiver_not_flagged(self):
+        # ``.map`` is everywhere (pandas, executors, custom APIs); only
+        # pool/executor-named receivers are in scope.
+        found = findings_for(
+            """
+            def run(series):
+                return series.map(lambda value: value * 2)
+            """
+        )
+        assert found == []
+
+    def test_sort_key_lambda_not_flagged(self):
+        # Lambdas that never cross a process boundary are fine — the
+        # engine's merge sort uses one.
+        found = findings_for(
+            """
+            def merge(results):
+                results.sort(key=lambda result: result.chunk_id)
+                return results
+            """
+        )
+        assert found == []
+
+    def test_named_lambda_submitted_is_caught(self):
+        found = findings_for(
+            """
+            double = lambda value: value * 2
+
+            def run(pool, chunk):
+                return pool.submit(double, chunk)
+            """
+        )
+        assert len(found) == 1

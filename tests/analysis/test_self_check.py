@@ -1,0 +1,48 @@
+"""The shipped codebase must satisfy its own lint gate.
+
+This is the test the whole tentpole exists for: every invariant genaxlint
+encodes (seeded RNGs, monotonic clocks, complete counter merges, pickle
+safety, API hygiene) holds over ``src/``, ``benchmarks/``, ``tests/`` and
+``examples/`` with **zero inline suppressions** — the only sanctioned
+exceptions live in the documented counter allowlist.
+"""
+
+import os
+
+from repro.analysis.findings import render_text
+from repro.analysis.runner import collect_files, lint_files
+from repro.analysis.suppress import parse_suppressions
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+LINT_ROOTS = [
+    os.path.join(REPO_ROOT, name)
+    for name in ("src", "benchmarks", "tests", "examples")
+]
+
+
+def repo_files():
+    files = collect_files(LINT_ROOTS)
+    assert len(files) > 100, "lint roots look wrong — far too few files found"
+    return files
+
+
+class TestSelfCheck:
+    def test_repository_is_lint_clean(self):
+        findings = lint_files(repo_files())
+        assert findings == [], "\n" + render_text(findings)
+
+    def test_no_inline_suppressions_anywhere(self):
+        """Zero ``# genaxlint: disable`` comments ship in the repo.
+
+        The suppression mechanism exists for downstream forks and
+        emergencies; this codebase's only sanctioned exceptions are the
+        counter-allowlist entries in ``repro.analysis.config``, which are
+        reviewed and documented in one place.
+        """
+        offenders = []
+        for path in repo_files():
+            with open(path, "r", encoding="utf-8") as handle:
+                suppressions = parse_suppressions(handle.read())
+            if suppressions:
+                offenders.append((path, sorted(suppressions)))
+        assert offenders == []

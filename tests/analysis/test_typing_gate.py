@@ -1,0 +1,40 @@
+"""The mypy strict-typing gate, run as a test when mypy is available.
+
+CI installs mypy and runs it as a blocking job (see
+``.github/workflows/ci.yml``); locally this test gives the same signal
+from the tier-1 suite, skipping cleanly on machines without mypy rather
+than failing the environment.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+pytest.importorskip("mypy")
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+
+def test_strict_packages_pass_mypy():
+    result = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "mypy",
+            "-p",
+            "repro.parallel",
+            "-p",
+            "repro.seeding",
+            "-p",
+            "repro.align",
+            "-p",
+            "repro.analysis",
+        ],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        env={**os.environ, "MYPYPATH": os.path.join(REPO_ROOT, "src")},
+    )
+    assert result.returncode == 0, result.stdout + result.stderr

@@ -9,6 +9,7 @@ batch, and every merged counter matches the serial run's — except
 
 import pytest
 
+from repro.analysis.config import shard_variant_counters
 from repro.pipeline.counters import collect_counters
 from repro.pipeline.genax import GenAxAligner, GenAxConfig
 from repro.parallel import ParallelAligner
@@ -96,6 +97,35 @@ class TestConcordance:
             parallel.seeding_stats.table_bytes_streamed
             > serial.seeding_stats.table_bytes_streamed
         )
+
+    @pytest.mark.parametrize("jobs", [2, 4])
+    def test_every_counter_matches_serial_unless_allowlisted(
+        self, small_reference, batch, serial_run, jobs
+    ):
+        """Walk the *whole* counter surface: equality is the default, and
+        any exception must be declared in the genaxlint counter allowlist
+        (repro.analysis.config.COUNTER_ALLOWLIST) — the allowlist is the
+        single audited list of shard-variant counters, so an undeclared
+        divergence fails here and a declared one is asserted to actually
+        diverge (a stale allowlist entry also fails)."""
+        serial, __ = serial_run
+        parallel = ParallelAligner(small_reference, GenAxConfig(**CONFIG), jobs=jobs)
+        parallel.align_batch(batch)
+        serial_counters = collect_counters(serial).as_dict()
+        parallel_counters = collect_counters(parallel).as_dict()
+        variant = shard_variant_counters()
+        assert "table_bytes_streamed" in variant
+        for name, serial_value in serial_counters.items():
+            if name in variant:
+                assert parallel_counters[name] > serial_value, (
+                    f"{name} is allowlisted as shard-variant but did not "
+                    "diverge — remove the stale allowlist entry"
+                )
+            else:
+                assert parallel_counters[name] == serial_value, (
+                    f"counter {name} diverged under sharding without a "
+                    "COUNTER_ALLOWLIST entry"
+                )
 
     def test_collect_counters_accepts_parallel_aligner(
         self, small_reference, batch
