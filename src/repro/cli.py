@@ -23,8 +23,9 @@ from repro.genome.fasta import read_fasta, read_fastq, write_fasta, write_fastq
 from repro.genome.reads import ReadSimulator
 from repro.genome.reference import ReferenceGenome, make_reference
 from repro.genome.variants import simulate_variants
-from repro.pipeline.bwamem import BwaMemAligner, BwaMemConfig
-from repro.pipeline.genax import GenAxAligner, GenAxConfig
+from repro.pipeline.bwamem import BwaMemConfig
+from repro.pipeline.genax import GenAxConfig
+from repro.pipeline.registry import backend_names, get_backend
 from repro.pipeline.sam import write_sam
 from repro.seeding.accelerator import SeedingAccelerator
 from repro.seeding.smem import SmemConfig
@@ -51,7 +52,10 @@ def _build_parser() -> argparse.ArgumentParser:
     align.add_argument("reads")
     align.add_argument("output", help="SAM output path")
     align.add_argument(
-        "--pipeline", choices=("genax", "bwamem"), default="genax"
+        "--pipeline",
+        choices=backend_names(),
+        default="genax",
+        help="mapping backend, from the pipeline registry",
     )
     align.add_argument("--edit-bound", type=int, default=12)
     align.add_argument("--segments", type=int, default=4)
@@ -61,7 +65,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--jobs",
         type=int,
         default=1,
-        help="worker processes for the genax pipeline (1 = in-process serial)",
+        help="worker processes for any pipeline (1 = in-process serial)",
     )
     align.add_argument(
         "--prefilter",
@@ -138,7 +142,7 @@ def _cmd_align(args: argparse.Namespace) -> int:
     # wall-clock rule (GX102) cites this site as the exemplar.
     started = time.perf_counter()
     if args.pipeline == "genax":
-        config = GenAxConfig(
+        config: object = GenAxConfig(
             k=args.kmer,
             edit_bound=args.edit_bound,
             segment_count=args.segments,
@@ -147,36 +151,37 @@ def _cmd_align(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             cache_dir=args.cache_dir,
         )
-        if args.jobs > 1:
-            from repro.parallel import ParallelAligner
-
-            aligner = ParallelAligner(reference, config)
-        else:
-            aligner = GenAxAligner(reference, config)
-        mapped = aligner.align_batch(reads)
     else:
-        if args.jobs > 1 or args.prefilter or args.cache_dir:
+        if args.prefilter or args.cache_dir:
             print(
-                "warning: --jobs/--prefilter/--cache-dir only apply to the "
+                "warning: --prefilter/--cache-dir only apply to the "
                 "genax pipeline",
                 file=sys.stderr,
             )
-        aligner = BwaMemAligner(
-            reference,
-            BwaMemConfig(
-                k=args.kmer, band=args.edit_bound, min_score=args.min_score
-            ),
+        config = BwaMemConfig(
+            k=args.kmer,
+            band=args.edit_bound,
+            min_score=args.min_score,
+            jobs=args.jobs,
         )
-        mapped = [aligner.align_read(read.name, read.sequence) for read in reads]
+    # Every registered backend shards through the same parallel driver;
+    # jobs == 1 builds the serial aligner straight from the registry.
+    if args.jobs > 1:
+        from repro.parallel import ParallelAligner
+
+        aligner = ParallelAligner(reference, config, backend=args.pipeline)
+        mapped = aligner.align_batch(reads)
+    else:
+        serial = get_backend(args.pipeline).build(reference, config, None)
+        mapped = serial.align_batch(reads)
+        aligner = serial
     elapsed = time.perf_counter() - started
     write_sam(args.output, reference, mapped, reads)
     stats = aligner.stats
-    suffix = ""
-    if args.pipeline == "genax":
-        suffix += f" with {args.jobs} job(s)"
-        if args.prefilter:
-            checked = stats.candidates_filtered + stats.candidates_survived
-            suffix += f", prefilter rejected {stats.candidates_filtered}/{checked}"
+    suffix = f" with {args.jobs} job(s)"
+    if args.pipeline == "genax" and args.prefilter:
+        checked = stats.candidates_filtered + stats.candidates_survived
+        suffix += f", prefilter rejected {stats.candidates_filtered}/{checked}"
     print(
         f"{args.pipeline}: mapped {stats.reads_mapped}/{stats.reads_total} reads "
         f"({stats.reads_exact} exact) in {elapsed:.1f}s"

@@ -4,7 +4,9 @@ The subsystem has three load-bearing pieces, each usable on its own:
 
 * :class:`ParallelAligner` (:mod:`repro.parallel.engine`) — shards a read
   batch across worker processes and merges mappings + hardware counters
-  back deterministically; drop-in for ``GenAxAligner``.
+  back deterministically; wraps *any* backend registered in
+  :mod:`repro.pipeline.registry` (``genax``, ``bwamem``, ...) as a
+  drop-in for the serial aligner.
 * :class:`MyersPrefilter` (:mod:`repro.align.prefilter`, re-exported here)
   — bit-vector pre-alignment filter that rejects hopeless extension
   candidates before the cycle-accurate SillaX lane runs.

@@ -1,36 +1,42 @@
-"""Shard-parallel batch alignment driver.
+"""Shard-parallel batch alignment driver, backend-agnostic.
 
 The paper's GenAx gets its throughput from 128 seeding lanes and 4 SillaX
 lanes running concurrently (§VI, Fig. 11); the pure-Python simulator runs
 every lane serially.  :class:`ParallelAligner` recovers data-parallelism at
 the *batch* level instead: the read batch is sharded into contiguous
 chunks (:mod:`repro.parallel.sharding`), each chunk is mapped by a worker
-process running the unmodified segment-major :class:`GenAxAligner` inner
-loop, and the per-worker counters are merged back into one snapshot in
-deterministic chunk order.
+process running the unmodified segment-major inner loop of **any backend
+registered in** :mod:`repro.pipeline.registry` — the worker factory is
+keyed by registry name, so ``genax`` and ``bwamem`` (and every future
+backend) shard through the same driver — and the per-worker counters are
+merged back into one :class:`~repro.pipeline.registry.BackendRunStats`
+snapshot in deterministic chunk order.
 
-Because reads are independent in the GenAx pipeline — seeding, candidate
-generation and SillaX extension never look across reads, and the lane
-round-robin only spreads accounting — the sharded output is **bit-identical**
-to ``GenAxAligner.align_batch`` on the same batch, for any worker count.
-The concordance tests assert exactly that.  Every merged counter is also
-identical to the serial run's — except ``table_bytes_streamed``, which
-grows with the chunk count because each shard streams the segment tables
-through its own (modelled) SRAM; that is the honest DDR-traffic price of
-sharding a segment-major pipeline and is asserted, not hidden, in tests.
+Because reads are independent in the staged pipeline — seeding, candidate
+generation and extension never look across reads, and lane round-robin
+only spreads accounting — the sharded output is **bit-identical** to the
+serial ``align_batch`` on the same batch, for any backend and any worker
+count.  The concordance tests assert exactly that.  Every merged counter
+is also identical to the serial run's — except ``table_bytes_streamed``
+on segmented backends, which grows with the chunk count because each
+shard streams the segment tables through its own (modelled) SRAM; that is
+the honest DDR-traffic price of sharding a segment-major pipeline and is
+asserted, not hidden, in tests (and declared in the genaxlint counter
+allowlist).
 
-Worker bootstrap cost is kept off the hot path two ways: the parent builds
-(or cache-loads, see :mod:`repro.seeding.cache`) the segmented index tables
-once and shares them with fork-started workers copy-on-write; on spawn-based
-platforms each worker falls back to ``cache_dir`` so at most one cold build
-happens per machine.
+Worker bootstrap cost is kept off the hot path two ways: the parent
+builds (or cache-loads, see :mod:`repro.seeding.cache`) the backend's
+index tables once via the registry's ``prepare`` hook and shares them
+with fork-started workers copy-on-write; on spawn-based platforms each
+worker falls back to rebuilding (cache-assisted where the backend's
+config carries a ``cache_dir``), so at most one cold build happens per
+machine.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.align.prefilter import PrefilterStats
@@ -43,12 +49,18 @@ from repro.align.records import (
 )
 from repro.genome.reference import ReferenceGenome
 from repro.parallel.sharding import shard_batch
-from repro.pipeline.genax import GenAxAligner, GenAxConfig
-from repro.seeding.accelerator import SeedingAccelerator, SeedingStats
-from repro.seeding.cache import IndexCache
-from repro.seeding.index import IndexTables, build_segment_tables
+from repro.pipeline.genax import GenAxConfig
+from repro.pipeline.registry import (
+    BackendConfig,
+    BackendRunStats,
+    BackendSpec,
+    PipelineBackend,
+    SharedTables,
+    backend_for_config,
+    get_backend,
+)
+from repro.seeding.accelerator import SeedingStats
 from repro.sillax.lane import LaneStats
-
 
 
 @dataclass
@@ -57,46 +69,47 @@ class ShardResult:
 
     chunk_id: int
     mapped: List[MappedRead]
-    stats: AlignmentStats
-    lane_stats: LaneStats
-    seeding_stats: SeedingStats
+    counters: BackendRunStats
 
 
-# Worker-process state.  ``_FORK_TABLES`` is set in the parent immediately
-# before the pool is created so fork-started workers inherit the built
+# Worker-process state.  ``_FORK_SHARED`` is set in the parent immediately
+# before the pool is created so fork-started workers inherit the prebuilt
 # tables copy-on-write; ``_WORKER_FACTORY`` is installed by the pool
 # initializer in each worker.
-_FORK_TABLES: Optional[List[IndexTables]] = None
-_WORKER_FACTORY: Optional[Callable[[], GenAxAligner]] = None
+_FORK_SHARED: Optional[SharedTables] = None
+_WORKER_FACTORY: Optional[Callable[[], Tuple[BackendSpec, PipelineBackend]]] = None
 
 
-def _init_worker(reference: ReferenceGenome, config: GenAxConfig) -> None:
+def _init_worker(
+    backend_name: str, reference: ReferenceGenome, config: BackendConfig
+) -> None:
     global _WORKER_FACTORY
-    tables = _FORK_TABLES  # None on spawn platforms -> rebuild/cache-load
+    spec = get_backend(backend_name)
+    shared = _FORK_SHARED  # None on spawn platforms -> rebuild/cache-load
 
-    def factory() -> GenAxAligner:
-        return GenAxAligner(reference, config, tables=tables)
+    def factory() -> Tuple[BackendSpec, PipelineBackend]:
+        return spec, spec.build(reference, config, shared)
 
     _WORKER_FACTORY = factory
 
 
 def _align_chunk(chunk_id: int, reads: Sequence[NamedRead]) -> ShardResult:
     assert _WORKER_FACTORY is not None, "worker used before initialization"
-    aligner = _WORKER_FACTORY()
+    spec, aligner = _WORKER_FACTORY()
     mapped = aligner.align_batch(reads)
     return ShardResult(
         chunk_id=chunk_id,
         mapped=mapped,
-        stats=aligner.stats,
-        lane_stats=aligner.lane_stats,
-        seeding_stats=aligner.seeding_stats,
+        counters=spec.collect(aligner),
     )
 
 
 class ParallelAligner:
-    """``GenAxAligner``-compatible driver that shards batches across processes.
+    """Aligner-compatible driver that shards batches across processes.
 
-    Exposes the same ``align_batch`` / ``align_reads`` / ``align_read``
+    Wraps any backend registered in :mod:`repro.pipeline.registry`
+    (chosen by ``backend`` name, or inferred from the config's type) and
+    exposes the same ``align_batch`` / ``align_reads`` / ``align_read``
     contract and the same ``stats`` / ``lane_stats`` / ``seeding_stats``
     counter surface, so :func:`repro.pipeline.counters.collect_counters`
     and the concordance tests treat it as a drop-in aligner.
@@ -105,30 +118,61 @@ class ParallelAligner:
     def __init__(
         self,
         reference: ReferenceGenome,
-        config: Optional[GenAxConfig] = None,
+        config: Optional[BackendConfig] = None,
         jobs: Optional[int] = None,
         chunks_per_job: int = 4,
+        backend: Optional[str] = None,
     ) -> None:
         self.reference = reference
-        self.config = config or GenAxConfig()
-        self.jobs = jobs if jobs is not None else max(1, self.config.jobs)
+        if backend is not None:
+            self._spec = get_backend(backend)
+        elif config is not None:
+            self._spec = backend_for_config(config)
+        else:
+            self._spec = get_backend("genax")
+        self.config = (
+            config if config is not None else self._spec.default_config()
+        )
+        if not isinstance(self.config, self._spec.config_type):
+            raise ValueError(
+                f"backend {self._spec.name!r} expects a "
+                f"{self._spec.config_type.__name__}, got "
+                f"{type(self.config).__name__}"
+            )
+        config_jobs = int(getattr(self.config, "jobs", 1))
+        self.jobs = jobs if jobs is not None else max(1, config_jobs)
         if self.jobs <= 0:
             raise ValueError(f"jobs must be positive, got {self.jobs}")
         self.chunks_per_job = chunks_per_job
-        self.stats = AlignmentStats()
-        self._lane_stats = LaneStats()
-        self._seeding_stats = SeedingStats()
-        self._tables: Optional[List[IndexTables]] = None
+        self._counters = BackendRunStats(backend=self._spec.name)
+        self.stats: AlignmentStats = self._counters.alignment
+        self._shared: Optional[SharedTables] = None
 
     # ----------------------------------------------------------------- API
 
     @property
+    def backend(self) -> str:
+        """The registry name of the wrapped backend."""
+        return self._spec.name
+
+    @property
     def lane_stats(self) -> LaneStats:
-        return self._lane_stats
+        """Merged extension-lane statistics (empty for software backends)."""
+        if self._counters.lanes is None:
+            return LaneStats()
+        return self._counters.lanes
 
     @property
     def seeding_stats(self) -> SeedingStats:
-        return self._seeding_stats
+        """Merged seeding statistics (empty for unsegmented backends)."""
+        if self._counters.seeding is None:
+            return SeedingStats()
+        return self._counters.seeding
+
+    @property
+    def counters(self) -> BackendRunStats:
+        """The merged backend counter bundle."""
+        return self._counters
 
     @property
     def prefilter_stats(self) -> Optional[PrefilterStats]:
@@ -137,7 +181,7 @@ class ParallelAligner:
         Reconstructed from the merged :class:`AlignmentStats`, which carry
         the same candidate/cycle counts the per-worker filters recorded.
         """
-        if not self.config.prefilter:
+        if not isinstance(self.config, GenAxConfig) or not self.config.prefilter:
             return None
         return PrefilterStats(
             candidates_checked=(
@@ -158,53 +202,43 @@ class ParallelAligner:
         named: List[NamedRead] = [as_named_read(read) for read in reads]
         if not named:
             return []
-        tables = self._ensure_tables()
+        shared = self._ensure_shared()
         if self.jobs == 1 or len(named) == 1:
             # In-process fast path: no pool, no pickling, same code path
             # the workers run.
-            aligner = GenAxAligner(self.reference, self.config, tables=tables)
+            aligner = self._spec.build(self.reference, self.config, shared)
             mapped = aligner.align_batch(named)
-            self._absorb(aligner.stats, aligner.lane_stats, aligner.seeding_stats)
+            self._counters.merge(self._spec.collect(aligner))
             return mapped
 
         chunks = shard_batch(named, self.jobs, self.chunks_per_job)
-        results = self._dispatch(chunks, tables)
+        results = self._dispatch(chunks)
         results.sort(key=lambda result: result.chunk_id)
-        mapped: List[MappedRead] = []
+        ordered: List[MappedRead] = []
         for result in results:
-            mapped.extend(result.mapped)
-            self._absorb(result.stats, result.lane_stats, result.seeding_stats)
-        return mapped
+            ordered.extend(result.mapped)
+            self._counters.merge(result.counters)
+        return ordered
 
     # ------------------------------------------------------------ internals
 
-    def _ensure_tables(self) -> List[IndexTables]:
-        """Build (or cache-load) the segmented index once, in the parent."""
-        if self._tables is None:
-            config = self.config
-            overlap = SeedingAccelerator.SEGMENT_OVERLAP
-            if config.cache_dir is not None:
-                self._tables = IndexCache(config.cache_dir).load_or_build(
-                    self.reference, config.k, config.segment_count, overlap
-                )
-            else:
-                self._tables = build_segment_tables(
-                    self.reference.segments(config.segment_count, overlap=overlap),
-                    config.k,
-                )
-        return self._tables
+    def _ensure_shared(self) -> SharedTables:
+        """Build (or cache-load) the backend's tables once, in the parent."""
+        if self._shared is None:
+            self._shared = self._spec.prepare(self.reference, self.config)
+        return self._shared
 
     def _dispatch(
-        self, chunks: List[Tuple[int, Sequence[NamedRead]]], tables: List[IndexTables]
+        self, chunks: List[Tuple[int, Sequence[NamedRead]]]
     ) -> List[ShardResult]:
-        global _FORK_TABLES
+        global _FORK_SHARED
         workers = min(self.jobs, len(chunks))
-        _FORK_TABLES = tables
+        _FORK_SHARED = self._shared
         try:
             with ProcessPoolExecutor(
                 max_workers=workers,
                 initializer=_init_worker,
-                initargs=(self.reference, self.config),
+                initargs=(self._spec.name, self.reference, self.config),
             ) as pool:
                 futures = [
                     pool.submit(_align_chunk, chunk_id, chunk)
@@ -212,11 +246,4 @@ class ParallelAligner:
                 ]
                 return [future.result() for future in futures]
         finally:
-            _FORK_TABLES = None
-
-    def _absorb(
-        self, stats: AlignmentStats, lanes: LaneStats, seeding: SeedingStats
-    ) -> None:
-        self.stats.merge(stats)
-        self._lane_stats.merge(lanes)
-        self._seeding_stats.merge(seeding)
+            _FORK_SHARED = None

@@ -1,5 +1,11 @@
 """End-to-end read-alignment pipelines.
 
+* :mod:`repro.pipeline.stages` — the staged-pipeline framework: the
+  ``SeedProvider`` / ``CandidateFilter`` / ``ExtensionEngine`` protocols
+  and the single :class:`PipelineDriver` every backend runs behind.
+* :mod:`repro.pipeline.registry` — name -> stage-composition registry;
+  backend-agnostic drivers (CLI, :class:`repro.parallel.ParallelAligner`)
+  resolve backends here.
 * :mod:`repro.pipeline.bwamem` — the software gold standard: SMEM seeding +
   banded affine-gap extension with clipping (the algorithm BWA-MEM runs,
   which the paper treats as the reference output).
@@ -10,7 +16,25 @@
 
 from repro.pipeline.bwamem import BwaMemAligner, BwaMemConfig
 from repro.pipeline.genax import GenAxAligner, GenAxConfig
+from repro.pipeline.registry import (
+    BackendRunStats,
+    BackendSpec,
+    backend_for_config,
+    backend_names,
+    build_aligner,
+    get_backend,
+    register_backend,
+    render_backend_table,
+)
 from repro.pipeline.sam import sam_record, write_sam
+from repro.pipeline.stages import (
+    CandidateFilter,
+    ExtensionEngine,
+    MyersCandidateFilter,
+    PipelineDriver,
+    SeedProvider,
+    StageSet,
+)
 from repro.pipeline.assembly_aligner import AssemblyAligner, ContigMapping
 
 __all__ = [
@@ -18,6 +42,20 @@ __all__ = [
     "BwaMemConfig",
     "GenAxAligner",
     "GenAxConfig",
+    "BackendRunStats",
+    "BackendSpec",
+    "backend_for_config",
+    "backend_names",
+    "build_aligner",
+    "get_backend",
+    "register_backend",
+    "render_backend_table",
+    "CandidateFilter",
+    "ExtensionEngine",
+    "MyersCandidateFilter",
+    "PipelineDriver",
+    "SeedProvider",
+    "StageSet",
     "sam_record",
     "write_sam",
     "AssemblyAligner",

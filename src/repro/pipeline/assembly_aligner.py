@@ -10,12 +10,18 @@ chromosomes — the concatenation boundary is an artifact).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Union
+from typing import Iterable, List, Optional, Union
 
-from repro.align.records import MappedRead
+from repro.align.records import (
+    AlignmentStats,
+    MappedRead,
+    ReadInput,
+    as_named_read,
+)
 from repro.genome.assembly import Assembly, ContigPosition
-from repro.pipeline.bwamem import BwaMemAligner, BwaMemConfig
-from repro.pipeline.genax import GenAxAligner, GenAxConfig
+from repro.pipeline.bwamem import BwaMemConfig
+from repro.pipeline.genax import GenAxConfig
+from repro.pipeline.registry import backend_for_config
 
 
 @dataclass(frozen=True)
@@ -36,7 +42,12 @@ class ContigMapping:
 
 
 class AssemblyAligner:
-    """GenAx (or the software pipeline) over a multi-contig assembly."""
+    """Any registered backend over a multi-contig assembly.
+
+    The backend is resolved from the config's type via the pipeline
+    registry, so a newly registered backend maps assemblies with no
+    change here.
+    """
 
     def __init__(
         self,
@@ -45,26 +56,22 @@ class AssemblyAligner:
     ) -> None:
         self.assembly = assembly
         self.reference = assembly.linearize()
-        config = config or GenAxConfig()
-        if isinstance(config, BwaMemConfig):
-            self._aligner = BwaMemAligner(self.reference, config)
-        else:
-            self._aligner = GenAxAligner(self.reference, config)
+        resolved = config if config is not None else GenAxConfig()
+        spec = backend_for_config(resolved)
+        self._aligner = spec.build(self.reference, resolved, None)
 
     @property
-    def stats(self):
+    def stats(self) -> AlignmentStats:
         return self._aligner.stats
 
     def align_read(self, name: str, sequence: str) -> ContigMapping:
         mapped = self._aligner.align_read(name, sequence)
         return self._translate(mapped, len(sequence))
 
-    def align_reads(self, reads) -> List[ContigMapping]:
-        out = []
+    def align_reads(self, reads: Iterable[ReadInput]) -> List[ContigMapping]:
+        out: List[ContigMapping] = []
         for read in reads:
-            read_name, sequence = (
-                (read.name, read.sequence) if hasattr(read, "sequence") else read
-            )
+            read_name, sequence = as_named_read(read)
             out.append(self.align_read(read_name, sequence))
         return out
 

@@ -2,15 +2,17 @@
 
 BWA-MEM [12] seeds with super-maximal exact matches and extends with a
 banded affine-gap Smith-Waterman, keeping the best clipped score.  This
-module reproduces that algorithm in instrumented Python:
+module reproduces that algorithm in instrumented Python as a
+:class:`~repro.pipeline.stages.StageSet` behind the shared
+:class:`~repro.pipeline.stages.PipelineDriver`:
 
-* seeding uses the same SMEM definition as the accelerator (it *is*
-  BWA-MEM's definition) over a single whole-genome index — software has no
-  reason to segment;
-* extension is :func:`repro.align.banded.banded_extension_align` with a
-  2K+1 band;
-* reads whose whole body matches exactly skip extension, like the real
-  tool's perfect-match shortcut.
+* seeding (:class:`WholeGenomeSeedProvider`) uses the same SMEM
+  definition as the accelerator (it *is* BWA-MEM's definition) over a
+  single whole-genome index — software has no reason to segment;
+* extension (:class:`BandedExtensionEngine`) is
+  :func:`repro.align.banded.banded_extension_align` with a 2K+1 band;
+* reads whose whole body matches exactly skip extension via the driver's
+  shared fast path, like the real tool's perfect-match shortcut.
 
 Every DP cell is counted, so benchmarks can compare *work* against the
 accelerator's cycles without trusting Python wall-clock.
@@ -19,20 +21,14 @@ accelerator's cycles without trusting Python wall-clock.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 from repro.align.banded import banded_extension_align
-from repro.align.records import AlignmentStats, MappedRead
+from repro.align.records import AlignmentStats, MappedRead, ReadInput
 from repro.align.scoring import BWA_MEM_SCHEME, ScoringScheme
 from repro.genome.reference import ReferenceGenome
-from repro.pipeline.common import (
-    Candidate,
-    Extension,
-    candidates_from_seeds,
-    exact_match_cigar,
-    select_best,
-    strands,
-)
+from repro.pipeline.common import Candidate, Extension
+from repro.pipeline.stages import PipelineDriver, StageSet
 from repro.seeding.accelerator import GlobalSeed, SeedingLane
 from repro.seeding.index import IndexTables, KmerIndex
 from repro.seeding.smem import SmemConfig
@@ -47,82 +43,47 @@ class BwaMemConfig:
     min_score: int = 30  # BWA-MEM reports alignments scoring above 30
     max_candidates: Optional[int] = 64
     scheme: ScoringScheme = field(default_factory=lambda: BWA_MEM_SCHEME)
+    # Shard-parallel driver knob (consumed by repro.parallel.ParallelAligner;
+    # the software pipeline shards exactly like the accelerator does).
+    jobs: int = 1
 
 
-class BwaMemAligner:
-    """Software seed-and-extend aligner over one reference genome."""
+class WholeGenomeSeedProvider:
+    """:class:`SeedProvider` over one unsegmented whole-genome index."""
 
-    def __init__(self, reference: ReferenceGenome, config: Optional[BwaMemConfig] = None):
+    def __init__(self, lane: SeedingLane) -> None:
+        self.lane = lane
+
+    def seed(self, oriented: str) -> List[GlobalSeed]:
+        return self.lane.seed_read(oriented)
+
+    def seed_batch(self, oriented: Sequence[str]) -> List[List[GlobalSeed]]:
+        # One segment covering the genome: batch seeding is just the
+        # per-read loop (no table locality to exploit), so both driver
+        # execution orders are trivially bit-identical.
+        return [self.lane.seed_read(sequence) for sequence in oriented]
+
+
+class BandedExtensionEngine:
+    """:class:`ExtensionEngine` running banded affine-gap Smith-Waterman."""
+
+    def __init__(
+        self, reference: ReferenceGenome, band: int, scheme: ScoringScheme
+    ) -> None:
         self.reference = reference
-        self.config = config or BwaMemConfig()
-        smem_config = SmemConfig(
-            k=self.config.k, exact_match_fast_path=True
-        )
-        tables = IndexTables(
-            segment_index=0,
-            segment_start=0,
-            index=KmerIndex.build(reference.sequence, self.config.k),
-        )
-        self._lane = SeedingLane(tables, smem_config)
-        self.stats = AlignmentStats()
+        self.band = band
+        self.scheme = scheme
 
-    # ----------------------------------------------------------------- API
-
-    def align_read(self, name: str, sequence: str) -> MappedRead:
-        """Map one read; returns an unmapped record if nothing scores."""
-        self.stats.reads_total += 1
-        extensions: List[Extension] = []
-        config = self.config
-        for oriented, reverse in strands(sequence):
-            seeds = self._lane.seed_read(oriented)
-            exact = [s for s in seeds if s.exact_whole_read]
-            if exact:
-                # Perfect match: no DP needed (§V item 4).
-                self.stats.reads_exact += 1
-                for seed in exact:
-                    for position in seed.positions:
-                        extensions.append(
-                            Extension(
-                                candidate=Candidate(position, reverse, len(oriented)),
-                                score=config.scheme.match * len(oriented),
-                                position=position,
-                                cigar=exact_match_cigar(len(oriented)),
-                                query_end=len(oriented),
-                            )
-                        )
-                continue
-            for candidate in candidates_from_seeds(
-                seeds, reverse, config.max_candidates
-            ):
-                extensions.append(self._extend(oriented, candidate))
-        mapped = select_best(name, len(sequence), extensions, config.min_score)
-        if mapped.is_unmapped:
-            self.stats.reads_unmapped += 1
-        else:
-            self.stats.reads_mapped += 1
-        return mapped
-
-    def align_reads(self, reads) -> List[MappedRead]:
-        """Map a batch of (name, sequence) pairs or Read objects."""
-        out = []
-        for read in reads:
-            name, sequence = (
-                (read.name, read.sequence) if hasattr(read, "sequence") else read
-            )
-            out.append(self.align_read(name, sequence))
-        return out
-
-    # ------------------------------------------------------------ internals
-
-    def _extend(self, oriented: str, candidate: Candidate) -> Extension:
-        config = self.config
+    def extend(
+        self, oriented: str, candidate: Candidate, stats: AlignmentStats
+    ) -> Optional[Extension]:
         window = self.reference.fetch(
             candidate.window_start,
-            candidate.window_start + len(oriented) + config.band,
+            candidate.window_start + len(oriented) + self.band,
         )
-        result = banded_extension_align(window, oriented, config.band, config.scheme)
-        self.stats.extensions += 1
-        self.stats.dp_cells += result.cells_computed
+        result = banded_extension_align(window, oriented, self.band, self.scheme)
+        stats.extensions += 1
+        stats.dp_cells += result.cells_computed
         alignment = result.alignment
         return Extension(
             candidate=candidate,
@@ -131,3 +92,61 @@ class BwaMemAligner:
             cigar=alignment.cigar,
             query_end=alignment.query_end,
         )
+
+
+class BwaMemAligner:
+    """Software seed-and-extend aligner over one reference genome.
+
+    A thin facade over the shared :class:`PipelineDriver` — the same outer
+    loop (and therefore the same per-read ``reads_exact`` accounting) the
+    accelerator backend runs.  ``tables`` lets the shard-parallel driver
+    hand fork-shared prebuilt tables to worker processes.
+    """
+
+    def __init__(
+        self,
+        reference: ReferenceGenome,
+        config: Optional[BwaMemConfig] = None,
+        tables: Optional[IndexTables] = None,
+    ):
+        self.reference = reference
+        self.config = config or BwaMemConfig()
+        smem_config = SmemConfig(k=self.config.k, exact_match_fast_path=True)
+        if tables is None:
+            tables = self.build_tables(reference, self.config.k)
+        self._lane = SeedingLane(tables, smem_config)
+        self._driver = PipelineDriver(
+            StageSet(
+                seeder=WholeGenomeSeedProvider(self._lane),
+                extender=BandedExtensionEngine(
+                    reference, self.config.band, self.config.scheme
+                ),
+                match_score=self.config.scheme.match,
+                min_score=self.config.min_score,
+                max_candidates=self.config.max_candidates,
+            )
+        )
+        self.stats: AlignmentStats = self._driver.stats
+
+    @staticmethod
+    def build_tables(reference: ReferenceGenome, k: int) -> IndexTables:
+        """Build the single whole-genome index table set."""
+        return IndexTables(
+            segment_index=0,
+            segment_start=0,
+            index=KmerIndex.build(reference.sequence, k),
+        )
+
+    # ----------------------------------------------------------------- API
+
+    def align_read(self, name: str, sequence: str) -> MappedRead:
+        """Map one read; returns an unmapped record if nothing scores."""
+        return self._driver.align_read(name, sequence)
+
+    def align_reads(self, reads: Iterable[ReadInput]) -> List[MappedRead]:
+        """Map a batch of (name, sequence) pairs or Read objects."""
+        return self._driver.align_reads(reads)
+
+    def align_batch(self, reads: Iterable[ReadInput]) -> List[MappedRead]:
+        """Batch mapping; identical to :meth:`align_reads` for this backend."""
+        return self._driver.align_batch(reads)

@@ -9,9 +9,28 @@ lanes) into a single structured report with a readable rendering — what
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Protocol
 
-from repro.pipeline.genax import GenAxAligner
+from repro.align.records import AlignmentStats
+from repro.seeding.accelerator import SeedingStats
+from repro.sillax.lane import LaneStats
+
+
+class CounterSource(Protocol):
+    """Any aligner exposing the GenAx hardware-counter surface.
+
+    Satisfied by :class:`repro.pipeline.genax.GenAxAligner` and the
+    shard-parallel :class:`repro.parallel.engine.ParallelAligner` alike —
+    the rollup never cares which driver produced the counters.
+    """
+
+    stats: AlignmentStats
+
+    @property
+    def lane_stats(self) -> LaneStats: ...
+
+    @property
+    def seeding_stats(self) -> SeedingStats: ...
 
 
 @dataclass(frozen=True)
@@ -100,7 +119,7 @@ class GenAxCounters:
         return "\n".join(lines)
 
 
-def collect_counters(aligner: GenAxAligner) -> GenAxCounters:
+def collect_counters(aligner: CounterSource) -> GenAxCounters:
     """Snapshot an aligner's counters."""
     lane = aligner.lane_stats
     seeding = aligner.seeding_stats

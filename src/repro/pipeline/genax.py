@@ -6,10 +6,15 @@ that extend seed hits against windows fetched from the reference cache.
 Segments are processed sequentially; all per-segment table traffic is
 charged to the DDR4 streaming model.
 
-Functionally the pipeline mirrors :mod:`repro.pipeline.bwamem` — the
-concordance experiment (§VIII-A) compares the two mapping outputs — while
-the accounting (SillaX cycles, CAM lookups, bytes streamed) feeds the
-throughput model behind Fig. 15.
+Structurally the backend is a :class:`~repro.pipeline.stages.StageSet`
+behind the shared :class:`~repro.pipeline.stages.PipelineDriver`:
+:class:`SegmentedSeedProvider` (the seeding accelerator front-end),
+optionally :class:`~repro.pipeline.stages.MyersCandidateFilter`, and
+:class:`SillaXExtensionEngine` (the traceback lanes).  Functionally the
+pipeline mirrors :mod:`repro.pipeline.bwamem` — the concordance
+experiment (§VIII-A) compares the two extension engines behind the very
+same driver loop — while the accounting (SillaX cycles, CAM lookups,
+bytes streamed) feeds the throughput model behind Fig. 15.
 """
 
 from __future__ import annotations
@@ -17,24 +22,25 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence
 
-from repro.align.prefilter import MyersPrefilter, PrefilterStats
+from repro.align.prefilter import PrefilterStats
 from repro.align.records import (
     AlignmentStats,
     MappedRead,
     ReadInput,
-    as_named_read,
 )
 from repro.align.scoring import BWA_MEM_SCHEME, ScoringScheme
 from repro.genome.reference import ReferenceGenome
-from repro.pipeline.common import (
-    Candidate,
-    Extension,
-    candidates_from_seeds,
-    exact_match_extensions,
-    select_best,
-    strands,
+from repro.pipeline.common import Candidate, Extension
+from repro.pipeline.stages import (
+    MyersCandidateFilter,
+    PipelineDriver,
+    StageSet,
 )
-from repro.seeding.accelerator import SeedingAccelerator, SeedingStats
+from repro.seeding.accelerator import (
+    GlobalSeed,
+    SeedingAccelerator,
+    SeedingStats,
+)
 from repro.seeding.cache import IndexCache
 from repro.seeding.index import IndexTables
 from repro.seeding.smem import SmemConfig
@@ -68,8 +74,79 @@ class GenAxConfig:
     cache_dir: Optional[str] = None
 
 
+class SegmentedSeedProvider:
+    """:class:`SeedProvider` over the segmented seeding accelerator.
+
+    Per-read mode streams the segment tables once per oriented sequence;
+    batch mode hands the whole oriented batch to
+    :meth:`SeedingAccelerator.seed_reads`, which streams each segment's
+    tables once per batch (§VI) — that accounting difference is exactly
+    what the two driver execution orders expose.
+    """
+
+    def __init__(self, accelerator: SeedingAccelerator) -> None:
+        self.accelerator = accelerator
+
+    @property
+    def stats(self) -> SeedingStats:
+        return self.accelerator.stats
+
+    def seed(self, oriented: str) -> List[GlobalSeed]:
+        return self.accelerator.seed_read(oriented)
+
+    def seed_batch(self, oriented: Sequence[str]) -> List[List[GlobalSeed]]:
+        return self.accelerator.seed_reads(oriented)
+
+
+class SillaXExtensionEngine:
+    """:class:`ExtensionEngine` over a round-robin pool of SillaX lanes."""
+
+    def __init__(
+        self,
+        reference: ReferenceGenome,
+        edit_bound: int,
+        scheme: ScoringScheme,
+        lanes: int,
+    ) -> None:
+        self.reference = reference
+        self._lanes = [SillaXLane(edit_bound, scheme) for _ in range(lanes)]
+        self._next_lane = 0
+
+    @property
+    def lane_stats(self) -> LaneStats:
+        """Merged SillaX lane statistics."""
+        merged = LaneStats()
+        for lane in self._lanes:
+            merged.merge(lane.stats)
+        return merged
+
+    def extend(
+        self, oriented: str, candidate: Candidate, stats: AlignmentStats
+    ) -> Optional[Extension]:
+        lane = self._lanes[self._next_lane]
+        self._next_lane = (self._next_lane + 1) % len(self._lanes)
+        outcome = lane.extend(self.reference, oriented, candidate.window_start)
+        stats.extensions += 1
+        stats.cycles += outcome.result.total_cycles
+        result = outcome.result
+        query_end = result.alignment.query_end if result.alignment else 0
+        return Extension(
+            candidate=candidate,
+            score=outcome.score,
+            position=outcome.position,
+            cigar=result.cigar,
+            query_end=query_end,
+        )
+
+
 class GenAxAligner:
-    """The accelerator: segmented SMEM seeding + SillaX seed extension."""
+    """The accelerator: a thin facade over the staged pipeline driver.
+
+    Composes segmented SMEM seeding + (optional) Myers prefilter + SillaX
+    seed extension into a :class:`StageSet`; the public mapping API,
+    ``stats`` surface and output are unchanged (enforced bit-for-bit by
+    the golden-fixture tests).
+    """
 
     def __init__(
         self,
@@ -97,75 +174,60 @@ class GenAxAligner:
             cache=cache,
             tables=tables,
         )
-        self._lanes = [
-            SillaXLane(self.config.edit_bound, self.config.scheme)
-            for _ in range(self.config.sillax_lanes)
-        ]
-        self._next_lane = 0
-        self._prefilter = (
-            MyersPrefilter(
+        self._engine = SillaXExtensionEngine(
+            reference,
+            self.config.edit_bound,
+            self.config.scheme,
+            self.config.sillax_lanes,
+        )
+        self._filter = (
+            MyersCandidateFilter(
+                reference,
                 self.config.prefilter_k
                 if self.config.prefilter_k is not None
-                else self.config.edit_bound
+                else self.config.edit_bound,
+                self.config.edit_bound,
             )
             if self.config.prefilter
             else None
         )
-        self.stats = AlignmentStats()
+        self._driver = PipelineDriver(
+            StageSet(
+                seeder=SegmentedSeedProvider(self.seeder),
+                extender=self._engine,
+                match_score=self.config.scheme.match,
+                min_score=self.config.min_score,
+                max_candidates=self.config.max_candidates,
+                filters=(self._filter,) if self._filter is not None else (),
+            )
+        )
+        # The driver owns the counters; the facade aliases them so the
+        # pre-refactor ``aligner.stats`` surface is unchanged.
+        self.stats: AlignmentStats = self._driver.stats
 
     # ----------------------------------------------------------------- API
 
     @property
     def lane_stats(self) -> LaneStats:
         """Merged SillaX lane statistics."""
-        merged = LaneStats()
-        for lane in self._lanes:
-            merged.merge(lane.stats)
-        return merged
+        return self._engine.lane_stats
 
     @property
     def seeding_stats(self) -> SeedingStats:
         return self.seeder.stats
 
+    @property
+    def prefilter_stats(self) -> Optional[PrefilterStats]:
+        """The Myers prefilter's own counters (None when disabled)."""
+        return self._filter.stats if self._filter is not None else None
+
     def align_read(self, name: str, sequence: str) -> MappedRead:
         """Map one read through the accelerator."""
-        self.stats.reads_total += 1
-        extensions: List[Extension] = []
-        config = self.config
-        exact_seen = False
-        for oriented, reverse in strands(sequence):
-            seeds = self.seeder.seed_read(oriented)
-            exact = [s for s in seeds if s.exact_whole_read]
-            if exact:
-                exact_seen = True
-                extensions.extend(
-                    exact_match_extensions(
-                        exact, reverse, len(oriented), config.scheme.match
-                    )
-                )
-                continue
-            for candidate in candidates_from_seeds(
-                seeds, reverse, config.max_candidates
-            ):
-                extension = self._extend(oriented, candidate)
-                if extension is not None:
-                    extensions.append(extension)
-        if exact_seen:
-            self.stats.reads_exact += 1
-        mapped = select_best(name, len(sequence), extensions, config.min_score)
-        if mapped.is_unmapped:
-            self.stats.reads_unmapped += 1
-        else:
-            self.stats.reads_mapped += 1
-        return mapped
+        return self._driver.align_read(name, sequence)
 
     def align_reads(self, reads: Iterable[ReadInput]) -> List[MappedRead]:
         """Map a batch of (name, sequence) pairs or Read objects."""
-        out = []
-        for read in reads:
-            name, sequence = as_named_read(read)
-            out.append(self.align_read(name, sequence))
-        return out
+        return self._driver.align_reads(reads)
 
     def align_batch(self, reads: Iterable[ReadInput]) -> List[MappedRead]:
         """Segment-major batch mapping — the order the hardware runs (§VI).
@@ -176,77 +238,4 @@ class GenAxAligner:
         lanes.  Functionally identical to :meth:`align_reads` (the tests
         enforce it); the accounting difference is the point.
         """
-        config = self.config
-        named = [as_named_read(read) for read in reads]
-        # One oriented sequence list: forward then reverse per read.
-        oriented: List[str] = []
-        for __, sequence in named:
-            for variant, __reverse in strands(sequence):
-                oriented.append(variant)
-        seed_lists = self.seeder.seed_reads(oriented)
-
-        out: List[MappedRead] = []
-        for index, (name, sequence) in enumerate(named):
-            self.stats.reads_total += 1
-            extensions: List[Extension] = []
-            exact_seen = False
-            for strand_index, (variant, reverse) in enumerate(strands(sequence)):
-                seeds = seed_lists[2 * index + strand_index]
-                exact = [s for s in seeds if s.exact_whole_read]
-                if exact:
-                    exact_seen = True
-                    extensions.extend(
-                        exact_match_extensions(
-                            exact, reverse, len(variant), config.scheme.match
-                        )
-                    )
-                    continue
-                for candidate in candidates_from_seeds(
-                    seeds, reverse, config.max_candidates
-                ):
-                    extension = self._extend(variant, candidate)
-                    if extension is not None:
-                        extensions.append(extension)
-            if exact_seen:
-                self.stats.reads_exact += 1
-            mapped = select_best(name, len(sequence), extensions, config.min_score)
-            if mapped.is_unmapped:
-                self.stats.reads_unmapped += 1
-            else:
-                self.stats.reads_mapped += 1
-            out.append(mapped)
-        return out
-
-    # ------------------------------------------------------------ internals
-
-    @property
-    def prefilter_stats(self) -> Optional["PrefilterStats"]:
-        """The Myers prefilter's own counters (None when disabled)."""
-        return self._prefilter.stats if self._prefilter is not None else None
-
-    def _extend(self, oriented: str, candidate: Candidate) -> Optional[Extension]:
-        if self._prefilter is not None:
-            # Same window the lane would fetch (read length + K slack).
-            window = self.reference.fetch(
-                candidate.window_start,
-                candidate.window_start + len(oriented) + self.config.edit_bound,
-            )
-            self.stats.prefilter_cycles += len(window)
-            if not self._prefilter.survives(oriented, window):
-                self.stats.candidates_filtered += 1
-                return None
-            self.stats.candidates_survived += 1
-        lane = self._lanes[self._next_lane]
-        self._next_lane = (self._next_lane + 1) % len(self._lanes)
-        outcome = lane.extend(self.reference, oriented, candidate.window_start)
-        self.stats.extensions += 1
-        self.stats.cycles += outcome.result.total_cycles
-        result = outcome.result
-        query_end = result.alignment.query_end if result.alignment else 0
-        return Extension(
-            candidate=candidate,
-            score=outcome.score,
-            position=outcome.position,
-            cigar=result.cigar,
-            query_end=query_end,
-        )
+        return self._driver.align_batch(reads)

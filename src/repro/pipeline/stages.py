@@ -1,0 +1,254 @@
+"""Staged-pipeline framework: one mapping loop, pluggable backends.
+
+The paper's concordance experiment (§VIII-A) is a comparison of two
+*extension engines* behind an identical seed-and-extend outer loop.  This
+module makes that structure literal, the way related accelerators are
+organised (SneakySnake's universal pre-alignment filter, Scrooge's one
+algorithm retargeted at CPUs/GPUs/ASICs): a backend is a composition of
+three typed stages, and a single :class:`PipelineDriver` owns everything
+the stages share —
+
+* strand enumeration (forward + reverse complement),
+* the exact-match fast path (§V optimization 3) and its once-per-read
+  ``reads_exact`` accounting,
+* candidate deduplication/ranking (:func:`repro.pipeline.common.candidates_from_seeds`),
+* candidate filtering (e.g. the Myers bit-vector pre-alignment filter),
+* best-hit selection and the mapped/unmapped counters,
+
+in **both** execution orders: per-read (seed one read, extend, next read)
+and segment-major batch (seed the whole batch against each segment in
+turn — the order the hardware runs, §VI).  The two orders are
+functionally identical for any backend; the accounting difference is the
+point.
+
+Stage contracts
+---------------
+
+:class:`SeedProvider`
+    ``seed(oriented)`` / ``seed_batch(oriented)`` return
+    :class:`~repro.seeding.accelerator.GlobalSeed` lists in global genome
+    coordinates, with whole-read exact matches flagged.
+:class:`CandidateFilter`
+    ``admit(oriented, candidate, stats)`` vetoes candidate placements
+    before the (expensive) extension engine runs, charging its work to
+    the shared :class:`~repro.align.records.AlignmentStats`.
+:class:`ExtensionEngine`
+    ``extend(oriented, candidate, stats)`` verifies one placement and
+    returns an :class:`~repro.pipeline.common.Extension` (or ``None`` to
+    drop it), charging extension work to the shared stats.
+
+Backends compose stages into a :class:`StageSet` and hand it to a
+:class:`PipelineDriver`; the registry (:mod:`repro.pipeline.registry`)
+maps backend names to such compositions so drivers — including the
+shard-parallel :class:`~repro.parallel.engine.ParallelAligner` — never
+hard-code a backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Protocol, Sequence, Tuple
+
+from repro.align.prefilter import MyersPrefilter, PrefilterStats
+from repro.align.records import (
+    AlignmentStats,
+    MappedRead,
+    NamedRead,
+    ReadInput,
+    as_named_read,
+)
+from repro.genome.reference import ReferenceGenome
+from repro.pipeline.common import (
+    Candidate,
+    Extension,
+    candidates_from_seeds,
+    exact_match_extensions,
+    select_best,
+    strands,
+)
+from repro.seeding.accelerator import GlobalSeed
+
+
+class SeedProvider(Protocol):
+    """Stage 1: find seeds for oriented read sequences."""
+
+    def seed(self, oriented: str) -> Sequence[GlobalSeed]:
+        """Seed one oriented sequence (per-read execution order)."""
+        ...
+
+    def seed_batch(self, oriented: Sequence[str]) -> List[List[GlobalSeed]]:
+        """Seed a whole oriented-sequence batch (segment-major order)."""
+        ...
+
+
+class CandidateFilter(Protocol):
+    """Stage 2 (optional): veto candidate placements before extension."""
+
+    def admit(
+        self, oriented: str, candidate: Candidate, stats: AlignmentStats
+    ) -> bool:
+        """True iff *candidate* should reach the extension engine."""
+        ...
+
+
+class ExtensionEngine(Protocol):
+    """Stage 3: verify one candidate placement."""
+
+    def extend(
+        self, oriented: str, candidate: Candidate, stats: AlignmentStats
+    ) -> Optional[Extension]:
+        """Score the read against the candidate window; ``None`` drops it."""
+        ...
+
+
+@dataclass(frozen=True)
+class StageSet:
+    """One backend: a stage composition plus the shared-loop parameters."""
+
+    seeder: SeedProvider
+    extender: ExtensionEngine
+    match_score: int  # score of one exact-matched base (fast-path scoring)
+    min_score: int  # report threshold fed to select_best
+    max_candidates: Optional[int]  # per-strand candidate cap
+    filters: Tuple[CandidateFilter, ...] = ()
+
+
+class MyersCandidateFilter:
+    """The first :class:`CandidateFilter` instance: Myers bit-vector scan.
+
+    Wraps :class:`repro.align.prefilter.MyersPrefilter` over the same
+    reference window the extension engine would fetch (read length +
+    ``window_slack``).  Rejections and the modelled streaming cycles are
+    charged to the shared :class:`AlignmentStats`, so pipeline cycle
+    totals stay faithful whether or not the filter is installed.
+    """
+
+    def __init__(
+        self, reference: ReferenceGenome, max_edits: int, window_slack: int
+    ) -> None:
+        self.reference = reference
+        self.window_slack = window_slack
+        self._prefilter = MyersPrefilter(max_edits)
+
+    @property
+    def stats(self) -> PrefilterStats:
+        """The wrapped filter's own counters."""
+        return self._prefilter.stats
+
+    def admit(
+        self, oriented: str, candidate: Candidate, stats: AlignmentStats
+    ) -> bool:
+        window = self.reference.fetch(
+            candidate.window_start,
+            candidate.window_start + len(oriented) + self.window_slack,
+        )
+        stats.prefilter_cycles += len(window)
+        if not self._prefilter.survives(oriented, window):
+            stats.candidates_filtered += 1
+            return False
+        stats.candidates_survived += 1
+        return True
+
+
+class PipelineDriver:
+    """The one seed-and-extend outer loop every backend runs behind.
+
+    Owns the shared :class:`AlignmentStats` and both execution orders;
+    backends differ only in the :class:`StageSet` they compose.  The
+    per-read and segment-major paths are bit-identical in mappings and
+    counters (minus seeding-traffic counters that legitimately depend on
+    the order — the tests assert the rest).
+    """
+
+    def __init__(self, stages: StageSet) -> None:
+        self.stages = stages
+        self.stats = AlignmentStats()
+
+    # ----------------------------------------------------------------- API
+
+    def align_read(self, name: str, sequence: str) -> MappedRead:
+        """Map one read, seeding each strand on demand (per-read order)."""
+        stages = self.stages
+        seed_lists = [
+            list(stages.seeder.seed(oriented))
+            for oriented, __ in strands(sequence)
+        ]
+        return self._map_read(name, sequence, seed_lists)
+
+    def align_reads(self, reads: Iterable[ReadInput]) -> List[MappedRead]:
+        """Map a batch in per-read order."""
+        out: List[MappedRead] = []
+        for read in reads:
+            name, sequence = as_named_read(read)
+            out.append(self.align_read(name, sequence))
+        return out
+
+    def align_batch(self, reads: Iterable[ReadInput]) -> List[MappedRead]:
+        """Segment-major batch mapping — the order the hardware runs (§VI).
+
+        All reads (both orientations) are handed to the seed provider at
+        once, so a segmented provider streams each segment's tables once
+        per batch instead of once per read; the buffered seed hits then
+        flow through the shared filter/extend/select loop.  Functionally
+        identical to :meth:`align_reads` (the tests enforce it).
+        """
+        named: List[NamedRead] = [as_named_read(read) for read in reads]
+        oriented: List[str] = []
+        for __, sequence in named:
+            for variant, __reverse in strands(sequence):
+                oriented.append(variant)
+        seed_lists = self.stages.seeder.seed_batch(oriented)
+        out: List[MappedRead] = []
+        for index, (name, sequence) in enumerate(named):
+            out.append(
+                self._map_read(
+                    name, sequence, seed_lists[2 * index : 2 * index + 2]
+                )
+            )
+        return out
+
+    # ------------------------------------------------------------ internals
+
+    def _map_read(
+        self,
+        name: str,
+        sequence: str,
+        seed_lists: Sequence[Sequence[GlobalSeed]],
+    ) -> MappedRead:
+        """The shared inner loop: fast path, filter, extend, select."""
+        stages = self.stages
+        stats = self.stats
+        stats.reads_total += 1
+        extensions: List[Extension] = []
+        exact_seen = False
+        for (oriented, reverse), seeds in zip(strands(sequence), seed_lists):
+            exact = [s for s in seeds if s.exact_whole_read]
+            if exact:
+                # Perfect match: no verification needed (§V item 4).  The
+                # flag — not a counter bump — makes ``reads_exact`` count
+                # once per read even when both strands match exactly.
+                exact_seen = True
+                extensions.extend(
+                    exact_match_extensions(
+                        exact, reverse, len(oriented), stages.match_score
+                    )
+                )
+                continue
+            for candidate in candidates_from_seeds(
+                seeds, reverse, stages.max_candidates
+            ):
+                if not all(
+                    f.admit(oriented, candidate, stats) for f in stages.filters
+                ):
+                    continue
+                extension = stages.extender.extend(oriented, candidate, stats)
+                if extension is not None:
+                    extensions.append(extension)
+        if exact_seen:
+            stats.reads_exact += 1
+        mapped = select_best(name, len(sequence), extensions, stages.min_score)
+        if mapped.is_unmapped:
+            stats.reads_unmapped += 1
+        else:
+            stats.reads_mapped += 1
+        return mapped

@@ -26,6 +26,8 @@ def test_strict_packages_pass_mypy():
             "-p",
             "repro.parallel",
             "-p",
+            "repro.pipeline",
+            "-p",
             "repro.seeding",
             "-p",
             "repro.align",

@@ -25,6 +25,27 @@ class TestBwaMem:
         aligner.align_read("exact", small_reference.sequence[50:151])
         assert aligner.stats.reads_exact >= 1
 
+    def test_exact_read_counted_once_not_per_strand(self, small_reference):
+        """Regression: reads_exact used to be bumped once per *strand*,
+        double-counting reads; the shared driver counts once per read."""
+        aligner = BwaMemAligner(small_reference, BwaMemConfig(band=12))
+        aligner.align_read("exact", small_reference.sequence[50:151])
+        assert aligner.stats.reads_exact == 1
+
+    def test_align_batch_matches_align_reads(self, small_reference):
+        reads = [
+            ("a", small_reference.sequence[100:201]),
+            ("b", small_reference.sequence[400:501]),
+        ]
+        per_read = BwaMemAligner(small_reference, BwaMemConfig(band=12))
+        batch = BwaMemAligner(small_reference, BwaMemConfig(band=12))
+        rows = lambda mapped: [
+            (m.read_name, m.position, m.reverse, m.score, str(m.cigar))
+            for m in mapped
+        ]
+        assert rows(per_read.align_reads(reads)) == rows(batch.align_batch(reads))
+        assert per_read.stats == batch.stats
+
     def test_read_with_substitution(self, small_reference, aligner):
         read = list(small_reference.sequence[1200:1301])
         read[50] = "A" if read[50] != "A" else "C"

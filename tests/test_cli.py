@@ -100,6 +100,30 @@ class TestAlignParallel:
         # The cache directory now holds a persisted index entry.
         assert list((tmp_path / "cache").glob("genax-index-*.tables"))
 
+    def test_bwamem_jobs_matches_serial(self, simulated, tmp_path, capsys):
+        """Satellite: `--pipeline bwamem --jobs 4` shards through the same
+        parallel driver — no warning, identical SAM, uniform summary."""
+        ref, reads = simulated
+        serial_out = tmp_path / "bwamem_serial.sam"
+        parallel_out = tmp_path / "bwamem_parallel.sam"
+        base = ["align", str(ref), str(reads),
+                "--pipeline", "bwamem", "--edit-bound", "10"]
+        assert main(base + [str(serial_out)]) == 0
+        assert main(base + [str(parallel_out), "--jobs", "4"]) == 0
+        captured = capsys.readouterr()
+        assert "only apply" not in captured.err  # no jobs-ignored warning
+        assert "bwamem: mapped" in captured.out
+        assert "4 job(s)" in captured.out
+        assert parallel_out.read_text() == serial_out.read_text()
+
+    def test_bwamem_prefilter_flag_warns(self, simulated, tmp_path, capsys):
+        ref, reads = simulated
+        out = tmp_path / "warn.sam"
+        assert main(["align", str(ref), str(reads), str(out),
+                     "--pipeline", "bwamem", "--edit-bound", "10",
+                     "--prefilter"]) == 0
+        assert "only apply to the genax pipeline" in capsys.readouterr().err
+
     def test_invalid_jobs_rejected(self, simulated, tmp_path):
         ref, reads = simulated
         with pytest.raises(SystemExit):
