@@ -33,7 +33,6 @@ import json
 import multiprocessing
 import os
 import tempfile
-import time
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -45,6 +44,12 @@ from repro.genome.variants import simulate_variants
 from repro.parallel import IndexCache, ParallelAligner
 from repro.pipeline.genax import GenAxAligner, GenAxConfig
 from repro.seeding.accelerator import SeedingAccelerator
+from repro.telemetry import (
+    monotonic_s,
+    telemetry_session,
+    write_chrome_trace,
+    write_metrics,
+)
 
 SCHEMA_VERSION = 1
 DEFAULT_OUT = Path(__file__).parent / "results" / "BENCH_parallel.json"
@@ -128,15 +133,15 @@ def measure_index_cache(
     """Cold build (populates the cache) vs. warm load of the same entry."""
     overlap = SeedingAccelerator.SEGMENT_OVERLAP
     cold = IndexCache(cache_dir)
-    started = time.perf_counter()
+    started = monotonic_s()
     cold.load_or_build(reference, config.k, config.segment_count, overlap)
-    cold_s = time.perf_counter() - started
+    cold_s = monotonic_s() - started
     assert cold.stats.misses == 1, "expected a cold cache"
 
     warm = IndexCache(cache_dir)
-    started = time.perf_counter()
+    started = monotonic_s()
     warm.load_or_build(reference, config.k, config.segment_count, overlap)
-    warm_s = time.perf_counter() - started
+    warm_s = monotonic_s() - started
     assert warm.stats.hits == 1, "expected a warm cache"
     return {
         "cold_build_s": cold_s,
@@ -146,10 +151,35 @@ def measure_index_cache(
 
 
 def timed_align(aligner, reads) -> Tuple[float, list]:
-    started = time.perf_counter()
+    started = monotonic_s()
     mapped = aligner.align_batch(reads)
-    elapsed = time.perf_counter() - started
+    elapsed = monotonic_s() - started
     return elapsed, mapped
+
+
+def capture_telemetry(
+    reference: ReferenceGenome,
+    config: GenAxConfig,
+    reads,
+    out: Path,
+) -> dict:
+    """One instrumented serial pass -> trace + metrics next to ``--out``.
+
+    Runs *after* every timed measurement so tracer/histogram overhead can
+    never skew the recorded wall-clock numbers; the artifacts give each
+    benchmark run a stage-level breakdown (Perfetto-loadable trace plus
+    the metric registry) alongside the scalar JSON.
+    """
+    trace_path = out.with_suffix(".trace.json")
+    metrics_path = out.with_suffix(".metrics.json")
+    with telemetry_session() as telemetry:
+        telemetry.stage_begin("bench_serial_pass")
+        GenAxAligner(reference, config).align_batch(reads)
+        telemetry.stage_end("bench_serial_pass")
+    out.parent.mkdir(parents=True, exist_ok=True)
+    write_chrome_trace(trace_path, telemetry.tracer)
+    write_metrics(metrics_path, telemetry.metrics)
+    return {"trace": str(trace_path), "metrics": str(metrics_path)}
 
 
 def run(argv: Optional[Sequence[str]] = None) -> int:
@@ -244,6 +274,13 @@ def run(argv: Optional[Sequence[str]] = None) -> int:
         print(f"combined (jobs={best_jobs}, prefilter, warm cache): "
               f"{combined_s:.2f}s -> {combined['speedup_vs_serial']:.2f}x serial")
 
+        # Untimed instrumented pass: stage trace + metric artifacts.
+        telemetry_paths = capture_telemetry(
+            reference, config(cache_dir=cache_dir), reads, args.out
+        )
+        print(f"telemetry: {telemetry_paths['trace']}, "
+              f"{telemetry_paths['metrics']}")
+
     result = {
         "schema_version": SCHEMA_VERSION,
         "benchmark": "bench_parallel_scaling",
@@ -268,6 +305,8 @@ def run(argv: Optional[Sequence[str]] = None) -> int:
             scaling[-1]["reads_per_s"] / scaling[0]["reads_per_s"]
         ),
         "combined": combined,
+        # Optional key (not in RESULT_SCHEMA): older result files stay valid.
+        "telemetry": telemetry_paths,
     }
     problems = validate_result(result)
     if problems:

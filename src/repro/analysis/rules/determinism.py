@@ -4,7 +4,8 @@ The whole reproduction is a *deterministic simulator*: identical inputs
 and seeds must give bit-identical mappings, counters and benchmark
 tables, or the serial/parallel concordance contract (DESIGN.md) is
 unverifiable.  These rules catch the three ways Python code silently
-loses that property.
+loses that property, plus (GX104) the scattering of raw clock reads
+that makes timing policy unauditable and untestable.
 """
 
 from __future__ import annotations
@@ -143,9 +144,11 @@ def check_wall_clock(ctx: RuleContext) -> Iterator[Finding]:
     """Flag ``time.time()`` / ``time.clock()`` and their from-imports."""
     from_imports = _imported_names(ctx.tree, "time", ("time", "clock"))
     hint = (
-        "use time.perf_counter() for elapsed-time measurement — the exemplar "
-        "is _cmd_align in src/repro/cli.py, which times alignment runs with "
-        "perf_counter() precisely because wall-clock time can step backwards"
+        "use repro.telemetry.clock.monotonic_s() — the sanctioned "
+        "perf_counter() wrapper — for elapsed-time measurement; the exemplar "
+        "is _cmd_align in src/repro/cli.py, which times alignment runs "
+        "through the clock module precisely because wall-clock time can "
+        "step backwards"
     )
     for node in ast.walk(ctx.tree):
         if not isinstance(node, ast.Call):
@@ -171,6 +174,72 @@ def check_wall_clock(ctx: RuleContext) -> Iterator[Finding]:
                 "GX102",
                 f"{func.id}() (imported from time) reads the non-monotonic "
                 "wall clock",
+                hint,
+            )
+
+
+#: ``time`` module clock reads that belong behind the telemetry clock.
+_RAW_CLOCK_FUNCS: Tuple[str, ...] = (
+    "monotonic",
+    "monotonic_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "process_time",
+    "process_time_ns",
+)
+
+#: The one module allowed to read raw clocks (path suffix, ``/``-normalised).
+_CLOCK_MODULE_SUFFIX = "repro/telemetry/clock.py"
+
+
+@rule(
+    "clock-confinement",
+    "GX104",
+    "raw time.perf_counter()/monotonic() reads are untestable and scatter "
+    "timing policy; every clock read goes through repro/telemetry/clock.py",
+)
+def check_clock_confinement(ctx: RuleContext) -> Iterator[Finding]:
+    """Flag direct ``time.perf_counter()``-family calls and their
+    from-imports everywhere except :mod:`repro.telemetry.clock`.
+
+    GX102 already bans the *wrong* clock (``time.time()``); this rule
+    confines even the *right* one to a single module, so timing can be
+    audited in one place and tests can substitute a
+    :class:`~repro.telemetry.clock.ManualClock`.
+    """
+    if ctx.path.replace("\\", "/").endswith(_CLOCK_MODULE_SUFFIX):
+        return
+    from_imports = _imported_names(ctx.tree, "time", _RAW_CLOCK_FUNCS)
+    hint = (
+        "import the sanctioned wrapper instead — "
+        "repro.telemetry.clock.monotonic_s() (or StopWatch for repeated "
+        "laps); tests can then inject a ManualClock"
+    )
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "time"
+            and func.attr in _RAW_CLOCK_FUNCS
+        ):
+            yield ctx.finding(
+                node,
+                "clock-confinement",
+                "GX104",
+                f"direct time.{func.attr}() call outside the telemetry "
+                "clock module",
+                hint,
+            )
+        elif isinstance(func, ast.Name) and func.id in from_imports:
+            yield ctx.finding(
+                node,
+                "clock-confinement",
+                "GX104",
+                f"direct {func.id}() call (imported from time) outside the "
+                "telemetry clock module",
                 hint,
             )
 

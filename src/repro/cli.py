@@ -15,9 +15,9 @@ from __future__ import annotations
 import argparse
 import random
 import sys
-import time
-from typing import List, Optional
+from typing import Any, List, Optional, Sequence
 
+from repro.align.records import ReadInput
 from repro.core.silla import Silla
 from repro.genome.fasta import read_fasta, read_fastq, write_fasta, write_fastq
 from repro.genome.reads import ReadSimulator
@@ -29,6 +29,16 @@ from repro.pipeline.registry import backend_names, get_backend
 from repro.pipeline.sam import write_sam
 from repro.seeding.accelerator import SeedingAccelerator
 from repro.seeding.smem import SmemConfig
+from repro.telemetry import (
+    PipelineTelemetry,
+    RunManifest,
+    monotonic_s,
+    render_profile,
+    telemetry_session,
+    write_chrome_trace,
+    write_manifest,
+    write_metrics,
+)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -76,6 +86,23 @@ def _build_parser() -> argparse.ArgumentParser:
         "--cache-dir",
         default=None,
         help="directory for persisted index tables (skips the O(genome) rebuild)",
+    )
+    align.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a per-stage time/work table to stderr after the run",
+    )
+    align.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write a Chrome trace-event JSON (loads in Perfetto) to PATH",
+    )
+    align.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write run metrics to PATH (.prom -> Prometheus text, else JSON)",
     )
 
     distance = sub.add_parser("distance", help="Silla edit distance of two strings")
@@ -137,10 +164,12 @@ def _cmd_align(args: argparse.Namespace) -> int:
     reads = read_fastq(args.reads)
     if args.jobs < 1:
         raise SystemExit(f"--jobs must be >= 1, got {args.jobs}")
-    # perf_counter, not time.time(): wall-clock time is not monotonic (NTP
-    # steps, DST) and must never measure elapsed time.  genaxlint's
-    # wall-clock rule (GX102) cites this site as the exemplar.
-    started = time.perf_counter()
+    # The clock abstraction wraps time.perf_counter(), never time.time():
+    # wall-clock time is not monotonic (NTP steps, DST) and must never
+    # measure elapsed time.  genaxlint's wall-clock rule (GX102) cites
+    # this site as the exemplar, and GX104 keeps even perf_counter()
+    # calls confined to repro/telemetry/clock.py.
+    started = monotonic_s()
     if args.pipeline == "genax":
         config: object = GenAxConfig(
             k=args.kmer,
@@ -164,18 +193,17 @@ def _cmd_align(args: argparse.Namespace) -> int:
             min_score=args.min_score,
             jobs=args.jobs,
         )
-    # Every registered backend shards through the same parallel driver;
-    # jobs == 1 builds the serial aligner straight from the registry.
-    if args.jobs > 1:
-        from repro.parallel import ParallelAligner
-
-        aligner = ParallelAligner(reference, config, backend=args.pipeline)
-        mapped = aligner.align_batch(reads)
+    telemetry_on = bool(args.profile or args.trace_out or args.metrics_out)
+    telemetry: Optional[PipelineTelemetry] = None
+    if telemetry_on:
+        with telemetry_session() as telemetry:
+            # The root span; worker/driver spans nest underneath it.
+            telemetry.stage_begin("align_run")
+            aligner, mapped = _run_alignment(args, reference, config, reads)
+            telemetry.stage_end("align_run")
     else:
-        serial = get_backend(args.pipeline).build(reference, config, None)
-        mapped = serial.align_batch(reads)
-        aligner = serial
-    elapsed = time.perf_counter() - started
+        aligner, mapped = _run_alignment(args, reference, config, reads)
+    elapsed = monotonic_s() - started
     write_sam(args.output, reference, mapped, reads)
     stats = aligner.stats
     suffix = f" with {args.jobs} job(s)"
@@ -187,7 +215,61 @@ def _cmd_align(args: argparse.Namespace) -> int:
         f"({stats.reads_exact} exact) in {elapsed:.1f}s"
         f"{suffix} -> {args.output}"
     )
+    if telemetry is not None:
+        _export_telemetry(args, telemetry, aligner, config, elapsed)
     return 0
+
+
+def _run_alignment(
+    args: argparse.Namespace,
+    reference: ReferenceGenome,
+    config: object,
+    reads: Sequence[ReadInput],
+) -> tuple:
+    """Run the mapping; returns ``(aligner, mapped)``.
+
+    Every registered backend shards through the same parallel driver;
+    jobs == 1 builds the serial aligner straight from the registry.
+    """
+    if args.jobs > 1:
+        from repro.parallel import ParallelAligner
+
+        parallel = ParallelAligner(reference, config, backend=args.pipeline)
+        return parallel, parallel.align_batch(reads)
+    serial = get_backend(args.pipeline).build(reference, config, None)
+    return serial, serial.align_batch(reads)
+
+
+def _export_telemetry(
+    args: argparse.Namespace,
+    telemetry: PipelineTelemetry,
+    aligner: Any,
+    config: object,
+    elapsed: float,
+) -> None:
+    """Publish backend counters and write the requested telemetry artifacts."""
+    from repro.pipeline.counters import collect_counters, publish_counters
+
+    counters = collect_counters(aligner)
+    publish_counters(telemetry.metrics, counters, args.pipeline)
+    if args.profile:
+        print(render_profile(telemetry.metrics, elapsed), file=sys.stderr)
+    if args.trace_out:
+        write_chrome_trace(args.trace_out, telemetry.tracer)
+        print(f"trace -> {args.trace_out}", file=sys.stderr)
+    if args.metrics_out:
+        write_metrics(args.metrics_out, telemetry.metrics)
+        print(f"metrics -> {args.metrics_out}", file=sys.stderr)
+    manifest = RunManifest.for_run(
+        command=["repro-genax"] + list(getattr(args, "_argv", [])),
+        backend=args.pipeline,
+        config=config,
+    )
+    manifest.wall_seconds = elapsed
+    manifest.reads_total = counters.reads_total
+    manifest_path = f"{args.output}.manifest.json"
+    write_manifest(manifest_path, manifest)
+    print(f"manifest -> {manifest_path}", file=sys.stderr)
 
 
 def _cmd_distance(args: argparse.Namespace) -> int:
@@ -236,6 +318,8 @@ _COMMANDS = {
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    # Keep the raw invocation around for the run manifest (observability).
+    args._argv = list(argv) if argv is not None else list(sys.argv[1:])
     return _COMMANDS[args.command](args)
 
 

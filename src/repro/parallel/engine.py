@@ -61,6 +61,11 @@ from repro.pipeline.registry import (
 )
 from repro.seeding.accelerator import SeedingStats
 from repro.sillax.lane import LaneStats
+from repro.telemetry.runtime import (
+    TelemetrySnapshot,
+    active_telemetry,
+    telemetry_session,
+)
 
 
 @dataclass
@@ -70,6 +75,8 @@ class ShardResult:
     chunk_id: int
     mapped: List[MappedRead]
     counters: BackendRunStats
+    # Worker telemetry snapshot (None when telemetry was off in the parent).
+    telemetry: Optional[TelemetrySnapshot] = None
 
 
 # Worker-process state.  ``_FORK_SHARED`` is set in the parent immediately
@@ -78,14 +85,19 @@ class ShardResult:
 # initializer in each worker.
 _FORK_SHARED: Optional[SharedTables] = None
 _WORKER_FACTORY: Optional[Callable[[], Tuple[BackendSpec, PipelineBackend]]] = None
+_WORKER_TELEMETRY = False
 
 
 def _init_worker(
-    backend_name: str, reference: ReferenceGenome, config: BackendConfig
+    backend_name: str,
+    reference: ReferenceGenome,
+    config: BackendConfig,
+    telemetry_enabled: bool = False,
 ) -> None:
-    global _WORKER_FACTORY
+    global _WORKER_FACTORY, _WORKER_TELEMETRY
     spec = get_backend(backend_name)
     shared = _FORK_SHARED  # None on spawn platforms -> rebuild/cache-load
+    _WORKER_TELEMETRY = telemetry_enabled
 
     def factory() -> Tuple[BackendSpec, PipelineBackend]:
         return spec, spec.build(reference, config, shared)
@@ -95,12 +107,26 @@ def _init_worker(
 
 def _align_chunk(chunk_id: int, reads: Sequence[NamedRead]) -> ShardResult:
     assert _WORKER_FACTORY is not None, "worker used before initialization"
-    spec, aligner = _WORKER_FACTORY()
-    mapped = aligner.align_batch(reads)
+    if not _WORKER_TELEMETRY:
+        spec, aligner = _WORKER_FACTORY()
+        mapped = aligner.align_batch(reads)
+        return ShardResult(
+            chunk_id=chunk_id,
+            mapped=mapped,
+            counters=spec.collect(aligner),
+        )
+    # One fresh bundle per chunk (workers are reused across chunks, so an
+    # accumulating worker-lifetime bundle would double-count on merge).
+    # The aligner facade's driver picks the active bundle up implicitly.
+    with telemetry_session() as telemetry:
+        spec, aligner = _WORKER_FACTORY()
+        mapped = aligner.align_batch(reads)
+        counters = spec.collect(aligner)
     return ShardResult(
         chunk_id=chunk_id,
         mapped=mapped,
-        counters=spec.collect(aligner),
+        counters=counters,
+        telemetry=telemetry.snapshot(),
     )
 
 
@@ -214,10 +240,17 @@ class ParallelAligner:
         chunks = shard_batch(named, self.jobs, self.chunks_per_job)
         results = self._dispatch(chunks)
         results.sort(key=lambda result: result.chunk_id)
+        telemetry = active_telemetry()
         ordered: List[MappedRead] = []
         for result in results:
             ordered.extend(result.mapped)
             self._counters.merge(result.counters)
+            if telemetry is not None and result.telemetry is not None:
+                # Deterministic chunk-order fold, exactly like the counter
+                # bundles; each worker's spans land on their own trace lane.
+                telemetry.merge_snapshot(
+                    result.telemetry, pid=result.chunk_id + 1
+                )
         return ordered
 
     # ------------------------------------------------------------ internals
@@ -238,7 +271,12 @@ class ParallelAligner:
             with ProcessPoolExecutor(
                 max_workers=workers,
                 initializer=_init_worker,
-                initargs=(self._spec.name, self.reference, self.config),
+                initargs=(
+                    self._spec.name,
+                    self.reference,
+                    self.config,
+                    active_telemetry() is not None,
+                ),
             ) as pool:
                 futures = [
                     pool.submit(_align_chunk, chunk_id, chunk)

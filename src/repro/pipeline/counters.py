@@ -8,29 +8,30 @@ lanes) into a single structured report with a readable rendering — what
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, Protocol
 
 from repro.align.records import AlignmentStats
 from repro.seeding.accelerator import SeedingStats
 from repro.sillax.lane import LaneStats
+from repro.telemetry.metrics import MetricRegistry
 
 
 class CounterSource(Protocol):
-    """Any aligner exposing the GenAx hardware-counter surface.
+    """Any aligner the counter rollup can snapshot.
 
-    Satisfied by :class:`repro.pipeline.genax.GenAxAligner` and the
-    shard-parallel :class:`repro.parallel.engine.ParallelAligner` alike —
-    the rollup never cares which driver produced the counters.
+    Satisfied by :class:`repro.pipeline.genax.GenAxAligner`, the
+    shard-parallel :class:`repro.parallel.engine.ParallelAligner`, and
+    every backend registered in :mod:`repro.pipeline.registry` — the
+    rollup never cares which driver produced the counters.  Only the
+    universal ``stats`` surface is required; backends that model the
+    hardware additionally expose ``lane_stats`` / ``seeding_stats``
+    properties, which :func:`collect_counters` reads dynamically and
+    degrades to zeros (with a warning) when absent.
     """
 
     stats: AlignmentStats
-
-    @property
-    def lane_stats(self) -> LaneStats: ...
-
-    @property
-    def seeding_stats(self) -> SeedingStats: ...
 
 
 @dataclass(frozen=True)
@@ -120,9 +121,32 @@ class GenAxCounters:
 
 
 def collect_counters(aligner: CounterSource) -> GenAxCounters:
-    """Snapshot an aligner's counters."""
-    lane = aligner.lane_stats
-    seeding = aligner.seeding_stats
+    """Snapshot an aligner's counters.
+
+    Backends that do not model the SillaX lanes or the seeding
+    accelerator (pure-software backends, the assembly facade) simply
+    lack ``lane_stats`` / ``seeding_stats``; those counter groups
+    degrade to zeros with a :class:`RuntimeWarning` instead of an
+    ``AttributeError`` — a counter report must never take the run down.
+    """
+    lane = getattr(aligner, "lane_stats", None)
+    if lane is None:
+        warnings.warn(
+            f"{type(aligner).__name__} exposes no lane_stats; SillaX "
+            "extension counters report as zero",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        lane = LaneStats()
+    seeding = getattr(aligner, "seeding_stats", None)
+    if seeding is None:
+        warnings.warn(
+            f"{type(aligner).__name__} exposes no seeding_stats; seeding "
+            "accelerator counters report as zero",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        seeding = SeedingStats()
     return GenAxCounters(
         reads_total=aligner.stats.reads_total,
         reads_mapped=aligner.stats.reads_mapped,
@@ -141,3 +165,27 @@ def collect_counters(aligner: CounterSource) -> GenAxCounters:
         candidates_survived=aligner.stats.candidates_survived,
         prefilter_cycles=aligner.stats.prefilter_cycles,
     )
+
+
+def publish_counters(
+    registry: MetricRegistry, counters: GenAxCounters, backend: str
+) -> None:
+    """Publish a counter snapshot into a telemetry metric registry.
+
+    This is the bridge between the simulator's ground-truth counters and
+    the observability surface: integer totals become Prometheus counters,
+    derived ratios become gauges, all prefixed ``<backend>_``.  Called
+    once per run (after mapping finishes), so the exported metrics carry
+    the backend's hardware-model counters alongside the pipeline's own
+    stage metrics.
+    """
+    for name, value in sorted(counters.as_dict().items()):
+        metric_name = f"{backend}_{name}"
+        if isinstance(value, int):
+            registry.counter(
+                metric_name, f"{backend} hardware counter {name}"
+            ).inc(value)
+        else:
+            registry.gauge(
+                metric_name, f"{backend} derived counter {name}"
+            ).set_max(float(value))

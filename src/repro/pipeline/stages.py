@@ -67,6 +67,7 @@ from repro.pipeline.common import (
     strands,
 )
 from repro.seeding.accelerator import GlobalSeed
+from repro.telemetry.runtime import PipelineTelemetry, active_telemetry
 
 
 class SeedProvider(Protocol):
@@ -158,22 +159,49 @@ class PipelineDriver:
     per-read and segment-major paths are bit-identical in mappings and
     counters (minus seeding-traffic counters that legitimately depend on
     the order — the tests assert the rest).
+
+    Telemetry is opt-in and run-scoped: when a
+    :class:`~repro.telemetry.runtime.PipelineTelemetry` bundle is active
+    at construction time (or passed explicitly), the driver brackets
+    every seed/filter/extend/select stage instance with tracer spans and
+    feeds the stage histograms.  With no bundle active — the default —
+    every hook site reduces to one ``is None`` check and the mapping
+    loop allocates nothing new (asserted by the tracemalloc guard test).
+    Telemetry never influences mappings or the shared
+    :class:`AlignmentStats`; the bit-identical concordance contract is
+    unaffected either way.
     """
 
-    def __init__(self, stages: StageSet) -> None:
+    def __init__(
+        self,
+        stages: StageSet,
+        telemetry: Optional[PipelineTelemetry] = None,
+    ) -> None:
         self.stages = stages
         self.stats = AlignmentStats()
+        self.telemetry = (
+            telemetry if telemetry is not None else active_telemetry()
+        )
 
     # ----------------------------------------------------------------- API
 
     def align_read(self, name: str, sequence: str) -> MappedRead:
         """Map one read, seeding each strand on demand (per-read order)."""
         stages = self.stages
+        tel = self.telemetry
+        if tel is not None:
+            tel.stage_begin("align_read")
+            tel.stage_begin("seed")
         seed_lists = [
             list(stages.seeder.seed(oriented))
             for oriented, __ in strands(sequence)
         ]
-        return self._map_read(name, sequence, seed_lists)
+        if tel is None:
+            return self._map_read(name, sequence, seed_lists)
+        tel.stage_end("seed")
+        mapped = self._map_read(name, sequence, seed_lists)
+        tel.stage_end("align_read")
+        return mapped
 
     def align_reads(self, reads: Iterable[ReadInput]) -> List[MappedRead]:
         """Map a batch in per-read order."""
@@ -197,7 +225,13 @@ class PipelineDriver:
         for __, sequence in named:
             for variant, __reverse in strands(sequence):
                 oriented.append(variant)
+        tel = self.telemetry
+        if tel is not None:
+            tel.stage_begin("align_batch")
+            tel.stage_begin("seed")
         seed_lists = self.stages.seeder.seed_batch(oriented)
+        if tel is not None:
+            tel.stage_end("seed")
         out: List[MappedRead] = []
         for index, (name, sequence) in enumerate(named):
             out.append(
@@ -205,6 +239,8 @@ class PipelineDriver:
                     name, sequence, seed_lists[2 * index : 2 * index + 2]
                 )
             )
+        if tel is not None:
+            tel.stage_end("align_batch")
         return out
 
     # ------------------------------------------------------------ internals
@@ -218,10 +254,16 @@ class PipelineDriver:
         """The shared inner loop: fast path, filter, extend, select."""
         stages = self.stages
         stats = self.stats
+        tel = self.telemetry
         stats.reads_total += 1
+        if tel is not None:
+            tel.stage_begin("read")
         extensions: List[Extension] = []
         exact_seen = False
+        candidate_count = 0
         for (oriented, reverse), seeds in zip(strands(sequence), seed_lists):
+            if tel is not None:
+                tel.observe_seeds(seeds)
             exact = [s for s in seeds if s.exact_whole_read]
             if exact:
                 # Perfect match: no verification needed (§V item 4).  The
@@ -237,6 +279,27 @@ class PipelineDriver:
             for candidate in candidates_from_seeds(
                 seeds, reverse, stages.max_candidates
             ):
+                if tel is not None:
+                    candidate_count += 1
+                    tel.observe_candidate()
+                    if stages.filters:
+                        tel.stage_begin("filter")
+                        admitted = all(
+                            f.admit(oriented, candidate, stats)
+                            for f in stages.filters
+                        )
+                        tel.stage_end("filter")
+                        if not admitted:
+                            continue
+                    tel.stage_begin("extend")
+                    extension = stages.extender.extend(
+                        oriented, candidate, stats
+                    )
+                    tel.stage_end("extend")
+                    if extension is not None:
+                        tel.observe_extension(extension)
+                        extensions.append(extension)
+                    continue
                 if not all(
                     f.admit(oriented, candidate, stats) for f in stages.filters
                 ):
@@ -246,7 +309,13 @@ class PipelineDriver:
                     extensions.append(extension)
         if exact_seen:
             stats.reads_exact += 1
+        if tel is not None:
+            tel.stage_begin("select")
         mapped = select_best(name, len(sequence), extensions, stages.min_score)
+        if tel is not None:
+            tel.stage_end("select")
+            tel.stage_end("read")
+            tel.read_done(candidate_count)
         if mapped.is_unmapped:
             stats.reads_unmapped += 1
         else:

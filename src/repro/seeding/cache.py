@@ -31,7 +31,6 @@ import os
 import struct
 import sys
 import tempfile
-import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import List, Optional, Union
@@ -40,6 +39,7 @@ import numpy
 
 from repro.genome.reference import ReferenceGenome
 from repro.seeding.index import IndexTables, KmerIndex, PackedKmerIndex
+from repro.telemetry.clock import monotonic_s
 
 # Bump when the on-disk layout (or table construction) changes shape.
 CACHE_FORMAT_VERSION = 2
@@ -97,9 +97,9 @@ class IndexCache:
         if cached is not None:
             return cached
         self.stats.misses += 1
-        started = time.perf_counter()
+        started = monotonic_s()
         tables = self._build(reference, k, segment_count, overlap)
-        self.stats.build_seconds += time.perf_counter() - started
+        self.stats.build_seconds += monotonic_s() - started
         self._store(path, tables)
         return tables
 
@@ -121,13 +121,13 @@ class IndexCache:
     def _try_load(self, path: Path) -> Optional[List[IndexTables]]:
         if not path.exists():
             return None
-        started = time.perf_counter()
+        started = monotonic_s()
         try:
             tables = _deserialize(path.read_bytes())
         except (OSError, ValueError, KeyError, json.JSONDecodeError,
                 struct.error):
             return None  # torn/corrupt/stale entry: treat as a miss
-        self.stats.load_seconds += time.perf_counter() - started
+        self.stats.load_seconds += monotonic_s() - started
         self.stats.hits += 1
         return tables
 

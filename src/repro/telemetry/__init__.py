@@ -1,0 +1,84 @@
+"""Pipeline telemetry: tracing, metric histograms, exporters, manifests.
+
+The observability layer for the staged pipeline
+(:mod:`repro.pipeline.stages`).  The paper evaluates GenAx through
+hardware performance counters (re-execution rates, seeding cycle splits,
+PE occupancy — Figs. 13-16); this package gives the reproduction the
+software equivalent:
+
+* :mod:`repro.telemetry.clock` — the single sanctioned clock (GX104);
+* :mod:`repro.telemetry.tracer` — nested spans -> Chrome trace JSON;
+* :mod:`repro.telemetry.metrics` — counters/gauges/histograms with an
+  associative+commutative merge protocol for shard-parallel runs;
+* :mod:`repro.telemetry.exporters` — Prometheus text, structured JSON,
+  trace files, and the ``--profile`` stage table;
+* :mod:`repro.telemetry.manifest` — run manifests (config fingerprint,
+  git SHA, timestamps) written alongside results;
+* :mod:`repro.telemetry.runtime` — the activation global and the
+  :class:`PipelineTelemetry` bundle drivers record into.
+
+Telemetry is off by default; the disabled path costs one ``is None``
+check per hook site and performs zero allocations.
+"""
+
+from repro.telemetry.clock import (
+    Clock,
+    ManualClock,
+    StopWatch,
+    monotonic_s,
+    utc_now_iso,
+)
+from repro.telemetry.exporters import (
+    METRICS_SCHEMA_VERSION,
+    metrics_json,
+    prometheus_text,
+    render_profile,
+    write_chrome_trace,
+    write_metrics,
+)
+from repro.telemetry.manifest import (
+    MANIFEST_SCHEMA_VERSION,
+    RunManifest,
+    config_fingerprint,
+    git_commit,
+    write_manifest,
+)
+from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricRegistry
+from repro.telemetry.runtime import (
+    PipelineTelemetry,
+    activate,
+    active_telemetry,
+    deactivate,
+    telemetry_session,
+)
+from repro.telemetry.tracer import TraceEvent, Tracer
+
+__all__ = [
+    "Clock",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "METRICS_SCHEMA_VERSION",
+    "MANIFEST_SCHEMA_VERSION",
+    "ManualClock",
+    "MetricRegistry",
+    "PipelineTelemetry",
+    "RunManifest",
+    "StopWatch",
+    "TraceEvent",
+    "Tracer",
+    "activate",
+    "active_telemetry",
+    "config_fingerprint",
+    "deactivate",
+    "git_commit",
+    "metrics_json",
+    "monotonic_s",
+    "prometheus_text",
+    "render_profile",
+    "telemetry_session",
+    "utc_now_iso",
+    "write_chrome_trace",
+    "write_manifest",
+    "write_metrics",
+]

@@ -1,0 +1,82 @@
+"""The one clock in the codebase (GX104: no raw ``time.*`` elsewhere).
+
+Every elapsed-time measurement in the repository routes through this
+module.  That buys three things the scattered ``time.perf_counter()``
+call sites could not:
+
+* **Auditability** — genaxlint's GX104 rule forbids direct
+  ``time.perf_counter()`` / ``time.monotonic()`` / ``time.process_time()``
+  calls outside this file, so "what code can observe time?" has exactly
+  one answer.  (GX102 already bans the non-monotonic ``time.time()``
+  everywhere, including here.)
+* **Testability** — anything that consumes a clock takes it as a
+  ``Callable[[], float]`` defaulting to :func:`monotonic_s`, so tests
+  inject a :class:`ManualClock` and assert on exact durations.
+* **A single monotonicity contract** — :func:`monotonic_s` is documented
+  monotonic and second-denominated; span math in
+  :mod:`repro.telemetry.tracer` never worries about NTP steps or unit
+  mixups.
+
+Wall-clock *timestamps* (run manifests, trace metadata) come from
+:func:`utc_now_iso`, which is deliberately separate from the monotonic
+path: timestamps label runs, durations measure them, and conflating the
+two is exactly the bug class GX102/GX104 exist to prevent.
+"""
+
+from __future__ import annotations
+
+import time
+from datetime import datetime, timezone
+from typing import Callable
+
+__all__ = ["Clock", "ManualClock", "StopWatch", "monotonic_s", "utc_now_iso"]
+
+Clock = Callable[[], float]
+"""Anything that returns monotonic seconds when called."""
+
+
+def monotonic_s() -> float:
+    """Monotonic seconds since an arbitrary epoch (never steps backwards)."""
+    return time.perf_counter()
+
+
+def utc_now_iso() -> str:
+    """Wall-clock UTC timestamp for labelling runs (never for durations)."""
+    return datetime.now(timezone.utc).isoformat(timespec="seconds")
+
+
+class ManualClock:
+    """A hand-advanced clock for deterministic tests.
+
+    Calling the instance returns the current reading; :meth:`advance`
+    moves it forward.  Drop-in wherever a :data:`Clock` is accepted.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = start
+
+    def __call__(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"cannot move a monotonic clock back {seconds}s")
+        self._now += seconds
+
+
+class StopWatch:
+    """Elapsed-seconds helper over an injectable monotonic clock."""
+
+    __slots__ = ("_clock", "_started")
+
+    def __init__(self, clock: Clock = monotonic_s) -> None:
+        self._clock = clock
+        self._started = clock()
+
+    def restart(self) -> None:
+        self._started = self._clock()
+
+    def elapsed(self) -> float:
+        return self._clock() - self._started

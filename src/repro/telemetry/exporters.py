@@ -1,0 +1,169 @@
+"""Exporters: Prometheus text, structured JSON, Chrome traces, profiles.
+
+Everything here is a pure function of a :class:`MetricRegistry` or a
+:class:`Tracer` — exporters never mutate telemetry state, so they are
+safe to call mid-run (a scrape) or post-run (artifact writes), and the
+multiprocess story stays in :mod:`repro.telemetry.runtime` where it
+belongs.
+
+Formats:
+
+* :func:`prometheus_text` — the Prometheus exposition text format
+  (``# HELP`` / ``# TYPE`` preamble, cumulative ``_bucket{le=...}``
+  series for histograms), suitable for a textfile collector.
+* :func:`metrics_json` — the registry snapshot wrapped with a schema
+  version, what ``--metrics-out`` writes and CI uploads.
+* :func:`write_chrome_trace` — the ``{"traceEvents": [...]}`` JSON that
+  loads in Perfetto / ``chrome://tracing``.
+* :func:`render_profile` — the human per-stage time/work table
+  ``--profile`` prints to stderr.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Tuple, Union
+
+from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricRegistry
+from repro.telemetry.tracer import Tracer
+
+__all__ = [
+    "METRICS_SCHEMA_VERSION",
+    "metrics_json",
+    "prometheus_text",
+    "render_profile",
+    "write_chrome_trace",
+    "write_json",
+    "write_metrics",
+]
+
+METRICS_SCHEMA_VERSION = 1
+
+
+def _format_value(value: float) -> str:
+    """Prometheus-style number: integers bare, floats with full precision."""
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def prometheus_text(registry: MetricRegistry) -> str:
+    """The registry in Prometheus exposition text format (sorted names)."""
+    lines: List[str] = []
+    for metric in registry.metrics():
+        if metric.help:
+            lines.append(f"# HELP {metric.name} {metric.help}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if isinstance(metric, (Counter, Gauge)):
+            lines.append(f"{metric.name} {_format_value(metric.value)}")
+        elif isinstance(metric, Histogram):
+            cumulative = 0
+            for bound, count in zip(metric.bounds, metric.counts):
+                cumulative += count
+                lines.append(
+                    f'{metric.name}_bucket{{le="{_format_value(bound)}"}} '
+                    f"{cumulative}"
+                )
+            lines.append(
+                f'{metric.name}_bucket{{le="+Inf"}} {metric.count}'
+            )
+            lines.append(f"{metric.name}_sum {_format_value(metric.total)}")
+            lines.append(f"{metric.name}_count {metric.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def metrics_json(registry: MetricRegistry) -> Dict[str, Any]:
+    """The registry snapshot wrapped with a schema version."""
+    return {
+        "schema_version": METRICS_SCHEMA_VERSION,
+        "metrics": registry.snapshot(),
+    }
+
+
+def write_json(path: Union[str, Path], payload: Dict[str, Any]) -> None:
+    """Write *payload* as indented JSON (parents created)."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def write_metrics(path: Union[str, Path], registry: MetricRegistry) -> None:
+    """Write the registry: Prometheus text for ``.prom`` paths, else JSON."""
+    target = Path(path)
+    if target.suffix == ".prom":
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(prometheus_text(registry))
+    else:
+        write_json(target, metrics_json(registry))
+
+
+def write_chrome_trace(path: Union[str, Path], tracer: Tracer) -> None:
+    """Write the tracer's events as Chrome trace-event JSON."""
+    write_json(path, tracer.chrome_trace())
+
+
+# ----------------------------------------------------------------- profile
+
+#: The pipeline stages the driver brackets, in pipeline order.  Shared
+#: with :class:`repro.telemetry.runtime.PipelineTelemetry`, which
+#: registers one ``pipeline_stage_seconds_<stage>`` histogram per entry.
+PROFILE_STAGES = ("seed", "filter", "extend", "select")
+
+#: Work counters rendered under the stage table: metric name -> label.
+_WORK_COUNTERS = (
+    ("pipeline_reads_total", "reads"),
+    ("pipeline_seeds_total", "seeds"),
+    ("pipeline_candidates_total", "candidates"),
+    ("pipeline_extensions_total", "extensions"),
+)
+
+
+def render_profile(registry: MetricRegistry, elapsed_s: float) -> str:
+    """The per-stage time/work table ``--profile`` prints.
+
+    Totals are computed from the (possibly shard-merged) registry, so a
+    ``--jobs N`` run's table reconciles with the merged worker
+    registries by construction.  With multiple workers the summed stage
+    seconds are CPU seconds across shards and may legitimately exceed
+    the wall-clock ``elapsed_s``; the share column is normalised against
+    the stage sum, not the wall clock.
+    """
+    rows: List[Tuple[str, int, float]] = []
+    stage_total = 0.0
+    for stage in PROFILE_STAGES:
+        name = f"pipeline_stage_seconds_{stage}"
+        calls = 0
+        seconds = 0.0
+        if name in registry:
+            hist = registry.get(name)
+            assert isinstance(hist, Histogram)
+            calls = hist.count
+            seconds = hist.total
+        rows.append((stage, calls, seconds))
+        stage_total += seconds
+    lines = [
+        "pipeline profile (stage seconds are summed across shards)",
+        f"{'stage':<8} {'calls':>10} {'total_s':>10} {'mean_ms':>10} {'share':>7}",
+    ]
+    for stage, calls, seconds in rows:
+        mean_ms = (seconds / calls * 1e3) if calls else 0.0
+        share = (seconds / stage_total) if stage_total > 0 else 0.0
+        lines.append(
+            f"{stage:<8} {calls:>10} {seconds:>10.3f} "
+            f"{mean_ms:>10.3f} {share:>6.1%}"
+        )
+    lines.append(
+        f"{'(sum)':<8} {sum(calls for __, calls, __s in rows):>10} "
+        f"{stage_total:>10.3f} {'':>10} {'':>7}"
+    )
+    lines.append(f"wall time: {elapsed_s:.3f}s")
+    work: List[str] = []
+    for metric_name, label in _WORK_COUNTERS:
+        if metric_name in registry:
+            metric = registry.get(metric_name)
+            if isinstance(metric, Counter):
+                work.append(f"{label}={_format_value(metric.value)}")
+    if work:
+        lines.append("work: " + ", ".join(work))
+    return "\n".join(lines)

@@ -1,0 +1,257 @@
+"""Counters, gauges and fixed-bucket histograms with a merge protocol.
+
+The observability mirror of the hardware-counter dataclasses: where
+:class:`~repro.align.records.AlignmentStats` is the *simulation's*
+ground truth (bit-identical, asserted by concordance tests), the
+:class:`MetricRegistry` is the *operational* view — what a dashboard
+scrapes, what ``--profile`` renders, what the Prometheus exporter
+serialises.
+
+The merge protocol is the load-bearing part.  The shard-parallel driver
+(:mod:`repro.parallel.engine`) aggregates per-worker registries exactly
+the way it folds :class:`~repro.pipeline.registry.BackendRunStats`:
+each worker ships a picklable :meth:`MetricRegistry.snapshot`, the
+parent applies :meth:`MetricRegistry.merge_snapshot` in deterministic
+chunk order, and because every merge operation is associative and
+commutative (counters add, gauges take the max, histograms add
+bucket-wise) the merged registry is independent of shard count and
+merge order — the property tests in ``tests/telemetry`` assert this
+over random shard splits.
+
+Bucket convention follows Prometheus: a histogram is defined by
+ascending upper bounds, an observation lands in the first bucket whose
+bound is ``>= value`` (bounds are inclusive), and values above the last
+bound land in the implicit ``+Inf`` overflow bucket.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Dict, List, Tuple, Union
+
+__all__ = ["Counter", "Gauge", "Histogram", "Metric", "MetricRegistry"]
+
+Snapshot = Dict[str, Any]
+
+
+class Counter:
+    """A monotonically increasing count; merge adds."""
+
+    __slots__ = ("name", "help", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str = "") -> None:
+        self.name = name
+        self.help = help_text
+        self.value: Union[int, float] = 0
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease ({amount})")
+        self.value += amount
+
+    def merge(self, other: "Counter") -> None:
+        self.value += other.value
+
+    def state(self) -> Snapshot:
+        return {"help": self.help, "value": self.value}
+
+    def load(self, state: Snapshot) -> None:
+        self.value += state["value"]
+
+
+class Gauge:
+    """A point-in-time level; merge takes the max.
+
+    ``max`` (not last-write) keeps the merge associative and commutative,
+    which the shard-merge protocol requires; a gauge therefore reports
+    the *peak* level across shards (e.g. peak open spans, peak batch
+    size), which is the operationally useful reading.
+    """
+
+    __slots__ = ("name", "help", "value")
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help_text: str = "") -> None:
+        self.name = name
+        self.help = help_text
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def set_max(self, value: float) -> None:
+        if value > self.value:
+            self.value = float(value)
+
+    def merge(self, other: "Gauge") -> None:
+        if other.value > self.value:
+            self.value = other.value
+
+    def state(self) -> Snapshot:
+        return {"help": self.help, "value": self.value}
+
+    def load(self, state: Snapshot) -> None:
+        if state["value"] > self.value:
+            self.value = state["value"]
+
+
+class Histogram:
+    """Fixed-bucket histogram: counts per bucket plus sum and count.
+
+    ``bounds`` are ascending inclusive upper bounds; ``counts`` has one
+    slot per bound plus a trailing overflow (``+Inf``) slot.  Merging
+    requires identical bounds — silently resampling mismatched buckets
+    would fabricate data.
+    """
+
+    __slots__ = ("name", "help", "bounds", "counts", "total", "count")
+
+    kind = "histogram"
+
+    def __init__(
+        self, name: str, bounds: Tuple[float, ...], help_text: str = ""
+    ) -> None:
+        if not bounds:
+            raise ValueError(f"histogram {name} needs at least one bucket bound")
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError(
+                f"histogram {name} bounds must be strictly ascending: {bounds}"
+            )
+        self.name = name
+        self.help = help_text
+        self.bounds: Tuple[float, ...] = tuple(float(b) for b in bounds)
+        self.counts: List[int] = [0] * (len(bounds) + 1)
+        self.total: float = 0.0
+        self.count: int = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.total += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        if not self.count:
+            return 0.0
+        return self.total / self.count
+
+    def merge(self, other: "Histogram") -> None:
+        if self.bounds != other.bounds:
+            raise ValueError(
+                f"histogram {self.name} bucket mismatch: "
+                f"{self.bounds} vs {other.bounds}"
+            )
+        for index, bucket_count in enumerate(other.counts):
+            self.counts[index] += bucket_count
+        self.total += other.total
+        self.count += other.count
+
+    def state(self) -> Snapshot:
+        return {
+            "help": self.help,
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "sum": self.total,
+            "count": self.count,
+        }
+
+    def load(self, state: Snapshot) -> None:
+        if list(self.bounds) != list(state["bounds"]):
+            raise ValueError(
+                f"histogram {self.name} bucket mismatch in snapshot: "
+                f"{self.bounds} vs {state['bounds']}"
+            )
+        for index, bucket_count in enumerate(state["counts"]):
+            self.counts[index] += bucket_count
+        self.total += state["sum"]
+        self.count += state["count"]
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricRegistry:
+    """Name -> metric store with get-or-create handles and shard merging."""
+
+    __slots__ = ("_metrics",)
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    # ------------------------------------------------------------- handles
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        return self._get_or_create(Counter(name, help_text))
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        return self._get_or_create(Gauge(name, help_text))
+
+    def histogram(
+        self, name: str, bounds: Tuple[float, ...], help_text: str = ""
+    ) -> Histogram:
+        existing = self._metrics.get(name)
+        if isinstance(existing, Histogram) and existing.bounds != tuple(
+            float(b) for b in bounds
+        ):
+            raise ValueError(
+                f"histogram {name} already registered with bounds "
+                f"{existing.bounds}, requested {bounds}"
+            )
+        return self._get_or_create(Histogram(name, bounds, help_text))
+
+    def _get_or_create(self, fresh: Metric) -> Any:
+        existing = self._metrics.get(fresh.name)
+        if existing is None:
+            self._metrics[fresh.name] = fresh
+            return fresh
+        if type(existing) is not type(fresh):
+            raise ValueError(
+                f"metric {fresh.name} already registered as "
+                f"{type(existing).__name__}, requested {type(fresh).__name__}"
+            )
+        return existing
+
+    # -------------------------------------------------------------- reading
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def get(self, name: str) -> Metric:
+        return self._metrics[name]
+
+    def metrics(self) -> List[Metric]:
+        """Every registered metric, sorted by name (deterministic export)."""
+        return [self._metrics[name] for name in sorted(self._metrics)]
+
+    # -------------------------------------------------------------- merging
+
+    def merge(self, other: "MetricRegistry") -> None:
+        """Fold *other* in; unknown metrics are adopted, known ones merged."""
+        self.merge_snapshot(other.snapshot())
+
+    def snapshot(self) -> Snapshot:
+        """A picklable/JSON-able copy of every metric's state."""
+        out: Snapshot = {"counters": {}, "gauges": {}, "histograms": {}}
+        for metric in self.metrics():
+            out[metric.kind + "s"][metric.name] = metric.state()
+        return out
+
+    def merge_snapshot(self, snap: Snapshot) -> None:
+        """Fold a shipped snapshot in (associative and commutative)."""
+        for name in sorted(snap.get("counters", {})):
+            state = snap["counters"][name]
+            self.counter(name, state.get("help", "")).load(state)
+        for name in sorted(snap.get("gauges", {})):
+            state = snap["gauges"][name]
+            self.gauge(name, state.get("help", "")).load(state)
+        for name in sorted(snap.get("histograms", {})):
+            state = snap["histograms"][name]
+            self.histogram(
+                name, tuple(state["bounds"]), state.get("help", "")
+            ).load(state)

@@ -1,4 +1,4 @@
-"""Unit tests for the determinism rules (GX101/GX102/GX103).
+"""Unit tests for the determinism rules (GX101/GX102/GX103/GX104).
 
 Fixtures are source *strings*, never real code, so the repo self-check
 (tests are linted too) stays clean.
@@ -9,9 +9,11 @@ import textwrap
 from repro.analysis import lint_source
 
 
-def findings_for(source, rule):
+def findings_for(source, rule, path="<string>"):
     return [
-        f for f in lint_source(textwrap.dedent(source)) if f.rule == rule
+        f
+        for f in lint_source(textwrap.dedent(source), path=path)
+        if f.rule == rule
     ]
 
 
@@ -126,6 +128,8 @@ class TestWallClock:
         assert len(found) == 1
 
     def test_perf_counter_clean(self):
+        # perf_counter is the *right* clock, so GX102 stays silent; its
+        # placement is GX104's concern (TestClockConfinement below).
         found = findings_for(
             """
             import time
@@ -134,6 +138,109 @@ class TestWallClock:
                 return time.perf_counter()
             """,
             "wall-clock",
+        )
+        assert found == []
+
+
+class TestClockConfinement:
+    RAW_CALL = """
+        import time
+
+        def measure():
+            return time.perf_counter()
+        """
+
+    def test_perf_counter_flagged_outside_clock_module(self):
+        found = findings_for(self.RAW_CALL, "clock-confinement")
+        assert len(found) == 1
+        assert found[0].code == "GX104"
+        assert "time.perf_counter()" in found[0].message
+        assert "monotonic_s" in found[0].hint
+        assert "ManualClock" in found[0].hint
+
+    def test_monotonic_and_process_time_flagged(self):
+        found = findings_for(
+            """
+            import time
+
+            def measure():
+                return time.monotonic() + time.process_time()
+            """,
+            "clock-confinement",
+        )
+        assert len(found) == 2
+
+    def test_ns_variants_flagged(self):
+        found = findings_for(
+            """
+            import time
+
+            def measure():
+                return time.perf_counter_ns()
+            """,
+            "clock-confinement",
+        )
+        assert len(found) == 1
+
+    def test_from_import_flagged(self):
+        found = findings_for(
+            """
+            from time import perf_counter
+
+            def measure():
+                return perf_counter()
+            """,
+            "clock-confinement",
+        )
+        assert len(found) == 1
+        assert "perf_counter()" in found[0].message
+
+    def test_clock_module_itself_exempt(self):
+        found = findings_for(
+            self.RAW_CALL,
+            "clock-confinement",
+            path="src/repro/telemetry/clock.py",
+        )
+        assert found == []
+
+    def test_windows_path_separator_exempt(self):
+        found = findings_for(
+            self.RAW_CALL,
+            "clock-confinement",
+            path="src\\repro\\telemetry\\clock.py",
+        )
+        assert found == []
+
+    def test_other_telemetry_modules_not_exempt(self):
+        found = findings_for(
+            self.RAW_CALL,
+            "clock-confinement",
+            path="src/repro/telemetry/tracer.py",
+        )
+        assert len(found) == 1
+
+    def test_sanctioned_wrapper_clean(self):
+        found = findings_for(
+            """
+            from repro.telemetry.clock import monotonic_s
+
+            def measure():
+                return monotonic_s()
+            """,
+            "clock-confinement",
+        )
+        assert found == []
+
+    def test_sleep_not_flagged(self):
+        # Only clock *reads* are confined; time.sleep is not a read.
+        found = findings_for(
+            """
+            import time
+
+            def pause():
+                time.sleep(0.1)
+            """,
+            "clock-confinement",
         )
         assert found == []
 

@@ -20,13 +20,12 @@ BAD_SOURCE = textwrap.dedent(
     """
 ).lstrip()
 
+# Clean under every rule, including GX104 clock confinement: the clock
+# arrives injected, exactly the pattern the hint prescribes.
 CLEAN_SOURCE = textwrap.dedent(
     """
-    import time
-
-
-    def measure():
-        return time.perf_counter()
+    def measure(clock):
+        return clock()
     """
 ).lstrip()
 

@@ -33,6 +33,8 @@ def test_strict_packages_pass_mypy():
             "repro.align",
             "-p",
             "repro.analysis",
+            "-p",
+            "repro.telemetry",
         ],
         cwd=REPO_ROOT,
         capture_output=True,

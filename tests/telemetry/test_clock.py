@@ -1,0 +1,50 @@
+"""The clock module: the one sanctioned timing surface (GX104)."""
+
+from repro.telemetry.clock import ManualClock, StopWatch, monotonic_s
+
+
+class TestMonotonic:
+    def test_monotonic_never_decreases(self):
+        readings = [monotonic_s() for __ in range(100)]
+        assert readings == sorted(readings)
+
+    def test_returns_seconds_as_float(self):
+        assert isinstance(monotonic_s(), float)
+
+
+class TestManualClock:
+    def test_starts_at_zero_and_advances(self):
+        clock = ManualClock()
+        assert clock() == 0.0
+        clock.advance(1.5)
+        assert clock() == 1.5
+        clock.advance(0.5)
+        assert clock() == 2.0
+
+    def test_custom_start(self):
+        clock = ManualClock(start=10.0)
+        assert clock() == 10.0
+
+    def test_rejects_backwards_steps(self):
+        clock = ManualClock()
+        try:
+            clock.advance(-1.0)
+        except ValueError:
+            return
+        raise AssertionError("negative advance must raise")
+
+
+class TestStopWatch:
+    def test_elapsed_with_manual_clock(self):
+        clock = ManualClock()
+        watch = StopWatch(clock=clock)
+        clock.advance(2.5)
+        assert watch.elapsed() == 2.5
+
+    def test_restart_resets_origin(self):
+        clock = ManualClock()
+        watch = StopWatch(clock=clock)
+        clock.advance(5.0)
+        watch.restart()
+        clock.advance(1.0)
+        assert watch.elapsed() == 1.0

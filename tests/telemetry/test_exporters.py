@@ -1,0 +1,143 @@
+"""Exporter formats: Prometheus text, metrics JSON, traces, profile table."""
+
+import json
+
+from repro.telemetry.clock import ManualClock
+from repro.telemetry.exporters import (
+    METRICS_SCHEMA_VERSION,
+    PROFILE_STAGES,
+    metrics_json,
+    prometheus_text,
+    render_profile,
+    write_chrome_trace,
+    write_metrics,
+)
+from repro.telemetry.metrics import MetricRegistry
+from repro.telemetry.runtime import SECONDS_BUCKETS, STAGES, PipelineTelemetry
+from repro.telemetry.tracer import Tracer
+
+
+def populated_registry():
+    registry = MetricRegistry()
+    registry.counter("reads_total", "reads processed").inc(7)
+    registry.gauge("peak_depth").set(3.5)
+    hist = registry.histogram("latency_seconds", (0.1, 1.0), "span latency")
+    hist.observe(0.05)
+    hist.observe(0.5)
+    hist.observe(2.0)
+    return registry
+
+
+class TestPrometheusText:
+    def test_empty_registry_exports_empty_text(self):
+        assert prometheus_text(MetricRegistry()) == ""
+
+    def test_counter_and_gauge_lines(self):
+        text = prometheus_text(populated_registry())
+        assert "# HELP reads_total reads processed" in text
+        assert "# TYPE reads_total counter" in text
+        assert "reads_total 7" in text
+        assert "# TYPE peak_depth gauge" in text
+        assert "peak_depth 3.5" in text
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        lines = prometheus_text(populated_registry()).splitlines()
+        bucket_lines = [l for l in lines if l.startswith("latency_seconds")]
+        assert bucket_lines == [
+            'latency_seconds_bucket{le="0.1"} 1',
+            'latency_seconds_bucket{le="1"} 2',
+            'latency_seconds_bucket{le="+Inf"} 3',
+            "latency_seconds_sum 2.55",
+            "latency_seconds_count 3",
+        ]
+
+    def test_help_line_omitted_without_help_text(self):
+        registry = MetricRegistry()
+        registry.counter("bare").inc()
+        text = prometheus_text(registry)
+        assert "# HELP" not in text
+        assert "# TYPE bare counter" in text
+
+
+class TestMetricsJson:
+    def test_empty_registry_export(self):
+        payload = metrics_json(MetricRegistry())
+        assert payload == {
+            "schema_version": METRICS_SCHEMA_VERSION,
+            "metrics": {"counters": {}, "gauges": {}, "histograms": {}},
+        }
+
+    def test_payload_is_json_serialisable(self):
+        payload = metrics_json(populated_registry())
+        restored = json.loads(json.dumps(payload))
+        assert restored["metrics"]["counters"]["reads_total"]["value"] == 7
+
+
+class TestWriters:
+    def test_prom_suffix_selects_text_format(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        write_metrics(path, populated_registry())
+        assert "# TYPE reads_total counter" in path.read_text()
+
+    def test_json_default_with_parent_creation(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "metrics.json"
+        write_metrics(path, populated_registry())
+        payload = json.loads(path.read_text())
+        assert payload["schema_version"] == METRICS_SCHEMA_VERSION
+
+    def test_write_chrome_trace(self, tmp_path):
+        clock = ManualClock()
+        tracer = Tracer(clock=clock)
+        tracer.begin("seed")
+        clock.advance(0.001)
+        tracer.end()
+        path = tmp_path / "trace.json"
+        write_chrome_trace(path, tracer)
+        trace = json.loads(path.read_text())
+        assert [e["ph"] for e in trace["traceEvents"]] == ["B", "E"]
+
+
+class TestRenderProfile:
+    def test_stage_constant_matches_runtime(self):
+        # The profile table and the runtime's histograms must agree on
+        # the stage taxonomy, or stages silently vanish from the table.
+        assert PROFILE_STAGES == STAGES
+
+    def test_empty_registry_renders_zero_rows(self):
+        table = render_profile(MetricRegistry(), 1.0)
+        for stage in PROFILE_STAGES:
+            assert stage in table
+        assert "wall time: 1.000s" in table
+
+    def test_totals_and_work_counters_rendered(self):
+        telemetry = PipelineTelemetry(clock=ManualClock())
+        registry = telemetry.metrics
+        registry.get("pipeline_stage_seconds_extend").observe(0.25)
+        registry.get("pipeline_stage_seconds_extend").observe(0.75)
+        registry.get("pipeline_reads_total").inc(5)
+        table = render_profile(registry, 2.0)
+        lines = table.splitlines()
+        extend_row = next(l for l in lines if l.startswith("extend"))
+        assert "2" in extend_row.split()  # calls
+        assert "1.000" in extend_row  # total seconds
+        assert "work: reads=5" in table
+
+    def test_table_reconciles_with_merged_registry(self):
+        # The --jobs N acceptance check in miniature: totals rendered from
+        # a merged registry equal the sum of the shard registries.
+        shard_a = PipelineTelemetry(clock=ManualClock())
+        shard_b = PipelineTelemetry(clock=ManualClock())
+        shard_a.metrics.get("pipeline_stage_seconds_seed").observe(0.5)
+        shard_b.metrics.get("pipeline_stage_seconds_seed").observe(1.5)
+        parent = PipelineTelemetry(clock=ManualClock())
+        parent.merge_snapshot(shard_a.snapshot(), pid=1)
+        parent.merge_snapshot(shard_b.snapshot(), pid=2)
+        table = render_profile(parent.metrics, 1.0)
+        seed_row = next(
+            l for l in table.splitlines() if l.startswith("seed")
+        )
+        assert "2.000" in seed_row
+        merged = parent.metrics.get("pipeline_stage_seconds_seed")
+        assert merged.total == 2.0
+        assert merged.count == 2
+        assert merged.bounds == SECONDS_BUCKETS

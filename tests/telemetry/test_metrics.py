@@ -1,0 +1,236 @@
+"""Metric primitives and the shard-merge protocol.
+
+The property tests mirror how :mod:`repro.parallel.engine` actually uses
+the registry: a stream of observations is split into random shards, each
+shard records into its own registry, the snapshots are merged in random
+order and random groupings — and the result must equal the unsharded
+registry exactly.
+"""
+
+import random
+
+import pytest
+
+from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricRegistry
+
+BOUNDS = (1.0, 2.0, 4.0, 8.0)
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1)
+
+    def test_merge_adds(self):
+        a, b = Counter("c"), Counter("c")
+        a.inc(2)
+        b.inc(3)
+        a.merge(b)
+        assert a.value == 5
+
+
+class TestGauge:
+    def test_set_and_set_max(self):
+        gauge = Gauge("g")
+        gauge.set(5.0)
+        gauge.set_max(3.0)  # lower: ignored
+        assert gauge.value == 5.0
+        gauge.set_max(9.0)
+        assert gauge.value == 9.0
+
+    def test_merge_takes_max(self):
+        a, b = Gauge("g"), Gauge("g")
+        a.set(2.0)
+        b.set(7.0)
+        a.merge(b)
+        assert a.value == 7.0
+
+
+class TestHistogramBuckets:
+    """Bucket-edge semantics: inclusive upper bounds, +Inf overflow."""
+
+    def test_value_on_bound_lands_in_that_bucket(self):
+        hist = Histogram("h", BOUNDS)
+        for value in BOUNDS:
+            hist.observe(value)
+        assert hist.counts == [1, 1, 1, 1, 0]
+
+    def test_value_just_above_bound_lands_in_next_bucket(self):
+        hist = Histogram("h", BOUNDS)
+        hist.observe(1.0000001)
+        assert hist.counts == [0, 1, 0, 0, 0]
+
+    def test_value_below_first_bound_lands_in_first_bucket(self):
+        hist = Histogram("h", BOUNDS)
+        hist.observe(0.0)
+        hist.observe(-3.0)
+        assert hist.counts == [2, 0, 0, 0, 0]
+
+    def test_value_above_last_bound_overflows(self):
+        hist = Histogram("h", BOUNDS)
+        hist.observe(8.5)
+        hist.observe(1e9)
+        assert hist.counts == [0, 0, 0, 0, 2]
+
+    def test_sum_count_mean(self):
+        hist = Histogram("h", BOUNDS)
+        hist.observe(1.0)
+        hist.observe(3.0)
+        assert hist.count == 2
+        assert hist.total == 4.0
+        assert hist.mean == 2.0
+
+    def test_empty_mean_is_zero(self):
+        assert Histogram("h", BOUNDS).mean == 0.0
+
+    def test_unsorted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", (2.0, 1.0))
+
+    def test_duplicate_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", (1.0, 1.0))
+
+    def test_empty_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", ())
+
+    def test_merge_requires_identical_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("h", BOUNDS).merge(Histogram("h", (1.0, 2.0)))
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_handle(self):
+        registry = MetricRegistry()
+        assert registry.counter("c") is registry.counter("c")
+
+    def test_kind_mismatch_rejected(self):
+        registry = MetricRegistry()
+        registry.counter("m")
+        with pytest.raises(ValueError):
+            registry.gauge("m")
+
+    def test_histogram_bounds_mismatch_rejected(self):
+        registry = MetricRegistry()
+        registry.histogram("h", BOUNDS)
+        with pytest.raises(ValueError):
+            registry.histogram("h", (1.0, 2.0))
+
+    def test_metrics_sorted_by_name(self):
+        registry = MetricRegistry()
+        registry.counter("zeta")
+        registry.counter("alpha")
+        assert [m.name for m in registry.metrics()] == ["alpha", "zeta"]
+
+    def test_merge_adopts_unknown_metrics(self):
+        a, b = MetricRegistry(), MetricRegistry()
+        b.counter("only_in_b").inc(3)
+        a.merge(b)
+        assert a.get("only_in_b").value == 3
+
+
+def _apply_observations(registry, observations):
+    """Replay an observation stream into a registry."""
+    for kind, value in observations:
+        if kind == "count":
+            registry.counter("events_total").inc(value)
+        elif kind == "level":
+            registry.gauge("peak_level").set_max(value)
+        else:
+            registry.histogram("latency", BOUNDS).observe(value)
+
+
+def _random_observations(rng, n):
+    """Random streams over quarter-integer values.
+
+    Quarter-integers are exactly representable in binary floating point,
+    so sums are exact and independent of addition order — the property
+    under test is the merge protocol, not float rounding.
+    """
+    out = []
+    for __ in range(n):
+        kind = rng.choice(("count", "level", "observe"))
+        out.append((kind, rng.randrange(0, 40) / 4.0))
+    return out
+
+
+class TestMergeProperties:
+    """merge() is associative and commutative over random shard splits."""
+
+    def test_sharded_merge_equals_unsharded(self):
+        rng = random.Random(1234)
+        for trial in range(20):
+            observations = _random_observations(rng, rng.randrange(1, 60))
+            reference = MetricRegistry()
+            _apply_observations(reference, observations)
+
+            # Random split into 1-6 shards, merged in shuffled order.
+            shard_count = rng.randrange(1, 7)
+            shards = [MetricRegistry() for __ in range(shard_count)]
+            for observation in observations:
+                shard = shards[rng.randrange(shard_count)]
+                _apply_observations(shard, [observation])
+            rng.shuffle(shards)
+
+            merged = MetricRegistry()
+            for shard in shards:
+                merged.merge_snapshot(shard.snapshot())
+            assert merged.snapshot() == reference.snapshot(), (
+                f"trial {trial}: sharded merge diverged"
+            )
+
+    def test_merge_is_associative_over_groupings(self):
+        rng = random.Random(99)
+        observations = _random_observations(rng, 30)
+        thirds = [observations[0:10], observations[10:20], observations[20:30]]
+        registries = []
+        for part in thirds:
+            registry = MetricRegistry()
+            _apply_observations(registry, part)
+            registries.append(registry)
+        a, b, c = registries
+
+        # (a + b) + c
+        left = MetricRegistry()
+        left.merge_snapshot(a.snapshot())
+        left.merge_snapshot(b.snapshot())
+        left.merge_snapshot(c.snapshot())
+        # a + (b + c), built by pre-merging b and c first
+        bc = MetricRegistry()
+        bc.merge_snapshot(b.snapshot())
+        bc.merge_snapshot(c.snapshot())
+        right = MetricRegistry()
+        right.merge_snapshot(a.snapshot())
+        right.merge_snapshot(bc.snapshot())
+        assert left.snapshot() == right.snapshot()
+
+    def test_merge_is_commutative(self):
+        rng = random.Random(7)
+        a, b = MetricRegistry(), MetricRegistry()
+        _apply_observations(a, _random_observations(rng, 25))
+        _apply_observations(b, _random_observations(rng, 25))
+        ab = MetricRegistry()
+        ab.merge_snapshot(a.snapshot())
+        ab.merge_snapshot(b.snapshot())
+        ba = MetricRegistry()
+        ba.merge_snapshot(b.snapshot())
+        ba.merge_snapshot(a.snapshot())
+        assert ab.snapshot() == ba.snapshot()
+
+    def test_snapshot_roundtrips_through_json_types(self):
+        import json
+
+        rng = random.Random(5)
+        registry = MetricRegistry()
+        _apply_observations(registry, _random_observations(rng, 40))
+        wire = json.loads(json.dumps(registry.snapshot()))
+        restored = MetricRegistry()
+        restored.merge_snapshot(wire)
+        assert restored.snapshot() == registry.snapshot()

@@ -1,0 +1,134 @@
+"""Driver and shard-parallel integration: spans, counters, concordance."""
+
+import pytest
+
+from repro.parallel import ParallelAligner
+from repro.pipeline.genax import GenAxAligner, GenAxConfig
+from repro.telemetry.runtime import deactivate, telemetry_session
+
+CONFIG = GenAxConfig(edit_bound=10, segment_count=2)
+
+
+@pytest.fixture(autouse=True)
+def clean_global():
+    deactivate()
+    yield
+    deactivate()
+
+
+@pytest.fixture()
+def reads(small_reference):
+    """A handful of reads cut straight from the reference (plus one junk)."""
+    sequence = small_reference.sequence
+    out = [
+        (f"r{i}", sequence[start : start + 80])
+        for i, start in enumerate(range(500, 3000, 500))
+    ]
+    out.append(("junk", "ACGT" * 20))
+    return out
+
+
+class TestDriverTelemetry:
+    def test_mappings_identical_with_and_without_telemetry(
+        self, small_reference, reads
+    ):
+        plain = GenAxAligner(small_reference, CONFIG).align_batch(reads)
+        with telemetry_session():
+            traced = GenAxAligner(small_reference, CONFIG).align_batch(reads)
+        assert [
+            (m.position, m.reverse, m.score, str(m.cigar)) for m in plain
+        ] == [(m.position, m.reverse, m.score, str(m.cigar)) for m in traced]
+
+    def test_spans_nest_and_balance(self, small_reference, reads):
+        with telemetry_session() as telemetry:
+            GenAxAligner(small_reference, CONFIG).align_batch(reads)
+        tracer = telemetry.tracer
+        assert tracer.open_spans == 0
+        names = {name for __, name, __ts, __pid in tracer.events}
+        assert {"align_batch", "seed", "read", "select"} <= names
+        # Every B has a matching E.
+        balance = 0
+        for phase, *_ in tracer.events:
+            balance += 1 if phase == "B" else -1
+            assert balance >= 0
+        assert balance == 0
+
+    def test_work_counters_match_alignment_stats(self, small_reference, reads):
+        with telemetry_session() as telemetry:
+            aligner = GenAxAligner(small_reference, CONFIG)
+            aligner.align_batch(reads)
+        registry = telemetry.metrics
+        assert (
+            registry.get("pipeline_reads_total").value
+            == aligner.stats.reads_total
+        )
+        assert registry.get("pipeline_candidates_per_read").count == len(reads)
+        assert registry.get("pipeline_seeds_total").value > 0
+
+    def test_driver_without_session_records_nothing(
+        self, small_reference, reads
+    ):
+        aligner = GenAxAligner(small_reference, CONFIG)
+        aligner.align_batch(reads)
+        # No bundle was active: the facade's driver holds no telemetry.
+        assert aligner._driver.telemetry is None
+
+
+class TestParallelMerge:
+    def test_jobs2_concordant_and_registries_reconcile(
+        self, small_reference, reads
+    ):
+        """The acceptance check: a sharded run's merged registry equals the
+        serial registry on every work counter, and mappings stay
+        bit-identical."""
+        with telemetry_session() as serial_tel:
+            serial_mapped = GenAxAligner(small_reference, CONFIG).align_batch(
+                reads
+            )
+        with telemetry_session() as parallel_tel:
+            parallel = ParallelAligner(small_reference, CONFIG, jobs=2)
+            parallel_mapped = parallel.align_batch(reads)
+
+        assert [
+            (m.position, m.reverse, m.score, str(m.cigar))
+            for m in parallel_mapped
+        ] == [
+            (m.position, m.reverse, m.score, str(m.cigar))
+            for m in serial_mapped
+        ]
+        for name in (
+            "pipeline_reads_total",
+            "pipeline_seeds_total",
+            "pipeline_candidates_total",
+            "pipeline_extensions_total",
+        ):
+            assert (
+                parallel_tel.metrics.get(name).value
+                == serial_tel.metrics.get(name).value
+            ), name
+        for name in (
+            "pipeline_candidates_per_read",
+            "pipeline_smem_length",
+            "pipeline_edit_distance",
+        ):
+            serial_hist = serial_tel.metrics.get(name)
+            parallel_hist = parallel_tel.metrics.get(name)
+            assert parallel_hist.counts == serial_hist.counts, name
+            assert parallel_hist.count == serial_hist.count, name
+
+    def test_worker_spans_land_on_distinct_lanes(self, small_reference, reads):
+        with telemetry_session() as telemetry:
+            telemetry.stage_begin("run")  # parent-side root span, lane 0
+            ParallelAligner(small_reference, CONFIG, jobs=2).align_batch(reads)
+            telemetry.stage_end("run")
+        lanes = {pid for __, __n, __ts, pid in telemetry.tracer.events}
+        # Parent lane 0 plus at least one worker lane (chunk_id + 1).
+        assert 0 in lanes
+        assert any(pid > 0 for pid in lanes)
+
+    def test_parallel_off_session_ships_no_snapshots(
+        self, small_reference, reads
+    ):
+        parallel = ParallelAligner(small_reference, CONFIG, jobs=2)
+        mapped = parallel.align_batch(reads)
+        assert len(mapped) == len(reads)

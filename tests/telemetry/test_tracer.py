@@ -1,0 +1,108 @@
+"""Tracer: nested spans, durations, absorb, Chrome trace export."""
+
+import pytest
+
+from repro.telemetry.clock import ManualClock
+from repro.telemetry.tracer import Tracer
+
+
+@pytest.fixture()
+def clock():
+    return ManualClock()
+
+
+class TestSpans:
+    def test_end_returns_duration_seconds(self, clock):
+        tracer = Tracer(clock=clock)
+        tracer.begin("seed")
+        clock.advance(0.25)
+        assert tracer.end() == 0.25
+
+    def test_nesting_closes_innermost_first(self, clock):
+        tracer = Tracer(clock=clock)
+        tracer.begin("outer")
+        clock.advance(1.0)
+        tracer.begin("inner")
+        clock.advance(0.5)
+        assert tracer.end() == 0.5  # inner
+        clock.advance(1.0)
+        assert tracer.end() == 2.5  # outer spans the whole window
+        assert tracer.open_spans == 0
+
+    def test_open_spans_tracks_stack_depth(self, clock):
+        tracer = Tracer(clock=clock)
+        assert tracer.open_spans == 0
+        tracer.begin("a")
+        tracer.begin("b")
+        assert tracer.open_spans == 2
+
+    def test_events_are_flat_tuples(self, clock):
+        tracer = Tracer(clock=clock, pid=3)
+        tracer.begin("seed")
+        clock.advance(0.001)
+        tracer.end()
+        assert tracer.events == [
+            ("B", "seed", 0, 3),
+            ("E", "seed", 1000, 3),
+        ]
+
+
+class TestAbsorb:
+    def test_absorb_retags_pid_lane(self, clock):
+        worker = Tracer(clock=clock)
+        worker.begin("extend")
+        clock.advance(0.002)
+        worker.end()
+        parent = Tracer(clock=clock)
+        parent.absorb(worker.snapshot_events(), pid=7)
+        assert parent.events == [
+            ("B", "extend", 0, 7),
+            ("E", "extend", 2000, 7),
+        ]
+
+    def test_snapshot_is_a_copy(self, clock):
+        tracer = Tracer(clock=clock)
+        tracer.begin("x")
+        tracer.end()
+        snap = tracer.snapshot_events()
+        snap.append(("B", "bogus", 0, 0))
+        assert len(tracer.events) == 2
+
+
+class TestChromeTrace:
+    def test_structure_loads_in_perfetto(self, clock):
+        tracer = Tracer(clock=clock)
+        tracer.begin("read")
+        clock.advance(0.01)
+        tracer.begin("seed")
+        clock.advance(0.01)
+        tracer.end()
+        tracer.end()
+        trace = tracer.chrome_trace()
+        assert trace["displayTimeUnit"] == "ms"
+        events = trace["traceEvents"]
+        assert [e["ph"] for e in events] == ["B", "B", "E", "E"]
+        assert all(e["cat"] == "pipeline" for e in events)
+        assert all(set(e) == {"ph", "name", "cat", "ts", "pid", "tid"}
+                   for e in events)
+
+    def test_lanes_sorted_by_pid_then_time(self, clock):
+        parent = Tracer(clock=clock)
+        clock.advance(1.0)
+        parent.begin("merge")
+        parent.end()
+        worker = Tracer(clock=ManualClock())
+        worker.begin("chunk")
+        worker.end()
+        parent.absorb(worker.snapshot_events(), pid=2)
+        ordered = parent.chrome_trace()["traceEvents"]
+        assert [e["pid"] for e in ordered] == [0, 0, 2, 2]
+
+    def test_begin_end_order_preserved_on_timestamp_ties(self, clock):
+        # A zero-duration span: B and E share a timestamp; the stable
+        # sort must keep B first or the viewer drops the span.
+        tracer = Tracer(clock=clock)
+        tracer.begin("instant")
+        tracer.end()
+        events = tracer.chrome_trace()["traceEvents"]
+        assert [e["ph"] for e in events] == ["B", "E"]

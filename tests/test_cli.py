@@ -131,6 +131,122 @@ class TestAlignParallel:
                   "--jobs", "0"])
 
 
+class TestAlignTelemetry:
+    """The observability flags: --profile, --trace-out, --metrics-out."""
+
+    def test_no_flags_writes_no_artifacts(self, simulated, tmp_path):
+        ref, reads = simulated
+        out = tmp_path / "plain.sam"
+        assert main(["align", str(ref), str(reads), str(out),
+                     "--edit-bound", "10", "--segments", "2"]) == 0
+        assert not (tmp_path / "plain.sam.manifest.json").exists()
+
+    def test_profile_prints_stage_table(self, simulated, tmp_path, capsys):
+        ref, reads = simulated
+        out = tmp_path / "profiled.sam"
+        assert main(["align", str(ref), str(reads), str(out),
+                     "--edit-bound", "10", "--segments", "2",
+                     "--profile"]) == 0
+        err = capsys.readouterr().err
+        assert "pipeline profile" in err
+        for stage in ("seed", "filter", "extend", "select"):
+            assert stage in err
+        assert "wall time:" in err
+        assert "work: reads=8" in err
+
+    def test_trace_out_loads_as_chrome_trace(self, simulated, tmp_path):
+        import json
+
+        ref, reads = simulated
+        out = tmp_path / "traced.sam"
+        trace = tmp_path / "trace.json"
+        assert main(["align", str(ref), str(reads), str(out),
+                     "--edit-bound", "10", "--segments", "2",
+                     "--trace-out", str(trace)]) == 0
+        payload = json.loads(trace.read_text())
+        assert payload["displayTimeUnit"] == "ms"
+        events = payload["traceEvents"]
+        names = {e["name"] for e in events}
+        assert {"align_run", "seed", "read", "select"} <= names
+        begins = sum(1 for e in events if e["ph"] == "B")
+        ends = sum(1 for e in events if e["ph"] == "E")
+        assert begins == ends > 0
+
+    def test_metrics_out_json_and_manifest(self, simulated, tmp_path):
+        import json
+
+        ref, reads = simulated
+        out = tmp_path / "metered.sam"
+        metrics = tmp_path / "metrics.json"
+        assert main(["align", str(ref), str(reads), str(out),
+                     "--edit-bound", "10", "--segments", "2",
+                     "--metrics-out", str(metrics)]) == 0
+        payload = json.loads(metrics.read_text())
+        counters = payload["metrics"]["counters"]
+        assert counters["pipeline_reads_total"]["value"] == 8
+        # Backend hardware counters are published alongside stage metrics.
+        assert counters["genax_reads_total"]["value"] == 8
+        manifest = json.loads(
+            (tmp_path / "metered.sam.manifest.json").read_text()
+        )
+        assert manifest["backend"] == "genax"
+        assert manifest["reads_total"] == 8
+        assert manifest["command"][0] == "repro-genax"
+        assert "--metrics-out" in manifest["command"]
+
+    def test_metrics_out_prom_format(self, simulated, tmp_path):
+        ref, reads = simulated
+        out = tmp_path / "prom.sam"
+        metrics = tmp_path / "metrics.prom"
+        assert main(["align", str(ref), str(reads), str(out),
+                     "--edit-bound", "10", "--segments", "2",
+                     "--metrics-out", str(metrics)]) == 0
+        text = metrics.read_text()
+        assert "# TYPE pipeline_reads_total counter" in text
+        assert 'pipeline_stage_seconds_seed_bucket{le="+Inf"}' in text
+
+    def test_profile_jobs4_reconciles_with_merged_registry(
+        self, simulated, tmp_path, capsys
+    ):
+        """Acceptance: the --jobs 4 profile table and the exported merged
+        registry tell one story, and it matches the serial run's work."""
+        import json
+
+        ref, reads = simulated
+        serial_metrics = tmp_path / "serial.json"
+        parallel_metrics = tmp_path / "parallel.json"
+        base = ["align", str(ref), str(reads),
+                "--edit-bound", "10", "--segments", "2"]
+        assert main(base + [str(tmp_path / "s.sam"),
+                            "--metrics-out", str(serial_metrics)]) == 0
+        capsys.readouterr()
+        assert main(base + [str(tmp_path / "p.sam"), "--jobs", "4",
+                            "--profile",
+                            "--metrics-out", str(parallel_metrics)]) == 0
+        err = capsys.readouterr().err
+        serial = json.loads(serial_metrics.read_text())["metrics"]
+        parallel = json.loads(parallel_metrics.read_text())["metrics"]
+        for name in ("pipeline_reads_total", "pipeline_seeds_total",
+                     "pipeline_candidates_total", "pipeline_extensions_total"):
+            assert (parallel["counters"][name]["value"]
+                    == serial["counters"][name]["value"]), name
+        # The printed work line agrees with the merged registry.
+        reads_total = parallel["counters"]["pipeline_reads_total"]["value"]
+        assert f"work: reads={reads_total}" in err
+        # The printed stage calls agree with the merged stage histograms.
+        extend_calls = parallel["histograms"][
+            "pipeline_stage_seconds_extend"
+        ]["count"]
+        extend_row = next(
+            line for line in err.splitlines() if line.startswith("extend")
+        )
+        assert str(extend_calls) in extend_row.split()
+        # SAM output is still bit-identical to the serial run.
+        assert (tmp_path / "p.sam").read_text() == (
+            tmp_path / "s.sam"
+        ).read_text()
+
+
 class TestDistance:
     def test_within_k(self, capsys):
         assert main(["distance", "GATTACA", "GATTTACA"]) == 0
