@@ -1,0 +1,67 @@
+"""Differential fuzzing: kernel/oracle cross-checks with a persisted corpus.
+
+The repo carries ~10 alignment kernels and two SMEM seeders that must all
+agree on score/CIGAR/hit-set semantics.  Hand-written example tests pin a
+few points of that agreement; this package pins the *relation itself*:
+
+* :mod:`repro.difftest.oracles` — a registry pairing every fast kernel
+  with its ground-truth reference (full-DP edit distance / Smith-Waterman,
+  the brute-force SMEM scanner, the backend registry's ``bwamem`` gold
+  standard), each pair declaring its comparison contract (exact score,
+  score + valid CIGAR, or hit-set equality);
+* :mod:`repro.difftest.grammar` — a seeded generative input grammar
+  producing the adversarial shapes approximate kernels drift on: GC skew,
+  homopolymer runs, tandem repeats, K-boundary edit bursts,
+  reverse-complement pairs — all driven by one ``random.Random(seed)``;
+* :mod:`repro.difftest.shrink` — greedy counterexample minimization of a
+  disagreeing ``(reference, query, params)`` triple;
+* :mod:`repro.difftest.corpus` — JSON persistence of minimized cases under
+  ``tests/difftest/corpus/``, replayed as ordinary tier-1 regression tests;
+* :mod:`repro.difftest.runner` / :mod:`repro.difftest.cli` — the
+  ``repro-difftest run | replay | shrink | list-pairs`` entry points and
+  the deterministic JSON report CI diffs for reproducibility.
+"""
+
+from repro.difftest.corpus import (
+    CorpusEntry,
+    default_corpus_dir,
+    load_corpus,
+    replay_entry,
+    write_entry,
+)
+from repro.difftest.grammar import FAMILIES, CaseGenerator, DiffCase, GenSpec
+from repro.difftest.oracles import (
+    Contract,
+    Disagreement,
+    OraclePair,
+    all_pairs,
+    evaluate_pair,
+    get_pair,
+    pair_names,
+)
+from repro.difftest.runner import PairReport, RunReport, run_pairs
+from repro.difftest.shrink import ShrinkResult, shrink_case
+
+__all__ = [
+    "CorpusEntry",
+    "default_corpus_dir",
+    "load_corpus",
+    "replay_entry",
+    "write_entry",
+    "FAMILIES",
+    "CaseGenerator",
+    "DiffCase",
+    "GenSpec",
+    "Contract",
+    "Disagreement",
+    "OraclePair",
+    "all_pairs",
+    "evaluate_pair",
+    "get_pair",
+    "pair_names",
+    "PairReport",
+    "RunReport",
+    "run_pairs",
+    "ShrinkResult",
+    "shrink_case",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.difftest`` — forwards to the CLI."""
+
+import sys
+
+from repro.difftest.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

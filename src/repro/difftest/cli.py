@@ -1,0 +1,206 @@
+"""``repro-difftest`` command line (also ``python -m repro.difftest``).
+
+Subcommands:
+
+* ``run`` — fuzz the registered oracle pairs over a generated case
+  budget; writes a deterministic JSON report (``--report``), shrinks
+  mismatches and optionally records them into a corpus directory.
+  Exit status 0 when every pair agrees on every case, 1 otherwise.
+* ``replay`` — re-run the committed corpus (or ``--corpus-dir``); exit 1
+  on any contract break or recorded-output drift.
+* ``shrink`` — re-minimize a case file against the current kernels
+  (useful after a kernel change alters where the disagreement lives).
+* ``list-pairs`` — print the oracle registry with contracts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from functools import partial
+from typing import List, Optional, Sequence
+
+from repro.difftest.corpus import (
+    default_corpus_dir,
+    load_corpus,
+    load_entry,
+    make_entry,
+    replay_entry,
+    write_entry,
+)
+from repro.difftest.grammar import DiffCase
+from repro.difftest.oracles import OraclePair, all_pairs, evaluate_pair, get_pair
+from repro.difftest.runner import run_pairs
+from repro.difftest.shrink import shrink_case
+
+
+def _pair_disagrees(pair: OraclePair, case: DiffCase) -> bool:
+    return evaluate_pair(pair, case) is not None
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-difftest",
+        description=(
+            "Differential fuzzing for the GenAx reproduction: cross-check "
+            "every fast kernel against its ground-truth oracle."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="fuzz the oracle pairs over generated cases")
+    run.add_argument("--cases", type=int, default=200, help="cases per pair")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--pair",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="restrict to this pair (repeatable; default: all pairs)",
+    )
+    run.add_argument(
+        "--report",
+        default=None,
+        metavar="PATH",
+        help="write the JSON run report to PATH (default: stdout summary only)",
+    )
+    run.add_argument(
+        "--corpus-dir",
+        default=None,
+        metavar="DIR",
+        help="record minimized disagreements as corpus files under DIR",
+    )
+    run.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="skip counterexample minimization on mismatch",
+    )
+    run.add_argument(
+        "--shrink-budget",
+        type=int,
+        default=2000,
+        help="max predicate evaluations per shrink (default 2000)",
+    )
+
+    replay = sub.add_parser("replay", help="re-run the committed corpus")
+    replay.add_argument(
+        "--corpus-dir",
+        default=None,
+        metavar="DIR",
+        help=f"corpus directory (default: the committed {default_corpus_dir()})",
+    )
+
+    shrink = sub.add_parser("shrink", help="re-minimize a recorded case file")
+    shrink.add_argument("case_file", help="corpus JSON file to shrink")
+    shrink.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="write the re-minimized entry into DIR (default: print only)",
+    )
+    shrink.add_argument("--shrink-budget", type=int, default=2000)
+
+    sub.add_parser("list-pairs", help="print the oracle registry")
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    pairs: Optional[List[str]] = args.pair
+    report = run_pairs(
+        cases=args.cases,
+        seed=args.seed,
+        pairs=pairs,
+        shrink=not args.no_shrink,
+        corpus_dir=args.corpus_dir,
+        shrink_budget=args.shrink_budget,
+    )
+    if args.report is not None:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(report.to_json(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    for pair_report in report.pairs:
+        status = "ok" if pair_report.ok else f"{len(pair_report.disagreements)} DISAGREE"
+        print(
+            f"{pair_report.pair:28s} [{pair_report.contract:11s}] "
+            f"{pair_report.cases:5d} cases  {status}"
+        )
+    print(
+        f"difftest: {len(report.pairs)} pair(s), {report.cases} cases each, "
+        f"{report.total_disagreements} disagreement(s)"
+    )
+    return 0 if report.ok else 1
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    entries = load_corpus(args.corpus_dir)
+    if not entries:
+        print("difftest replay: corpus is empty", file=sys.stderr)
+        return 0
+    failures = 0
+    for entry in entries:
+        result = replay_entry(entry)
+        label = entry.path or f"{entry.pair}/{entry.case.family}"
+        if result.ok:
+            print(f"ok    {label}")
+        else:
+            failures += 1
+            print(f"FAIL  {label}: {result.detail}")
+    print(f"difftest replay: {len(entries)} case(s), {failures} failure(s)")
+    return 0 if failures == 0 else 1
+
+
+def _cmd_shrink(args: argparse.Namespace) -> int:
+    entry = load_entry(args.case_file)
+    pair = get_pair(entry.pair)
+    disagreement = evaluate_pair(pair, entry.case)
+    if disagreement is None:
+        print(
+            f"{args.case_file}: pair {pair.name!r} agrees on this case — "
+            "nothing to shrink (the corpus pin is healthy)"
+        )
+        return 0
+
+    result = shrink_case(
+        entry.case,
+        partial(_pair_disagrees, pair),
+        max_evaluations=args.shrink_budget,
+    )
+    print(
+        f"shrunk {len(entry.case.reference)}+{len(entry.case.query)} bases -> "
+        f"{len(result.case.reference)}+{len(result.case.query)} "
+        f"({result.evaluations} evaluations)"
+    )
+    shrunk_entry = make_entry(
+        pair,
+        result.case,
+        seed=entry.seed,
+        note=f"re-shrunk from {args.case_file}",
+    )
+    if args.out is not None:
+        path = write_entry(args.out, shrunk_entry)
+        print(f"wrote {path}")
+    else:
+        print(json.dumps(shrunk_entry.to_json(), indent=2, sort_keys=True))
+    return 1
+
+
+def _cmd_list_pairs(args: argparse.Namespace) -> int:
+    for pair in all_pairs():
+        print(f"{pair.name:28s} [{pair.contract.value:11s}] {pair.description}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "replay": _cmd_replay,
+        "shrink": _cmd_shrink,
+        "list-pairs": _cmd_list_pairs,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,183 @@
+"""Persisted regression corpus: minimized cases replayed as tier-1 tests.
+
+Every corpus entry is one JSON file under ``tests/difftest/corpus/``
+holding a minimized ``(reference, query, params)`` triple, the oracle
+pair it belongs to, the contract, the seed coordinates it was generated
+from, and both sides' outputs at commit time.  Replay re-runs both sides
+and checks two things:
+
+* the pair still **agrees** under its contract (the live invariant);
+* both outputs still **equal the recorded ones** (the regression pin —
+  a kernel change that shifts an agreed-upon answer is still a change).
+
+File names are content-addressed (``<pair>-<family>-<digest>.json``) so
+re-recording an identical case is a no-op and the corpus never collides.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.difftest.grammar import DiffCase
+from repro.difftest.oracles import (
+    Contract,
+    OraclePair,
+    Output,
+    compare_outputs,
+    get_pair,
+)
+
+SCHEMA_VERSION = 1
+
+#: Repo-relative location of the committed corpus.
+CORPUS_RELPATH = os.path.join("tests", "difftest", "corpus")
+
+
+def default_corpus_dir() -> str:
+    """The committed corpus directory (repo-root relative, resolved)."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    root = os.path.dirname(os.path.dirname(os.path.dirname(here)))
+    return os.path.join(root, CORPUS_RELPATH)
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One committed regression case."""
+
+    pair: str
+    contract: Contract
+    case: DiffCase
+    seed: str  # origin coordinates ("seed:pair:index"), informational
+    expected_fast: Output
+    expected_oracle: Output
+    note: str = ""
+    path: Optional[str] = None  # where the entry was loaded from, if any
+
+    def to_json(self) -> Dict[str, Output]:
+        return {
+            "schema": SCHEMA_VERSION,
+            "pair": self.pair,
+            "contract": self.contract.value,
+            "seed": self.seed,
+            "family": self.case.family,
+            "reference": self.case.reference,
+            "query": self.case.query,
+            "params": dict(sorted(self.case.params.items())),
+            "expected": {"fast": self.expected_fast, "oracle": self.expected_oracle},
+            "note": self.note,
+        }
+
+
+def entry_from_json(data: Dict[str, Output], path: Optional[str] = None) -> CorpusEntry:
+    if data.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            f"corpus entry {path or '<memory>'} has schema "
+            f"{data.get('schema')!r}, expected {SCHEMA_VERSION}"
+        )
+    case = DiffCase(
+        family=str(data["family"]),
+        reference=str(data["reference"]),
+        query=str(data["query"]),
+        params={str(key): int(value) for key, value in dict(data["params"]).items()},
+    )
+    expected = dict(data["expected"])
+    return CorpusEntry(
+        pair=str(data["pair"]),
+        contract=Contract(data["contract"]),
+        case=case,
+        seed=str(data.get("seed", "")),
+        expected_fast=expected.get("fast"),
+        expected_oracle=expected.get("oracle"),
+        note=str(data.get("note", "")),
+        path=path,
+    )
+
+
+def make_entry(
+    pair: OraclePair, case: DiffCase, seed: str, note: str = ""
+) -> CorpusEntry:
+    """Record both sides' current outputs for *case* as a corpus entry."""
+    return CorpusEntry(
+        pair=pair.name,
+        contract=pair.contract,
+        case=case,
+        seed=seed,
+        expected_fast=pair.fast(case),
+        expected_oracle=pair.oracle(case),
+        note=note,
+    )
+
+
+def entry_filename(entry: CorpusEntry) -> str:
+    payload = json.dumps(entry.to_json(), sort_keys=True).encode("utf-8")
+    digest = hashlib.sha256(payload).hexdigest()[:10]
+    return f"{entry.pair}-{entry.case.family}-{digest}.json"
+
+
+def write_entry(directory: str, entry: CorpusEntry) -> str:
+    """Write *entry* under *directory*; returns the file path."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, entry_filename(entry))
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(entry.to_json(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_entry(path: str) -> CorpusEntry:
+    with open(path, "r", encoding="utf-8") as handle:
+        return entry_from_json(json.load(handle), path=path)
+
+
+def load_corpus(directory: Optional[str] = None) -> List[CorpusEntry]:
+    """All corpus entries under *directory*, sorted by file name."""
+    directory = directory if directory is not None else default_corpus_dir()
+    if not os.path.isdir(directory):
+        return []
+    entries: List[CorpusEntry] = []
+    for name in sorted(os.listdir(directory)):
+        if name.endswith(".json"):
+            entries.append(load_entry(os.path.join(directory, name)))
+    return entries
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """Outcome of re-running one corpus entry."""
+
+    entry: CorpusEntry
+    ok: bool
+    detail: str
+
+
+def replay_entry(entry: CorpusEntry) -> ReplayResult:
+    """Re-run both sides of a corpus entry and check the two pins."""
+    pair = get_pair(entry.pair)
+    fast_output = pair.fast(entry.case)
+    oracle_output = pair.oracle(entry.case)
+    mismatch = compare_outputs(pair.contract, fast_output, oracle_output)
+    if mismatch is not None:
+        return ReplayResult(entry=entry, ok=False, detail=f"contract broken: {mismatch}")
+    if fast_output != entry.expected_fast:
+        return ReplayResult(
+            entry=entry,
+            ok=False,
+            detail=(
+                f"fast output drifted: recorded {entry.expected_fast!r}, "
+                f"now {fast_output!r}"
+            ),
+        )
+    if oracle_output != entry.expected_oracle:
+        return ReplayResult(
+            entry=entry,
+            ok=False,
+            detail=(
+                f"oracle output drifted: recorded {entry.expected_oracle!r}, "
+                f"now {oracle_output!r}"
+            ),
+        )
+    return ReplayResult(entry=entry, ok=True, detail="ok")

@@ -1,0 +1,594 @@
+"""The oracle registry: every fast kernel paired with its ground truth.
+
+Each :class:`OraclePair` names a *fast* implementation (the thing we
+optimize and refactor) and an *oracle* (the slow, obviously-correct
+reference it must agree with), plus the :class:`Contract` that defines
+what "agree" means:
+
+* ``exact-score`` — the two outputs must be equal JSON values (scores,
+  ``None`` for over-budget, or small result dicts);
+* ``score-cigar`` — scores must be equal and *both* sides' CIGARs must be
+  internally valid (consistent ops that re-score to the reported score);
+  the CIGARs themselves may differ, because co-optimal tracebacks are
+  legitimately non-unique;
+* ``hit-set`` — the outputs are sorted hit lists that must be identical.
+
+Every hook is a module-level function (never a lambda or closure), so a
+future fuzz driver can shard pairs across processes via
+:mod:`repro.parallel` without tripping the pickle-safety gate.
+
+The backend concordance pair (``genax-vs-bwamem``) embodies the paper's
+§VIII-A validation: both pipelines are configured with the *same* budget
+``K = max_edits_for_score(max_read, min_score)`` so any alignment either
+backend may legally report is reachable by both — score equality is then
+a theorem, while positions are allowed to differ on equal-score ties.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.align.banded import banded_extension_align, banded_extension_score
+from repro.align.edit_distance import levenshtein
+from repro.align.hirschberg import (
+    HirschbergResult,
+    LinearScoring,
+    hirschberg_align,
+    nw_global_align,
+)
+from repro.align.myers import myers_distance, myers_search
+from repro.align.records import Alignment
+from repro.align.scoring import BWA_MEM_SCHEME
+from repro.align.smith_waterman import DPResult, extension_align, local_align
+from repro.align.striped_sw import striped_local_score
+from repro.align.systolic_sw import SystolicBandedSW
+from repro.align.ula import UniversalLevenshteinAutomaton
+from repro.align.xdrop import xdrop_extension_score
+from repro.core.silla import Silla
+from repro.difftest.grammar import DiffCase, GenSpec
+from repro.genome.reference import ReferenceGenome
+from repro.pipeline.registry import build_aligner, get_backend
+from repro.seeding.index import KmerIndex
+from repro.seeding.smem import SmemConfig, SmemFinder
+from repro.seeding.smem_oracle import brute_force_exact_match, brute_force_smems
+
+#: JSON-serializable pair output (int, str, None, list, dict).
+Output = Any
+
+#: X large enough that the X-drop rule never prunes: equivalent to full DP.
+GENEROUS_X = 10**6
+
+#: Backend-concordance operating point.  ``MAPPING_MAX_READ`` caps the
+#: grammar's query length; the shared budget K below guarantees any
+#: alignment scoring >= MAPPING_MIN_SCORE stays within both backends'
+#: reach (edit bound for SillaX, band for the banded DP).
+MAPPING_MIN_SCORE = 35
+MAPPING_MAX_READ = 48
+MAPPING_BUDGET = BWA_MEM_SCHEME.max_edits_for_score(
+    MAPPING_MAX_READ, MAPPING_MIN_SCORE
+)
+
+
+class Contract(enum.Enum):
+    """How a pair's two outputs are compared."""
+
+    EXACT_SCORE = "exact-score"
+    SCORE_CIGAR = "score-cigar"
+    HIT_SET = "hit-set"
+
+
+@dataclass(frozen=True)
+class Disagreement:
+    """One observed fast/oracle mismatch on a concrete case."""
+
+    pair: str
+    contract: Contract
+    case: DiffCase
+    fast_output: Output
+    oracle_output: Output
+    detail: str
+
+
+@dataclass(frozen=True)
+class OraclePair:
+    """A fast kernel, its ground truth, and their comparison contract."""
+
+    name: str
+    contract: Contract
+    description: str
+    fast: Callable[[DiffCase], Output]
+    oracle: Callable[[DiffCase], Output]
+    spec: GenSpec = GenSpec()
+
+
+def _score_cigar_mismatch(fast: Output, oracle: Output) -> Optional[str]:
+    if not isinstance(fast, dict) or not isinstance(oracle, dict):
+        return "score-cigar outputs must be dicts"
+    if not fast.get("valid", False):
+        return f"fast CIGAR invalid: {fast.get('error', 'unknown')}"
+    if not oracle.get("valid", False):
+        return f"oracle CIGAR invalid: {oracle.get('error', 'unknown')}"
+    if fast["score"] != oracle["score"]:
+        return f"score mismatch: fast={fast['score']} oracle={oracle['score']}"
+    return None
+
+
+def compare_outputs(
+    contract: Contract, fast: Output, oracle: Output
+) -> Optional[str]:
+    """``None`` when the outputs satisfy *contract*, else a mismatch detail."""
+    if contract is Contract.SCORE_CIGAR:
+        return _score_cigar_mismatch(fast, oracle)
+    if fast != oracle:
+        return f"output mismatch: fast={fast!r} oracle={oracle!r}"
+    return None
+
+
+def evaluate_pair(pair: OraclePair, case: DiffCase) -> Optional[Disagreement]:
+    """Run both sides of *pair* on *case*; ``None`` means they agree."""
+    fast_output = pair.fast(case)
+    oracle_output = pair.oracle(case)
+    detail = compare_outputs(pair.contract, fast_output, oracle_output)
+    if detail is None:
+        return None
+    return Disagreement(
+        pair=pair.name,
+        contract=pair.contract,
+        case=case,
+        fast_output=fast_output,
+        oracle_output=oracle_output,
+        detail=detail,
+    )
+
+
+# ------------------------------------------------------------ exact-score
+
+
+def _fast_myers(case: DiffCase) -> Output:
+    return myers_distance(case.query, case.reference)
+
+
+def _oracle_levenshtein(case: DiffCase) -> Output:
+    return levenshtein(case.reference, case.query)
+
+
+def _oracle_bounded_levenshtein(case: DiffCase) -> Output:
+    distance = levenshtein(case.reference, case.query)
+    return distance if distance <= case.param("k") else None
+
+
+def _fast_silla(case: DiffCase) -> Output:
+    return Silla(case.param("k")).distance(case.reference, case.query)
+
+
+def _fast_ula(case: DiffCase) -> Output:
+    return UniversalLevenshteinAutomaton(case.param("k")).run(
+        case.reference, case.query
+    )
+
+
+def _fast_xdrop(case: DiffCase) -> Output:
+    return xdrop_extension_score(case.reference, case.query, GENEROUS_X).score
+
+
+def _oracle_extension_score(case: DiffCase) -> Output:
+    return extension_align(case.reference, case.query).alignment.score
+
+
+def _fast_striped(case: DiffCase) -> Output:
+    return striped_local_score(case.reference, case.query).score
+
+
+def _oracle_local_score(case: DiffCase) -> Output:
+    return local_align(case.reference, case.query).alignment.score
+
+
+def _fast_systolic(case: DiffCase) -> Output:
+    return SystolicBandedSW(case.param("band")).best_score(
+        case.reference, case.query
+    )
+
+
+def _oracle_banded_score(case: DiffCase) -> Output:
+    score, _cells = banded_extension_score(
+        case.reference, case.query, case.param("band")
+    )
+    return score
+
+
+def _fast_banded_score(case: DiffCase) -> Output:
+    score, _cells = banded_extension_score(
+        case.reference, case.query, case.param("band")
+    )
+    return score
+
+
+def _oracle_banded_align_score(case: DiffCase) -> Output:
+    return banded_extension_align(
+        case.reference, case.query, case.param("band")
+    ).alignment.score
+
+
+# ------------------------------------------------------------ score-cigar
+
+
+def _dp_output(result: DPResult, case: DiffCase) -> Output:
+    """Score + CIGAR + internal validity of an extension/banded alignment."""
+    alignment = result.alignment
+    output: Dict[str, Output] = {
+        "score": alignment.score,
+        "cigar": str(alignment.cigar) if alignment.cigar is not None else "",
+    }
+    try:
+        output["valid"] = _extension_cigar_valid(alignment, case)
+    except ValueError as error:
+        output["valid"] = False
+        output["error"] = str(error)
+    return output
+
+
+def _extension_cigar_valid(alignment: Alignment, case: DiffCase) -> bool:
+    cigar = alignment.cigar
+    if cigar is None:
+        raise ValueError("alignment carries no CIGAR")
+    region = case.reference[alignment.reference_start : alignment.reference_end]
+    query_region = case.query[alignment.query_start : alignment.query_end]
+    rescored = cigar.score(region, query_region, BWA_MEM_SCHEME)
+    if rescored != alignment.score:
+        raise ValueError(
+            f"CIGAR re-scores to {rescored}, alignment reports {alignment.score}"
+        )
+    return True
+
+
+def _fast_fullband(case: DiffCase) -> Output:
+    band = max(len(case.reference), len(case.query))
+    return _dp_output(
+        banded_extension_align(case.reference, case.query, band), case
+    )
+
+
+def _oracle_extension_align(case: DiffCase) -> Output:
+    return _dp_output(extension_align(case.reference, case.query), case)
+
+
+def _linear_rescore(result: HirschbergResult, case: DiffCase) -> int:
+    """Independently re-score a global-alignment CIGAR under LinearScoring."""
+    scoring = LinearScoring()
+    score = 0
+    i = j = 0
+    for length, op in result.cigar.ops:
+        if op == "S":
+            raise ValueError("global alignment must not soft-clip")
+        for _ in range(length):
+            if op in "=X":
+                if i >= len(case.reference) or j >= len(case.query):
+                    raise ValueError("CIGAR overruns sequences")
+                if op == "=" and case.reference[i] != case.query[j]:
+                    raise ValueError(f"'=' over mismatching bases at ref {i}")
+                if op == "X" and case.reference[i] == case.query[j]:
+                    raise ValueError(f"'X' over matching bases at ref {i}")
+                score += scoring.compare(case.reference[i], case.query[j])
+                i += 1
+                j += 1
+            elif op == "D":
+                score += scoring.gap
+                i += 1
+            elif op == "I":
+                score += scoring.gap
+                j += 1
+            else:
+                raise ValueError(f"unexpected op {op!r} in global alignment")
+    if i != len(case.reference) or j != len(case.query):
+        raise ValueError(
+            f"CIGAR consumes ({i}, {j}) of ({len(case.reference)}, {len(case.query)})"
+        )
+    return score
+
+
+def _global_output(result: HirschbergResult, case: DiffCase) -> Output:
+    output: Dict[str, Output] = {
+        "score": result.score,
+        "cigar": str(result.cigar),
+    }
+    try:
+        rescored = _linear_rescore(result, case)
+        if rescored != result.score:
+            raise ValueError(
+                f"CIGAR re-scores to {rescored}, result reports {result.score}"
+            )
+        output["valid"] = True
+    except ValueError as error:
+        output["valid"] = False
+        output["error"] = str(error)
+    return output
+
+
+def _fast_hirschberg(case: DiffCase) -> Output:
+    return _global_output(hirschberg_align(case.reference, case.query), case)
+
+
+def _oracle_nw(case: DiffCase) -> Output:
+    return _global_output(nw_global_align(case.reference, case.query), case)
+
+
+# --------------------------------------------------------------- hit-set
+
+
+def _fast_myers_search(case: DiffCase) -> Output:
+    return sorted(
+        myers_search(case.query, case.reference, case.param("k"))
+    )
+
+
+def _oracle_semiglobal_hits(case: DiffCase) -> Output:
+    """Full-DP semi-global search: end positions in the reference where the
+    query matches a substring ending there within k edits."""
+    pattern, text, k = case.query, case.reference, case.param("k")
+    m = len(pattern)
+    column = list(range(m + 1))
+    hits: List[int] = []
+    if column[m] <= k:
+        hits.append(0)
+    for position, char in enumerate(text, start=1):
+        previous = column
+        column = [0] * (m + 1)
+        for i in range(1, m + 1):
+            cost = 0 if pattern[i - 1] == char else 1
+            column[i] = min(
+                previous[i - 1] + cost,
+                previous[i] + 1,
+                column[i - 1] + 1,
+            )
+        if column[m] <= k:
+            hits.append(position)
+    return hits
+
+
+def _seed_list(seeds: Output) -> Output:
+    return sorted(
+        [seed.read_offset, seed.length, sorted(seed.hits)] for seed in seeds
+    )
+
+
+def _fast_smems(case: DiffCase) -> Output:
+    k = case.param("smem_k")
+    if len(case.reference) < k or len(case.query) < k:
+        return []
+    index = KmerIndex.build(case.reference, k)
+    finder = SmemFinder(index, SmemConfig(k=k))
+    return _seed_list(finder.find_seeds(case.query))
+
+
+def _oracle_smems(case: DiffCase) -> Output:
+    k = case.param("smem_k")
+    if len(case.reference) < k or len(case.query) < k:
+        return []
+    return _seed_list(brute_force_smems(case.reference, case.query, k))
+
+
+def _fast_exact_match(case: DiffCase) -> Output:
+    k = case.param("smem_k")
+    if len(case.reference) < k or len(case.query) < k:
+        return []
+    index = KmerIndex.build(case.reference, k)
+    finder = SmemFinder(index, SmemConfig(k=k))
+    hits = finder.exact_match_hits(case.query)
+    return sorted(hits) if hits is not None else []
+
+
+def _oracle_exact_match(case: DiffCase) -> Output:
+    k = case.param("smem_k")
+    if len(case.reference) < k or len(case.query) < k:
+        return []
+    return sorted(brute_force_exact_match(case.reference, case.query))
+
+
+# ------------------------------------------------- backend concordance
+
+
+def _map_with_backend(backend: str, case: DiffCase) -> Output:
+    """Map the case query with a registered backend at the shared budget.
+
+    The output keeps only what the concordance contract pins: mapped-ness
+    and score.  Positions are excluded because equal-score ties may
+    legitimately resolve differently (§VIII-A's 0.0023% caveat).
+    """
+    spec = get_backend(backend)
+    config = spec.default_config()
+    config.min_score = MAPPING_MIN_SCORE
+    if backend == "genax":
+        config.edit_bound = MAPPING_BUDGET
+        config.segment_count = 2
+    else:
+        config.band = MAPPING_BUDGET
+    reference = ReferenceGenome(case.reference, name="difftest")
+    aligner = build_aligner(backend, reference, config)
+    mapped = aligner.align_read("difftest", case.query)
+    return {
+        "mapped": not mapped.is_unmapped,
+        "score": mapped.score if not mapped.is_unmapped else 0,
+    }
+
+
+def _fast_genax_mapping(case: DiffCase) -> Output:
+    return _map_with_backend("genax", case)
+
+
+def _oracle_bwamem_mapping(case: DiffCase) -> Output:
+    return _map_with_backend("bwamem", case)
+
+
+# -------------------------------------------------------------- registry
+
+_KERNEL_SPEC = GenSpec(ref_len=(0, 48), query_len=(0, 40))
+_BOUNDED_SPEC = GenSpec(ref_len=(0, 32), query_len=(0, 28))
+_SEEDING_SPEC = GenSpec(ref_len=(16, 96), query_len=(4, 48))
+_MAPPING_SPEC = GenSpec(
+    ref_len=(128, 256),
+    query_len=(24, MAPPING_MAX_READ),
+    related_query=True,
+)
+
+_PAIRS: Dict[str, OraclePair] = {}
+
+
+def _register(pair: OraclePair) -> OraclePair:
+    if pair.name in _PAIRS:
+        raise ValueError(f"oracle pair {pair.name!r} is already registered")
+    _PAIRS[pair.name] = pair
+    return pair
+
+
+def all_pairs() -> Tuple[OraclePair, ...]:
+    """Registered pairs, in registration order."""
+    return tuple(_PAIRS.values())
+
+
+def pair_names() -> Tuple[str, ...]:
+    return tuple(_PAIRS)
+
+
+def get_pair(name: str) -> OraclePair:
+    try:
+        return _PAIRS[name]
+    except KeyError:
+        known = ", ".join(sorted(_PAIRS)) or "<none>"
+        raise ValueError(f"unknown oracle pair {name!r} (known: {known})") from None
+
+
+_register(
+    OraclePair(
+        name="myers-vs-dp",
+        contract=Contract.EXACT_SCORE,
+        description="Myers bit-vector global distance vs full-DP Levenshtein",
+        fast=_fast_myers,
+        oracle=_oracle_levenshtein,
+        spec=_KERNEL_SPEC,
+    )
+)
+_register(
+    OraclePair(
+        name="silla-vs-dp",
+        contract=Contract.EXACT_SCORE,
+        description="Silla K-bounded automaton vs full-DP distance clipped at K",
+        fast=_fast_silla,
+        oracle=_oracle_bounded_levenshtein,
+        spec=_BOUNDED_SPEC,
+    )
+)
+_register(
+    OraclePair(
+        name="ula-vs-dp",
+        contract=Contract.EXACT_SCORE,
+        description="Universal Levenshtein automaton vs full-DP distance clipped at K",
+        fast=_fast_ula,
+        oracle=_oracle_bounded_levenshtein,
+        spec=_BOUNDED_SPEC,
+    )
+)
+_register(
+    OraclePair(
+        name="xdrop-vs-extension",
+        contract=Contract.EXACT_SCORE,
+        description="X-drop extension with generous X vs exact extension DP score",
+        fast=_fast_xdrop,
+        oracle=_oracle_extension_score,
+        spec=_KERNEL_SPEC,
+    )
+)
+_register(
+    OraclePair(
+        name="striped-vs-local",
+        contract=Contract.EXACT_SCORE,
+        description="Farrar striped SIMD local score vs scalar Gotoh local DP",
+        fast=_fast_striped,
+        oracle=_oracle_local_score,
+        spec=_KERNEL_SPEC,
+    )
+)
+_register(
+    OraclePair(
+        name="systolic-vs-banded",
+        contract=Contract.EXACT_SCORE,
+        description="Systolic wavefront banded SW vs software banded DP (same band)",
+        fast=_fast_systolic,
+        oracle=_oracle_banded_score,
+        spec=_KERNEL_SPEC,
+    )
+)
+_register(
+    OraclePair(
+        name="banded-score-vs-traceback",
+        contract=Contract.EXACT_SCORE,
+        description="Score-only banded DP vs banded DP with traceback (same band)",
+        fast=_fast_banded_score,
+        oracle=_oracle_banded_align_score,
+        spec=_KERNEL_SPEC,
+    )
+)
+_register(
+    OraclePair(
+        name="fullband-vs-extension",
+        contract=Contract.SCORE_CIGAR,
+        description="Banded DP at full width vs unbanded extension DP (score + valid CIGAR)",
+        fast=_fast_fullband,
+        oracle=_oracle_extension_align,
+        spec=_KERNEL_SPEC,
+    )
+)
+_register(
+    OraclePair(
+        name="hirschberg-vs-nw",
+        contract=Contract.SCORE_CIGAR,
+        description="Linear-space Hirschberg vs quadratic NW (score + valid CIGAR)",
+        fast=_fast_hirschberg,
+        oracle=_oracle_nw,
+        spec=_KERNEL_SPEC,
+    )
+)
+_register(
+    OraclePair(
+        name="myers-search-vs-dp",
+        contract=Contract.HIT_SET,
+        description="Myers semi-global search end positions vs full-DP search",
+        fast=_fast_myers_search,
+        oracle=_oracle_semiglobal_hits,
+        spec=_BOUNDED_SPEC,
+    )
+)
+_register(
+    OraclePair(
+        name="smem-vs-brute",
+        contract=Contract.HIT_SET,
+        description="Indexed SMEM finder (binary extension) vs brute-force scanner",
+        fast=_fast_smems,
+        oracle=_oracle_smems,
+        spec=_SEEDING_SPEC,
+    )
+)
+_register(
+    OraclePair(
+        name="exact-match-vs-brute",
+        contract=Contract.HIT_SET,
+        description="Spanning-k-mer exact-match fast path vs brute-force scanner",
+        fast=_fast_exact_match,
+        oracle=_oracle_exact_match,
+        spec=_SEEDING_SPEC,
+    )
+)
+_register(
+    OraclePair(
+        name="genax-vs-bwamem",
+        contract=Contract.EXACT_SCORE,
+        description=(
+            "Whole-backend mapping concordance at a shared edit budget "
+            "(mapped-ness + score; positions free on ties)"
+        ),
+        fast=_fast_genax_mapping,
+        oracle=_oracle_bwamem_mapping,
+        spec=_MAPPING_SPEC,
+    )
+)

@@ -1,0 +1,217 @@
+"""Deterministic fuzz driver: generate, compare, shrink, persist, report.
+
+``run_pairs`` executes *cases* generated inputs against each requested
+oracle pair.  Case *i* of pair *p* under seed *s* is always the same
+input (the grammar re-derives it from ``"{s}:{p}:{i}"``), so two runs
+with the same arguments produce byte-identical JSON reports — CI runs
+the smoke budget twice and diffs the files as a determinism gate.
+
+On a mismatch the runner greedily shrinks the case (see
+:mod:`repro.difftest.shrink`), records both the original coordinates and
+the minimized triple in the report, and — when given a corpus directory —
+writes the minimized case to disk so the disagreement becomes a
+committed regression test the moment it is fixed.
+
+Counters live in a mergeable stats dataclass so a future driver can
+shard pairs across worker processes via :mod:`repro.parallel` and fold
+the results deterministically, the same protocol every other stats
+bundle in the repo follows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Dict, List, Optional, Sequence
+
+from repro.difftest.corpus import make_entry, write_entry
+from repro.difftest.grammar import CaseGenerator, DiffCase
+from repro.difftest.oracles import (
+    Disagreement,
+    OraclePair,
+    Output,
+    all_pairs,
+    evaluate_pair,
+    get_pair,
+)
+from repro.difftest.shrink import ShrinkResult, shrink_case
+
+
+@dataclass
+class DiffStats:
+    """Mergeable counters for one fuzz run (shard-merge friendly)."""
+
+    cases_run: int = 0
+    disagreements: int = 0
+    shrink_evaluations: int = 0
+    corpus_writes: int = 0
+
+    def merge(self, other: "DiffStats") -> None:
+        self.cases_run += other.cases_run
+        self.disagreements += other.disagreements
+        self.shrink_evaluations += other.shrink_evaluations
+        self.corpus_writes += other.corpus_writes
+
+
+@dataclass
+class PairReport:
+    """One pair's outcome over its case budget."""
+
+    pair: str
+    contract: str
+    cases: int
+    disagreements: List[Dict[str, Output]] = field(default_factory=list)
+    stats: DiffStats = field(default_factory=DiffStats)
+
+    @property
+    def ok(self) -> bool:
+        return not self.disagreements
+
+    def to_json(self) -> Dict[str, Output]:
+        return {
+            "pair": self.pair,
+            "contract": self.contract,
+            "cases": self.cases,
+            "disagreements": self.disagreements,
+        }
+
+
+@dataclass
+class RunReport:
+    """Whole-run outcome: deterministic, JSON-serializable."""
+
+    seed: int
+    cases: int
+    pairs: List[PairReport] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(pair.ok for pair in self.pairs)
+
+    @property
+    def total_disagreements(self) -> int:
+        return sum(len(pair.disagreements) for pair in self.pairs)
+
+    def to_json(self) -> Dict[str, Output]:
+        return {
+            "schema": 1,
+            "seed": self.seed,
+            "cases_per_pair": self.cases,
+            "ok": self.ok,
+            "total_disagreements": self.total_disagreements,
+            "pairs": [pair.to_json() for pair in self.pairs],
+        }
+
+
+def _case_json(case: DiffCase) -> Dict[str, Output]:
+    return {
+        "family": case.family,
+        "reference": case.reference,
+        "query": case.query,
+        "params": dict(sorted(case.params.items())),
+    }
+
+
+def _disagreement_json(
+    disagreement: Disagreement,
+    case_seed: str,
+    shrunk: Optional[ShrinkResult],
+    corpus_path: Optional[str],
+) -> Dict[str, Output]:
+    record: Dict[str, Output] = {
+        "seed": case_seed,
+        "detail": disagreement.detail,
+        "fast_output": disagreement.fast_output,
+        "oracle_output": disagreement.oracle_output,
+        "case": _case_json(disagreement.case),
+    }
+    if shrunk is not None:
+        record["shrunk_case"] = _case_json(shrunk.case)
+        record["shrink_evaluations"] = shrunk.evaluations
+    if corpus_path is not None:
+        record["corpus_file"] = corpus_path
+    return record
+
+
+def _disagrees(pair: OraclePair, case: DiffCase) -> bool:
+    return evaluate_pair(pair, case) is not None
+
+
+def run_pair(
+    pair: OraclePair,
+    cases: int,
+    seed: int,
+    shrink: bool = True,
+    corpus_dir: Optional[str] = None,
+    shrink_budget: int = 2000,
+) -> PairReport:
+    """Fuzz one oracle pair over its generated case budget."""
+    generator = CaseGenerator(seed, pair.name, pair.spec)
+    report = PairReport(pair=pair.name, contract=pair.contract.value, cases=cases)
+    for index in range(cases):
+        case = generator.generate(index)
+        report.stats.cases_run += 1
+        disagreement = evaluate_pair(pair, case)
+        if disagreement is None:
+            continue
+        report.stats.disagreements += 1
+        shrunk: Optional[ShrinkResult] = None
+        corpus_path: Optional[str] = None
+        final_case = case
+        if shrink:
+            shrunk = shrink_case(
+                case, partial(_disagrees, pair), max_evaluations=shrink_budget
+            )
+            report.stats.shrink_evaluations += shrunk.evaluations
+            final_case = shrunk.case
+            # Re-evaluate on the minimized case so the recorded outputs
+            # describe what lands in the corpus, not the raw input.
+            minimized = evaluate_pair(pair, final_case)
+            if minimized is not None:
+                disagreement = minimized
+        if corpus_dir is not None:
+            entry = make_entry(
+                pair,
+                final_case,
+                seed=generator.case_seed(index),
+                note=f"auto-recorded disagreement: {disagreement.detail}",
+            )
+            corpus_path = write_entry(corpus_dir, entry)
+            report.stats.corpus_writes += 1
+        report.disagreements.append(
+            _disagreement_json(
+                disagreement, generator.case_seed(index), shrunk, corpus_path
+            )
+        )
+    return report
+
+
+def resolve_pairs(names: Optional[Sequence[str]]) -> List[OraclePair]:
+    """Pair objects for *names* (None/empty -> every registered pair)."""
+    if not names:
+        return list(all_pairs())
+    return [get_pair(name) for name in names]
+
+
+def run_pairs(
+    cases: int,
+    seed: int,
+    pairs: Optional[Sequence[str]] = None,
+    shrink: bool = True,
+    corpus_dir: Optional[str] = None,
+    shrink_budget: int = 2000,
+) -> RunReport:
+    """Fuzz every requested pair; the top-level entry point."""
+    report = RunReport(seed=seed, cases=cases)
+    for pair in resolve_pairs(pairs):
+        report.pairs.append(
+            run_pair(
+                pair,
+                cases,
+                seed,
+                shrink=shrink,
+                corpus_dir=corpus_dir,
+                shrink_budget=shrink_budget,
+            )
+        )
+    return report

@@ -133,3 +133,69 @@ class TestTraceFromPairs:
 def test_string_roundtrip_property(ops):
     cigar = Cigar.from_ops(ops)
     assert Cigar.from_string(str(cigar)) == cigar
+
+
+# --------------------------------------------------------------------------
+# CIGAR invariants over *generated alignments*: whatever the aligners emit
+# must consume exactly the query, exactly the reference span, and stay in
+# canonical run-length form.
+
+dna = st.text(alphabet="ACGT", min_size=0, max_size=24)
+
+
+def _assert_alignment_invariants(alignment, reference, query):
+    cigar = alignment.cigar
+    assert cigar is not None
+    # These aligners express clipping through query_start/query_end rather
+    # than S ops, so consumed query (M/I/=/X) equals the aligned span and
+    # span + implicit clips reconstructs the full read length.
+    assert cigar.query_length == alignment.query_span
+    clips = alignment.query_start + (len(query) - alignment.query_end)
+    assert cigar.query_length + clips == len(query)
+    # Consumed reference (M/D/=/X) equals the reported reference span.
+    assert cigar.reference_length == alignment.reference_span
+    assert 0 <= alignment.reference_start <= alignment.reference_end <= len(reference)
+    # Canonical form: no adjacent runs of the same op, no zero-length runs.
+    for (_, left), (_, right) in zip(cigar.ops, cigar.ops[1:]):
+        assert left != right, f"adjacent {left!r} runs in {cigar}"
+    assert all(length > 0 for length, _ in cigar.ops)
+    # Format/parse round-trip is the identity on emitted alignments.
+    assert Cigar.from_string(str(cigar)) == cigar
+
+
+@given(dna, dna)
+def test_extension_alignment_invariants(reference, query):
+    from repro.align.smith_waterman import extension_align
+
+    result = extension_align(reference, query)
+    _assert_alignment_invariants(result.alignment, reference, query)
+
+
+@given(dna, dna)
+def test_local_alignment_invariants(reference, query):
+    from repro.align.smith_waterman import local_align
+
+    result = local_align(reference, query)
+    _assert_alignment_invariants(result.alignment, reference, query)
+
+
+@given(dna, dna, st.integers(1, 6))
+def test_banded_alignment_invariants(reference, query, band):
+    from repro.align.banded import banded_extension_align
+
+    result = banded_extension_align(reference, query, band)
+    _assert_alignment_invariants(result.alignment, reference, query)
+
+
+@given(dna, dna)
+def test_hirschberg_alignment_consumes_everything(reference, query):
+    from repro.align.hirschberg import hirschberg_align
+
+    result = hirschberg_align(reference, query)
+    cigar = result.cigar
+    # Global alignment: the trace consumes all of both sequences.
+    assert cigar.query_length == len(query)
+    assert cigar.reference_length == len(reference)
+    for (_, left), (_, right) in zip(cigar.ops, cigar.ops[1:]):
+        assert left != right, f"adjacent {left!r} runs in {cigar}"
+    assert Cigar.from_string(str(cigar)) == cigar

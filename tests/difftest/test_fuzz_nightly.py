@@ -1,0 +1,27 @@
+"""Nightly fuzz budget: every pair over a large generated case budget.
+
+Excluded from tier-1 (``-m fuzz``); CI's nightly job runs these with the
+full budget.  Any failure message contains the ``seed:pair:index``
+coordinates needed to regenerate the exact case locally.
+"""
+
+import pytest
+
+from repro.difftest.runner import run_pair
+from repro.difftest.oracles import all_pairs
+
+#: Cases per pair for the nightly budget.  The mapping pair builds two
+#: full aligners per case, so it gets a reduced share.
+NIGHTLY_CASES = 400
+MAPPING_CASES = 150
+
+
+def _budget(pair_name: str) -> int:
+    return MAPPING_CASES if pair_name == "genax-vs-bwamem" else NIGHTLY_CASES
+
+
+@pytest.mark.fuzz
+@pytest.mark.parametrize("pair", all_pairs(), ids=lambda pair: pair.name)
+def test_nightly_fuzz(pair):
+    report = run_pair(pair, cases=_budget(pair.name), seed=0)
+    assert report.ok, report.disagreements

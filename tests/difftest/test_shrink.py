@@ -1,0 +1,84 @@
+"""Tests for the greedy counterexample shrinker (synthetic predicates)."""
+
+import pytest
+
+from repro.difftest.grammar import DiffCase
+from repro.difftest.shrink import shrink_case
+
+
+def _case(reference: str, query: str = "", params=None) -> DiffCase:
+    return DiffCase(
+        family="uniform",
+        reference=reference,
+        query=query,
+        params=dict(params or {"k": 4, "band": 4, "smem_k": 4}),
+    )
+
+
+def _has_gg(case: DiffCase) -> bool:
+    return "GG" in case.reference
+
+
+def _total_length_at_least_three(case: DiffCase) -> bool:
+    return len(case.reference) + len(case.query) >= 3
+
+
+def _k_at_least_two(case: DiffCase) -> bool:
+    return case.params.get("k", 0) >= 2
+
+
+class TestShrinking:
+    def test_isolates_the_load_bearing_substring(self):
+        case = _case("ACGTACGTGGTACGTACGT", "TTTTTTTT")
+        result = shrink_case(case, _has_gg)
+        assert result.case.reference == "GG"
+        assert result.case.query == ""
+
+    def test_respects_length_predicate(self):
+        result = shrink_case(_case("ACGTACGT", "ACGT"), _total_length_at_least_three)
+        assert len(result.case.reference) + len(result.case.query) == 3
+
+    def test_params_lowered_to_predicate_floor(self):
+        result = shrink_case(_case("ACGT"), _k_at_least_two)
+        assert result.case.params["k"] == 2
+        # The other params fall to their registered floors.
+        assert result.case.params["band"] == 1
+        assert result.case.params["smem_k"] == 1
+
+    def test_characters_canonicalized_to_a(self):
+        result = shrink_case(_case("TCTCTC"), _total_length_at_least_three)
+        assert set(result.case.reference + result.case.query) <= {"A"}
+
+    def test_invalid_input_rejected(self):
+        with pytest.raises(ValueError):
+            shrink_case(_case("ACGT"), _has_gg)
+
+    def test_deterministic(self):
+        case = _case("ACGTACGGTACGTAGGAC", "CCCC")
+        first = shrink_case(case, _has_gg)
+        second = shrink_case(case, _has_gg)
+        assert first.case == second.case
+        assert first.evaluations == second.evaluations
+
+    def test_predicate_exception_treated_as_no_repro(self):
+        def fragile(case: DiffCase) -> bool:
+            if not case.reference:
+                raise RuntimeError("kernel domain error")
+            return "G" in case.reference
+
+        result = shrink_case(_case("TTGTT"), fragile)
+        assert result.case.reference == "G"
+
+    def test_budget_exhaustion_returns_partial_case(self):
+        case = _case("ACGT" * 16, "ACGT" * 8)
+        result = shrink_case(case, _total_length_at_least_three, max_evaluations=5)
+        assert result.budget_exhausted
+        assert result.evaluations <= 5
+        # The partial case still satisfies the predicate.
+        assert _total_length_at_least_three(result.case)
+
+    def test_already_minimal_case_untouched(self):
+        case = _case("GG", "", {"k": 0, "band": 1, "smem_k": 1})
+        result = shrink_case(case, _has_gg)
+        assert result.case.reference == "GG"
+        assert not result.budget_exhausted
