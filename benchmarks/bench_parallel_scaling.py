@@ -11,10 +11,14 @@ measures, end to end:
 * **sharded scaling** — ``ParallelAligner`` reads/s at each worker count,
   with every sharded run checked bit-identical to the serial
   ``GenAxAligner.align_batch`` mappings;
+* **kernels** — the bitvector backend's scalar reference kernel vs. the
+  batched NumPy lanes, with the batched run checked bit-identical to the
+  scalar one (``mappings_changed`` must be 0) and the window-dedupe
+  counters recorded;
 * **combined** — best configuration (max jobs + prefilter + warm cache).
 
 Results land in ``benchmarks/results/BENCH_parallel.json`` (schema below,
-``schema_version`` 1) so future PRs can regress against them.  Wall-clock
+``schema_version`` 2) so future PRs can regress against them.  Wall-clock
 numbers are machine-dependent — ``machine.cpu_count`` is recorded so a
 single-core CI runner's flat scaling curve is interpretable.
 
@@ -42,6 +46,7 @@ from repro.genome.reads import ErrorProfile, ReadSimulator
 from repro.genome.reference import ReferenceGenome, make_reference
 from repro.genome.variants import simulate_variants
 from repro.parallel import IndexCache, ParallelAligner
+from repro.pipeline.bitvector import KERNELS, BitvectorAligner, BitvectorConfig
 from repro.pipeline.genax import GenAxAligner, GenAxConfig
 from repro.seeding.accelerator import SeedingAccelerator
 from repro.telemetry import (
@@ -51,7 +56,7 @@ from repro.telemetry import (
     write_metrics,
 )
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 DEFAULT_OUT = Path(__file__).parent / "results" / "BENCH_parallel.json"
 
 FULL = dict(genome_bp=200_000, reads=120, jobs=(1, 2, 4), segment_count=8)
@@ -73,6 +78,8 @@ RESULT_SCHEMA: Dict[str, Optional[Sequence[str]]] = {
                   "serial_off_s", "serial_on_s", "speedup"),
     "serial": ("elapsed_s", "reads_per_s"),
     "scaling": ("jobs", "elapsed_s", "reads_per_s", "identical_to_serial"),
+    "kernels": ("kernel", "elapsed_s", "reads_per_s", "speedup_vs_serial",
+                "mappings_changed"),
     "speedup_max_jobs_vs_1": None,
     "combined": ("jobs", "prefilter", "elapsed_s", "reads_per_s",
                  "speedup_vs_serial"),
@@ -155,6 +162,54 @@ def timed_align(aligner, reads) -> Tuple[float, list]:
     mapped = aligner.align_batch(reads)
     elapsed = monotonic_s() - started
     return elapsed, mapped
+
+
+def measure_kernels(
+    reference: ReferenceGenome, reads, serial_s: float
+) -> List[dict]:
+    """Sweep the bitvector backend's kernels (scalar reference vs. batched
+    NumPy lanes).  The scalar run is the concordance baseline: the batched
+    kernel must reproduce its mappings bit-for-bit (``mappings_changed``
+    is the count of rows that differ, and the acceptance bar is 0)."""
+    results: List[dict] = []
+    baseline_key: Optional[list] = None
+    for kernel in ("scalar", "batched"):
+        assert kernel in KERNELS, kernel
+        aligner = BitvectorAligner(
+            reference,
+            BitvectorConfig(k=KMER, edit_bound=EDIT_BOUND, kernel=kernel),
+        )
+        elapsed, mapped = timed_align(aligner, reads)
+        key = mapping_key(mapped)
+        if baseline_key is None:
+            baseline_key = key
+        entry = {
+            "kernel": kernel,
+            "elapsed_s": elapsed,
+            "reads_per_s": len(reads) / elapsed,
+            "speedup_vs_serial": serial_s / elapsed if elapsed > 0 else
+            float("inf"),
+            "mappings_changed": sum(
+                1 for a, b in zip(baseline_key, key) if a != b
+            ),
+        }
+        kstats = aligner.kernel_stats
+        entry["dedupe"] = {
+            "windows_requested": kstats.windows_requested,
+            "windows_fetched": kstats.windows_fetched,
+            "window_dedupe_rate": kstats.window_dedupe_rate,
+            "lanes": kstats.lanes,
+            "kernel_lanes": kstats.kernel_lanes,
+            "max_batch_lanes": kstats.max_batch_lanes,
+        }
+        results.append(entry)
+        print(f"kernel={kernel}: {elapsed:.2f}s "
+              f"({entry['reads_per_s']:.1f} reads/s, "
+              f"{entry['speedup_vs_serial']:.2f}x serial), "
+              f"{entry['mappings_changed']} mappings changed, "
+              f"dedupe {kstats.windows_fetched}/{kstats.windows_requested} "
+              f"windows fetched")
+    return results
 
 
 def capture_telemetry(
@@ -256,6 +311,9 @@ def run(argv: Optional[Sequence[str]] = None) -> int:
                   f"({scaling[-1]['reads_per_s']:.1f} reads/s), "
                   f"identical={identical}")
 
+        # Kernel sweep: scalar reference vs batched NumPy bitvector lanes.
+        kernels = measure_kernels(reference, reads, serial_s)
+
         # Best configuration: max jobs + prefilter + warm cache.
         best_jobs = max(shape["jobs"])
         combined_aligner = ParallelAligner(
@@ -301,6 +359,7 @@ def run(argv: Optional[Sequence[str]] = None) -> int:
         "prefilter": prefilter,
         "serial": serial,
         "scaling": scaling,
+        "kernels": kernels,
         "speedup_max_jobs_vs_1": (
             scaling[-1]["reads_per_s"] / scaling[0]["reads_per_s"]
         ),

@@ -1,0 +1,236 @@
+"""Batched bit-parallel Myers kernels (NumPy), the software SillaX array.
+
+GenAx's thesis is that alignment automata should process many DP cells
+per step (§IV); GenASM and Scrooge are the software proof that Myers'
+bit-vector recurrence is the right CPU analogue.  This module is that
+analogue for the staged pipeline: whole *batches* of (pattern, text)
+pairs — one lane per pair — advance one text column per step, each lane's
+entire DP column packed into ``uint64`` words, so a single NumPy
+expression updates every lane's column at once.  Throughput comes from
+lane count: per-column cost is a fixed handful of vectorized bitwise ops,
+so the pipeline driver batches candidates *across reads* before
+dispatching (see :class:`repro.pipeline.stages.PipelineDriver`).
+
+Layout
+------
+
+Sequences arrive as strings and are packed by
+:func:`repro.genome.sequence.encode_batch` (2-bit codes, 32 bases per
+``uint64`` word).  Patterns are re-spread into per-symbol bit-planes
+(``peq[lane, symbol, word]``: bit ``j`` set iff pattern base ``64*word+j``
+equals ``symbol``), the classic blocked-Myers equality masks.  Lanes may
+have different pattern/text lengths: each lane reads its score at its own
+high bit (pattern length − 1) and stops updating once its text is
+exhausted, so one kernel call handles a ragged batch.
+
+Bits above a lane's pattern length are garbage by construction and
+provably harmless: the recurrence only moves information upward (adds
+carry up within a word, the word-carry chain and the ``hp``/``hn`` shifts
+go low word → high word), so bit ``m-1`` never sees them.
+
+Two modes share the recurrence and differ only in the horizontal carry
+shifted into bit 0 (Myers' original distinction):
+
+* **global** (`carry = 1`): edit distance pattern vs. whole text, the
+  batched :func:`repro.align.myers.myers_distance`;
+* **semi-global** (`carry = 0`): text-side gaps are free, the running
+  minimum is the batched :func:`repro.align.myers.myers_semiglobal_min` —
+  the quantity the extension gate thresholds against its edit bound.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+from numpy.typing import NDArray
+
+from repro.genome.sequence import BASES_PER_WORD, encode_batch
+
+__all__ = [
+    "batch_myers_bounded",
+    "batch_myers_distance",
+    "batch_semiglobal_min",
+]
+
+#: DP-column bits per machine word (the blocked-Myers block size).
+BITS_PER_WORD = 64
+
+_ONE = np.uint64(1)
+_SHIFT_ONE = np.uint64(1)
+_SHIFT_TOP = np.uint64(BITS_PER_WORD - 1)
+_ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def _unpack_codes(
+    packed: NDArray[np.uint64], columns: int
+) -> NDArray[np.uint8]:
+    """2-bit codes back out of packed words, as an (n, columns) matrix.
+
+    Padding positions come back as code 0; callers mask them with the
+    lengths array (the kernel via its active-lane mask, the PEQ builder
+    via its validity mask).
+    """
+    count, words = packed.shape
+    shifts = np.arange(BASES_PER_WORD, dtype=np.uint64) * np.uint64(2)
+    codes = ((packed[:, :, None] >> shifts) & np.uint64(3)).astype(np.uint8)
+    return codes.reshape(count, words * BASES_PER_WORD)[:, :columns]
+
+
+def _build_peq(
+    packed: NDArray[np.uint64], lengths: NDArray[np.int64]
+) -> NDArray[np.uint64]:
+    """Per-symbol equality bit-planes: ``peq[lane, symbol, word]``.
+
+    Bits at or above each lane's pattern length are zero in every plane,
+    so padding never matches any text symbol.
+    """
+    count = packed.shape[0]
+    max_len = int(lengths.max()) if count else 0
+    words = max(1, -(-max_len // BITS_PER_WORD))
+    capacity = words * BITS_PER_WORD
+    codes = np.zeros((count, capacity), dtype=np.uint8)
+    if max_len:
+        codes[:, :max_len] = _unpack_codes(packed, max_len)
+    valid = np.arange(capacity, dtype=np.int64) < lengths[:, None]
+    bit_shifts = np.arange(BITS_PER_WORD, dtype=np.uint64)
+    peq = np.zeros((count, 4, words), dtype=np.uint64)
+    for symbol in range(4):
+        bits = ((codes == symbol) & valid).astype(np.uint64)
+        peq[:, symbol, :] = np.bitwise_or.reduce(
+            bits.reshape(count, words, BITS_PER_WORD) << bit_shifts, axis=2
+        )
+    return peq
+
+
+def _run_kernel(
+    peq: NDArray[np.uint64],
+    pattern_lengths: NDArray[np.int64],
+    text_codes: NDArray[np.intp],
+    text_lengths: NDArray[np.int64],
+    semiglobal: bool,
+) -> NDArray[np.int64]:
+    """Advance every lane over its text; one iteration per text column.
+
+    Returns the per-lane global distance, or the per-lane minimum column
+    score when *semiglobal* (lanes with empty patterns are the caller's
+    job — their high-bit index would be meaningless here).
+    """
+    count, _, words = peq.shape
+    lanes = np.arange(count)
+    vp: NDArray[np.uint64] = np.full((count, words), _ALL_ONES, dtype=np.uint64)
+    vn: NDArray[np.uint64] = np.zeros((count, words), dtype=np.uint64)
+    score = pattern_lengths.astype(np.int64)
+    best = score.copy()
+    high_word = ((pattern_lengths - 1) // BITS_PER_WORD).astype(np.intp)
+    high_bit = ((pattern_lengths - 1) % BITS_PER_WORD).astype(np.uint64)
+    carry_in = np.uint64(0) if semiglobal else np.uint64(1)
+    columns = text_codes.shape[1]
+    for column in range(columns):
+        active = column < text_lengths
+        if not active.any():
+            break
+        eq = peq[lanes, text_codes[:, column]]
+        xv = eq | vn
+        # Blocked addition X = (eq & vp) + vp: ripple the carry word by
+        # word (wrapping uint64 arithmetic detects overflow by s < a).
+        xh = np.empty_like(vp)
+        carry = np.zeros(count, dtype=np.uint64)
+        for word in range(words):
+            addend = eq[:, word] & vp[:, word]
+            partial = addend + vp[:, word]
+            overflow_a = partial < addend
+            total = partial + carry
+            overflow_b = total < partial
+            xh[:, word] = (total ^ vp[:, word]) | eq[:, word]
+            carry = (overflow_a | overflow_b).astype(np.uint64)
+        hp = vn | ~(xh | vp)
+        hn = vp & xh
+        hp_high = (hp[lanes, high_word] >> high_bit) & _ONE
+        hn_high = (hn[lanes, high_word] >> high_bit) & _ONE
+        delta = hp_high.astype(np.int64) - hn_high.astype(np.int64)
+        score = np.where(active, score + delta, score)
+        # Shift hp/hn one bit up across word boundaries; the bit entering
+        # hp's bit 0 is the mode's horizontal carry.
+        hp_shifted = np.empty_like(hp)
+        hn_shifted = np.empty_like(hn)
+        hp_shifted[:, 0] = (hp[:, 0] << _SHIFT_ONE) | carry_in
+        hn_shifted[:, 0] = hn[:, 0] << _SHIFT_ONE
+        for word in range(1, words):
+            hp_shifted[:, word] = (hp[:, word] << _SHIFT_ONE) | (
+                hp[:, word - 1] >> _SHIFT_TOP
+            )
+            hn_shifted[:, word] = (hn[:, word] << _SHIFT_ONE) | (
+                hn[:, word - 1] >> _SHIFT_TOP
+            )
+        lane_mask = active[:, None]
+        vp = np.where(lane_mask, hn_shifted | ~(xv | hp_shifted), vp)
+        vn = np.where(lane_mask, hp_shifted & xv, vn)
+        if semiglobal:
+            best = np.where(active & (score < best), score, best)
+    result: NDArray[np.int64] = best if semiglobal else score
+    return result
+
+
+def _batch_scores(
+    patterns: Sequence[str], texts: Sequence[str], semiglobal: bool
+) -> NDArray[np.int64]:
+    if len(patterns) != len(texts):
+        raise ValueError(
+            f"pattern/text batch size mismatch: {len(patterns)} vs {len(texts)}"
+        )
+    if not patterns:
+        return np.zeros(0, dtype=np.int64)
+    pattern_packed, pattern_lengths = encode_batch(patterns)
+    text_packed, text_lengths = encode_batch(texts)
+    max_text = int(text_lengths.max())
+    text_codes = _unpack_codes(text_packed, max_text).astype(np.intp)
+    peq = _build_peq(pattern_packed, pattern_lengths)
+    scores = _run_kernel(
+        peq, pattern_lengths, text_codes, text_lengths, semiglobal
+    )
+    empty = pattern_lengths == 0
+    if empty.any():
+        # An empty pattern matches the empty substring for free
+        # (semi-global) or costs one insertion per text base (global).
+        fallback = (
+            np.zeros_like(text_lengths) if semiglobal else text_lengths
+        )
+        scores = np.where(empty, fallback, scores)
+    return scores.astype(np.int64)
+
+
+def batch_myers_distance(
+    patterns: Sequence[str], texts: Sequence[str]
+) -> NDArray[np.int64]:
+    """Global unit-cost edit distance for each (pattern, text) pair.
+
+    Element-wise identical to :func:`repro.align.myers.myers_distance`
+    (the difftest pair ``bitvector-vs-myers`` and the hypothesis property
+    test pin this).
+    """
+    return _batch_scores(patterns, texts, semiglobal=False)
+
+
+def batch_myers_bounded(
+    patterns: Sequence[str], texts: Sequence[str], k: int
+) -> List[Optional[int]]:
+    """Element-wise :func:`repro.align.myers.myers_bounded`: distance if
+    ``<= k`` else ``None`` (the Silla contract), over a whole batch."""
+    distances = batch_myers_distance(patterns, texts)
+    return [
+        int(distance) if distance <= k else None for distance in distances
+    ]
+
+
+def batch_semiglobal_min(
+    patterns: Sequence[str], texts: Sequence[str]
+) -> NDArray[np.int64]:
+    """Minimum edit distance of each pattern vs. any substring of its text.
+
+    Element-wise identical to
+    :func:`repro.align.myers.myers_semiglobal_min`; this is the batched
+    extension gate (distance ≤ edit bound ⇒ the candidate window survives
+    to banded traceback).
+    """
+    return _batch_scores(patterns, texts, semiglobal=True)

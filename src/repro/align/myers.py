@@ -57,6 +57,45 @@ def myers_bounded(pattern: str, text: str, k: int) -> Optional[int]:
     return distance if distance <= k else None
 
 
+def myers_semiglobal_min(pattern: str, text: str) -> int:
+    """Minimum edit distance between *pattern* and any substring of *text*.
+
+    The scalar reference for the batched semi-global kernel in
+    :mod:`repro.align.bitvector`: the same recurrence as
+    :func:`myers_search` (text-side gaps before/after the match are free),
+    but returning the best score seen instead of hit positions — the
+    quantity the extension gate thresholds against its edit bound.
+    """
+    if not pattern:
+        return 0
+    m = len(pattern)
+    masks = _pattern_masks(pattern)
+    all_ones = (1 << m) - 1
+    vp = all_ones
+    vn = 0
+    score = m
+    best = m
+    high_bit = 1 << (m - 1)
+    for char in text:
+        eq = masks.get(char, 0)
+        xv = eq | vn
+        xh = (((eq & vp) + vp) ^ vp) | eq
+        hp = vn | ~(xh | vp)
+        hn = vp & xh
+        if hp & high_bit:
+            score += 1
+        elif hn & high_bit:
+            score -= 1
+        hp = hp << 1
+        hn = hn << 1
+        vp = hn | ~(xv | hp)
+        vn = hp & xv
+        vp &= all_ones | (all_ones << 1)
+        if score < best:
+            best = score
+    return best
+
+
 def myers_search(pattern: str, text: str, k: int) -> Tuple[int, ...]:
     """Approximate *search*: end positions in *text* where the pattern
     matches a suffix-ending substring within k edits.

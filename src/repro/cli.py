@@ -23,6 +23,7 @@ from repro.genome.fasta import read_fasta, read_fastq, write_fasta, write_fastq
 from repro.genome.reads import ReadSimulator
 from repro.genome.reference import ReferenceGenome, make_reference
 from repro.genome.variants import simulate_variants
+from repro.pipeline.bitvector import KERNELS, BitvectorConfig
 from repro.pipeline.bwamem import BwaMemConfig
 from repro.pipeline.genax import GenAxConfig
 from repro.pipeline.registry import backend_names, get_backend
@@ -81,6 +82,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--prefilter",
         action="store_true",
         help="Myers bit-vector pre-alignment filter before SillaX extension",
+    )
+    align.add_argument(
+        "--kernel",
+        choices=KERNELS,
+        default="batched",
+        help="extension kernel for --pipeline bitvector "
+        "(batched NumPy lanes vs. the scalar reference)",
     )
     align.add_argument(
         "--cache-dir",
@@ -187,12 +195,21 @@ def _cmd_align(args: argparse.Namespace) -> int:
                 "genax pipeline",
                 file=sys.stderr,
             )
-        config = BwaMemConfig(
-            k=args.kmer,
-            band=args.edit_bound,
-            min_score=args.min_score,
-            jobs=args.jobs,
-        )
+        if args.pipeline == "bitvector":
+            config = BitvectorConfig(
+                k=args.kmer,
+                edit_bound=args.edit_bound,
+                min_score=args.min_score,
+                kernel=args.kernel,
+                jobs=args.jobs,
+            )
+        else:
+            config = BwaMemConfig(
+                k=args.kmer,
+                band=args.edit_bound,
+                min_score=args.min_score,
+                jobs=args.jobs,
+            )
     telemetry_on = bool(args.profile or args.trace_out or args.metrics_out)
     telemetry: Optional[PipelineTelemetry] = None
     if telemetry_on:

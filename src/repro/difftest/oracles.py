@@ -38,7 +38,8 @@ from repro.align.hirschberg import (
     hirschberg_align,
     nw_global_align,
 )
-from repro.align.myers import myers_distance, myers_search
+from repro.align.bitvector import batch_myers_bounded, batch_semiglobal_min
+from repro.align.myers import myers_bounded, myers_distance, myers_search
 from repro.align.records import Alignment
 from repro.align.scoring import BWA_MEM_SCHEME
 from repro.align.smith_waterman import DPResult, extension_align, local_align
@@ -386,6 +387,95 @@ def _oracle_exact_match(case: DiffCase) -> Output:
     return sorted(brute_force_exact_match(case.reference, case.query))
 
 
+# ------------------------------------------------- batched bit-parallel
+
+
+def _bitvector_lanes(case: DiffCase) -> List[Tuple[str, str]]:
+    """Derive a small ragged batch from one case, deterministically.
+
+    The batched kernels' failure modes are batch-shape-dependent (lane
+    masking, per-lane high bits, word-boundary carries), so every case is
+    scored as a multi-lane batch of slices rather than a batch of one —
+    including empty-pattern and empty-text lanes.
+    """
+    query, reference = case.query, case.reference
+    return [
+        (query, reference),
+        (query[: len(query) // 2], reference),
+        (query, reference[: len(reference) // 2]),
+        (query[len(query) // 3 :], reference[len(reference) // 4 :]),
+        ("", reference),
+        (query, ""),
+    ]
+
+
+def _fast_bitvector_batch(case: DiffCase) -> Output:
+    lanes = _bitvector_lanes(case)
+    return batch_myers_bounded(
+        [pattern for pattern, _ in lanes],
+        [text for _, text in lanes],
+        case.param("k"),
+    )
+
+
+def _oracle_myers_per_lane(case: DiffCase) -> Output:
+    k = case.param("k")
+    return [
+        myers_bounded(pattern, text, k)
+        for pattern, text in _bitvector_lanes(case)
+    ]
+
+
+def _semiglobal_min_dp(pattern: str, text: str) -> int:
+    """Full-DP minimum semi-global edit distance (text-side gaps free)."""
+    m = len(pattern)
+    column = list(range(m + 1))
+    best = column[m]
+    for char in text:
+        previous = column
+        column = [0] * (m + 1)
+        for i in range(1, m + 1):
+            cost = 0 if pattern[i - 1] == char else 1
+            column[i] = min(
+                previous[i - 1] + cost,
+                previous[i] + 1,
+                column[i - 1] + 1,
+            )
+        best = min(best, column[m])
+    return best
+
+
+def _fast_bitvector_verify(case: DiffCase) -> Output:
+    """The bitvector backend's verify path: batched gate, banded score."""
+    k = case.param("k")
+    distance = int(
+        batch_semiglobal_min([case.query], [case.reference])[0]
+    )
+    output: Dict[str, Output] = {
+        "admitted": distance <= k,
+        "distance": distance,
+    }
+    if distance <= k:
+        score, _cells = banded_extension_score(case.reference, case.query, k)
+        output["score"] = score
+    return output
+
+
+def _oracle_banded_verify(case: DiffCase) -> Output:
+    """Per-cell reference: full-DP gate, traceback-DP score."""
+    k = case.param("k")
+    distance = _semiglobal_min_dp(case.query, case.reference)
+    output: Dict[str, Output] = {
+        "admitted": distance <= k,
+        "distance": distance,
+    }
+    if distance <= k:
+        output["score"] = banded_extension_align(
+            case.reference, case.query, k
+        ).alignment.score
+    return output
+
+
 # ------------------------------------------------- backend concordance
 
 
@@ -424,6 +514,9 @@ def _oracle_bwamem_mapping(case: DiffCase) -> Output:
 # -------------------------------------------------------------- registry
 
 _KERNEL_SPEC = GenSpec(ref_len=(0, 48), query_len=(0, 40))
+#: Long enough to cross the 64- and 128-bit word boundaries, so the
+#: blocked kernel's cross-word carries and per-lane high bits are hit.
+_BITVECTOR_SPEC = GenSpec(ref_len=(0, 192), query_len=(0, 160))
 _BOUNDED_SPEC = GenSpec(ref_len=(0, 32), query_len=(0, 28))
 _SEEDING_SPEC = GenSpec(ref_len=(16, 96), query_len=(4, 48))
 _MAPPING_SPEC = GenSpec(
@@ -577,6 +670,32 @@ _register(
         fast=_fast_exact_match,
         oracle=_oracle_exact_match,
         spec=_SEEDING_SPEC,
+    )
+)
+_register(
+    OraclePair(
+        name="bitvector-vs-myers",
+        contract=Contract.EXACT_SCORE,
+        description=(
+            "Batched NumPy Myers bounded distance (ragged multi-lane "
+            "batch per case) vs scalar Myers per lane"
+        ),
+        fast=_fast_bitvector_batch,
+        oracle=_oracle_myers_per_lane,
+        spec=_BITVECTOR_SPEC,
+    )
+)
+_register(
+    OraclePair(
+        name="bitvector-batch-vs-banded",
+        contract=Contract.EXACT_SCORE,
+        description=(
+            "Bitvector verify path (batched semi-global gate + banded "
+            "score) vs full-DP gate + traceback-DP score"
+        ),
+        fast=_fast_bitvector_verify,
+        oracle=_oracle_banded_verify,
+        spec=_BITVECTOR_SPEC,
     )
 )
 _register(

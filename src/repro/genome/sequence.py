@@ -3,20 +3,36 @@
 A genome is a string over the four-letter alphabet ``A, C, G, T`` (§I of the
 paper).  All sequence data in this library is carried as plain Python ``str``
 for clarity; 2-bit integer encodings (the form the hardware streams through
-its shift registers) are available through :func:`encode` / :func:`decode`.
+its shift registers) are available through :func:`encode` / :func:`decode`,
+and whole batches can be packed into NumPy ``uint64`` words (32 bases per
+word) with :func:`encode_batch` / :func:`decode_batch` — the layout the
+vectorized bit-parallel kernels in :mod:`repro.align.bitvector` consume.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Iterator, List, Sequence
+from typing import Iterator, List, Sequence, Tuple
+
+import numpy as np
+from numpy.typing import NDArray
 
 ALPHABET = "ACGT"
 """The DNA base alphabet, in the canonical 2-bit encoding order."""
 
+BASES_PER_WORD = 32
+"""2-bit-packed bases per ``uint64`` word in :func:`encode_batch` output."""
+
 _BASE_TO_CODE = {base: code for code, base in enumerate(ALPHABET)}
 _CODE_TO_BASE = dict(enumerate(ALPHABET))
 _COMPLEMENT = str.maketrans("ACGTacgt", "TGCAtgca")
+
+# ASCII byte -> 2-bit code lookup for the vectorized batch encoder; 255
+# marks every byte that is not an upper-case A/C/G/T.
+_INVALID_CODE = 255
+_CODE_LUT = np.full(256, _INVALID_CODE, dtype=np.uint8)
+for _base, _code in _BASE_TO_CODE.items():
+    _CODE_LUT[ord(_base)] = _code
 
 
 def is_dna(sequence: str) -> bool:
@@ -38,7 +54,9 @@ def encode(sequence: str) -> List[int]:
     """Encode a DNA string into the 2-bit-per-base integer form.
 
     This mirrors the representation streamed through SillaX's reference and
-    query shift registers (two bits per symbol).
+    query shift registers (two bits per symbol).  For whole batches headed
+    at the vectorized kernels, use :func:`encode_batch`, which packs the
+    same codes 32-per-``uint64``-word in one NumPy pass.
     """
     try:
         return [_BASE_TO_CODE[base] for base in sequence]
@@ -47,11 +65,95 @@ def encode(sequence: str) -> List[int]:
 
 
 def decode(codes: Sequence[int]) -> str:
-    """Decode a 2-bit code sequence back into a DNA string."""
+    """Decode a 2-bit code sequence back into a DNA string.
+
+    The packed-batch inverse is :func:`decode_batch`.
+    """
     try:
         return "".join(_CODE_TO_BASE[code] for code in codes)
     except KeyError as exc:
         raise ValueError(f"code {exc.args[0]!r} is outside 0..3") from None
+
+
+def encode_batch(
+    sequences: Sequence[str],
+) -> Tuple[NDArray[np.uint64], NDArray[np.int64]]:
+    """Pack a batch of DNA strings into 2-bit/``uint64`` words.
+
+    Returns ``(packed, lengths)``: ``packed`` has shape
+    ``(len(sequences), ceil(max_len / 32))`` with base ``j`` of sequence
+    ``i`` stored in bits ``2*(j % 32)`` and ``2*(j % 32) + 1`` of
+    ``packed[i, j // 32]`` (codes follow :data:`ALPHABET` order, identical
+    to :func:`encode`); ``lengths`` carries each sequence's true length so
+    padding words/bits (always zero) can be ignored.  Raises ``ValueError``
+    on any non-ACGT base, like the scalar encoder.
+    """
+    count = len(sequences)
+    lengths = np.fromiter(
+        (len(sequence) for sequence in sequences), dtype=np.int64, count=count
+    )
+    max_len = int(lengths.max()) if count else 0
+    words = max(1, -(-max_len // BASES_PER_WORD))
+    packed = np.zeros((count, words), dtype=np.uint64)
+    if count == 0 or max_len == 0:
+        return packed, lengths
+    raw = np.zeros((count, max_len), dtype=np.uint8)
+    for row, sequence in enumerate(sequences):
+        if not sequence:
+            continue
+        try:
+            raw[row, : len(sequence)] = np.frombuffer(
+                sequence.encode("ascii"), dtype=np.uint8
+            )
+        except UnicodeEncodeError:
+            raise ValueError(
+                f"sequence {row} contains a non-ASCII character"
+            ) from None
+    codes = _CODE_LUT[raw]
+    valid = np.arange(max_len, dtype=np.int64) < lengths[:, None]
+    bad = (codes == _INVALID_CODE) & valid
+    if bad.any():
+        row, column = (int(v) for v in np.argwhere(bad)[0])
+        raise ValueError(
+            f"non-ACGT base {sequences[row][column]!r} in sequence {row} "
+            f"at position {column}"
+        )
+    padded = np.zeros((count, words * BASES_PER_WORD), dtype=np.uint64)
+    padded[:, :max_len] = np.where(valid, codes, 0)
+    shifts = np.arange(BASES_PER_WORD, dtype=np.uint64) * np.uint64(2)
+    packed = np.bitwise_or.reduce(
+        padded.reshape(count, words, BASES_PER_WORD) << shifts, axis=2
+    )
+    return packed, lengths
+
+
+def decode_batch(
+    packed: NDArray[np.uint64], lengths: NDArray[np.int64]
+) -> List[str]:
+    """Unpack :func:`encode_batch` output back into DNA strings."""
+    packed = np.asarray(packed, dtype=np.uint64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if packed.ndim != 2 or lengths.shape != (packed.shape[0],):
+        raise ValueError(
+            f"expected (n, words) words and (n,) lengths, got "
+            f"{packed.shape} and {lengths.shape}"
+        )
+    count, words = packed.shape
+    capacity = words * BASES_PER_WORD
+    shifts = np.arange(BASES_PER_WORD, dtype=np.uint64) * np.uint64(2)
+    codes = ((packed[:, :, None] >> shifts) & np.uint64(3)).reshape(
+        count, capacity
+    )
+    out: List[str] = []
+    for row in range(count):
+        length = int(lengths[row])
+        if not 0 <= length <= capacity:
+            raise ValueError(
+                f"length {length} of sequence {row} exceeds the packed "
+                f"capacity {capacity}"
+            )
+        out.append("".join(ALPHABET[code] for code in codes[row, :length]))
+    return out
 
 
 def complement(sequence: str) -> str:

@@ -36,6 +36,17 @@ Stage contracts
     ``extend(oriented, candidate, stats)`` verifies one placement and
     returns an :class:`~repro.pipeline.common.Extension` (or ``None`` to
     drop it), charging extension work to the shared stats.
+:class:`BatchExtensionEngine`
+    An :class:`ExtensionEngine` that additionally accepts whole
+    ``extend_batch`` job lists, for engines whose kernels are vectorized
+    across (read, window) lanes (:mod:`repro.align.bitvector`).  The
+    driver detects the capability structurally and dispatches every
+    gathered candidate of a batch in one call — across *all* reads in
+    ``align_batch``, so lane counts reach the hundreds the NumPy kernels
+    need — falling back to per-candidate ``extend`` otherwise (or when
+    constructed with ``batch_dispatch=False``).  Both dispatch modes are
+    bit-identical in mappings and counters for a conforming engine; the
+    driver tests assert it for every registered backend.
 
 Backends compose stages into a :class:`StageSet` and hand it to a
 :class:`PipelineDriver`; the registry (:mod:`repro.pipeline.registry`)
@@ -47,7 +58,15 @@ hard-code a backend.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Protocol, Sequence, Tuple
+from typing import (
+    Callable,
+    Iterable,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+)
 
 from repro.align.prefilter import MyersPrefilter, PrefilterStats
 from repro.align.records import (
@@ -102,6 +121,27 @@ class ExtensionEngine(Protocol):
         ...
 
 
+#: One batched-extension job: the oriented read and the placement to verify.
+ExtensionJob = Tuple[str, Candidate]
+
+
+class BatchExtensionEngine(ExtensionEngine, Protocol):
+    """Stage 3, batch-capable: verify many placements per vectorized call.
+
+    ``extend_batch`` must be pure batching — result ``i`` equals what
+    ``extend(*jobs[i], stats)`` would return, and the shared stats must be
+    charged identically (the per-backend dispatch-identity tests enforce
+    both).  Lanes are therefore free to be regrouped, deduplicated or
+    reordered internally, as long as outputs come back in job order.
+    """
+
+    def extend_batch(
+        self, jobs: Sequence[ExtensionJob], stats: AlignmentStats
+    ) -> List[Optional[Extension]]:
+        """Verify every job; entry *i* answers ``jobs[i]`` (None drops it)."""
+        ...
+
+
 @dataclass(frozen=True)
 class StageSet:
     """One backend: a stage composition plus the shared-loop parameters."""
@@ -151,6 +191,27 @@ class MyersCandidateFilter:
         return True
 
 
+@dataclass
+class _ReadPlan:
+    """One read's gathered state between the filter and extend phases.
+
+    The batched dispatch path splits the per-read loop in two: *gather*
+    (fast path, candidate enumeration, filters) fills a plan per read,
+    then one cross-read ``extend_batch`` call verifies every surviving
+    job, and *finish* runs selection.  ``extensions`` starts with the
+    exact-match fast-path hits and receives the batch results in job
+    order, which reproduces the per-candidate path's extension order
+    exactly (selection is order-independent regardless; see
+    :func:`repro.pipeline.common.select_best`).
+    """
+
+    name: str
+    read_length: int
+    extensions: List[Extension]
+    jobs: List[ExtensionJob]
+    candidate_count: int
+
+
 class PipelineDriver:
     """The one seed-and-extend outer loop every backend runs behind.
 
@@ -176,12 +237,24 @@ class PipelineDriver:
         self,
         stages: StageSet,
         telemetry: Optional[PipelineTelemetry] = None,
+        batch_dispatch: bool = True,
     ) -> None:
         self.stages = stages
         self.stats = AlignmentStats()
         self.telemetry = (
             telemetry if telemetry is not None else active_telemetry()
         )
+        # Batch capability is detected structurally once, here, so the
+        # per-read hot path never pays a getattr.  ``batch_dispatch=False``
+        # forces the per-candidate fallback even on batch-capable engines
+        # (the dispatch-identity tests diff the two paths).
+        hook: Optional[
+            Callable[
+                [Sequence[ExtensionJob], AlignmentStats],
+                List[Optional[Extension]],
+            ]
+        ] = getattr(stages.extender, "extend_batch", None)
+        self._extend_batch = hook if batch_dispatch else None
 
     # ----------------------------------------------------------------- API
 
@@ -197,9 +270,18 @@ class PipelineDriver:
             for oriented, __ in strands(sequence)
         ]
         if tel is None:
-            return self._map_read(name, sequence, seed_lists)
+            if self._extend_batch is None:
+                return self._map_read(name, sequence, seed_lists)
+            plan = self._gather(name, sequence, seed_lists)
+            self._dispatch_batch([plan])
+            return self._finish(plan)
         tel.stage_end("seed")
-        mapped = self._map_read(name, sequence, seed_lists)
+        if self._extend_batch is None:
+            mapped = self._map_read(name, sequence, seed_lists)
+        else:
+            plan = self._gather(name, sequence, seed_lists)
+            self._dispatch_batch([plan])
+            mapped = self._finish(plan)
         tel.stage_end("align_read")
         return mapped
 
@@ -233,12 +315,26 @@ class PipelineDriver:
         if tel is not None:
             tel.stage_end("seed")
         out: List[MappedRead] = []
-        for index, (name, sequence) in enumerate(named):
-            out.append(
-                self._map_read(
+        if self._extend_batch is None:
+            for index, (name, sequence) in enumerate(named):
+                out.append(
+                    self._map_read(
+                        name, sequence, seed_lists[2 * index : 2 * index + 2]
+                    )
+                )
+        else:
+            # Batch-capable engine: gather every read's surviving
+            # candidates first, verify them all in one vectorized
+            # dispatch (lane count scales with the whole batch, not one
+            # read), then select per read.
+            plans = [
+                self._gather(
                     name, sequence, seed_lists[2 * index : 2 * index + 2]
                 )
-            )
+                for index, (name, sequence) in enumerate(named)
+            ]
+            self._dispatch_batch(plans)
+            out = [self._finish(plan) for plan in plans]
         if tel is not None:
             tel.stage_end("align_batch")
         return out
@@ -316,6 +412,110 @@ class PipelineDriver:
             tel.stage_end("select")
             tel.stage_end("read")
             tel.read_done(candidate_count)
+        if mapped.is_unmapped:
+            stats.reads_unmapped += 1
+        else:
+            stats.reads_mapped += 1
+        return mapped
+
+    # -------------------------------------------------- batched dispatch
+
+    def _gather(
+        self,
+        name: str,
+        sequence: str,
+        seed_lists: Sequence[Sequence[GlobalSeed]],
+    ) -> _ReadPlan:
+        """Phase 1 of batched dispatch: fast path, candidates, filters."""
+        stages = self.stages
+        stats = self.stats
+        tel = self.telemetry
+        stats.reads_total += 1
+        if tel is not None:
+            tel.stage_begin("read")
+        extensions: List[Extension] = []
+        jobs: List[ExtensionJob] = []
+        exact_seen = False
+        candidate_count = 0
+        for (oriented, reverse), seeds in zip(strands(sequence), seed_lists):
+            if tel is not None:
+                tel.observe_seeds(seeds)
+            exact = [s for s in seeds if s.exact_whole_read]
+            if exact:
+                exact_seen = True
+                extensions.extend(
+                    exact_match_extensions(
+                        exact, reverse, len(oriented), stages.match_score
+                    )
+                )
+                continue
+            for candidate in candidates_from_seeds(
+                seeds, reverse, stages.max_candidates
+            ):
+                candidate_count += 1
+                if tel is not None:
+                    tel.observe_candidate()
+                if stages.filters:
+                    if tel is not None:
+                        tel.stage_begin("filter")
+                    admitted = all(
+                        f.admit(oriented, candidate, stats)
+                        for f in stages.filters
+                    )
+                    if tel is not None:
+                        tel.stage_end("filter")
+                    if not admitted:
+                        continue
+                jobs.append((oriented, candidate))
+        if exact_seen:
+            stats.reads_exact += 1
+        if tel is not None:
+            tel.stage_end("read")
+        return _ReadPlan(name, len(sequence), extensions, jobs, candidate_count)
+
+    def _dispatch_batch(self, plans: Sequence[_ReadPlan]) -> None:
+        """Phase 2: one vectorized extend call over every plan's jobs."""
+        extend_batch = self._extend_batch
+        assert extend_batch is not None
+        jobs: List[ExtensionJob] = []
+        for plan in plans:
+            jobs.extend(plan.jobs)
+        if not jobs:
+            return
+        tel = self.telemetry
+        if tel is not None:
+            tel.stage_begin("extend_batch")
+            tel.observe_batch(len(jobs))
+        results = extend_batch(jobs, self.stats)
+        if tel is not None:
+            tel.stage_end("extend_batch")
+        if len(results) != len(jobs):
+            raise ValueError(
+                f"extend_batch returned {len(results)} results for "
+                f"{len(jobs)} jobs"
+            )
+        index = 0
+        for plan in plans:
+            for __ in plan.jobs:
+                extension = results[index]
+                index += 1
+                if extension is not None:
+                    if tel is not None:
+                        tel.observe_extension(extension)
+                    plan.extensions.append(extension)
+
+    def _finish(self, plan: _ReadPlan) -> MappedRead:
+        """Phase 3: selection and the mapped/unmapped counters."""
+        stats = self.stats
+        tel = self.telemetry
+        if tel is not None:
+            tel.stage_begin("select")
+        mapped = select_best(
+            plan.name, plan.read_length, plan.extensions, self.stages.min_score
+        )
+        if tel is not None:
+            tel.stage_end("select")
+            tel.read_done(plan.candidate_count)
         if mapped.is_unmapped:
             stats.reads_unmapped += 1
         else:

@@ -108,7 +108,7 @@ def write_chrome_trace(path: Union[str, Path], tracer: Tracer) -> None:
 #: The pipeline stages the driver brackets, in pipeline order.  Shared
 #: with :class:`repro.telemetry.runtime.PipelineTelemetry`, which
 #: registers one ``pipeline_stage_seconds_<stage>`` histogram per entry.
-PROFILE_STAGES = ("seed", "filter", "extend", "select")
+PROFILE_STAGES = ("seed", "filter", "extend", "extend_batch", "select")
 
 #: Work counters rendered under the stage table: metric name -> label.
 _WORK_COUNTERS = (

@@ -62,9 +62,15 @@ LENGTH_BUCKETS: Tuple[float, ...] = (
 #: Edit-distance buckets for accepted extensions.
 EDIT_BUCKETS: Tuple[float, ...] = (0.0, 1.0, 2.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0)
 
+#: Lanes-per-dispatch buckets for the batched extension stage (cross-read
+#: batches reach hundreds to thousands of lanes).
+BATCH_BUCKETS: Tuple[float, ...] = (
+    1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 4096.0,
+)
+
 #: Stages the driver brackets (kept in sync with exporters.PROFILE_STAGES
 #: by a test); each gets a pipeline_stage_seconds_<stage> histogram.
-STAGES: Tuple[str, ...] = ("seed", "filter", "extend", "select")
+STAGES: Tuple[str, ...] = ("seed", "filter", "extend", "extend_batch", "select")
 
 TelemetrySnapshot = Dict[str, Any]
 """Picklable payload a worker ships back: metric states + trace events."""
@@ -84,6 +90,7 @@ class PipelineTelemetry:
         "_candidates_per_read",
         "_seed_lengths",
         "_edit_distances",
+        "_batch_lanes",
     )
 
     def __init__(
@@ -126,6 +133,11 @@ class PipelineTelemetry:
             EDIT_BUCKETS,
             "edit distance of accepted extensions (from CIGAR)",
         )
+        self._batch_lanes = self.metrics.histogram(
+            "pipeline_batch_lanes",
+            BATCH_BUCKETS,
+            "candidate lanes per batched extension dispatch",
+        )
 
     # ------------------------------------------------- driver-facing hooks
 
@@ -157,6 +169,10 @@ class PipelineTelemetry:
         cigar = extension.cigar
         if cigar is not None:
             self._edit_distances.observe(cigar.edit_count())
+
+    def observe_batch(self, lane_count: int) -> None:
+        """Record one batched extension dispatch (its lane count)."""
+        self._batch_lanes.observe(float(lane_count))
 
     def read_done(self, candidate_count: int) -> None:
         """Close out one read's accounting."""

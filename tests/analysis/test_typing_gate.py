@@ -35,6 +35,10 @@ def test_strict_packages_pass_mypy():
             "repro.analysis",
             "-p",
             "repro.telemetry",
+            "-p",
+            "repro.difftest",
+            "-m",
+            "repro.genome.sequence",
         ],
         cwd=REPO_ROOT,
         capture_output=True,

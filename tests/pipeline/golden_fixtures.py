@@ -135,9 +135,23 @@ def _snapshot_bwamem() -> Dict[str, Any]:
     }
 
 
+def _snapshot_bitvector() -> Dict[str, Any]:
+    from repro.pipeline.bitvector import BitvectorAligner, BitvectorConfig
+
+    reference = fixture_reference()
+    batch = fixture_batch(reference)
+    aligner = BitvectorAligner(reference, BitvectorConfig(edit_bound=EDIT_BOUND))
+    mapped = aligner.align_batch(batch)
+    return {
+        "backend": "bitvector",
+        "mappings": mapping_rows(mapped),
+        "alignment_stats": alignment_stats_dict(aligner.stats),
+    }
+
+
 def regenerate() -> None:
     GOLDEN_DIR.mkdir(exist_ok=True)
-    for snapshot in (_snapshot_genax(), _snapshot_bwamem()):
+    for snapshot in (_snapshot_genax(), _snapshot_bwamem(), _snapshot_bitvector()):
         path = GOLDEN_DIR / f"{snapshot['backend']}.json"
         with open(path, "w") as handle:
             json.dump(snapshot, handle, indent=1, sort_keys=True)

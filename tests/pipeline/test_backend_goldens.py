@@ -13,6 +13,7 @@ import pytest
 
 from repro.analysis.config import shard_variant_counters
 from repro.parallel import ParallelAligner
+from repro.pipeline.bitvector import BitvectorConfig
 from repro.pipeline.bwamem import BwaMemConfig
 from repro.pipeline.genax import GenAxConfig
 from repro.pipeline.registry import backend_names, get_backend
@@ -33,6 +34,7 @@ from tests.pipeline.golden_fixtures import (
 CONFIGS = {
     "genax": lambda: GenAxConfig(edit_bound=EDIT_BOUND, segment_count=SEGMENT_COUNT),
     "bwamem": lambda: BwaMemConfig(band=EDIT_BOUND),
+    "bitvector": lambda: BitvectorConfig(edit_bound=EDIT_BOUND),
 }
 
 

@@ -5,6 +5,7 @@ from pathlib import Path
 import pytest
 
 from repro.align.records import AlignmentStats
+from repro.pipeline.bitvector import BitvectorConfig
 from repro.pipeline.bwamem import BwaMemAligner, BwaMemConfig
 from repro.pipeline.genax import GenAxAligner, GenAxConfig
 from repro.pipeline.registry import (
@@ -25,7 +26,7 @@ README = Path(__file__).parents[2] / "README.md"
 
 class TestLookup:
     def test_registered_names_in_order(self):
-        assert backend_names() == ("genax", "bwamem")
+        assert backend_names() == ("genax", "bwamem", "bitvector")
 
     def test_get_backend_round_trip(self):
         for name in backend_names():
@@ -38,6 +39,12 @@ class TestLookup:
     def test_backend_for_config(self):
         assert backend_for_config(GenAxConfig()).name == "genax"
         assert backend_for_config(BwaMemConfig()).name == "bwamem"
+        assert backend_for_config(BitvectorConfig()).name == "bitvector"
+        # Both kernel variants share one config type -> one backend name.
+        assert (
+            backend_for_config(BitvectorConfig(kernel="scalar")).name
+            == "bitvector"
+        )
 
     def test_backend_for_unknown_config_type(self):
         with pytest.raises(ValueError, match="no registered backend"):
@@ -64,7 +71,11 @@ class TestFactories:
         assert aligner.seeder.tables is shared
 
     def test_collect_snapshots_counters(self, tiny_reference):
-        for name, expects_lanes in (("genax", True), ("bwamem", False)):
+        for name, expects_lanes in (
+            ("genax", True),
+            ("bwamem", False),
+            ("bitvector", False),
+        ):
             spec = get_backend(name)
             aligner = build_aligner(name, tiny_reference)
             aligner.align_read("r", tiny_reference.sequence[100:201])
