@@ -103,6 +103,33 @@ def _build_peq(
     return peq
 
 
+def _ripple_add(
+    eq: NDArray[np.uint64], vp: NDArray[np.uint64]
+) -> NDArray[np.uint64]:
+    """Blocked addition ``X = ((eq & vp) + vp) ^ vp | eq``, per lane.
+
+    The Myers recurrence's carry chain: the addition must wrap modulo
+    2**64 so ``partial < addend`` / ``total < partial`` recover each
+    word's carry-out bit, which ripples into the next word (Hyyro's
+    blocked formulation).  This is the one place in the kernel where
+    uint64 overflow is the *algorithm*, not a bug — it is sanctioned in
+    ``repro.analysis.config.DTYPE_ALLOWLIST`` and cross-checked against
+    arbitrary-precision Python ints by the carry-ripple property test.
+    """
+    count, words = vp.shape
+    xh = np.empty_like(vp)
+    carry = np.zeros(count, dtype=np.uint64)
+    for word in range(words):
+        addend = eq[:, word] & vp[:, word]
+        partial = addend + vp[:, word]
+        overflow_a = partial < addend
+        total = partial + carry
+        overflow_b = total < partial
+        xh[:, word] = (total ^ vp[:, word]) | eq[:, word]
+        carry = (overflow_a | overflow_b).astype(np.uint64)
+    return xh
+
+
 def _run_kernel(
     peq: NDArray[np.uint64],
     pattern_lengths: NDArray[np.int64],
@@ -132,18 +159,7 @@ def _run_kernel(
             break
         eq = peq[lanes, text_codes[:, column]]
         xv = eq | vn
-        # Blocked addition X = (eq & vp) + vp: ripple the carry word by
-        # word (wrapping uint64 arithmetic detects overflow by s < a).
-        xh = np.empty_like(vp)
-        carry = np.zeros(count, dtype=np.uint64)
-        for word in range(words):
-            addend = eq[:, word] & vp[:, word]
-            partial = addend + vp[:, word]
-            overflow_a = partial < addend
-            total = partial + carry
-            overflow_b = total < partial
-            xh[:, word] = (total ^ vp[:, word]) | eq[:, word]
-            carry = (overflow_a | overflow_b).astype(np.uint64)
+        xh = _ripple_add(eq, vp)
         hp = vn | ~(xh | vp)
         hn = vp & xh
         hp_high = (hp[lanes, high_word] >> high_bit) & _ONE

@@ -15,7 +15,15 @@ about:
   ever handed to the multiprocess engine
   (:mod:`repro.analysis.rules.pickle_safety`);
 * **API hygiene** — no mutable default arguments, bare ``except`` clauses
-  or float ``==`` comparisons (:mod:`repro.analysis.rules.api_hygiene`).
+  or float ``==`` comparisons (:mod:`repro.analysis.rules.api_hygiene`);
+* **dtype-flow discipline** — uint64 wrapping arithmetic only at
+  sanctioned, reasoned allowlist sites, no implicit upcasts, no hidden
+  copies on extension hot paths, proven interprocedurally over the
+  project call graph (:mod:`repro.analysis.rules.dtype_flow`);
+* **worker purity** — the closure of functions reachable from
+  multiprocess worker entry points stays free of module-global races,
+  RNG/clock taint and unpicklable captures
+  (:mod:`repro.analysis.rules.worker_purity`).
 
 Run it with ``repro-genaxlint`` (installed console script) or
 ``python -m repro.analysis``.  Findings can be suppressed inline with
@@ -25,16 +33,37 @@ exceptions live in the documented allowlist in
 """
 
 from repro.analysis.findings import Finding, Severity
-from repro.analysis.registry import RuleContext, RuleSpec, all_rules, get_rule, rule
+from repro.analysis.graph import ProjectGraph, SourceModule
+from repro.analysis.registry import (
+    ProjectContext,
+    ProjectRuleSpec,
+    RuleContext,
+    RuleSpec,
+    all_project_rules,
+    all_rules,
+    get_rule,
+    project_rule,
+    render_rule_table,
+    rule,
+)
 from repro.analysis.runner import lint_files, lint_paths, lint_source
+from repro.analysis.sarif import render_sarif
 
 __all__ = [
     "Finding",
     "Severity",
+    "ProjectContext",
+    "ProjectGraph",
+    "ProjectRuleSpec",
     "RuleContext",
     "RuleSpec",
+    "SourceModule",
+    "all_project_rules",
     "all_rules",
     "get_rule",
+    "project_rule",
+    "render_rule_table",
+    "render_sarif",
     "rule",
     "lint_files",
     "lint_paths",

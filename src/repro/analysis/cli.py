@@ -1,9 +1,12 @@
 """``repro-genaxlint`` command line (also ``python -m repro.analysis``).
 
-Exit status: 0 when clean, 1 when any finding is reported, 2 on usage
-errors.  ``--format json`` emits the machine-readable report CI consumes;
-``--changed`` lints only files differing from ``main`` (plus untracked
-files) for fast pre-commit iteration.
+Exit status: 0 when clean (warnings such as the GX003 unused-suppression
+audit report but do not gate), 1 when any error-severity finding is
+reported, 2 on usage errors.  ``--format json`` emits the machine-readable
+report CI consumes; ``--format sarif`` emits a SARIF 2.1.0 log for GitHub
+code-scanning (``--output`` writes it to a file); ``--changed`` lints only
+files differing from ``main`` (plus untracked files) for fast pre-commit
+iteration.
 """
 
 from __future__ import annotations
@@ -14,10 +17,15 @@ import subprocess
 import sys
 from typing import FrozenSet, List, Optional, Sequence
 
-from repro.analysis.config import DEFAULT_LINT_ROOTS, allowlist_reasons
-from repro.analysis.findings import render_json, render_text
-from repro.analysis.registry import all_rules
+from repro.analysis.config import (
+    DEFAULT_LINT_ROOTS,
+    allowlist_reasons,
+    sanctioned_site_reasons,
+)
+from repro.analysis.findings import Severity, render_json, render_text
+from repro.analysis.registry import all_project_rules, all_rules
 from repro.analysis.runner import collect_files, lint_files
+from repro.analysis.sarif import render_sarif
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -25,7 +33,8 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="repro-genaxlint",
         description=(
             "Repo-specific static analysis for the GenAx reproduction: "
-            "determinism, counter hygiene, pickle safety, API hygiene."
+            "determinism, counter hygiene, pickle safety, API hygiene, "
+            "dtype-flow overflow discipline, worker purity."
         ),
     )
     parser.add_argument(
@@ -35,9 +44,18 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
-        help="output format (json is what CI consumes)",
+        help=(
+            "output format (json is what CI consumes; sarif feeds GitHub "
+            "code-scanning)"
+        ),
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="write the report to FILE instead of stdout",
     )
     parser.add_argument(
         "--rules",
@@ -57,7 +75,7 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--list-rules",
         action="store_true",
-        help="print every registered rule and the counter allowlist, then exit",
+        help="print every registered rule and the allowlists, then exit",
     )
     return parser
 
@@ -86,13 +104,27 @@ def _changed_files(base: str) -> List[str]:
 
 
 def _list_rules() -> str:
-    lines = ["registered rules:"]
+    lines = ["registered rules (file scope):"]
     for spec in all_rules():
-        lines.append(f"  {spec.code}  {spec.name:18s} {spec.description}")
+        lines.append(f"  {spec.code}  {spec.name:26s} {spec.description}")
+    lines.append("registered rules (project scope):")
+    for project_spec in all_project_rules():
+        lines.append(
+            f"  {project_spec.code}  {project_spec.name:26s} "
+            f"{project_spec.description}"
+        )
     reasons = allowlist_reasons()
     if reasons:
         lines.append("counter allowlist (repro.analysis.config.COUNTER_ALLOWLIST):")
         for key, reason in sorted(reasons.items()):
+            lines.append(f"  {key}: {reason}")
+    site_reasons = sanctioned_site_reasons()
+    if site_reasons:
+        lines.append(
+            "sanctioned sites (repro.analysis.config.DTYPE_ALLOWLIST / "
+            "WORKER_ALLOWLIST):"
+        )
+        for key, reason in sorted(site_reasons.items()):
             lines.append(f"  {key}: {reason}")
     return "\n".join(lines)
 
@@ -128,17 +160,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return 2
 
     try:
-        findings = lint_files(files, rules=all_rules(only))
+        findings = lint_files(
+            files,
+            rules=all_rules(only),
+            project_rules=all_project_rules(only),
+        )
     except KeyError as error:
         print(f"repro-genaxlint: {error.args[0]}", file=sys.stderr)
         return 2
 
     if args.format == "json":
-        print(render_json(findings))
+        report = render_json(findings)
+    elif args.format == "sarif":
+        report = render_sarif(findings)
     else:
         checked = f"{len(files)} file(s) checked"
-        print(f"{render_text(findings)} [{checked}]")
-    return 1 if findings else 0
+        report = f"{render_text(findings)} [{checked}]"
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+    else:
+        print(report)
+    errors = [f for f in findings if f.severity is Severity.ERROR]
+    return 1 if errors else 0
 
 
 if __name__ == "__main__":

@@ -1,4 +1,13 @@
-"""genaxlint policy: lint roots and the documented counter allowlist."""
+"""genaxlint policy: lint roots and the documented allowlists.
+
+Three allowlists live here, all following the same contract: an entry
+sanctions one *named site* for one *named rule*, and must carry a
+human-readable reason.  Adding an entry is a reviewed code change — that
+is the point.  Exceptions to the repo's invariants are declared in one
+audited place instead of scattered inline suppressions (repo policy,
+enforced by ``tests/analysis/test_self_check.py``, is that no inline
+suppression ships).
+"""
 
 from __future__ import annotations
 
@@ -70,3 +79,212 @@ def shard_variant_counters() -> FrozenSet[str]:
 def allowlist_reasons() -> Dict[str, str]:
     """``ClassName.field`` -> documented reason, for reports and docs."""
     return {entry.field: entry.reason for entry in COUNTER_ALLOWLIST}
+
+
+@dataclass(frozen=True)
+class SanctionedSite:
+    """One function sanctioned for one interprocedural rule.
+
+    ``site`` is the fully qualified function name as the project graph
+    spells it (``repro.align.bitvector._ripple_add``,
+    ``repro.parallel.engine._init_worker``); ``rule`` is the rule name the
+    sanction waives (``uint64-wrap``, ``worker-global-state``, ...).  A
+    site is sanctioned for exactly the rules that name it — a wrapping
+    waiver does not excuse a hidden copy in the same function.
+    """
+
+    site: str
+    rule: str
+    reason: str
+
+
+#: GX5xx dtype-flow sanctions: the deliberate wrapping-overflow and
+#: hidden-copy sites of the uint64 kernel lattice.  Every entry is a
+#: function whose *correctness or throughput design depends on* the
+#: flagged behaviour; the reasons say why, and
+#: tests/align/test_bitvector_properties.py cross-checks the wrap sites
+#: against arbitrary-precision Python-int arithmetic at runtime.
+DTYPE_ALLOWLIST: Tuple[SanctionedSite, ...] = (
+    SanctionedSite(
+        site="repro.align.bitvector._ripple_add",
+        rule="uint64-wrap",
+        reason=(
+            "The Myers block carry ripple is *defined* over modular uint64 "
+            "addition: `partial = addend + vp` and `total = partial + carry` "
+            "must wrap so the `partial < addend` / `total < partial` "
+            "comparisons recover each word's carry-out bit exactly (Hyyro's "
+            "blocked formulation).  The wrapping step is isolated in this "
+            "helper and re-verified against arbitrary-precision Python ints "
+            "by the carry-ripple property test."
+        ),
+    ),
+    SanctionedSite(
+        site="repro.align.bitvector._unpack_codes",
+        rule="uint64-wrap",
+        reason=(
+            "Shift-table construction multiplies lane offsets (<= 31) by 2 "
+            "inside uint64: the product is bounded by 62 and cannot wrap; "
+            "uint64 is used so the subsequent `>>` stays same-dtype (NumPy "
+            "shifts require matching kinds)."
+        ),
+    ),
+    SanctionedSite(
+        site="repro.genome.sequence.encode_batch",
+        rule="uint64-wrap",
+        reason=(
+            "Packing shift table: position offsets (<= 31) times 2 inside "
+            "uint64, bounded by 62 by the 32-bases-per-word layout, so the "
+            "product cannot wrap; uint64 keeps the pack shifts same-dtype "
+            "(round-trip pinned by the word-boundary codec tests)."
+        ),
+    ),
+    SanctionedSite(
+        site="repro.genome.sequence.decode_batch",
+        rule="uint64-wrap",
+        reason=(
+            "Mirror of encode_batch: the unpack shift table is the same "
+            "bounded-by-62 product; uint64 keeps the unpack shifts "
+            "same-dtype."
+        ),
+    ),
+    SanctionedSite(
+        site="repro.align.bitvector._ripple_add",
+        rule="hidden-copy",
+        reason=(
+            "The carry-out bit is recovered as a bool mask and must rejoin "
+            "uint64 word arithmetic: one (lanes,) astype per word per "
+            "column, O(lanes) working set, amortized across every lane in "
+            "the batch — the cost the batched design already accounts for."
+        ),
+    ),
+    SanctionedSite(
+        site="repro.align.bitvector._run_kernel",
+        rule="hidden-copy",
+        reason=(
+            "Per-lane gathers (`peq[lanes, text_codes[:, column]]`, the "
+            "high-bit extraction) and the int64 score-delta casts are the "
+            "kernel's designed data movement: each is O(lanes) per column "
+            "and replaces a Python-level per-lane loop — exactly the copies "
+            "the batching exists to amortize."
+        ),
+    ),
+    SanctionedSite(
+        site="repro.align.bitvector._build_peq",
+        rule="hidden-copy",
+        reason=(
+            "PEQ bit-plane construction converts the (count, capacity) "
+            "match mask to uint64 once per batch, outside the per-column "
+            "loop; setup cost, not steady-state."
+        ),
+    ),
+    SanctionedSite(
+        site="repro.align.bitvector._unpack_codes",
+        rule="hidden-copy",
+        reason=(
+            "The packed->codes expansion is the codec's output (uint8 "
+            "matrix), produced once per batch during setup."
+        ),
+    ),
+    SanctionedSite(
+        site="repro.align.bitvector._batch_scores",
+        rule="hidden-copy",
+        reason=(
+            "Batch entry point: one intp cast of the text codes and one "
+            "int64 cast of the result per *batch* (not per candidate), both "
+            "required by the kernel's index/score dtypes."
+        ),
+    ),
+    SanctionedSite(
+        site="repro.genome.sequence.encode_batch",
+        rule="hidden-copy",
+        reason=(
+            "`_CODE_LUT[raw]` is the vectorized ASCII->2-bit translation: "
+            "a deliberate 256-entry LUT gather, once per batch, replacing "
+            "a per-character Python loop."
+        ),
+    ),
+)
+
+
+#: GX6xx worker-purity sanctions: the reviewed module-global machinery the
+#: fork-based shard workers intentionally rely on.
+WORKER_ALLOWLIST: Tuple[SanctionedSite, ...] = (
+    SanctionedSite(
+        site="repro.parallel.engine._init_worker",
+        rule="worker-global-state",
+        reason=(
+            "The designed copy-on-write fork handoff: the parent stores the "
+            "prebuilt tables in _FORK_SHARED immediately before creating "
+            "the pool (ParallelAligner._dispatch), and each worker's "
+            "initializer reads them and installs _WORKER_FACTORY / "
+            "_WORKER_TELEMETRY exactly once, before any chunk runs (the "
+            "initializer-before-first-task ordering ProcessPoolExecutor "
+            "guarantees).  On spawn platforms _FORK_SHARED is None and the "
+            "worker rebuilds from the cache — the degradation is explicit, "
+            "not silent — and the serial/parallel concordance tests pin "
+            "bit-identical output either way."
+        ),
+    ),
+    SanctionedSite(
+        site="repro.pipeline.registry.get_backend",
+        rule="worker-global-state",
+        reason=(
+            "The backend registry global is populated at *import time* "
+            "(register_backend runs when repro.pipeline.registry is "
+            "imported), so every process — fork or spawn — rebuilds the "
+            "identical mapping by importing the module; there is no "
+            "parent-runtime mutation to lose across the boundary."
+        ),
+    ),
+    SanctionedSite(
+        site="repro.telemetry.runtime.activate",
+        rule="worker-global-state",
+        reason=(
+            "logging-style activation global: each worker activates its own "
+            "telemetry bundle inside telemetry_session, mutating only its "
+            "private post-fork copy of _ACTIVE; snapshots travel back "
+            "explicitly in ShardResult, never through the global."
+        ),
+    ),
+    SanctionedSite(
+        site="repro.telemetry.runtime.deactivate",
+        rule="worker-global-state",
+        reason=(
+            "Pair of activate: resets the per-process _ACTIVE slot when the "
+            "worker's telemetry_session exits."
+        ),
+    ),
+    SanctionedSite(
+        site="repro.telemetry.clock.monotonic_s",
+        rule="worker-impure-call",
+        reason=(
+            "The one sanctioned perf_counter site (the GX104 clock-"
+            "confinement contract): spans measure monotonic durations, not "
+            "wall-clock identity, and per-chunk snapshots merge in "
+            "deterministic chunk order, so timing taint never reaches "
+            "alignment output."
+        ),
+    ),
+)
+
+
+def dtype_sanctioned_sites(rule_name: str) -> FrozenSet[str]:
+    """Function qualnames sanctioned for the given GX5xx rule."""
+    return frozenset(
+        entry.site for entry in DTYPE_ALLOWLIST if entry.rule == rule_name
+    )
+
+
+def worker_sanctioned_sites(rule_name: str) -> FrozenSet[str]:
+    """Function qualnames sanctioned for the given GX6xx rule."""
+    return frozenset(
+        entry.site for entry in WORKER_ALLOWLIST if entry.rule == rule_name
+    )
+
+
+def sanctioned_site_reasons() -> Dict[str, str]:
+    """``rule:site`` -> reason, for ``--list-rules`` and the docs."""
+    return {
+        f"{entry.rule}:{entry.site}": entry.reason
+        for entry in DTYPE_ALLOWLIST + WORKER_ALLOWLIST
+    }

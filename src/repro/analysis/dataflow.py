@@ -1,0 +1,312 @@
+"""Forward dataflow over function ASTs with pluggable abstract domains.
+
+The engine walks one function body in program order, keeping an
+*environment* (local name -> abstract value) and delegating every
+expression to an :class:`AbstractDomain`.  The domain owns the lattice:
+what a literal means, how a binary operation combines values, when an
+operation is interesting enough to report.  The engine owns control
+flow: branch splitting and joining for ``if``/``try``, fixpoint
+iteration for loops, and environment bookkeeping for the assignment
+forms.
+
+This is deliberately a *statement-level* interpreter over the AST, not a
+CFG — genaxlint's rule surface (NumPy kernels, worker shims) is
+early-return straight-line code with shallow loops, and an AST walk with
+branch joins is exact for that shape while staying ~200 lines.  Two
+conservative simplifications keep it sound for the GX5xx family:
+
+* joins of divergent branches fall to the domain's ``unknown`` unless
+  the domain can reconcile them, so no value is ever *assumed* past a
+  merge point;
+* loops iterate to a fixpoint with a bounded pass count, after which any
+  still-changing binding is widened to ``unknown``.
+
+Reports are *events*, not findings: the domain calls ``emit`` and the
+engine deduplicates by source location and tag (a loop body analysed
+three times on the way to a fixpoint must not report three times).  The
+rule layer turns surviving events into :class:`~repro.analysis.findings.
+Finding` objects.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, Dict, Generic, List, Optional, Set, Tuple, TypeVar
+
+__all__ = [
+    "AbstractDomain",
+    "DataflowEvent",
+    "Environment",
+    "analyze_function",
+]
+
+V = TypeVar("V")
+
+Environment = Dict[str, V]
+
+#: Loop bodies are re-analysed until the environment stabilises; past
+#: this many passes every binding the loop still changes is widened to
+#: ``unknown``.  The dtype lattice has height 2, so real kernels
+#: converge in <= 3 passes; the cap is a termination guarantee, not a
+#: tuning knob.
+MAX_LOOP_PASSES = 8
+
+
+@dataclass(frozen=True)
+class DataflowEvent:
+    """One domain-reported observation, pinned to a source location."""
+
+    node: ast.AST
+    tag: str
+    message: str
+    hint: str
+
+    @property
+    def location(self) -> Tuple[int, int]:
+        return (
+            getattr(self.node, "lineno", 1),
+            getattr(self.node, "col_offset", 0),
+        )
+
+
+EmitFunc = Callable[[ast.AST, str, str, str], None]
+
+
+class AbstractDomain(Generic[V]):
+    """The pluggable half of the engine: a lattice plus an evaluator.
+
+    Subclasses implement ``unknown``/``join``/``evaluate``; the engine
+    never inspects abstract values, it only stores, joins, and passes
+    them back.
+    """
+
+    def unknown(self) -> V:
+        """The lattice top: no information (also the join identity gap)."""
+        raise NotImplementedError
+
+    def join(self, left: V, right: V) -> V:
+        """Least upper bound of two values meeting at a merge point."""
+        raise NotImplementedError
+
+    def evaluate(self, env: Dict[str, V], node: ast.expr, emit: EmitFunc) -> V:
+        """Abstract value of *node* under *env*; may ``emit`` events."""
+        raise NotImplementedError
+
+    def iterate(self, value: V) -> V:
+        """Abstract element produced by iterating over *value*.
+
+        Default: iteration forgets everything.
+        """
+        return self.unknown()
+
+    def initial_environment(
+        self, func: ast.AST
+    ) -> Dict[str, V]:  # pragma: no cover - trivial default
+        """Starting bindings (typically from annotations); default empty."""
+        return {}
+
+
+class _Analyzer(Generic[V]):
+    def __init__(self, domain: AbstractDomain[V]) -> None:
+        self.domain = domain
+        self.events: List[DataflowEvent] = []
+        self._seen: Set[Tuple[int, int, str]] = set()
+
+    # ------------------------------------------------------------- emission
+
+    def emit(self, node: ast.AST, tag: str, message: str, hint: str) -> None:
+        key = (
+            getattr(node, "lineno", 1),
+            getattr(node, "col_offset", 0),
+            tag,
+        )
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self.events.append(DataflowEvent(node=node, tag=tag, message=message, hint=hint))
+
+    # ----------------------------------------------------------- statements
+
+    def run(self, body: List[ast.stmt], env: Dict[str, V]) -> Dict[str, V]:
+        for stmt in body:
+            env = self.visit_stmt(stmt, env)
+        return env
+
+    def visit_stmt(self, stmt: ast.stmt, env: Dict[str, V]) -> Dict[str, V]:
+        if isinstance(stmt, ast.Assign):
+            value = self.eval(env, stmt.value)
+            for target in stmt.targets:
+                env = self.assign(env, target, value)
+            return env
+        if isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                value = self.eval(env, stmt.value)
+                return self.assign(env, stmt.target, value)
+            return env
+        if isinstance(stmt, ast.AugAssign):
+            # ``x += y`` evaluates like ``x = x <op> y``; synthesising the
+            # BinOp keeps location info on the original statement node.
+            synthetic = ast.BinOp(
+                left=_as_load(stmt.target), op=stmt.op, right=stmt.value
+            )
+            ast.copy_location(synthetic, stmt)
+            ast.fix_missing_locations(synthetic)
+            value = self.eval(env, synthetic)
+            return self.assign(env, stmt.target, value)
+        if isinstance(stmt, ast.Expr):
+            self.eval(env, stmt.value)
+            return env
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self.eval(env, stmt.value)
+            return env
+        if isinstance(stmt, (ast.Raise,)):
+            if stmt.exc is not None:
+                self.eval(env, stmt.exc)
+            return env
+        if isinstance(stmt, ast.Assert):
+            self.eval(env, stmt.test)
+            if stmt.msg is not None:
+                self.eval(env, stmt.msg)
+            return env
+        if isinstance(stmt, ast.If):
+            self.eval(env, stmt.test)
+            then_env = self.run(list(stmt.body), dict(env))
+            else_env = self.run(list(stmt.orelse), dict(env))
+            return self.join_envs(then_env, else_env)
+        if isinstance(stmt, ast.While):
+            self.eval(env, stmt.test)
+            env = self.fixpoint(list(stmt.body), env)
+            return self.run(list(stmt.orelse), env)
+        if isinstance(stmt, ast.For):
+            iterable = self.eval(env, stmt.iter)
+            env = self.assign(env, stmt.target, self.domain.iterate(iterable))
+            env = self.fixpoint(list(stmt.body), env)
+            return self.run(list(stmt.orelse), env)
+        if isinstance(stmt, ast.With):
+            for item in stmt.items:
+                value = self.eval(env, item.context_expr)
+                if item.optional_vars is not None:
+                    env = self.assign(env, item.optional_vars, value)
+            return self.run(list(stmt.body), env)
+        if isinstance(stmt, ast.Try):
+            body_env = self.run(list(stmt.body), dict(env))
+            merged = body_env
+            for handler in stmt.handlers:
+                # Handlers may run after any prefix of the body: start
+                # from the *pre*-body env for soundness.
+                handler_env = dict(env)
+                if handler.name is not None:
+                    handler_env[handler.name] = self.domain.unknown()
+                merged = self.join_envs(merged, self.run(list(handler.body), handler_env))
+            merged = self.run(list(stmt.orelse), merged)
+            return self.run(list(stmt.finalbody), merged)
+        if isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    env.pop(target.id, None)
+            return env
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            # Nested definitions are separate call-graph nodes; their
+            # bodies are analysed when the rule visits them.
+            env = dict(env)
+            env[stmt.name] = self.domain.unknown()
+            return env
+        if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            env = dict(env)
+            for alias in stmt.names:
+                local = alias.asname or alias.name.split(".", 1)[0]
+                env[local] = self.domain.unknown()
+            return env
+        if isinstance(stmt, (ast.Global, ast.Nonlocal, ast.Pass, ast.Break, ast.Continue)):
+            return env
+        # Anything unanticipated: evaluate child expressions for their
+        # emission side effects, change nothing.
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.expr):
+                self.eval(env, child)
+        return env
+
+    # -------------------------------------------------------------- helpers
+
+    def eval(self, env: Dict[str, V], node: ast.expr) -> V:
+        return self.domain.evaluate(env, node, self.emit)
+
+    def assign(self, env: Dict[str, V], target: ast.expr, value: V) -> Dict[str, V]:
+        env = dict(env)
+        if isinstance(target, ast.Name):
+            env[target.id] = value
+        elif isinstance(target, ast.Starred):
+            return self.assign(env, target.value, self.domain.unknown())
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                env = self.assign(env, element, self.domain.unknown())
+        elif isinstance(target, (ast.Subscript, ast.Attribute)):
+            # ``arr[idx] = value`` / ``obj.attr = value``: evaluate the
+            # base and index so the domain sees them, bind nothing.
+            self.eval(env, target.value)
+            if isinstance(target, ast.Subscript):
+                self.eval(env, target.slice)
+        return env
+
+    def join_envs(self, left: Dict[str, V], right: Dict[str, V]) -> Dict[str, V]:
+        joined: Dict[str, V] = {}
+        for name in sorted(set(left) | set(right)):
+            if name in left and name in right:
+                joined[name] = self.domain.join(left[name], right[name])
+            else:
+                # Possibly-unbound past the merge: no information.
+                joined[name] = self.domain.unknown()
+        return joined
+
+    def fixpoint(self, body: List[ast.stmt], env: Dict[str, V]) -> Dict[str, V]:
+        current = dict(env)
+        for _ in range(MAX_LOOP_PASSES):
+            after = self.run(body, dict(current))
+            merged = self.join_envs(current, after)
+            if merged == current:
+                return current
+            current = merged
+        # Widen whatever still oscillates.
+        return {name: self.domain.unknown() for name in current}
+
+
+def _as_load(node: ast.expr) -> ast.expr:
+    """A Load-context copy of an assignment target (for AugAssign)."""
+    if isinstance(node, ast.Name):
+        clone: ast.expr = ast.Name(id=node.id, ctx=ast.Load())
+    elif isinstance(node, ast.Attribute):
+        clone = ast.Attribute(value=node.value, attr=node.attr, ctx=ast.Load())
+    elif isinstance(node, ast.Subscript):
+        clone = ast.Subscript(value=node.value, slice=node.slice, ctx=ast.Load())
+    else:  # pragma: no cover - grammar limits AugAssign targets
+        clone = node
+    ast.copy_location(clone, node)
+    ast.fix_missing_locations(clone)
+    return clone
+
+
+def analyze_function(
+    func: ast.AST,
+    domain: AbstractDomain[V],
+    initial_env: Optional[Dict[str, V]] = None,
+) -> List[DataflowEvent]:
+    """Run *domain* forward over *func*'s body; return deduplicated events."""
+    if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        raise TypeError(f"expected a function node, got {type(func).__name__}")
+    analyzer: _Analyzer[V] = _Analyzer(domain)
+    env: Dict[str, V] = dict(domain.initial_environment(func))
+    if initial_env:
+        env.update(initial_env)
+    arg_nodes = list(func.args.posonlyargs) + list(func.args.args) + list(
+        func.args.kwonlyargs
+    )
+    for arg in arg_nodes:
+        env.setdefault(arg.arg, domain.unknown())
+    if func.args.vararg is not None:
+        env.setdefault(func.args.vararg.arg, domain.unknown())
+    if func.args.kwarg is not None:
+        env.setdefault(func.args.kwarg.arg, domain.unknown())
+    analyzer.run(list(func.body), env)
+    return analyzer.events

@@ -1,0 +1,682 @@
+"""Project-wide symbol resolution and call-graph construction.
+
+The per-file rules (GX1xx-GX4xx) see one module at a time; the GX5xx
+dtype-flow and GX6xx worker-purity families need to answer *whole-program*
+questions — "is this function reachable from a batched extension hot
+path?", "does anything a fork worker runs mutate a module global?".  This
+module builds the substrate those rules share:
+
+* :class:`SourceModule` — one parsed module plus its derived dotted name;
+* :class:`ModuleSymbols` — the module's import bindings, top-level
+  definitions and module-global names;
+* :class:`ProjectGraph` — every function/method in the project, a
+  conservative call graph over them, per-function global read/write
+  summaries, and the pool-dispatch sites that mark fork boundaries.
+
+Resolution is deliberately *syntactic and conservative*: a call edge is
+recorded only when the callee resolves to a project definition (direct
+name, import alias, re-export chain, ``self.method``, or a dotted module
+attribute).  Unresolvable calls (duck-typed receivers, registry lookups)
+contribute no edges, so reachability closures under-approximate dynamic
+behaviour — which is the right polarity for allowlist-gated rules: every
+reported site is genuinely on a resolved path, and the sanctioned-site
+allowlist never has to excuse phantom edges.  Bare *references* to
+project functions (``pool.submit(_align_chunk, ...)``) count as edges
+too, because a function handed away as a value is about to be called by
+someone.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "DispatchSite",
+    "FunctionInfo",
+    "ModuleSymbols",
+    "ProjectGraph",
+    "SourceModule",
+    "module_name_for_path",
+]
+
+#: Pool-submission attribute names that ship a callable to a worker
+#: process (kept aligned with the GX301 pickle-safety rule).
+DISPATCH_METHODS: Tuple[str, ...] = (
+    "apply_async",
+    "imap",
+    "imap_unordered",
+    "map_async",
+    "starmap",
+    "starmap_async",
+    "submit",
+)
+
+#: Keyword arguments that carry worker callables/payloads at pool
+#: construction sites.
+DISPATCH_KEYWORDS: Tuple[str, ...] = ("initializer", "target")
+
+_MAX_ALIAS_DEPTH = 8
+
+
+def module_name_for_path(path: str) -> str:
+    """Derive a dotted module name from a file path.
+
+    ``src/repro/align/bitvector.py`` -> ``repro.align.bitvector`` (the
+    component after the last ``src`` wins, matching the package layout);
+    paths without a ``src`` component use their relative components, so
+    test modules get names like ``tests.analysis.test_graph`` — nothing
+    imports those, but they still participate in the graph.
+    """
+    parts = os.path.normpath(path).replace("\\", "/").split("/")
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if "src" in parts:
+        parts = parts[len(parts) - parts[::-1].index("src") :]
+    parts = [part for part in parts if part and part not in (".", "..")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+@dataclass(frozen=True)
+class SourceModule:
+    """One parsed module handed to the project graph."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    name: str
+
+    @classmethod
+    def from_source(cls, path: str, source: str, tree: ast.Module) -> "SourceModule":
+        return cls(path=path, source=source, tree=tree, name=module_name_for_path(path))
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One function or method definition in the project."""
+
+    qualname: str  # "repro.parallel.engine._align_chunk", "...Class.method"
+    module: str
+    path: str
+    name: str
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    class_name: Optional[str] = None
+    nested_in: Optional[str] = None  # enclosing function qualname, if nested
+
+
+@dataclass
+class ModuleSymbols:
+    """Name environment of one module: imports, defs, module globals."""
+
+    name: str
+    path: str
+    tree: ast.Module
+    # local name -> fully qualified dotted target ("repro.align.myers",
+    # "repro.align.myers.myers_distance", "numpy", ...).
+    bindings: Dict[str, str] = field(default_factory=dict)
+    # Names assigned at module top level (the mutable module-global surface).
+    global_names: Set[str] = field(default_factory=set)
+    functions: Set[str] = field(default_factory=set)  # top-level function names
+    classes: Dict[str, List[str]] = field(default_factory=dict)  # class -> base exprs
+
+
+@dataclass(frozen=True)
+class DispatchSite:
+    """One pool-submission site (a fork boundary in the making)."""
+
+    path: str
+    module: str
+    node: ast.Call
+    enclosing: Optional[str]  # qualname of the containing function
+    kind: str  # the method or keyword that marked the site
+    callable_exprs: Tuple[ast.expr, ...]  # expressions shipping callables
+    payload_exprs: Tuple[ast.expr, ...]  # expressions shipping data
+
+
+class ProjectGraph:
+    """Symbol index + conservative call graph over a set of modules."""
+
+    def __init__(self, modules: Sequence[SourceModule]) -> None:
+        self.modules: Dict[str, ModuleSymbols] = {}
+        self.paths: Dict[str, str] = {}  # module name -> path
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.class_bases: Dict[str, List[str]] = {}  # class qualname -> base exprs
+        self.calls: Dict[str, Set[str]] = {}
+        # Per-function summaries for the worker-purity family.
+        self.global_writes: Dict[str, List[Tuple[str, ast.AST, str]]] = {}
+        self.global_reads: Dict[str, List[Tuple[str, ast.AST]]] = {}
+        self.dispatch_sites: List[DispatchSite] = []
+        for module in modules:
+            self._index_module(module)
+        for module in modules:
+            self._link_module(module)
+
+    # ------------------------------------------------------------- indexing
+
+    def _index_module(self, module: SourceModule) -> None:
+        symbols = ModuleSymbols(name=module.name, path=module.path, tree=module.tree)
+        self.modules[module.name] = symbols
+        self.paths[module.name] = module.path
+        for node in module.tree.body:
+            self._index_statement(module, symbols, node)
+
+    def _index_statement(
+        self, module: SourceModule, symbols: ModuleSymbols, node: ast.stmt
+    ) -> None:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".", 1)[0]
+                target = alias.name if alias.asname else alias.name.split(".", 1)[0]
+                symbols.bindings[local] = target
+        elif isinstance(node, ast.ImportFrom):
+            base = self._resolve_import_from(module.name, node)
+            if base is not None:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    symbols.bindings[local] = f"{base}.{alias.name}"
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            symbols.functions.add(node.name)
+            symbols.bindings.setdefault(node.name, f"{module.name}.{node.name}")
+            self._register_function(module, node, class_name=None, nested_in=None)
+        elif isinstance(node, ast.ClassDef):
+            bases = [ast.dump(base) for base in node.bases]
+            base_names = [self._dotted_name(base) or "" for base in node.bases]
+            del bases
+            symbols.classes[node.name] = base_names
+            symbols.bindings.setdefault(node.name, f"{module.name}.{node.name}")
+            self.class_bases[f"{module.name}.{node.name}"] = base_names
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    self._register_function(
+                        module, item, class_name=node.name, nested_in=None
+                    )
+        elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            for target in self._assign_targets(node):
+                symbols.global_names.add(target)
+        elif isinstance(node, (ast.If, ast.Try, ast.For, ast.While, ast.With)):
+            # Conditionally-defined module-level names still count.
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.stmt):
+                    self._index_statement(module, symbols, child)
+
+    def _register_function(
+        self,
+        module: SourceModule,
+        node: ast.AST,
+        class_name: Optional[str],
+        nested_in: Optional[str],
+    ) -> None:
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        if nested_in is not None:
+            qualname = f"{nested_in}.<locals>.{node.name}"
+        elif class_name is not None:
+            qualname = f"{module.name}.{class_name}.{node.name}"
+        else:
+            qualname = f"{module.name}.{node.name}"
+        info = FunctionInfo(
+            qualname=qualname,
+            module=module.name,
+            path=module.path,
+            name=node.name,
+            node=node,
+            class_name=class_name,
+            nested_in=nested_in,
+        )
+        self.functions[qualname] = info
+        # Nested definitions register recursively, one level of qualname
+        # per enclosure, so "<locals>" shows up exactly like __qualname__.
+        for child in ast.walk(node):
+            if child is node:
+                continue
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if self._immediate_parent_function(node, child) is node:
+                    self._register_function(
+                        module, child, class_name=None, nested_in=qualname
+                    )
+
+    @staticmethod
+    def _immediate_parent_function(root: ast.AST, target: ast.AST) -> Optional[ast.AST]:
+        """The innermost function node enclosing *target* under *root*."""
+        parent: Optional[ast.AST] = None
+
+        def visit(node: ast.AST, enclosing: Optional[ast.AST]) -> None:
+            nonlocal parent
+            for child in ast.iter_child_nodes(node):
+                if child is target:
+                    parent = enclosing
+                    return
+                next_enclosing = (
+                    child
+                    if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    else enclosing
+                )
+                visit(child, next_enclosing)
+
+        visit(root, root)
+        return parent
+
+    def _resolve_import_from(
+        self, module_name: str, node: ast.ImportFrom
+    ) -> Optional[str]:
+        if node.level == 0:
+            return node.module
+        # Relative import: climb `level` packages from the current module.
+        parts = module_name.split(".")
+        if len(parts) < node.level:
+            return None
+        base_parts = parts[: len(parts) - node.level]
+        if node.module:
+            base_parts.append(node.module)
+        return ".".join(base_parts) if base_parts else None
+
+    @staticmethod
+    def _assign_targets(node: ast.stmt) -> List[str]:
+        names: List[str] = []
+        if isinstance(node, ast.Assign):
+            targets: List[ast.expr] = list(node.targets)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            targets = [node.target]
+        else:
+            return names
+        for target in targets:
+            if isinstance(target, ast.Name):
+                names.append(target.id)
+            elif isinstance(target, ast.Tuple):
+                names.extend(
+                    element.id
+                    for element in target.elts
+                    if isinstance(element, ast.Name)
+                )
+        return names
+
+    # ------------------------------------------------------------ resolution
+
+    @staticmethod
+    def _dotted_name(node: ast.expr) -> Optional[str]:
+        """Flatten ``a.b.c`` attribute chains to a dotted string."""
+        parts: List[str] = []
+        current: ast.expr = node
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if isinstance(current, ast.Name):
+            parts.append(current.id)
+            return ".".join(reversed(parts))
+        return None
+
+    def resolve(self, module_name: str, dotted: str) -> Optional[str]:
+        """Resolve a dotted reference in *module_name* to a project symbol.
+
+        Returns the fully qualified name of a project function or class,
+        or ``None`` for anything external/unresolvable.  Follows import
+        aliases and one re-export chain per hop, depth-limited.
+        """
+        symbols = self.modules.get(module_name)
+        if symbols is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        target = symbols.bindings.get(head)
+        if target is None:
+            if head in symbols.global_names:
+                return None  # a module global, not a callable definition
+            return None
+        qualified = f"{target}.{rest}" if rest else target
+        return self._canonicalize(qualified)
+
+    def _canonicalize(self, qualified: str, depth: int = 0) -> Optional[str]:
+        if depth > _MAX_ALIAS_DEPTH:
+            return None
+        if qualified in self.functions:
+            return qualified
+        if qualified in self.class_bases:
+            return qualified
+        # Module attribute: peel the longest module prefix and follow the
+        # remainder through that module's bindings (re-export chains like
+        # ``from repro.align.myers import myers_distance`` in __init__).
+        parts = qualified.split(".")
+        for split in range(len(parts) - 1, 0, -1):
+            prefix = ".".join(parts[:split])
+            symbols = self.modules.get(prefix)
+            if symbols is None:
+                continue
+            remainder = parts[split:]
+            bound = symbols.bindings.get(remainder[0])
+            if bound is None:
+                return None
+            rejoined = ".".join([bound] + remainder[1:])
+            if rejoined == qualified:
+                return None
+            return self._canonicalize(rejoined, depth + 1)
+        return None
+
+    def canonical_name(self, module_name: str, dotted: str) -> str:
+        """Rewrite *dotted*'s head through the module's import bindings.
+
+        Unlike :meth:`resolve`, this does not require the target to be a
+        project symbol — ``perf_counter`` becomes ``time.perf_counter``,
+        ``np.random.rand`` becomes ``numpy.random.rand`` — so rules can
+        match *external* calls against canonical dotted names.
+        """
+        symbols = self.modules.get(module_name)
+        if symbols is None:
+            return dotted
+        head, _, rest = dotted.partition(".")
+        target = symbols.bindings.get(head)
+        if target is None:
+            return dotted
+        return f"{target}.{rest}" if rest else target
+
+    def resolve_method(self, class_qualname: str, method: str) -> Optional[str]:
+        """Resolve ``self.<method>`` against a class and its project bases."""
+        seen: Set[str] = set()
+        queue: List[str] = [class_qualname]
+        while queue:
+            current = queue.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            candidate = f"{current}.{method}"
+            if candidate in self.functions:
+                return candidate
+            module_name = current.rsplit(".", 1)[0]
+            for base in self.class_bases.get(current, []):
+                if not base:
+                    continue
+                resolved = self.resolve(module_name, base)
+                if resolved is not None:
+                    queue.append(resolved)
+        return None
+
+    # --------------------------------------------------------------- linking
+
+    def _link_module(self, module: SourceModule) -> None:
+        for info in [f for f in self.functions.values() if f.module == module.name]:
+            self._link_function(info)
+        # Dispatch sites can also appear at module level (scripts).
+        self._collect_dispatch(module.name, module.path, module.tree, None)
+
+    def _link_function(self, info: FunctionInfo) -> None:
+        edges: Set[str] = set()
+        writes: List[Tuple[str, ast.AST, str]] = []
+        reads: List[Tuple[str, ast.AST]] = []
+        symbols = self.modules[info.module]
+        declared_global: Set[str] = set()
+        class_qualname = (
+            f"{info.module}.{info.class_name}" if info.class_name else None
+        )
+        assert isinstance(info.node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        body_nodes = list(self._own_body_nodes(info.node))
+        local_stores: Set[str] = {
+            node.id
+            for node in body_nodes
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store)
+        }
+        for arg in self._argument_names(info.node):
+            local_stores.add(arg)
+        for node in body_nodes:
+            if isinstance(node, ast.Global):
+                declared_global.update(node.names)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                nested = f"{info.qualname}.<locals>.{node.name}"
+                if nested in self.functions:
+                    edges.add(nested)
+        for node in body_nodes:
+            if isinstance(node, ast.Name):
+                resolved = self._resolve_reference(info, symbols, node.id)
+                if isinstance(node.ctx, ast.Load):
+                    if resolved is not None and node.id not in local_stores:
+                        edges.add(resolved)
+                    if (
+                        node.id in symbols.global_names
+                        and node.id not in local_stores
+                    ) or node.id in declared_global:
+                        reads.append((f"{info.module}.{node.id}", node))
+                elif isinstance(node.ctx, ast.Store):
+                    if node.id in declared_global:
+                        writes.append(
+                            (
+                                f"{info.module}.{node.id}",
+                                node,
+                                "assigns module global",
+                            )
+                        )
+            elif isinstance(node, ast.Attribute):
+                dotted = self._dotted_name(node)
+                if dotted is not None:
+                    head = dotted.split(".", 1)[0]
+                    if head not in local_stores:
+                        resolved = self.resolve(info.module, dotted)
+                        if resolved is not None and isinstance(node.ctx, ast.Load):
+                            edges.add(resolved)
+                        if isinstance(node.ctx, ast.Store):
+                            self._record_container_write(
+                                info, symbols, node.value, node, writes,
+                                f"assigns attribute {node.attr!r} of",
+                            )
+            elif isinstance(node, ast.Subscript) and isinstance(node.ctx, ast.Store):
+                self._record_container_write(
+                    info, symbols, node.value, node, writes, "assigns an item of"
+                )
+            elif isinstance(node, ast.Call):
+                self._link_call(info, symbols, class_qualname, node, edges)
+        self._collect_dispatch(info.module, info.path, info.node, info.qualname)
+        self.calls[info.qualname] = edges
+        self.global_writes[info.qualname] = writes
+        self.global_reads[info.qualname] = reads
+
+    def _record_container_write(
+        self,
+        info: FunctionInfo,
+        symbols: ModuleSymbols,
+        base: ast.expr,
+        node: ast.AST,
+        writes: List[Tuple[str, ast.AST, str]],
+        verb: str,
+    ) -> None:
+        """Record mutation of a module-global container (``G[k] = v``)."""
+        if not isinstance(base, ast.Name):
+            return
+        assert isinstance(info.node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        local_names = {
+            child.id
+            for child in self._own_body_nodes(info.node)
+            if isinstance(child, ast.Name) and isinstance(child.ctx, ast.Store)
+        } | set(self._argument_names(info.node))
+        if base.id in local_names:
+            return
+        if base.id in symbols.global_names or (
+            base.id in symbols.bindings
+            and symbols.bindings[base.id].startswith(info.module + ".")
+        ):
+            writes.append((f"{info.module}.{base.id}", node, verb))
+
+    def _link_call(
+        self,
+        info: FunctionInfo,
+        symbols: ModuleSymbols,
+        class_qualname: Optional[str],
+        node: ast.Call,
+        edges: Set[str],
+    ) -> None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            resolved = self._resolve_reference(info, symbols, func.id)
+            if resolved is not None:
+                edges.add(resolved)
+                if resolved in self.class_bases:
+                    init = self.resolve_method(resolved, "__init__")
+                    if init is not None:
+                        edges.add(init)
+        elif isinstance(func, ast.Attribute):
+            if (
+                isinstance(func.value, ast.Name)
+                and func.value.id == "self"
+                and class_qualname is not None
+            ):
+                resolved = self.resolve_method(class_qualname, func.attr)
+                if resolved is not None:
+                    edges.add(resolved)
+            else:
+                dotted = self._dotted_name(func)
+                if dotted is not None:
+                    resolved = self.resolve(info.module, dotted)
+                    if resolved is not None:
+                        edges.add(resolved)
+                        if resolved in self.class_bases:
+                            init = self.resolve_method(resolved, "__init__")
+                            if init is not None:
+                                edges.add(init)
+
+    def _resolve_reference(
+        self, info: FunctionInfo, symbols: ModuleSymbols, name: str
+    ) -> Optional[str]:
+        # Sibling nested functions and the enclosing function's locals are
+        # closer than module scope.
+        if info.nested_in is not None:
+            sibling = f"{info.nested_in}.<locals>.{name}"
+            if sibling in self.functions:
+                return sibling
+        own_nested = f"{info.qualname}.<locals>.{name}"
+        if own_nested in self.functions:
+            return own_nested
+        return self.resolve(info.module, name)
+
+    @staticmethod
+    def _own_body_nodes(func: ast.AST) -> Iterable[ast.AST]:
+        """All nodes of a function body, excluding nested function bodies.
+
+        Decorators and argument defaults are included: they execute in the
+        enclosing scope and routinely reference project functions (e.g. a
+        ``clock=monotonic_s`` default is a real call edge).
+        """
+        assert isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef))
+        stack: List[ast.AST] = list(func.body)
+        stack.extend(func.decorator_list)
+        stack.extend(func.args.defaults)
+        stack.extend(node for node in func.args.kw_defaults if node is not None)
+        while stack:
+            node = stack.pop()
+            yield node
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                # Nested definitions are separate graph nodes; lambdas stay
+                # opaque (GX301 already polices them at dispatch sites).
+                continue
+            stack.extend(ast.iter_child_nodes(node))
+
+    @staticmethod
+    def _argument_names(func: ast.AST) -> List[str]:
+        assert isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef))
+        args = func.args
+        names = [
+            arg.arg
+            for arg in (
+                list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+            )
+        ]
+        if args.vararg:
+            names.append(args.vararg.arg)
+        if args.kwarg:
+            names.append(args.kwarg.arg)
+        return names
+
+    def _collect_dispatch(
+        self,
+        module: str,
+        path: str,
+        root: ast.AST,
+        enclosing: Optional[str],
+    ) -> None:
+        nodes: Iterable[ast.AST]
+        if isinstance(root, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            nodes = self._own_body_nodes(root)
+        else:
+            # Module level: skip function bodies (collected per function).
+            stack: List[ast.AST] = [
+                stmt
+                for stmt in ast.iter_child_nodes(root)
+                if not isinstance(
+                    stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                )
+            ]
+            collected: List[ast.AST] = []
+            while stack:
+                node = stack.pop()
+                collected.append(node)
+                if not isinstance(
+                    node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+                ):
+                    stack.extend(ast.iter_child_nodes(node))
+            nodes = collected
+        for node in nodes:
+            if not isinstance(node, ast.Call):
+                continue
+            callables: List[ast.expr] = []
+            payload: List[ast.expr] = []
+            kind: Optional[str] = None
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in DISPATCH_METHODS
+                and node.args
+            ):
+                kind = func.attr
+                callables.append(node.args[0])
+                payload.extend(node.args[1:])
+            for keyword in node.keywords:
+                if keyword.arg in DISPATCH_KEYWORDS:
+                    kind = kind or keyword.arg
+                    callables.append(keyword.value)
+                elif keyword.arg in ("initargs", "args") and isinstance(
+                    keyword.value, ast.Tuple
+                ):
+                    payload.extend(keyword.value.elts)
+            if kind is not None:
+                self.dispatch_sites.append(
+                    DispatchSite(
+                        path=path,
+                        module=module,
+                        node=node,
+                        enclosing=enclosing,
+                        kind=kind,
+                        callable_exprs=tuple(callables),
+                        payload_exprs=tuple(payload),
+                    )
+                )
+
+    # ---------------------------------------------------------- reachability
+
+    def reachable(self, roots: Iterable[str]) -> Dict[str, str]:
+        """Closure of *roots* over call edges.
+
+        Returns ``{function qualname -> root qualname it is reachable
+        from}`` (the first root found, BFS order), so rules can say *why*
+        a function is in the closure.
+        """
+        origin: Dict[str, str] = {}
+        queue: List[Tuple[str, str]] = [
+            (root, root) for root in sorted(set(roots)) if root in self.functions
+        ]
+        for root, _ in queue:
+            origin.setdefault(root, root)
+        while queue:
+            current, root = queue.pop(0)
+            for callee in sorted(self.calls.get(current, ())):
+                if callee not in origin:
+                    origin[callee] = root
+                    queue.append((callee, root))
+        return origin
+
+    def functions_writing(self, global_qualname: str) -> FrozenSet[str]:
+        """Every function that mutates the given module-global name."""
+        writers = {
+            qualname
+            for qualname, writes in self.global_writes.items()
+            if any(target == global_qualname for target, _, _ in writes)
+        }
+        return frozenset(writers)

@@ -1,0 +1,301 @@
+"""GX6xx worker-purity rules: a race detector for fork-based sharding.
+
+:class:`~repro.parallel.engine.ParallelAligner` fans chunks across
+fork-started worker processes; the batched extension stage runs inside
+those workers.  Fork semantics make three bug classes *invisible* in
+serial tests:
+
+* a worker that mutates a module global mutates its private copy — the
+  parent never sees it, and on a spawn platform the "shared" value was
+  never there at all;
+* unseeded RNG or clock reads inside a worker inject per-process,
+  per-run entropy into output that the concordance tests assume is
+  bit-identical to serial;
+* payloads captured into a pool submission that do not survive pickling
+  (lambdas, modules, open handles) work under fork-inherited state and
+  explode under spawn.
+
+These rules compute the closure of functions reachable from the worker
+entry points — callables shipped at pool dispatch sites
+(``pool.submit(...)``, ``initializer=``/``target=`` keywords, detected
+by :class:`~repro.analysis.graph.ProjectGraph`) plus registered
+``extend_batch`` hot paths — and police that closure:
+
+* **GX601 worker-global-state** — a closure function writes a module
+  global, or reads one that parent-side code assigns (the fork-handoff
+  pattern, which silently breaks under spawn).  The reviewed machinery
+  that *intentionally* does this is declared, with reasons, in
+  :data:`repro.analysis.config.WORKER_ALLOWLIST`.
+* **GX602 worker-impure-call** — unseeded RNG / wall-clock calls
+  anywhere in the closure (the interprocedural big sibling of the
+  per-file GX101/GX102 rules).
+* **GX603 worker-unpicklable-capture** — dispatch-site payload
+  expressions that cannot round-trip a pickle: lambdas, generator
+  expressions, module objects, fresh ``open(...)`` handles, nested
+  (``<locals>``) functions, thread locks.  The *callable* argument
+  itself is GX301's job; this rule covers what rides along.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.config import worker_sanctioned_sites
+from repro.analysis.findings import Finding
+from repro.analysis.graph import DispatchSite, ProjectGraph
+from repro.analysis.registry import ProjectContext, project_rule
+
+#: Call targets (canonical dotted names) that inject per-process entropy.
+_TAINTED_CALLS = frozenset(
+    {
+        "datetime.date.today",
+        "datetime.datetime.now",
+        "datetime.datetime.today",
+        "datetime.datetime.utcnow",
+        "os.urandom",
+        "secrets.token_bytes",
+        "secrets.token_hex",
+        "secrets.token_urlsafe",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "time.time",
+        "time.time_ns",
+        "uuid.uuid1",
+        "uuid.uuid4",
+    }
+)
+
+#: Prefixes of call families that are tainted wholesale (the legacy
+#: module-level RNG surfaces).
+_TAINTED_PREFIXES = ("random.", "numpy.random.")
+
+#: Members of the tainted prefixes that are fine: explicitly-seeded
+#: constructors (seedless calls are caught separately).
+_SEEDABLE_CTORS = frozenset(
+    {"random.Random", "numpy.random.default_rng", "numpy.random.Generator"}
+)
+
+#: Constructors whose instances hold OS handles pickle cannot ship.
+_UNPICKLABLE_CTORS = frozenset(
+    {
+        "threading.Barrier",
+        "threading.Condition",
+        "threading.Event",
+        "threading.Lock",
+        "threading.RLock",
+        "threading.Semaphore",
+        "open",
+    }
+)
+
+_HINT_GLOBAL = (
+    "worker-side module-global state diverges per process and vanishes "
+    "under spawn; pass state through the dispatch payload / return value, "
+    "or sanction the reviewed fork-handoff site in "
+    "repro.analysis.config.WORKER_ALLOWLIST with a reason"
+)
+_HINT_IMPURE = (
+    "per-process entropy makes sharded output diverge from serial; thread "
+    "a seeded generator / explicit clock through the worker arguments, or "
+    "sanction the site in repro.analysis.config.WORKER_ALLOWLIST"
+)
+_HINT_PICKLE = (
+    "this payload cannot round-trip pickle to a spawn-started worker; "
+    "pass picklable data and reconstruct the resource inside the worker"
+)
+
+
+def _worker_roots(graph: ProjectGraph) -> Dict[str, str]:
+    """Worker entry points: ``{qualname -> how it became a root}``."""
+    roots: Dict[str, str] = {}
+    for site in graph.dispatch_sites:
+        for expr in site.callable_exprs:
+            resolved = _resolve_callable(graph, site.module, expr)
+            if resolved is not None and resolved in graph.functions:
+                roots.setdefault(resolved, f"{site.kind} dispatch")
+    for qualname, info in graph.functions.items():
+        if info.class_name is not None and info.name == "extend_batch":
+            roots.setdefault(qualname, "batched extension dispatch")
+    return roots
+
+
+def _resolve_callable(
+    graph: ProjectGraph, module: str, expr: ast.expr
+) -> Optional[str]:
+    if isinstance(expr, ast.Name):
+        return graph.resolve(module, expr.id)
+    dotted = ProjectGraph._dotted_name(expr)
+    if dotted is not None:
+        return graph.resolve(module, dotted)
+    return None
+
+
+def _worker_closure(ctx: ProjectContext) -> Tuple[Dict[str, str], Dict[str, str]]:
+    """``(closure, roots)`` for the worker entry points, cached per run."""
+    cached = ctx.cache.get("worker-closure")
+    if cached is not None:
+        return cached  # type: ignore[return-value]
+    roots = _worker_roots(ctx.graph)
+    closure = ctx.graph.reachable(roots)
+    result = (closure, roots)
+    ctx.cache["worker-closure"] = result
+    return result
+
+
+@project_rule(
+    "worker-global-state",
+    "GX601",
+    "module-global mutation / fork-handoff reads in worker closures",
+)
+def check_worker_global_state(ctx: ProjectContext) -> Iterator[Finding]:
+    sanctioned = worker_sanctioned_sites("worker-global-state")
+    closure, _roots = _worker_closure(ctx)
+    graph = ctx.graph
+    for qualname in sorted(closure):
+        info = graph.functions.get(qualname)
+        if info is None or qualname in sanctioned:
+            continue
+        root = closure[qualname]
+        for target, node, verb in graph.global_writes.get(qualname, []):
+            yield ctx.finding(
+                info.path,
+                node,
+                "worker-global-state",
+                "GX601",
+                f"{qualname} {verb} {target} while reachable from worker "
+                f"entry point {root}: each forked worker mutates a private "
+                "copy the parent never sees",
+                _HINT_GLOBAL,
+            )
+        reported: Set[str] = set()
+        for target, node in graph.global_reads.get(qualname, []):
+            if target in reported:
+                continue
+            writers = graph.functions_writing(target)
+            outside = sorted(writers - set(closure))
+            if not outside:
+                continue
+            reported.add(target)
+            yield ctx.finding(
+                info.path,
+                node,
+                "worker-global-state",
+                "GX601",
+                f"{qualname} (reachable from worker entry point {root}) "
+                f"reads module global {target}, which {outside[0]} assigns "
+                "on the parent side of the fork; the handoff is invisible "
+                "under the spawn start method",
+                _HINT_GLOBAL,
+            )
+
+
+@project_rule(
+    "worker-impure-call",
+    "GX602",
+    "unseeded RNG / clock calls reachable from worker entry points",
+)
+def check_worker_impure_call(ctx: ProjectContext) -> Iterator[Finding]:
+    sanctioned = worker_sanctioned_sites("worker-impure-call")
+    closure, _roots = _worker_closure(ctx)
+    graph = ctx.graph
+    for qualname in sorted(closure):
+        info = graph.functions.get(qualname)
+        if info is None or qualname in sanctioned:
+            continue
+        root = closure[qualname]
+        for node in ProjectGraph._own_body_nodes(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = ProjectGraph._dotted_name(node.func)
+            if dotted is None:
+                continue
+            canonical = graph.canonical_name(info.module, dotted)
+            tainted = canonical in _TAINTED_CALLS
+            if not tainted and canonical.startswith(_TAINTED_PREFIXES):
+                if canonical in _SEEDABLE_CTORS:
+                    tainted = not node.args and not node.keywords
+                else:
+                    tainted = True
+            if not tainted:
+                continue
+            yield ctx.finding(
+                info.path,
+                node,
+                "worker-impure-call",
+                "GX602",
+                f"{canonical}() called in {qualname}, reachable from worker "
+                f"entry point {root}: per-process entropy crosses the fork "
+                "boundary",
+                _HINT_IMPURE,
+            )
+
+
+@project_rule(
+    "worker-unpicklable-capture",
+    "GX603",
+    "unpicklable payloads captured into pool dispatch sites",
+)
+def check_worker_unpicklable_capture(ctx: ProjectContext) -> Iterator[Finding]:
+    sanctioned = worker_sanctioned_sites("worker-unpicklable-capture")
+    graph = ctx.graph
+    for site in graph.dispatch_sites:
+        if site.enclosing is not None and site.enclosing in sanctioned:
+            continue
+        where = site.enclosing or site.module
+        for expr in site.payload_exprs:
+            problem = _unpicklable_reason(graph, site, expr)
+            if problem is None:
+                continue
+            yield ctx.finding(
+                site.path,
+                expr,
+                "worker-unpicklable-capture",
+                "GX603",
+                f"{site.kind} dispatch in {where} ships {problem} as a "
+                "worker payload",
+                _HINT_PICKLE,
+            )
+
+
+def _unpicklable_reason(
+    graph: ProjectGraph, site: DispatchSite, expr: ast.expr
+) -> Optional[str]:
+    if isinstance(expr, ast.Lambda):
+        return "a lambda (unpicklable by construction)"
+    if isinstance(expr, ast.GeneratorExp):
+        return "a generator expression (generators cannot be pickled)"
+    if isinstance(expr, ast.Call):
+        dotted = ProjectGraph._dotted_name(expr.func)
+        if dotted is not None:
+            canonical = graph.canonical_name(site.module, dotted)
+            if canonical in _UNPICKLABLE_CTORS:
+                return f"a fresh {canonical}() instance (holds an OS handle)"
+        return None
+    if isinstance(expr, ast.Name):
+        symbols = graph.modules.get(site.module)
+        if symbols is None:
+            return None
+        if site.enclosing is not None:
+            nested = f"{site.enclosing}.<locals>.{expr.id}"
+            if nested in graph.functions:
+                return (
+                    f"the nested function {nested} (unpicklable: not "
+                    "module-level)"
+                )
+        resolved = graph.resolve(site.module, expr.id)
+        if resolved is not None and ".<locals>." in resolved:
+            return f"the nested function {resolved} (unpicklable: not module-level)"
+        target = symbols.bindings.get(expr.id)
+        if target is None or resolved is not None:
+            return None
+        # A bare import binding that is neither a project function nor a
+        # project class: if it names a module (project or plain top-level
+        # import), the payload is a module object.
+        if target in graph.modules or "." not in target:
+            return f"the module object {target!r} (modules cannot be pickled)"
+    return None

@@ -2,24 +2,48 @@
 
 One parse per module: the runner tokenises (for suppressions) and parses
 (for rules) each file once, hands the shared :class:`RuleContext` to every
-rule, then filters findings through the inline suppressions.  Runner-level
-problems — unparseable files, malformed or unknown suppression directives —
-are reported as findings too (codes ``GX001``/``GX002``), because a lint
-gate that crashes on bad input can be defeated by bad input.
+file rule, then runs the *project* rules once over a
+:class:`~repro.analysis.graph.ProjectGraph` built from all parsed modules,
+and finally filters everything through the inline suppressions.
+
+Runner-level problems are findings too, because a lint gate that crashes
+on bad input can be defeated by bad input:
+
+* ``GX001`` — unparseable file;
+* ``GX002`` — malformed suppression directive / unknown rule name;
+* ``GX003`` — a suppression that suppressed nothing (the unused-ignore
+  audit, mirror of mypy's ``warn_unused_ignores``; a ``WARNING``, so it
+  reports without failing the gate).
 """
 
 from __future__ import annotations
 
 import ast
 import os
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
-from repro.analysis.findings import Finding
-from repro.analysis.registry import RuleContext, RuleSpec, all_rules
-from repro.analysis.suppress import SuppressionError, is_suppressed, parse_suppressions
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.graph import ProjectGraph, SourceModule
+from repro.analysis.registry import (
+    ProjectContext,
+    ProjectRuleSpec,
+    RuleContext,
+    RuleSpec,
+    all_project_rules,
+    all_rules,
+    known_rule_names,
+)
+from repro.analysis.suppress import SuppressionError, parse_suppressions
 
 _SKIP_DIR_NAMES = frozenset(
     {"__pycache__", ".git", ".mypy_cache", ".pytest_cache", "build", "dist"}
+)
+
+#: Names usable in suppression comments beyond registered rules: ``all``
+#: plus the runner's own meta findings.
+_META_RULE_NAMES = frozenset(
+    {"all", "parse-error", "bad-suppression", "unused-suppression"}
 )
 
 
@@ -45,26 +69,50 @@ def collect_files(paths: Sequence[str]) -> List[str]:
     return sorted(seen)
 
 
-def lint_source(
-    source: str,
-    path: str = "<string>",
-    rules: Optional[Sequence[RuleSpec]] = None,
-) -> List[Finding]:
-    """Run *rules* (default: all registered) over one module's source."""
-    if rules is None:
-        rules = all_rules()
-    findings: List[Finding] = []
+@dataclass
+class _ModuleLint:
+    """One module's per-file lint state, carried into the project phase."""
+
+    path: str
+    source: str
+    findings: List[Finding] = field(default_factory=list)
+    suppressions: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+    tree: Optional[ast.Module] = None
+    # line -> suppression names that actually silenced a finding.
+    used: Dict[int, Set[str]] = field(default_factory=dict)
+    # line -> names GX002 already reported as unknown (skipped by GX003).
+    unknown: Dict[int, Set[str]] = field(default_factory=dict)
+
+    def filter(self, finding: Finding) -> bool:
+        """True if *finding* survives suppressions; records usage if not."""
+        names = self.suppressions.get(finding.line)
+        if names is None:
+            return True
+        if finding.rule in names:
+            self.used.setdefault(finding.line, set()).add(finding.rule)
+            return False
+        if "all" in names:
+            self.used.setdefault(finding.line, set()).add("all")
+            return False
+        return True
+
+
+def _scan_module(
+    source: str, path: str, rules: Sequence[RuleSpec]
+) -> _ModuleLint:
+    """Run the per-file phase: suppressions, parse, file rules."""
+    mod = _ModuleLint(path=path, source=source)
 
     try:
-        suppressions = parse_suppressions(source)
+        mod.suppressions = parse_suppressions(source)
     except SuppressionError as error:
-        findings.append(_meta_finding(path, 1, "GX002", str(error)))
-        suppressions = {}
+        mod.findings.append(_meta_finding(path, 1, "GX002", str(error)))
 
-    known_rules = {spec.name for spec in all_rules()} | {"all"}
-    for line, names in sorted(suppressions.items()):
-        for name in sorted(names - known_rules):
-            findings.append(
+    known = known_rule_names() | _META_RULE_NAMES
+    for line, names in sorted(mod.suppressions.items()):
+        for name in sorted(names - known):
+            mod.unknown.setdefault(line, set()).add(name)
+            mod.findings.append(
                 _meta_finding(
                     path,
                     line,
@@ -74,31 +122,133 @@ def lint_source(
             )
 
     try:
-        tree = ast.parse(source, filename=path)
+        mod.tree = ast.parse(source, filename=path)
     except SyntaxError as error:
-        findings.append(
+        mod.findings.append(
             _meta_finding(path, error.lineno or 1, "GX001", f"syntax error: {error.msg}")
         )
-        return findings
+        return mod
 
-    ctx = RuleContext(path=path, source=source, tree=tree, suppressions=suppressions)
+    ctx = RuleContext(
+        path=path, source=source, tree=mod.tree, suppressions=mod.suppressions
+    )
     for spec in rules:
         for finding in spec.func(ctx):
-            if not is_suppressed(suppressions, finding.line, finding.rule):
-                findings.append(finding)
+            if mod.filter(finding):
+                mod.findings.append(finding)
+    return mod
+
+
+def _run_project_rules(
+    mods: Sequence[_ModuleLint], project_rules: Sequence[ProjectRuleSpec]
+) -> None:
+    """Run whole-program rules over every parsed module, in place."""
+    if not project_rules:
+        return
+    by_path = {mod.path: mod for mod in mods}
+    sources = [
+        SourceModule.from_source(mod.path, mod.source, mod.tree)
+        for mod in mods
+        if mod.tree is not None
+    ]
+    if not sources:
+        return
+    ctx = ProjectContext(graph=ProjectGraph(sources))
+    for spec in project_rules:
+        for finding in spec.func(ctx):
+            mod = by_path.get(finding.path)
+            if mod is None:
+                # A rule anchored a finding outside the linted set; keep it
+                # on the first module rather than dropping it silently.
+                mods[0].findings.append(finding)
+            elif mod.filter(finding):
+                mod.findings.append(finding)
+
+
+def _audit_suppressions(mod: _ModuleLint) -> None:
+    """Append GX003 warnings for suppressions that silenced nothing."""
+    for line, names in sorted(mod.suppressions.items()):
+        used = mod.used.get(line, set())
+        unknown = mod.unknown.get(line, set())
+        unused = sorted(
+            name
+            for name in names
+            if name not in used
+            and name not in unknown
+            and name != "unused-suppression"
+        )
+        if not unused:
+            continue
+        # Only an *explicit* unused-suppression name silences the audit —
+        # a stale ``disable=all`` must still warn (mypy's
+        # warn_unused_ignores semantics: ``# type: ignore`` does not hide
+        # its own unused-ignore warning).
+        if "unused-suppression" in names:
+            continue
+        mod.findings.append(
+            _meta_finding(
+                mod.path,
+                line,
+                "GX003",
+                "suppression of "
+                + ", ".join(repr(name) for name in unused)
+                + " matched no finding on this line",
+            )
+        )
+
+
+def _finalize(mods: Sequence[_ModuleLint], audit: bool) -> List[Finding]:
+    if audit:
+        for mod in mods:
+            _audit_suppressions(mod)
+    findings = [finding for mod in mods for finding in mod.findings]
     findings.sort(key=lambda finding: (finding.path, finding.line, finding.code))
     return findings
 
 
-def lint_files(
-    files: Iterable[str], rules: Optional[Sequence[RuleSpec]] = None
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Sequence[RuleSpec]] = None,
+    project_rules: Optional[Sequence[ProjectRuleSpec]] = None,
+    audit: bool = True,
 ) -> List[Finding]:
-    findings: List[Finding] = []
+    """Run rules over one module's source.
+
+    With no explicit selection, every registered file *and* project rule
+    runs (the project rules see a single-module graph — exactly how the
+    fixture corpora in the tests exercise GX5xx/GX6xx).  Passing ``rules``
+    restricts the file phase and, unless ``project_rules`` is also given,
+    turns the project phase off — callers selecting specific rules get
+    specific rules.
+    """
+    if rules is None:
+        rules = all_rules()
+        if project_rules is None:
+            project_rules = all_project_rules()
+    mod = _scan_module(source, path, rules)
+    _run_project_rules([mod], project_rules or ())
+    return _finalize([mod], audit)
+
+
+def lint_files(
+    files: Iterable[str],
+    rules: Optional[Sequence[RuleSpec]] = None,
+    project_rules: Optional[Sequence[ProjectRuleSpec]] = None,
+    audit: bool = True,
+) -> List[Finding]:
+    """Lint *files*: per-file rules each, project rules once over all."""
+    if rules is None:
+        rules = all_rules()
+        if project_rules is None:
+            project_rules = all_project_rules()
+    mods: List[_ModuleLint] = []
     for path in files:
         with open(path, "r", encoding="utf-8") as handle:
             source = handle.read()
-        findings.extend(lint_source(source, path=path, rules=rules))
-    return findings
+        mods.append(_scan_module(source, path, rules))
+    _run_project_rules(mods, project_rules or ())
+    return _finalize(mods, audit)
 
 
 def lint_paths(
@@ -106,22 +256,33 @@ def lint_paths(
     only: Optional[FrozenSet[str]] = None,
 ) -> List[Finding]:
     """Lint files/directories with all (or ``only``-restricted) rules."""
-    return lint_files(collect_files(paths), rules=all_rules(only))
+    return lint_files(
+        collect_files(paths),
+        rules=all_rules(only),
+        project_rules=all_project_rules(only),
+    )
 
 
 def _meta_finding(path: str, line: int, code: str, message: str) -> Finding:
-    rule_name = "parse-error" if code == "GX001" else "bad-suppression"
+    names = {
+        "GX001": "parse-error",
+        "GX002": "bad-suppression",
+        "GX003": "unused-suppression",
+    }
     hints = {
         "GX001": "fix the syntax error; unparseable files cannot be linted",
         "GX002": "use '# genaxlint: disable=<rule>[,<rule>...]' with "
         "registered rule names (repro-genaxlint --list-rules)",
+        "GX003": "delete the stale suppression; it no longer silences "
+        "anything and would hide a future regression",
     }
     return Finding(
         path=path,
         line=line,
         column=1,
-        rule=rule_name,
+        rule=names[code],
         code=code,
         message=message,
         hint=hints[code],
+        severity=Severity.WARNING if code == "GX003" else Severity.ERROR,
     )

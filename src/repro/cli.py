@@ -15,7 +15,7 @@ from __future__ import annotations
 import argparse
 import random
 import sys
-from typing import Any, List, Optional, Sequence
+from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.align.records import ReadInput
 from repro.core.silla import Silla
@@ -242,7 +242,7 @@ def _run_alignment(
     reference: ReferenceGenome,
     config: object,
     reads: Sequence[ReadInput],
-) -> tuple:
+) -> Tuple[Any, List[Any]]:
     """Run the mapping; returns ``(aligner, mapped)``.
 
     Every registered backend shards through the same parallel driver;

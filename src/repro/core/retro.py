@@ -48,7 +48,9 @@ def retro_positions(cycle: int, insertions: int, deletions: int) -> RetroPositio
     return RetroPositions(reference_index=cycle - insertions, query_index=cycle - deletions)
 
 
-def peripheral_comparisons(reference: str, query: str, cycle: int, k: int):
+def peripheral_comparisons(
+    reference: str, query: str, cycle: int, k: int
+) -> Tuple[Tuple[bool, ...], Tuple[bool, ...]]:
     """The 2K+1 comparisons SillaX computes at the grid periphery (§IV-A).
 
     Interior states reuse these values via diagonal shifting: state (i, d)

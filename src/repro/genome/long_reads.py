@@ -15,7 +15,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.genome.reads import Read, SimulatedRead
 from repro.genome.reference import ReferenceGenome
@@ -102,7 +102,7 @@ class LongReadSimulator:
             variant_edits=0,
         )
 
-    def _corrupt(self, fragment: str):
+    def _corrupt(self, fragment: str) -> Tuple[str, int]:
         rng = self._rng
         model = self.error_model
         out: List[str] = []

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.genome.reference import ReferenceGenome
 from repro.genome.sequence import random_dna, reverse_complement
@@ -181,7 +181,7 @@ class ReadSimulator:
         window = self.variants.in_window(ref_start, ref_start + self.read_length)
         return sum(v.edit_count for v in window)
 
-    def _inject_errors(self, fragment: str):
+    def _inject_errors(self, fragment: str) -> Tuple[str, str, int]:
         rng = self._rng
         profile = self.error_profile
         out: List[str] = []

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Iterable, List, Tuple
+from typing import Iterable, Iterator, List, Tuple
 
 from repro.genome.sequence import random_dna
 
@@ -75,7 +75,7 @@ class VariantSet:
     def __len__(self) -> int:
         return len(self.variants)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Variant]:
         return iter(self.variants)
 
     def in_window(self, start: int, end: int) -> List[Variant]:

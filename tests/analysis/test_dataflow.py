@@ -1,0 +1,210 @@
+"""Unit tests for the forward dataflow engine (domain-agnostic half).
+
+The tests drive the engine with a tiny parity domain — enough lattice to
+observe joins, loop fixpoints, and widening — plus an event-emitting
+domain to check deduplication.  The real dtype lattice is exercised in
+``test_dtype_rules.py``.
+"""
+
+import ast
+import textwrap
+
+from repro.analysis.dataflow import (
+    MAX_LOOP_PASSES,
+    AbstractDomain,
+    analyze_function,
+)
+
+
+class ParityDomain(AbstractDomain):
+    """Tracks whether names hold the literal 0 ("even") or 1 ("odd")."""
+
+    def unknown(self):
+        return "?"
+
+    def join(self, left, right):
+        return left if left == right else "?"
+
+    def evaluate(self, env, node, emit):
+        if isinstance(node, ast.Constant) and node.value in (0, 1):
+            return "even" if node.value == 0 else "odd"
+        if isinstance(node, ast.Name):
+            value = env.get(node.id, "?")
+            if value == "odd":
+                emit(node, "odd-read", f"read odd name {node.id}", "no hint")
+            return value
+        if isinstance(node, ast.BinOp):
+            left = self.evaluate(env, node.left, emit)
+            right = self.evaluate(env, node.right, emit)
+            if "?" in (left, right):
+                return "?"
+            return "even" if left == right else "odd"
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self.evaluate(env, child, emit)
+        return "?"
+
+
+def events_for(source, domain=None):
+    tree = ast.parse(textwrap.dedent(source))
+    func = tree.body[0]
+    return analyze_function(func, domain or ParityDomain())
+
+
+def tags(events):
+    return [event.tag for event in events]
+
+
+class TestStraightLine:
+    def test_assignment_propagates(self):
+        events = events_for(
+            """
+            def f():
+                x = 1
+                return x
+            """
+        )
+        assert tags(events) == ["odd-read"]
+
+    def test_augassign_behaves_like_binop(self):
+        # x starts odd, x += x makes it even: no event on the later read.
+        source = textwrap.dedent(
+            """
+            def f():
+                x = 1
+                x += x
+                return x
+            """
+        )
+        func = ast.parse(source).body[0]
+        events = analyze_function(func, ParityDomain())
+        return_line = func.body[-1].lineno
+        assert [e for e in events if e.node.lineno == return_line] == []
+        assert set(tags(events)) == {"odd-read"}
+
+    def test_tuple_unpacking_falls_to_unknown(self):
+        events = events_for(
+            """
+            def f(pair):
+                x, y = pair
+                return x
+            """
+        )
+        assert events == []
+
+
+class TestBranches:
+    def test_agreeing_branches_keep_value(self):
+        events = events_for(
+            """
+            def f(flag):
+                if flag:
+                    x = 1
+                else:
+                    x = 1
+                return x
+            """
+        )
+        assert tags(events) == ["odd-read"]
+
+    def test_divergent_branches_join_to_unknown(self):
+        events = events_for(
+            """
+            def f(flag):
+                if flag:
+                    x = 0
+                else:
+                    x = 1
+                return x
+            """
+        )
+        assert events == []
+
+    def test_name_bound_in_one_branch_is_unknown_after(self):
+        events = events_for(
+            """
+            def f(flag):
+                if flag:
+                    x = 1
+                return x
+            """
+        )
+        assert events == []
+
+    def test_try_handler_starts_from_pre_body_env(self):
+        # The handler may run after any prefix of the body, so the odd
+        # binding from the body must not be assumed inside the handler.
+        events = events_for(
+            """
+            def f():
+                x = 0
+                try:
+                    x = 1
+                except ValueError:
+                    pass
+                return x
+            """
+        )
+        assert events == []
+
+
+class TestLoops:
+    def test_loop_invariant_value_survives(self):
+        events = events_for(
+            """
+            def f(items):
+                x = 1
+                for item in items:
+                    pass
+                return x
+            """
+        )
+        assert tags(events) == ["odd-read"]
+
+    def test_loop_varying_value_widens(self):
+        events = events_for(
+            """
+            def f(items):
+                x = 1
+                for item in items:
+                    x = x + 1
+                return x
+            """
+        )
+        # x oscillates odd/even across passes: joined to unknown, so the
+        # loop body's first-pass read is the only event.
+        assert "odd-read" in tags(events)
+
+    def test_fixpoint_terminates_on_pathological_loop(self):
+        lines = ["def f(items):", "    x = 1", "    for item in items:"]
+        lines.extend(
+            f"        x{i} = x" for i in range(MAX_LOOP_PASSES + 4)
+        )
+        lines.append("    return x")
+        events = events_for("\n".join(lines))
+        assert isinstance(events, list)
+
+
+class TestEventDiscipline:
+    def test_loop_body_events_deduplicated(self):
+        events = events_for(
+            """
+            def f(items):
+                x = 1
+                for item in items:
+                    y = x
+                return y
+            """
+        )
+        # The loop body is analysed multiple times on the way to the
+        # fixpoint; the read of x must be reported exactly once.
+        lines = [event.location for event in events if event.tag == "odd-read"]
+        assert len(lines) == len(set(lines))
+
+    def test_non_function_node_rejected(self):
+        try:
+            analyze_function(ast.parse("x = 1").body[0], ParityDomain())
+        except TypeError as error:
+            assert "function node" in str(error)
+        else:  # pragma: no cover - defensive
+            raise AssertionError("expected TypeError")

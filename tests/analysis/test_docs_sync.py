@@ -1,0 +1,44 @@
+"""Docs stay in sync with the code they describe.
+
+The README rule-family table is rendered from the live registries by
+``render_rule_table()``; registering a rule without regenerating the
+table (``python -c "from repro.analysis import render_rule_table;
+print(render_rule_table())"``) fails here rather than drifting silently.
+"""
+
+import os
+
+from repro.analysis import render_rule_table
+from repro.analysis.registry import all_project_rules, all_rules
+
+REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+)
+
+
+def read_doc(name):
+    with open(os.path.join(REPO_ROOT, name), "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+class TestReadmeRuleTable:
+    def test_rendered_table_is_embedded_verbatim(self):
+        assert render_rule_table() in read_doc("README.md")
+
+    def test_table_covers_every_registered_rule(self):
+        table = render_rule_table()
+        for spec in list(all_rules()) + list(all_project_rules()):
+            assert f"| {spec.code} |" in table
+            assert f"`{spec.name}`" in table
+
+
+class TestDesignDoc:
+    def test_interprocedural_section_exists(self):
+        design = read_doc("DESIGN.md")
+        assert "## Interprocedural analysis" in design
+
+    def test_design_names_every_project_rule(self):
+        design = read_doc("DESIGN.md")
+        for spec in all_project_rules():
+            assert spec.code in design
+            assert spec.name in design

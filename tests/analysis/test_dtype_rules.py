@@ -1,0 +1,305 @@
+"""Fixture tests for the GX5xx dtype-flow family.
+
+Every fixture is a source *string* run through ``lint_source`` (single-
+module project graph), so seeded violations live in test data, never in
+files on disk — the repo self-check stays clean while these tests prove
+the rules actually detect what they claim to.
+"""
+
+import textwrap
+
+from repro.analysis import lint_source
+from repro.analysis.config import SanctionedSite
+
+
+def findings_for(source, rule, path="src/fake/kern.py"):
+    return [
+        f
+        for f in lint_source(textwrap.dedent(source), path=path)
+        if f.rule == rule
+    ]
+
+
+class TestUint64Wrap:
+    def test_addition_of_uint64_arrays_flagged(self):
+        found = findings_for(
+            """
+            import numpy as np
+
+            def bump(values):
+                words = np.asarray(values, dtype=np.uint64)
+                return words + words
+            """,
+            "uint64-wrap",
+        )
+        assert len(found) == 1
+        assert found[0].code == "GX501"
+        assert "wraps modulo 2**64" in found[0].message
+        assert "fake.kern.bump" in found[0].message
+
+    def test_uint64_scalar_cast_tracked_through_names(self):
+        found = findings_for(
+            """
+            import numpy as np
+
+            def shrink(raw):
+                word = np.uint64(raw)
+                delta = np.uint64(3)
+                return word - delta
+            """,
+            "uint64-wrap",
+        )
+        assert len(found) == 1
+        assert "'-'" in found[0].message
+
+    def test_annotation_seeds_uint64(self):
+        found = findings_for(
+            """
+            import numpy as np
+            from numpy.typing import NDArray
+
+            def square(words: NDArray[np.uint64]):
+                return words * words
+            """,
+            "uint64-wrap",
+        )
+        assert len(found) == 1
+
+    def test_module_constant_seeds_uint64(self):
+        found = findings_for(
+            """
+            import numpy as np
+
+            MASK = np.uint64(0xFF)
+
+            def apply(other):
+                value = np.uint64(other)
+                return MASK * value
+            """,
+            "uint64-wrap",
+        )
+        assert len(found) == 1
+
+    def test_unary_negation_flagged(self):
+        found = findings_for(
+            """
+            import numpy as np
+
+            def negate(raw):
+                word = np.uint64(raw)
+                return -word
+            """,
+            "uint64-wrap",
+        )
+        assert len(found) == 1
+        assert "unary negation" in found[0].message
+
+    def test_bitwise_operations_clean(self):
+        found = findings_for(
+            """
+            import numpy as np
+
+            def masks(words: "NDArray[np.uint64]", shift):
+                w = np.asarray(words, dtype=np.uint64)
+                s = np.uint64(shift)
+                return ((w << s) | (w >> s)) & w ^ w
+            """,
+            "uint64-wrap",
+        )
+        assert found == []
+
+    def test_int64_arithmetic_clean(self):
+        found = findings_for(
+            """
+            import numpy as np
+
+            def total(values):
+                scores = np.asarray(values, dtype=np.int64)
+                return scores + scores
+            """,
+            "uint64-wrap",
+        )
+        assert found == []
+
+    def test_sanctioned_site_suppressed(self, monkeypatch):
+        import repro.analysis.config as config
+
+        monkeypatch.setattr(
+            config,
+            "DTYPE_ALLOWLIST",
+            (
+                SanctionedSite(
+                    site="fake.kern.bump",
+                    rule="uint64-wrap",
+                    reason="test fixture sanction",
+                ),
+            ),
+        )
+        found = findings_for(
+            """
+            import numpy as np
+
+            def bump(values):
+                words = np.asarray(values, dtype=np.uint64)
+                return words + words
+            """,
+            "uint64-wrap",
+        )
+        assert found == []
+
+
+class TestUint64Upcast:
+    def test_python_int_literal_flagged(self):
+        found = findings_for(
+            """
+            import numpy as np
+
+            def bump(values):
+                words = np.asarray(values, dtype=np.uint64)
+                return words + 1
+            """,
+            "uint64-upcast",
+        )
+        assert len(found) == 1
+        assert found[0].code == "GX502"
+        assert "value-based casting" in found[0].message
+
+    def test_python_float_flagged(self):
+        found = findings_for(
+            """
+            import numpy as np
+
+            def scale(values):
+                words = np.asarray(values, dtype=np.uint64)
+                return words * 0.5
+            """,
+            "uint64-upcast",
+        )
+        assert len(found) == 1
+        assert "float" in found[0].message
+
+    def test_np_uint64_constant_clean(self):
+        found = findings_for(
+            """
+            import numpy as np
+
+            def bump(values):
+                words = np.asarray(values, dtype=np.uint64)
+                return words + np.uint64(1)
+            """,
+            "uint64-upcast",
+        )
+        assert found == []
+
+    def test_shift_by_python_int_flagged(self):
+        # Shifts are not wrap arithmetic (GX501 ignores them) but still
+        # mix dtypes under value-based casting.
+        found = findings_for(
+            """
+            import numpy as np
+
+            def shift(values):
+                words = np.asarray(values, dtype=np.uint64)
+                return words << 2
+            """,
+            "uint64-upcast",
+        )
+        assert len(found) == 1
+
+
+class TestHiddenCopy:
+    def test_astype_on_hot_path_flagged(self):
+        found = findings_for(
+            """
+            import numpy as np
+
+            def _convert(scores):
+                return scores.astype(np.int64)
+
+            class Engine:
+                def extend_batch(self, scores):
+                    return _convert(scores)
+            """,
+            "hidden-copy",
+        )
+        assert len(found) == 1
+        assert found[0].code == "GX503"
+        assert "fake.kern._convert" in found[0].message
+        assert "fake.kern.Engine.extend_batch" in found[0].message
+
+    def test_fancy_indexing_on_hot_path_flagged(self):
+        found = findings_for(
+            """
+            import numpy as np
+
+            def _gather(table, rows):
+                lanes = np.asarray(rows, dtype=np.intp)
+                planes = np.asarray(table, dtype=np.uint64)
+                return planes[lanes]
+
+            class Engine:
+                def extend(self, table, rows):
+                    return _gather(table, rows)
+            """,
+            "hidden-copy",
+        )
+        assert len(found) == 1
+        assert "fancy indexing" in found[0].message
+
+    def test_off_hot_path_clean(self):
+        found = findings_for(
+            """
+            import numpy as np
+
+            def report(scores):
+                return scores.astype(np.int64)
+            """,
+            "hidden-copy",
+        )
+        assert found == []
+
+    def test_basic_slicing_clean(self):
+        found = findings_for(
+            """
+            import numpy as np
+
+            def _slice(table):
+                planes = np.asarray(table, dtype=np.uint64)
+                return planes[:, 0]
+
+            class Engine:
+                def extend_batch(self, table):
+                    return _slice(table)
+            """,
+            "hidden-copy",
+        )
+        assert found == []
+
+    def test_sanctioned_helper_suppressed(self, monkeypatch):
+        import repro.analysis.config as config
+
+        monkeypatch.setattr(
+            config,
+            "DTYPE_ALLOWLIST",
+            (
+                SanctionedSite(
+                    site="fake.kern._convert",
+                    rule="hidden-copy",
+                    reason="test fixture sanction",
+                ),
+            ),
+        )
+        found = findings_for(
+            """
+            import numpy as np
+
+            def _convert(scores):
+                return scores.astype(np.int64)
+
+            class Engine:
+                def extend_batch(self, scores):
+                    return _convert(scores)
+            """,
+            "hidden-copy",
+        )
+        assert found == []

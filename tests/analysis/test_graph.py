@@ -1,0 +1,376 @@
+"""Unit tests for the project symbol/call graph substrate.
+
+Fixtures are source *strings* assembled into :class:`SourceModule` sets,
+never real repo code, so the repo self-check stays clean.
+"""
+
+import ast
+import textwrap
+
+from repro.analysis.graph import (
+    ProjectGraph,
+    SourceModule,
+    module_name_for_path,
+)
+
+
+def make_module(path, source):
+    source = textwrap.dedent(source)
+    return SourceModule.from_source(path, source, ast.parse(source))
+
+
+def make_graph(*modules):
+    return ProjectGraph([make_module(path, source) for path, source in modules])
+
+
+class TestModuleNames:
+    def test_src_layout(self):
+        assert (
+            module_name_for_path("src/repro/align/bitvector.py")
+            == "repro.align.bitvector"
+        )
+
+    def test_package_init_collapses(self):
+        assert module_name_for_path("src/repro/align/__init__.py") == "repro.align"
+
+    def test_no_src_component_uses_relative_parts(self):
+        assert (
+            module_name_for_path("tests/analysis/test_graph.py")
+            == "tests.analysis.test_graph"
+        )
+
+    def test_last_src_component_wins(self):
+        assert module_name_for_path("work/src/vendor/src/pkg/mod.py") == "pkg.mod"
+
+
+class TestSymbolIndexing:
+    def test_functions_classes_and_globals_indexed(self):
+        graph = make_graph(
+            (
+                "src/pkg/mod.py",
+                """
+                LIMIT = 8
+
+                def helper():
+                    return LIMIT
+
+                class Engine:
+                    def run(self):
+                        return helper()
+                """,
+            )
+        )
+        assert "pkg.mod.helper" in graph.functions
+        assert "pkg.mod.Engine.run" in graph.functions
+        assert "LIMIT" in graph.modules["pkg.mod"].global_names
+        assert graph.functions["pkg.mod.Engine.run"].class_name == "Engine"
+
+    def test_nested_function_qualname_uses_locals(self):
+        graph = make_graph(
+            (
+                "src/pkg/mod.py",
+                """
+                def outer():
+                    def inner():
+                        return 1
+                    return inner
+                """,
+            )
+        )
+        assert "pkg.mod.outer.<locals>.inner" in graph.functions
+        assert "pkg.mod.outer.<locals>.inner" in graph.calls["pkg.mod.outer"]
+
+    def test_conditional_module_globals_still_count(self):
+        graph = make_graph(
+            (
+                "src/pkg/mod.py",
+                """
+                import os
+
+                if os.name == "posix":
+                    BACKEND = "fork"
+                else:
+                    BACKEND = "spawn"
+                """,
+            )
+        )
+        assert "BACKEND" in graph.modules["pkg.mod"].global_names
+
+
+class TestResolution:
+    def test_direct_call_edge(self):
+        graph = make_graph(
+            (
+                "src/pkg/mod.py",
+                """
+                def callee():
+                    return 1
+
+                def caller():
+                    return callee()
+                """,
+            )
+        )
+        assert "pkg.mod.callee" in graph.calls["pkg.mod.caller"]
+
+    def test_import_alias_edge_across_modules(self):
+        graph = make_graph(
+            (
+                "src/pkg/a.py",
+                """
+                def work():
+                    return 1
+                """,
+            ),
+            (
+                "src/pkg/b.py",
+                """
+                from pkg.a import work as w
+
+                def driver():
+                    return w()
+                """,
+            ),
+        )
+        assert "pkg.a.work" in graph.calls["pkg.b.driver"]
+
+    def test_reexport_chain_resolves(self):
+        graph = make_graph(
+            (
+                "src/pkg/impl.py",
+                """
+                def work():
+                    return 1
+                """,
+            ),
+            (
+                "src/pkg/__init__.py",
+                """
+                from pkg.impl import work
+                """,
+            ),
+            (
+                "src/other/use.py",
+                """
+                import pkg
+
+                def driver():
+                    return pkg.work()
+                """,
+            ),
+        )
+        assert "pkg.impl.work" in graph.calls["other.use.driver"]
+
+    def test_self_method_resolves_through_base_class(self):
+        graph = make_graph(
+            (
+                "src/pkg/base.py",
+                """
+                class Base:
+                    def step(self):
+                        return 1
+                """,
+            ),
+            (
+                "src/pkg/derived.py",
+                """
+                from pkg.base import Base
+
+                class Derived(Base):
+                    def run(self):
+                        return self.step()
+                """,
+            ),
+        )
+        assert "pkg.base.Base.step" in graph.calls["pkg.derived.Derived.run"]
+
+    def test_bare_reference_counts_as_edge(self):
+        # A function handed away as a value is about to be called.
+        graph = make_graph(
+            (
+                "src/pkg/mod.py",
+                """
+                def worker(chunk):
+                    return chunk
+
+                def driver(pool, chunk):
+                    return pool.submit(worker, chunk)
+                """,
+            )
+        )
+        assert "pkg.mod.worker" in graph.calls["pkg.mod.driver"]
+
+    def test_default_argument_reference_counts_as_edge(self):
+        graph = make_graph(
+            (
+                "src/pkg/mod.py",
+                """
+                def tick():
+                    return 0.0
+
+                def measure(clock=tick):
+                    return clock()
+                """,
+            )
+        )
+        assert "pkg.mod.tick" in graph.calls["pkg.mod.measure"]
+
+    def test_unresolvable_calls_contribute_no_edges(self):
+        graph = make_graph(
+            (
+                "src/pkg/mod.py",
+                """
+                def driver(registry):
+                    return registry.lookup("x")()
+                """,
+            )
+        )
+        assert graph.calls["pkg.mod.driver"] == set()
+
+    def test_canonical_name_rewrites_import_head(self):
+        graph = make_graph(
+            (
+                "src/pkg/mod.py",
+                """
+                from time import perf_counter
+                import numpy as np
+                """,
+            )
+        )
+        assert graph.canonical_name("pkg.mod", "perf_counter") == "time.perf_counter"
+        assert (
+            graph.canonical_name("pkg.mod", "np.random.rand") == "numpy.random.rand"
+        )
+        assert graph.canonical_name("pkg.mod", "unbound") == "unbound"
+
+
+class TestGlobalSummaries:
+    def test_global_write_recorded(self):
+        graph = make_graph(
+            (
+                "src/pkg/mod.py",
+                """
+                STATE = None
+
+                def install(value):
+                    global STATE
+                    STATE = value
+                """,
+            )
+        )
+        writes = graph.global_writes["pkg.mod.install"]
+        assert [target for target, _, _ in writes] == ["pkg.mod.STATE"]
+        assert graph.functions_writing("pkg.mod.STATE") == frozenset(
+            {"pkg.mod.install"}
+        )
+
+    def test_container_mutation_recorded(self):
+        graph = make_graph(
+            (
+                "src/pkg/mod.py",
+                """
+                REGISTRY = {}
+
+                def register(name, value):
+                    REGISTRY[name] = value
+                """,
+            )
+        )
+        writes = graph.global_writes["pkg.mod.register"]
+        assert [target for target, _, _ in writes] == ["pkg.mod.REGISTRY"]
+
+    def test_global_read_recorded_and_locals_excluded(self):
+        graph = make_graph(
+            (
+                "src/pkg/mod.py",
+                """
+                SHARED = 3
+
+                def reader():
+                    return SHARED
+
+                def shadower():
+                    SHARED = 5
+                    return SHARED
+                """,
+            )
+        )
+        reads = [target for target, _ in graph.global_reads["pkg.mod.reader"]]
+        assert reads == ["pkg.mod.SHARED"]
+        assert graph.global_reads["pkg.mod.shadower"] == []
+
+
+class TestDispatchSites:
+    def test_submit_and_initializer_sites_collected(self):
+        graph = make_graph(
+            (
+                "src/pkg/mod.py",
+                """
+                from concurrent.futures import ProcessPoolExecutor
+
+                def init(tables):
+                    return tables
+
+                def work(chunk):
+                    return chunk
+
+                def driver(tables, chunk):
+                    with ProcessPoolExecutor(initializer=init, initargs=(tables,)) as pool:
+                        return pool.submit(work, chunk)
+                """,
+            )
+        )
+        kinds = sorted(site.kind for site in graph.dispatch_sites)
+        assert kinds == ["initializer", "submit"]
+        submit = next(s for s in graph.dispatch_sites if s.kind == "submit")
+        assert submit.enclosing == "pkg.mod.driver"
+        assert len(submit.callable_exprs) == 1
+        assert len(submit.payload_exprs) == 1
+
+    def test_module_level_dispatch_site_collected(self):
+        graph = make_graph(
+            (
+                "src/pkg/script.py",
+                """
+                import multiprocessing
+
+                def work():
+                    return 1
+
+                process = multiprocessing.Process(target=work)
+                """,
+            )
+        )
+        assert len(graph.dispatch_sites) == 1
+        assert graph.dispatch_sites[0].enclosing is None
+        assert graph.dispatch_sites[0].kind == "target"
+
+
+class TestReachability:
+    def test_closure_reports_origin_root(self):
+        graph = make_graph(
+            (
+                "src/pkg/mod.py",
+                """
+                def leaf():
+                    return 1
+
+                def mid():
+                    return leaf()
+
+                def root():
+                    return mid()
+
+                def unrelated():
+                    return 0
+                """,
+            )
+        )
+        closure = graph.reachable(["pkg.mod.root"])
+        assert closure["pkg.mod.leaf"] == "pkg.mod.root"
+        assert closure["pkg.mod.mid"] == "pkg.mod.root"
+        assert "pkg.mod.unrelated" not in closure
+
+    def test_unknown_roots_are_ignored(self):
+        graph = make_graph(("src/pkg/mod.py", "x = 1\n"))
+        assert graph.reachable(["pkg.mod.missing"]) == {}

@@ -96,3 +96,93 @@ class TestMisuse:
         assert len(found) == 1
         assert found[0].code == "GX001"
         assert found[0].rule == "parse-error"
+
+
+class TestUnusedSuppressionAudit:
+    """GX003: the unused-ignore audit (mirror of mypy warn_unused_ignores)."""
+
+    def test_stale_suppression_warns(self):
+        source = dedent(
+            """
+            def measure(clock):
+                return clock()  # genaxlint: disable=wall-clock
+            """
+        )
+        found = lint_source(source)
+        assert [f.code for f in found] == ["GX003"]
+        assert found[0].rule == "unused-suppression"
+        assert found[0].severity.value == "warning"
+        assert "'wall-clock'" in found[0].message
+        assert found[0].line == 3
+
+    def test_used_suppression_does_not_warn(self):
+        source = dedent(
+            """
+            import time
+
+            def measure():
+                return time.time()  # genaxlint: disable=wall-clock
+            """
+        )
+        assert [f.code for f in lint_source(source)] == []
+
+    def test_mixed_directive_reports_only_stale_names(self):
+        source = dedent(
+            """
+            import time
+
+            def measure():
+                return time.time()  # genaxlint: disable=wall-clock,unseeded-random
+            """
+        )
+        found = lint_source(source)
+        assert [f.code for f in found] == ["GX003"]
+        assert "'unseeded-random'" in found[0].message
+        assert "'wall-clock'" not in found[0].message
+
+    def test_stale_disable_all_warns(self):
+        source = dedent(
+            """
+            def measure(clock):
+                return clock()  # genaxlint: disable=all
+            """
+        )
+        found = lint_source(source)
+        assert [f.code for f in found] == ["GX003"]
+
+    def test_unknown_name_reported_once_as_gx002_not_twice(self):
+        # GX002 owns unknown names; the audit must not pile a GX003 on top.
+        found = lint_source("x = 1  # genaxlint: disable=no-such-rule\n")
+        assert [f.code for f in found] == ["GX002"]
+
+    def test_project_rule_suppression_counts_as_used(self):
+        # The audit runs after the project phase, so a directive silencing
+        # a GX5xx finding is "used", not stale.
+        source = dedent(
+            """
+            import numpy as np
+
+            def bump(values):
+                words = np.asarray(values, dtype=np.uint64)
+                return words + words  # genaxlint: disable=uint64-wrap
+            """
+        )
+        assert [f.code for f in lint_source(source, path="src/fake/kern.py")] == []
+
+    def test_audit_suppressible_on_its_own_line(self):
+        source = dedent(
+            """
+            def measure(clock):
+                return clock()  # genaxlint: disable=wall-clock,unused-suppression
+            """
+        )
+        assert [f.code for f in lint_source(source)] == []
+
+    def test_audit_can_be_disabled(self):
+        source = dedent(
+            """
+            def measure(clock):
+                return clock()  # genaxlint: disable=wall-clock
+            """
+        )
+        assert lint_source(source, audit=False) == []

@@ -37,8 +37,14 @@ def test_strict_packages_pass_mypy():
             "repro.telemetry",
             "-p",
             "repro.difftest",
+            "-p",
+            "repro.genome",
+            "-p",
+            "repro.automata",
+            "-p",
+            "repro.core",
             "-m",
-            "repro.genome.sequence",
+            "repro.cli",
         ],
         cwd=REPO_ROOT,
         capture_output=True,

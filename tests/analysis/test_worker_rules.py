@@ -1,0 +1,372 @@
+"""Fixture tests for the GX6xx worker-purity family.
+
+Fixtures are inline source strings (single-module graphs via
+``lint_source``); each seeds the exact fork-visible bug class the rule
+exists to catch, plus the clean spelling that must not be flagged.
+"""
+
+import textwrap
+
+from repro.analysis import lint_source
+from repro.analysis.config import SanctionedSite
+
+
+def findings_for(source, rule, path="src/fake/pool.py"):
+    return [
+        f
+        for f in lint_source(textwrap.dedent(source), path=path)
+        if f.rule == rule
+    ]
+
+
+class TestWorkerGlobalState:
+    def test_worker_global_write_flagged(self):
+        found = findings_for(
+            """
+            STATE = None
+
+            def _init_worker(value):
+                global STATE
+                STATE = value
+
+            def driver(pool, value):
+                return pool.submit(_init_worker, value)
+            """,
+            "worker-global-state",
+        )
+        assert len(found) == 1
+        assert found[0].code == "GX601"
+        assert "fake.pool._init_worker" in found[0].message
+        assert "assigns module global" in found[0].message
+
+    def test_container_mutation_in_closure_flagged(self):
+        found = findings_for(
+            """
+            CACHE = {}
+
+            def _work(key, value):
+                CACHE[key] = value
+                return value
+
+            def driver(pool, key, value):
+                return pool.submit(_work, key, value)
+            """,
+            "worker-global-state",
+        )
+        assert len(found) == 1
+        assert "assigns an item of" in found[0].message
+
+    def test_fork_handoff_read_flagged(self):
+        # The parent stashes state in a global before forking; the worker
+        # reads it.  Works under fork, silently None under spawn.
+        found = findings_for(
+            """
+            SHARED = None
+
+            def stage(tables):
+                global SHARED
+                SHARED = tables
+
+            def _work(chunk):
+                return SHARED, chunk
+
+            def driver(pool, chunk):
+                return pool.submit(_work, chunk)
+            """,
+            "worker-global-state",
+        )
+        reads = [f for f in found if "parent side of the fork" in f.message]
+        assert len(reads) == 1
+        assert "fake.pool.SHARED" in reads[0].message
+        assert "fake.pool.stage" in reads[0].message
+
+    def test_read_with_all_writers_in_closure_not_double_reported(self):
+        # The write is the finding; a read of the same global by another
+        # closure function adds nothing.
+        found = findings_for(
+            """
+            STATE = None
+
+            def _init(value):
+                global STATE
+                STATE = value
+
+            def _work(chunk):
+                return STATE, chunk
+
+            def driver(pool, value, chunk):
+                pool.submit(_init, value)
+                return pool.submit(_work, chunk)
+            """,
+            "worker-global-state",
+        )
+        assert len(found) == 1
+        assert "assigns module global" in found[0].message
+
+    def test_function_outside_closure_clean(self):
+        found = findings_for(
+            """
+            STATE = None
+
+            def parent_only(value):
+                global STATE
+                STATE = value
+            """,
+            "worker-global-state",
+        )
+        assert found == []
+
+    def test_extend_batch_is_a_worker_root(self):
+        found = findings_for(
+            """
+            SEEN = {}
+
+            def _note(value):
+                SEEN[value] = True
+                return value
+
+            class Engine:
+                def extend_batch(self, value):
+                    return _note(value)
+            """,
+            "worker-global-state",
+        )
+        assert len(found) == 1
+        assert "fake.pool.Engine.extend_batch" in found[0].message
+
+    def test_sanctioned_site_suppressed(self, monkeypatch):
+        import repro.analysis.config as config
+
+        monkeypatch.setattr(
+            config,
+            "WORKER_ALLOWLIST",
+            (
+                SanctionedSite(
+                    site="fake.pool._init_worker",
+                    rule="worker-global-state",
+                    reason="test fixture sanction",
+                ),
+            ),
+        )
+        found = findings_for(
+            """
+            STATE = None
+
+            def _init_worker(value):
+                global STATE
+                STATE = value
+
+            def driver(pool, value):
+                return pool.submit(_init_worker, value)
+            """,
+            "worker-global-state",
+        )
+        assert found == []
+
+
+class TestWorkerImpureCall:
+    def test_clock_call_in_closure_flagged(self):
+        found = findings_for(
+            """
+            from time import perf_counter
+
+            def _work(chunk):
+                started = perf_counter()
+                return chunk, started
+
+            def driver(pool, chunk):
+                return pool.submit(_work, chunk)
+            """,
+            "worker-impure-call",
+        )
+        assert len(found) == 1
+        assert found[0].code == "GX602"
+        assert "time.perf_counter()" in found[0].message
+        assert "fake.pool._work" in found[0].message
+
+    def test_taint_found_transitively(self):
+        found = findings_for(
+            """
+            import time
+
+            def _helper():
+                return time.monotonic()
+
+            def _work(chunk):
+                return chunk, _helper()
+
+            def driver(pool, chunk):
+                return pool.submit(_work, chunk)
+            """,
+            "worker-impure-call",
+        )
+        assert len(found) == 1
+        assert "fake.pool._helper" in found[0].message
+
+    def test_module_rng_flagged_seeded_generator_clean(self):
+        source = """
+            import numpy as np
+
+            def _bad(chunk):
+                return np.random.rand(len(chunk))
+
+            def _good(chunk, seed):
+                return np.random.default_rng(seed).random(len(chunk))
+
+            def driver(pool, chunk, seed):
+                pool.submit(_bad, chunk)
+                return pool.submit(_good, chunk, seed)
+            """
+        found = findings_for(source, "worker-impure-call")
+        assert len(found) == 1
+        assert "numpy.random.rand" in found[0].message
+
+    def test_call_outside_closure_clean(self):
+        found = findings_for(
+            """
+            import time
+
+            def parent_timer():
+                return time.perf_counter()
+            """,
+            "worker-impure-call",
+        )
+        assert found == []
+
+    def test_sanctioned_site_suppressed(self, monkeypatch):
+        import repro.analysis.config as config
+
+        monkeypatch.setattr(
+            config,
+            "WORKER_ALLOWLIST",
+            (
+                SanctionedSite(
+                    site="fake.pool._work",
+                    rule="worker-impure-call",
+                    reason="test fixture sanction",
+                ),
+            ),
+        )
+        found = findings_for(
+            """
+            import time
+
+            def _work(chunk):
+                return chunk, time.perf_counter()
+
+            def driver(pool, chunk):
+                return pool.submit(_work, chunk)
+            """,
+            "worker-impure-call",
+        )
+        assert found == []
+
+
+class TestWorkerUnpicklableCapture:
+    def test_lambda_payload_flagged(self):
+        found = findings_for(
+            """
+            def _work(chunk, key):
+                return sorted(chunk, key=key)
+
+            def driver(pool, chunk):
+                return pool.submit(_work, chunk, lambda item: item[0])
+            """,
+            "worker-unpicklable-capture",
+        )
+        assert len(found) == 1
+        assert found[0].code == "GX603"
+        assert "lambda" in found[0].message
+
+    def test_generator_expression_payload_flagged(self):
+        found = findings_for(
+            """
+            def _work(items):
+                return list(items)
+
+            def driver(pool, chunks):
+                return pool.submit(_work, (c for c in chunks))
+            """,
+            "worker-unpicklable-capture",
+        )
+        assert len(found) == 1
+        assert "generator expression" in found[0].message
+
+    def test_open_handle_payload_flagged(self):
+        found = findings_for(
+            """
+            def _work(handle):
+                return handle.read()
+
+            def driver(pool, path):
+                return pool.submit(_work, open(path))
+            """,
+            "worker-unpicklable-capture",
+        )
+        assert len(found) == 1
+        assert "open()" in found[0].message
+
+    def test_nested_function_payload_flagged(self):
+        found = findings_for(
+            """
+            def _work(callback, chunk):
+                return callback(chunk)
+
+            def driver(pool, chunk):
+                def score(item):
+                    return item[0]
+
+                return pool.submit(_work, score, chunk)
+            """,
+            "worker-unpicklable-capture",
+        )
+        assert len(found) == 1
+        assert "<locals>" in found[0].message
+
+    def test_module_object_payload_flagged(self):
+        found = findings_for(
+            """
+            import json
+
+            def _work(codec, chunk):
+                return codec.dumps(chunk)
+
+            def driver(pool, chunk):
+                return pool.submit(_work, json, chunk)
+            """,
+            "worker-unpicklable-capture",
+        )
+        assert len(found) == 1
+        assert "module object" in found[0].message
+
+    def test_plain_data_payload_clean(self):
+        found = findings_for(
+            """
+            def _work(chunk, limit):
+                return chunk[:limit]
+
+            def driver(pool, chunk):
+                return pool.submit(_work, chunk, 8)
+            """,
+            "worker-unpicklable-capture",
+        )
+        assert found == []
+
+    def test_initargs_payloads_checked(self):
+        found = findings_for(
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def _init(handle):
+                return handle
+
+            def driver(path, work):
+                with ProcessPoolExecutor(
+                    initializer=_init, initargs=(open(path),)
+                ) as pool:
+                    return pool.map(work, [1])
+            """,
+            "worker-unpicklable-capture",
+        )
+        assert len(found) == 1
+        assert "open()" in found[0].message
