@@ -139,7 +139,7 @@ DTYPE_ALLOWLIST: Tuple[SanctionedSite, ...] = (
         ),
     ),
     SanctionedSite(
-        site="repro.genome.sequence.decode_batch",
+        site="repro.genome.sequence.unpack_batch",
         rule="uint64-wrap",
         reason=(
             "Mirror of encode_batch: the unpack shift table is the same "
@@ -192,6 +192,15 @@ DTYPE_ALLOWLIST: Tuple[SanctionedSite, ...] = (
             "Batch entry point: one intp cast of the text codes and one "
             "int64 cast of the result per *batch* (not per candidate), both "
             "required by the kernel's index/score dtypes."
+        ),
+    ),
+    SanctionedSite(
+        site="repro.genome.sequence.unpack_batch",
+        rule="hidden-copy",
+        reason=(
+            "The packed->codes expansion is the codec's output (uint8 "
+            "matrix), produced once per batch during filter/kernel setup "
+            "— the same designed data movement as bitvector._unpack_codes."
         ),
     ),
     SanctionedSite(

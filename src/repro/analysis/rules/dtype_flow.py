@@ -17,9 +17,10 @@ lattice through every function with the
   the kernels depend on.  The sanctioned spelling is ``np.uint64(...)``
   constants.
 * **GX503 hidden-copy** — ``.astype``/fancy-indexing allocations inside
-  functions reachable from a registered extension hot path
-  (``ExtensionEngine.extend`` / ``extend_batch`` methods), where a copy
-  per call is a real throughput tax.
+  functions reachable from a registered hot path
+  (``ExtensionEngine.extend`` / ``extend_batch`` and the filter
+  cascade's ``admit`` / ``admit_batch`` methods), where a copy per call
+  is a real throughput tax.
 
 The abstract value is ``(kind, is_array)``; ``kind`` is a NumPy dtype
 name, ``"int"``/``"float"``/``"bool"``/``"str"`` for Python scalars,
@@ -533,7 +534,8 @@ def _hot_path_closure(ctx: ProjectContext) -> Dict[str, str]:
     roots = [
         qualname
         for qualname, info in ctx.graph.functions.items()
-        if info.class_name is not None and info.name in ("extend", "extend_batch")
+        if info.class_name is not None
+        and info.name in ("extend", "extend_batch", "admit", "admit_batch")
     ]
     closure = ctx.graph.reachable(roots)
     ctx.cache["hot-path-closure"] = closure

@@ -19,7 +19,8 @@ These rules compute the closure of functions reachable from the worker
 entry points — callables shipped at pool dispatch sites
 (``pool.submit(...)``, ``initializer=``/``target=`` keywords, detected
 by :class:`~repro.analysis.graph.ProjectGraph`) plus registered
-``extend_batch`` hot paths — and police that closure:
+``extend_batch`` and ``admit_batch`` hot paths — and police that
+closure:
 
 * **GX601 worker-global-state** — a closure function writes a module
   global, or reads one that parent-side code assigns (the fork-handoff
@@ -121,6 +122,8 @@ def _worker_roots(graph: ProjectGraph) -> Dict[str, str]:
     for qualname, info in graph.functions.items():
         if info.class_name is not None and info.name == "extend_batch":
             roots.setdefault(qualname, "batched extension dispatch")
+        elif info.class_name is not None and info.name == "admit_batch":
+            roots.setdefault(qualname, "batched filter dispatch")
     return roots
 
 

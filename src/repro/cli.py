@@ -15,10 +15,12 @@ from __future__ import annotations
 import argparse
 import random
 import sys
+import warnings
 from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.align.records import ReadInput
 from repro.core.silla import Silla
+from repro.filters import filter_names, parse_cascade_spec
 from repro.genome.fasta import read_fasta, read_fastq, write_fasta, write_fastq
 from repro.genome.reads import ReadSimulator
 from repro.genome.reference import ReferenceGenome, make_reference
@@ -79,9 +81,18 @@ def _build_parser() -> argparse.ArgumentParser:
         help="worker processes for any pipeline (1 = in-process serial)",
     )
     align.add_argument(
+        "--filters",
+        default=None,
+        metavar="SPEC",
+        help="pre-alignment filter cascade: comma-separated registered "
+        f"filter names in veto order ({', '.join(filter_names())}) or "
+        "'none' to disable; stages share the pipeline's edit budget",
+    )
+    align.add_argument(
         "--prefilter",
         action="store_true",
-        help="Myers bit-vector pre-alignment filter before SillaX extension",
+        help="deprecated: equivalent to '--filters myers' (Myers "
+        "bit-vector pre-alignment filter before SillaX extension)",
     )
     align.add_argument(
         "--kernel",
@@ -178,12 +189,28 @@ def _cmd_align(args: argparse.Namespace) -> int:
     # this site as the exemplar, and GX104 keeps even perf_counter()
     # calls confined to repro/telemetry/clock.py.
     started = monotonic_s()
+    cascade_names: Optional[Tuple[str, ...]] = None
+    if args.filters is not None:
+        try:
+            cascade_names = parse_cascade_spec(args.filters)
+        except ValueError as exc:
+            raise SystemExit(f"--filters: {exc}")
+    if args.prefilter:
+        # Deprecation shim: the old single-filter flag is the one-stage
+        # Myers cascade (GenAxConfig performs the same mapping, so the
+        # output is bit-identical to the pre-cascade pipeline).
+        warnings.warn(
+            "--prefilter is deprecated; use --filters myers",
+            DeprecationWarning,
+            stacklevel=2,
+        )
     if args.pipeline == "genax":
         config: object = GenAxConfig(
             k=args.kmer,
             edit_bound=args.edit_bound,
             segment_count=args.segments,
             min_score=args.min_score,
+            filters=cascade_names,
             prefilter=args.prefilter,
             jobs=args.jobs,
             cache_dir=args.cache_dir,
@@ -201,6 +228,7 @@ def _cmd_align(args: argparse.Namespace) -> int:
                 edit_bound=args.edit_bound,
                 min_score=args.min_score,
                 kernel=args.kernel,
+                filters=cascade_names,
                 jobs=args.jobs,
             )
         else:
@@ -208,6 +236,7 @@ def _cmd_align(args: argparse.Namespace) -> int:
                 k=args.kmer,
                 band=args.edit_bound,
                 min_score=args.min_score,
+                filters=cascade_names,
                 jobs=args.jobs,
             )
     telemetry_on = bool(args.profile or args.trace_out or args.metrics_out)
@@ -224,9 +253,12 @@ def _cmd_align(args: argparse.Namespace) -> int:
     write_sam(args.output, reference, mapped, reads)
     stats = aligner.stats
     suffix = f" with {args.jobs} job(s)"
-    if args.pipeline == "genax" and args.prefilter:
+    if args.pipeline == "genax" and args.prefilter and cascade_names is None:
         checked = stats.candidates_filtered + stats.candidates_survived
         suffix += f", prefilter rejected {stats.candidates_filtered}/{checked}"
+    elif cascade_names:
+        checked = stats.candidates_filtered + stats.candidates_survived
+        suffix += f", filters rejected {stats.candidates_filtered}/{checked}"
     print(
         f"{args.pipeline}: mapped {stats.reads_mapped}/{stats.reads_total} reads "
         f"({stats.reads_exact} exact) in {elapsed:.1f}s"
@@ -265,10 +297,17 @@ def _export_telemetry(
     elapsed: float,
 ) -> None:
     """Publish backend counters and write the requested telemetry artifacts."""
-    from repro.pipeline.counters import collect_counters, publish_counters
+    from repro.pipeline.counters import (
+        collect_counters,
+        publish_cascade,
+        publish_counters,
+    )
 
     counters = collect_counters(aligner)
     publish_counters(telemetry.metrics, counters, args.pipeline)
+    publish_cascade(
+        telemetry.metrics, getattr(aligner, "cascade", None), args.pipeline
+    )
     if args.profile:
         print(render_profile(telemetry.metrics, elapsed), file=sys.stderr)
     if args.trace_out:

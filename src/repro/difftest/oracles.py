@@ -11,7 +11,12 @@ what "agree" means:
   internally valid (consistent ops that re-score to the reported score);
   the CIGARs themselves may differ, because co-optimal tracebacks are
   legitimately non-unique;
-* ``hit-set`` — the outputs are sorted hit lists that must be identical.
+* ``hit-set`` — the outputs are sorted hit lists that must be identical;
+* ``no-false-reject`` — one-sided: whenever the oracle's true distance is
+  within the fast side's budget, every filter verdict must admit.  The
+  converse direction is deliberately unconstrained — a pre-alignment
+  filter is allowed to be conservative (admit over-budget candidates),
+  never lossy (veto within-budget ones).
 
 Every hook is a module-level function (never a lambda or closure), so a
 future fuzz driver can shard pairs across processes via
@@ -40,7 +45,7 @@ from repro.align.hirschberg import (
 )
 from repro.align.bitvector import batch_myers_bounded, batch_semiglobal_min
 from repro.align.myers import myers_bounded, myers_distance, myers_search
-from repro.align.records import Alignment
+from repro.align.records import Alignment, AlignmentStats
 from repro.align.scoring import BWA_MEM_SCHEME
 from repro.align.smith_waterman import DPResult, extension_align, local_align
 from repro.align.striped_sw import striped_local_score
@@ -49,7 +54,9 @@ from repro.align.ula import UniversalLevenshteinAutomaton
 from repro.align.xdrop import xdrop_extension_score
 from repro.core.silla import Silla
 from repro.difftest.grammar import DiffCase, GenSpec
+from repro.filters import DEFAULT_CASCADE, get_filter
 from repro.genome.reference import ReferenceGenome
+from repro.pipeline.common import Candidate
 from repro.pipeline.registry import build_aligner, get_backend
 from repro.seeding.index import KmerIndex
 from repro.seeding.smem import SmemConfig, SmemFinder
@@ -78,6 +85,7 @@ class Contract(enum.Enum):
     EXACT_SCORE = "exact-score"
     SCORE_CIGAR = "score-cigar"
     HIT_SET = "hit-set"
+    NO_FALSE_REJECT = "no-false-reject"
 
 
 @dataclass(frozen=True)
@@ -116,12 +124,30 @@ def _score_cigar_mismatch(fast: Output, oracle: Output) -> Optional[str]:
     return None
 
 
+def _no_false_reject_mismatch(fast: Output, oracle: Output) -> Optional[str]:
+    if not isinstance(fast, dict) or not isinstance(oracle, dict):
+        return "no-false-reject outputs must be dicts"
+    if oracle["distance"] > fast["k"]:
+        return None  # over budget: a conservative filter may go either way
+    vetoed = sorted(
+        name for name, admitted in fast["verdicts"].items() if not admitted
+    )
+    if vetoed:
+        return (
+            f"false reject: true distance {oracle['distance']} is within "
+            f"budget k={fast['k']} but stage(s) {', '.join(vetoed)} vetoed"
+        )
+    return None
+
+
 def compare_outputs(
     contract: Contract, fast: Output, oracle: Output
 ) -> Optional[str]:
     """``None`` when the outputs satisfy *contract*, else a mismatch detail."""
     if contract is Contract.SCORE_CIGAR:
         return _score_cigar_mismatch(fast, oracle)
+    if contract is Contract.NO_FALSE_REJECT:
+        return _no_false_reject_mismatch(fast, oracle)
     if fast != oracle:
         return f"output mismatch: fast={fast!r} oracle={oracle!r}"
     return None
@@ -476,6 +502,63 @@ def _oracle_banded_verify(case: DiffCase) -> Output:
     return output
 
 
+# ------------------------------------------------- filter cascade
+
+
+def _fast_cascade_verdicts(case: DiffCase) -> Output:
+    """Every registered default-cascade stage's verdict on one window.
+
+    The whole reference is presented as the candidate window (slack padded
+    so the fetch covers it end to end), so each stage answers the same
+    question the oracle answers with full DP: could the query place
+    semi-globally in this text within ``k`` edits?
+    """
+    k = case.param("k")
+    reference = ReferenceGenome(case.reference, name="difftest")
+    slack = max(0, len(case.reference) - len(case.query))
+    candidate = Candidate(
+        window_start=0, reverse=False, seed_length=len(case.query)
+    )
+    verdicts: Dict[str, bool] = {}
+    for name in DEFAULT_CASCADE:
+        stage = get_filter(name).build(reference, k, slack)
+        verdicts[name] = bool(
+            stage.admit(case.query, candidate, AlignmentStats())
+        )
+    return {"k": k, "verdicts": verdicts}
+
+
+def _oracle_semiglobal_distance(case: DiffCase) -> Output:
+    return {"distance": _semiglobal_min_dp(case.query, case.reference)}
+
+
+def _map_genax(case: DiffCase, filters: Optional[Tuple[str, ...]]) -> Output:
+    """Map the case query with genax; the full mapping record is pinned."""
+    config = get_backend("genax").default_config()
+    config.min_score = MAPPING_MIN_SCORE
+    config.edit_bound = MAPPING_BUDGET
+    config.segment_count = 2
+    config.filters = filters
+    reference = ReferenceGenome(case.reference, name="difftest")
+    aligner = build_aligner("genax", reference, config)
+    mapped = aligner.align_read("difftest", case.query)
+    return {
+        "mapped": not mapped.is_unmapped,
+        "position": mapped.position,
+        "reverse": bool(mapped.reverse),
+        "score": mapped.score if not mapped.is_unmapped else 0,
+        "cigar": str(mapped.cigar) if mapped.cigar is not None else "",
+    }
+
+
+def _fast_genax_cascade_mapping(case: DiffCase) -> Output:
+    return _map_genax(case, DEFAULT_CASCADE)
+
+
+def _oracle_genax_nofilter_mapping(case: DiffCase) -> Output:
+    return _map_genax(case, None)
+
+
 # ------------------------------------------------- backend concordance
 
 
@@ -524,6 +607,9 @@ _MAPPING_SPEC = GenSpec(
     query_len=(24, MAPPING_MAX_READ),
     related_query=True,
 )
+#: Filter stages see windows a little larger than the query; keep both
+#: sides small enough that the full-DP oracle stays fast at 500+ cases.
+_FILTER_SPEC = GenSpec(ref_len=(0, 96), query_len=(0, 64))
 
 _PAIRS: Dict[str, OraclePair] = {}
 
@@ -696,6 +782,32 @@ _register(
         fast=_fast_bitvector_verify,
         oracle=_oracle_banded_verify,
         spec=_BITVECTOR_SPEC,
+    )
+)
+_register(
+    OraclePair(
+        name="filters-vs-distance",
+        contract=Contract.NO_FALSE_REJECT,
+        description=(
+            "Every default-cascade filter stage's verdict vs full-DP "
+            "semi-global distance: no stage may veto a within-budget window"
+        ),
+        fast=_fast_cascade_verdicts,
+        oracle=_oracle_semiglobal_distance,
+        spec=_FILTER_SPEC,
+    )
+)
+_register(
+    OraclePair(
+        name="cascade-vs-nofilter",
+        contract=Contract.EXACT_SCORE,
+        description=(
+            "genax with the full shouldered+sneakysnake+myers cascade vs "
+            "genax with no filters: bit-identical mapping records"
+        ),
+        fast=_fast_genax_cascade_mapping,
+        oracle=_oracle_genax_nofilter_mapping,
+        spec=_MAPPING_SPEC,
     )
 )
 _register(

@@ -1,0 +1,6 @@
+"""Print the registry-rendered filter table (the README embeds it)."""
+
+from repro.filters.registry import render_filter_table
+
+if __name__ == "__main__":
+    print(render_filter_table())

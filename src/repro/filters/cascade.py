@@ -1,0 +1,172 @@
+"""The ordered, batch-capable composition of pre-alignment filters.
+
+A :class:`FilterCascade` owns the veto pipeline between candidate
+enumeration and seed extension: stages run in order (cheapest first by
+convention), a candidate rejected at stage *i* never reaches stage
+*i + 1*, and a candidate is charged to the shared
+:class:`~repro.align.records.AlignmentStats` exactly once —
+``candidates_filtered`` when any stage vetoes it, ``candidates_survived``
+when it clears the whole cascade.  The cascade also keeps one
+:class:`~repro.filters.base.FilterStageStats` per stage (checked /
+rejected / false-accept / cycle counters), attributing each stage's
+``prefilter_cycles`` delta to the stage that streamed it.
+
+Dispatch mirrors the driver's ``extend_batch`` handling: each stage's
+``admit_batch`` capability is detected structurally once at
+construction, and :meth:`admit_batch_depths` feeds every stage only the
+lanes still alive — the batch path therefore evaluates exactly the same
+(candidate, stage) pairs as the per-candidate path, so verdicts *and*
+shared-stats charges are bit-identical between the two (the
+dispatch-identity tests assert it for every registered backend).
+
+The *depth* of a candidate is the number of stages it passed: a depth
+equal to ``len(cascade)`` means admitted; anything lower names the
+rejecting stage.  Depths drive the telemetry cascade histogram and the
+per-stage false-accept accounting (a rejection at stage *j* charges one
+false accept to every stage before *j*).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
+
+from repro.align.records import AlignmentStats
+from repro.filters.base import CandidateFilter, FilterJob, FilterStageStats
+
+if TYPE_CHECKING:
+    # Type-only: repro.pipeline imports this package at module scope, so
+    # a runtime import of repro.pipeline.common here would cycle.
+    from repro.pipeline.common import Candidate
+
+#: Structural type of a stage's optional vectorized hook.
+BatchHook = Callable[[Sequence[FilterJob], AlignmentStats], List[bool]]
+
+
+class FilterCascade:
+    """An ordered chain of :class:`CandidateFilter` stages."""
+
+    def __init__(self, stages: Sequence[CandidateFilter]) -> None:
+        if not stages:
+            raise ValueError("a FilterCascade needs at least one stage")
+        self._stages: Tuple[CandidateFilter, ...] = tuple(stages)
+        self.stage_names: Tuple[str, ...] = tuple(
+            getattr(stage, "name", type(stage).__name__.lower())
+            for stage in self._stages
+        )
+        self.stage_stats: Tuple[FilterStageStats, ...] = tuple(
+            FilterStageStats() for _ in self._stages
+        )
+        # Batch capability per stage, detected once (the driver does the
+        # same for extend_batch); a cascade is batch-capable when any
+        # stage is — scalar stages fall back to per-lane admit inside
+        # admit_batch_depths, preserving one uniform batch entry point.
+        self._batch_hooks: Tuple[Optional[BatchHook], ...] = tuple(
+            getattr(stage, "admit_batch", None) for stage in self._stages
+        )
+        self.batch_capable: bool = any(
+            hook is not None for hook in self._batch_hooks
+        )
+
+    def __len__(self) -> int:
+        return len(self._stages)
+
+    @property
+    def stages(self) -> Tuple[CandidateFilter, ...]:
+        return self._stages
+
+    # ------------------------------------------------------- per-candidate
+
+    def admit_depth(
+        self, oriented: str, candidate: Candidate, stats: AlignmentStats
+    ) -> int:
+        """Stages passed before the verdict; ``len(self)`` means admitted."""
+        depth = 0
+        for index, stage in enumerate(self._stages):
+            stage_stats = self.stage_stats[index]
+            stage_stats.checked += 1
+            before = stats.prefilter_cycles
+            admitted = stage.admit(oriented, candidate, stats)
+            stage_stats.cycles += stats.prefilter_cycles - before
+            if not admitted:
+                stage_stats.rejected += 1
+                for earlier in range(index):
+                    self.stage_stats[earlier].false_accepts += 1
+                stats.candidates_filtered += 1
+                return depth
+            depth += 1
+        stats.candidates_survived += 1
+        return depth
+
+    def admit(
+        self, oriented: str, candidate: Candidate, stats: AlignmentStats
+    ) -> bool:
+        """True iff *candidate* clears every stage (protocol-compatible)."""
+        return self.admit_depth(oriented, candidate, stats) == len(self)
+
+    # ------------------------------------------------------------- batched
+
+    def admit_batch_depths(
+        self, jobs: Sequence[FilterJob], stats: AlignmentStats
+    ) -> List[int]:
+        """Depth per job; entry *i* answers ``jobs[i]``.
+
+        Stage-major evaluation over the still-alive lanes: every stage
+        sees exactly the lanes the per-candidate path would have handed
+        it, so the additive counter totals match the scalar path.
+        """
+        depths = [0] * len(jobs)
+        alive = list(range(len(jobs)))
+        for index, stage in enumerate(self._stages):
+            if not alive:
+                break
+            subset = [jobs[i] for i in alive]
+            stage_stats = self.stage_stats[index]
+            stage_stats.checked += len(subset)
+            before = stats.prefilter_cycles
+            hook = self._batch_hooks[index]
+            if hook is not None:
+                verdicts = hook(subset, stats)
+                if len(verdicts) != len(subset):
+                    raise ValueError(
+                        f"filter {self.stage_names[index]!r} returned "
+                        f"{len(verdicts)} verdicts for {len(subset)} jobs"
+                    )
+            else:
+                verdicts = [
+                    stage.admit(oriented, candidate, stats)
+                    for oriented, candidate in subset
+                ]
+            stage_stats.cycles += stats.prefilter_cycles - before
+            survivors: List[int] = []
+            for job_index, admitted in zip(alive, verdicts):
+                if admitted:
+                    depths[job_index] += 1
+                    survivors.append(job_index)
+                else:
+                    stage_stats.rejected += 1
+                    for earlier in range(index):
+                        self.stage_stats[earlier].false_accepts += 1
+            alive = survivors
+        admitted_depth = len(self)
+        for depth in depths:
+            if depth == admitted_depth:
+                stats.candidates_survived += 1
+            else:
+                stats.candidates_filtered += 1
+        return depths
+
+    def admit_batch(
+        self, jobs: Sequence[FilterJob], stats: AlignmentStats
+    ) -> List[bool]:
+        """Verdict per job (True = admitted), batch-dispatched."""
+        admitted_depth = len(self)
+        return [
+            depth == admitted_depth
+            for depth in self.admit_batch_depths(jobs, stats)
+        ]
+
+    # ----------------------------------------------------------- reporting
+
+    def report(self) -> List[Tuple[str, FilterStageStats]]:
+        """(stage name, counters) rows in cascade order, for rendering."""
+        return list(zip(self.stage_names, self.stage_stats))

@@ -127,10 +127,19 @@ def encode_batch(
     return packed, lengths
 
 
-def decode_batch(
+def unpack_batch(
     packed: NDArray[np.uint64], lengths: NDArray[np.int64]
-) -> List[str]:
-    """Unpack :func:`encode_batch` output back into DNA strings."""
+) -> NDArray[np.uint8]:
+    """Unpack :func:`encode_batch` words into a ``(n, capacity)`` code matrix.
+
+    The array-facing inverse of :func:`encode_batch` for kernels that want
+    to compare bases lane-wise (e.g. the SneakySnake-style pre-alignment
+    filter) without materialising strings: entry ``[i, j]`` is the 2-bit
+    code of base ``j`` of sequence ``i``.  Positions at or beyond a row's
+    true length hold the packer's zero padding — mask with *lengths*
+    before trusting them.  :func:`decode_batch` goes all the way back to
+    DNA strings.
+    """
     packed = np.asarray(packed, dtype=np.uint64)
     lengths = np.asarray(lengths, dtype=np.int64)
     if packed.ndim != 2 or lengths.shape != (packed.shape[0],):
@@ -144,6 +153,17 @@ def decode_batch(
     codes = ((packed[:, :, None] >> shifts) & np.uint64(3)).reshape(
         count, capacity
     )
+    return codes.astype(np.uint8)
+
+
+def decode_batch(
+    packed: NDArray[np.uint64], lengths: NDArray[np.int64]
+) -> List[str]:
+    """Unpack :func:`encode_batch` output back into DNA strings."""
+    codes = unpack_batch(packed, lengths)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    capacity = codes.shape[1]
+    count = codes.shape[0]
     out: List[str] = []
     for row in range(count):
         length = int(lengths[row])

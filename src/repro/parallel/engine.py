@@ -206,8 +206,17 @@ class ParallelAligner:
 
         Reconstructed from the merged :class:`AlignmentStats`, which carry
         the same candidate/cycle counts the per-worker filters recorded.
+        Only the one-stage Myers cascade (the legacy ``prefilter`` flag or
+        its ``filters=("myers",)`` spelling) is reconstructible this way —
+        multi-stage cascades split the counts across stages that die with
+        the worker processes.
         """
-        if not isinstance(self.config, GenAxConfig) or not self.config.prefilter:
+        if not isinstance(self.config, GenAxConfig):
+            return None
+        if self.config.filters is None:
+            if not self.config.prefilter:
+                return None
+        elif self.config.filters != ("myers",):
             return None
         return PrefilterStats(
             candidates_checked=(

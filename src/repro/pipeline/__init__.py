@@ -1,8 +1,9 @@
 """End-to-end read-alignment pipelines.
 
 * :mod:`repro.pipeline.stages` — the staged-pipeline framework: the
-  ``SeedProvider`` / ``CandidateFilter`` / ``ExtensionEngine`` protocols
-  and the single :class:`PipelineDriver` every backend runs behind.
+  ``SeedProvider`` / ``ExtensionEngine`` protocols, the
+  :class:`repro.filters.FilterCascade` slot and the single
+  :class:`PipelineDriver` every backend runs behind.
 * :mod:`repro.pipeline.registry` — name -> stage-composition registry;
   backend-agnostic drivers (CLI, :class:`repro.parallel.ParallelAligner`)
   resolve backends here.
@@ -26,11 +27,10 @@ from repro.pipeline.registry import (
     register_backend,
     render_backend_table,
 )
+from repro.filters import CandidateFilter, FilterCascade, MyersCandidateFilter
 from repro.pipeline.sam import sam_record, write_sam
 from repro.pipeline.stages import (
-    CandidateFilter,
     ExtensionEngine,
-    MyersCandidateFilter,
     PipelineDriver,
     SeedProvider,
     StageSet,
@@ -52,6 +52,7 @@ __all__ = [
     "render_backend_table",
     "CandidateFilter",
     "ExtensionEngine",
+    "FilterCascade",
     "MyersCandidateFilter",
     "PipelineDriver",
     "SeedProvider",

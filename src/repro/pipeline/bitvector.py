@@ -37,9 +37,10 @@ from repro.align.bitvector import batch_semiglobal_min
 from repro.align.myers import myers_semiglobal_min
 from repro.align.records import AlignmentStats, MappedRead, ReadInput
 from repro.align.scoring import BWA_MEM_SCHEME, ScoringScheme
+from repro.filters import FilterCascade, build_cascade
 from repro.genome.reference import ReferenceGenome
 from repro.pipeline.bwamem import WholeGenomeSeedProvider
-from repro.pipeline.common import Candidate, Extension
+from repro.pipeline.common import Candidate, Extension, window_span
 from repro.pipeline.stages import ExtensionJob, PipelineDriver, StageSet
 from repro.seeding.accelerator import SeedingLane
 from repro.seeding.index import IndexTables, KmerIndex
@@ -59,6 +60,10 @@ class BitvectorConfig:
     max_candidates: Optional[int] = 64
     scheme: ScoringScheme = field(default_factory=lambda: BWA_MEM_SCHEME)
     kernel: str = "batched"  # "batched" (NumPy lanes) or "scalar" (reference)
+    # Pre-alignment filter cascade: ordered registered filter names
+    # (repro.filters.registry), sharing ``edit_bound`` as the budget.
+    # None/() disables filtering (the pinned default).
+    filters: Optional[Tuple[str, ...]] = None
     # Shard-parallel driver knob (consumed by repro.parallel.ParallelAligner).
     jobs: int = 1
 
@@ -112,9 +117,10 @@ class _BitvectorEngineBase:
 
     def _window_span(self, oriented: str, candidate: Candidate) -> Tuple[int, int]:
         # Deletions in the read consume extra reference, so the window
-        # carries edit_bound bases of slack — the same rule the banded
-        # and SillaX engines use.
-        return candidate.window_start, len(oriented) + self.edit_bound
+        # carries edit_bound bases of slack — the shared window rule
+        # (repro.pipeline.common.window_span) every verification stage
+        # uses; the dedupe caches key on this span.
+        return window_span(candidate, len(oriented), self.edit_bound)
 
     def _survivor_extension(
         self,
@@ -269,6 +275,12 @@ class BitvectorAligner:
         self._engine = engine_type(
             reference, self.config.edit_bound, self.config.scheme
         )
+        self._cascade = build_cascade(
+            self.config.filters or (),
+            reference,
+            self.config.edit_bound,
+            self.config.edit_bound,
+        )
         self._driver = PipelineDriver(
             StageSet(
                 seeder=WholeGenomeSeedProvider(self._lane),
@@ -276,9 +288,15 @@ class BitvectorAligner:
                 match_score=self.config.scheme.match,
                 min_score=self.config.min_score,
                 max_candidates=self.config.max_candidates,
+                cascade=self._cascade,
             )
         )
         self.stats: AlignmentStats = self._driver.stats
+
+    @property
+    def cascade(self) -> Optional[FilterCascade]:
+        """The installed pre-alignment cascade (None when disabled)."""
+        return self._cascade
 
     @staticmethod
     def build_tables(reference: ReferenceGenome, k: int) -> IndexTables:

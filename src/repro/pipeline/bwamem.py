@@ -21,13 +21,14 @@ accelerator's cycles without trusting Python wall-clock.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.align.banded import banded_extension_align
 from repro.align.records import AlignmentStats, MappedRead, ReadInput
 from repro.align.scoring import BWA_MEM_SCHEME, ScoringScheme
+from repro.filters import FilterCascade, build_cascade
 from repro.genome.reference import ReferenceGenome
-from repro.pipeline.common import Candidate, Extension
+from repro.pipeline.common import Candidate, Extension, fetch_window
 from repro.pipeline.stages import PipelineDriver, StageSet
 from repro.seeding.accelerator import GlobalSeed, SeedingLane
 from repro.seeding.index import IndexTables, KmerIndex
@@ -43,6 +44,10 @@ class BwaMemConfig:
     min_score: int = 30  # BWA-MEM reports alignments scoring above 30
     max_candidates: Optional[int] = 64
     scheme: ScoringScheme = field(default_factory=lambda: BWA_MEM_SCHEME)
+    # Pre-alignment filter cascade: ordered registered filter names
+    # (repro.filters.registry), sharing the DP band as the edit budget.
+    # None/() disables filtering (the pinned default).
+    filters: Optional[Tuple[str, ...]] = None
     # Shard-parallel driver knob (consumed by repro.parallel.ParallelAligner;
     # the software pipeline shards exactly like the accelerator does).
     jobs: int = 1
@@ -77,9 +82,8 @@ class BandedExtensionEngine:
     def extend(
         self, oriented: str, candidate: Candidate, stats: AlignmentStats
     ) -> Optional[Extension]:
-        window = self.reference.fetch(
-            candidate.window_start,
-            candidate.window_start + len(oriented) + self.band,
+        window = fetch_window(
+            self.reference, candidate, len(oriented), self.band
         )
         result = banded_extension_align(window, oriented, self.band, self.scheme)
         stats.extensions += 1
@@ -115,6 +119,14 @@ class BwaMemAligner:
         if tables is None:
             tables = self.build_tables(reference, self.config.k)
         self._lane = SeedingLane(tables, smem_config)
+        # The DP band doubles as the cascade's shared edit budget: an
+        # alignment confined to the band can't exceed ``band`` edits.
+        self._cascade = build_cascade(
+            self.config.filters or (),
+            reference,
+            self.config.band,
+            self.config.band,
+        )
         self._driver = PipelineDriver(
             StageSet(
                 seeder=WholeGenomeSeedProvider(self._lane),
@@ -124,9 +136,15 @@ class BwaMemAligner:
                 match_score=self.config.scheme.match,
                 min_score=self.config.min_score,
                 max_candidates=self.config.max_candidates,
+                cascade=self._cascade,
             )
         )
         self.stats: AlignmentStats = self._driver.stats
+
+    @property
+    def cascade(self) -> Optional[FilterCascade]:
+        """The installed pre-alignment cascade (None when disabled)."""
+        return self._cascade
 
     @staticmethod
     def build_tables(reference: ReferenceGenome, k: int) -> IndexTables:

@@ -10,9 +10,10 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass
-from typing import Dict, Protocol
+from typing import Dict, Optional, Protocol
 
 from repro.align.records import AlignmentStats
+from repro.filters import FilterCascade
 from repro.seeding.accelerator import SeedingStats
 from repro.sillax.lane import LaneStats
 from repro.telemetry.metrics import MetricRegistry
@@ -189,3 +190,41 @@ def publish_counters(
             registry.gauge(
                 metric_name, f"{backend} derived counter {name}"
             ).set_max(float(value))
+
+
+def publish_cascade(
+    registry: MetricRegistry,
+    cascade: Optional[FilterCascade],
+    backend: str,
+) -> None:
+    """Publish a filter cascade's per-stage counters into a registry.
+
+    One counter per (stage, field): ``<backend>_filter_<stage>_checked``
+    / ``_rejected`` / ``_false_accepts`` / ``_cycles``, plus a
+    ``_reject_fraction`` gauge per stage — the observability surface for
+    per-stage reject rates and false-accept charging.  No-op when the
+    backend runs without a cascade (or, shard-parallel, when the
+    per-stage breakdown died with the worker processes).
+    """
+    if cascade is None:
+        return
+    for stage_name, stage in cascade.report():
+        prefix = f"{backend}_filter_{stage_name}"
+        fields = (
+            ("checked", stage.checked, "candidates this stage examined"),
+            ("rejected", stage.rejected, "candidates this stage vetoed"),
+            (
+                "false_accepts",
+                stage.false_accepts,
+                "candidates this stage admitted that a later stage vetoed",
+            ),
+            ("cycles", stage.cycles, "modelled filter cycles charged"),
+        )
+        for field, value, help_text in fields:
+            registry.counter(
+                f"{prefix}_{field}", f"{stage_name} stage: {help_text}"
+            ).inc(value)
+        registry.gauge(
+            f"{prefix}_reject_fraction",
+            f"{stage_name} stage: fraction of checked candidates vetoed",
+        ).set_max(stage.reject_fraction)

@@ -9,7 +9,8 @@ charged to the DDR4 streaming model.
 Structurally the backend is a :class:`~repro.pipeline.stages.StageSet`
 behind the shared :class:`~repro.pipeline.stages.PipelineDriver`:
 :class:`SegmentedSeedProvider` (the seeding accelerator front-end),
-optionally :class:`~repro.pipeline.stages.MyersCandidateFilter`, and
+optionally a pre-alignment :class:`~repro.filters.FilterCascade` (built
+by name from :mod:`repro.filters.registry`), and
 :class:`SillaXExtensionEngine` (the traceback lanes).  Functionally the
 pipeline mirrors :mod:`repro.pipeline.bwamem` — the concordance
 experiment (§VIII-A) compares the two extension engines behind the very
@@ -20,7 +21,7 @@ bytes streamed) feeds the throughput model behind Fig. 15.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.align.prefilter import PrefilterStats
 from repro.align.records import (
@@ -29,13 +30,10 @@ from repro.align.records import (
     ReadInput,
 )
 from repro.align.scoring import BWA_MEM_SCHEME, ScoringScheme
+from repro.filters import FilterCascade, MyersCandidateFilter, build_cascade
 from repro.genome.reference import ReferenceGenome
 from repro.pipeline.common import Candidate, Extension
-from repro.pipeline.stages import (
-    MyersCandidateFilter,
-    PipelineDriver,
-    StageSet,
-)
+from repro.pipeline.stages import PipelineDriver, StageSet
 from repro.seeding.accelerator import (
     GlobalSeed,
     SeedingAccelerator,
@@ -61,10 +59,14 @@ class GenAxConfig:
     probe: bool = True
     exact_match_fast_path: bool = True
     scheme: ScoringScheme = field(default_factory=lambda: BWA_MEM_SCHEME)
-    # Myers bit-vector pre-alignment filter (repro.align.prefilter): reject
-    # candidate windows with no semi-global placement of the read within
-    # ``prefilter_k`` edits (None -> ``edit_bound``, the SillaX budget)
-    # before the cycle-accurate lane runs.
+    # Pre-alignment filter cascade: an ordered tuple of registered filter
+    # names (repro.filters.registry) vetoing candidate windows with no
+    # semi-global placement of the read within ``prefilter_k`` edits
+    # (None -> ``edit_bound``, the SillaX budget) before the
+    # cycle-accurate lane runs.  ``None`` defers to the legacy
+    # ``prefilter`` flag below, which maps onto the one-stage ("myers",)
+    # cascade.
+    filters: Optional[Tuple[str, ...]] = None
     prefilter: bool = False
     prefilter_k: Optional[int] = None
     # Shard-parallel driver knobs (consumed by repro.parallel.ParallelAligner).
@@ -142,10 +144,10 @@ class SillaXExtensionEngine:
 class GenAxAligner:
     """The accelerator: a thin facade over the staged pipeline driver.
 
-    Composes segmented SMEM seeding + (optional) Myers prefilter + SillaX
-    seed extension into a :class:`StageSet`; the public mapping API,
-    ``stats`` surface and output are unchanged (enforced bit-for-bit by
-    the golden-fixture tests).
+    Composes segmented SMEM seeding + (optional) pre-alignment filter
+    cascade + SillaX seed extension into a :class:`StageSet`; the public
+    mapping API, ``stats`` surface and output are unchanged (enforced
+    bit-for-bit by the golden-fixture tests).
     """
 
     def __init__(
@@ -180,16 +182,17 @@ class GenAxAligner:
             self.config.scheme,
             self.config.sillax_lanes,
         )
-        self._filter = (
-            MyersCandidateFilter(
-                reference,
-                self.config.prefilter_k
-                if self.config.prefilter_k is not None
-                else self.config.edit_bound,
-                self.config.edit_bound,
-            )
-            if self.config.prefilter
-            else None
+        filter_names = self.config.filters
+        if filter_names is None and self.config.prefilter:
+            # Legacy single-filter flag: the one-stage Myers cascade.
+            filter_names = ("myers",)
+        self._cascade = build_cascade(
+            filter_names or (),
+            reference,
+            self.config.prefilter_k
+            if self.config.prefilter_k is not None
+            else self.config.edit_bound,
+            self.config.edit_bound,
         )
         self._driver = PipelineDriver(
             StageSet(
@@ -198,7 +201,7 @@ class GenAxAligner:
                 match_score=self.config.scheme.match,
                 min_score=self.config.min_score,
                 max_candidates=self.config.max_candidates,
-                filters=(self._filter,) if self._filter is not None else (),
+                cascade=self._cascade,
             )
         )
         # The driver owns the counters; the facade aliases them so the
@@ -217,9 +220,18 @@ class GenAxAligner:
         return self.seeder.stats
 
     @property
+    def cascade(self) -> Optional[FilterCascade]:
+        """The installed pre-alignment cascade (None when disabled)."""
+        return self._cascade
+
+    @property
     def prefilter_stats(self) -> Optional[PrefilterStats]:
-        """The Myers prefilter's own counters (None when disabled)."""
-        return self._filter.stats if self._filter is not None else None
+        """The Myers stage's own counters (None when no Myers stage runs)."""
+        if self._cascade is not None:
+            for stage in self._cascade.stages:
+                if isinstance(stage, MyersCandidateFilter):
+                    return stage.stats
+        return None
 
     def align_read(self, name: str, sequence: str) -> MappedRead:
         """Map one read through the accelerator."""

@@ -12,7 +12,7 @@ the stages share —
 * the exact-match fast path (§V optimization 3) and its once-per-read
   ``reads_exact`` accounting,
 * candidate deduplication/ranking (:func:`repro.pipeline.common.candidates_from_seeds`),
-* candidate filtering (e.g. the Myers bit-vector pre-alignment filter),
+* the pre-alignment filter cascade (:class:`repro.filters.FilterCascade`),
 * best-hit selection and the mapped/unmapped counters,
 
 in **both** execution orders: per-read (seed one read, extend, next read)
@@ -28,10 +28,15 @@ Stage contracts
     ``seed(oriented)`` / ``seed_batch(oriented)`` return
     :class:`~repro.seeding.accelerator.GlobalSeed` lists in global genome
     coordinates, with whole-read exact matches flagged.
-:class:`CandidateFilter`
-    ``admit(oriented, candidate, stats)`` vetoes candidate placements
-    before the (expensive) extension engine runs, charging its work to
-    the shared :class:`~repro.align.records.AlignmentStats`.
+:class:`repro.filters.FilterCascade`
+    The ordered composition of :class:`~repro.filters.CandidateFilter`
+    stages that vetoes candidate placements before the (expensive)
+    extension engine runs, charging work to the shared
+    :class:`~repro.align.records.AlignmentStats` and keeping per-stage
+    reject/false-accept counters.  When the cascade is batch-capable
+    (any stage implements ``admit_batch``) the driver defers filtering
+    into one cross-read ``filter_batch`` dispatch, exactly the way it
+    batches extension below.
 :class:`ExtensionEngine`
     ``extend(oriented, candidate, stats)`` verifies one placement and
     returns an :class:`~repro.pipeline.common.Extension` (or ``None`` to
@@ -68,7 +73,6 @@ from typing import (
     Tuple,
 )
 
-from repro.align.prefilter import MyersPrefilter, PrefilterStats
 from repro.align.records import (
     AlignmentStats,
     MappedRead,
@@ -76,7 +80,8 @@ from repro.align.records import (
     ReadInput,
     as_named_read,
 )
-from repro.genome.reference import ReferenceGenome
+from repro.filters.base import CandidateFilter
+from repro.filters.cascade import FilterCascade
 from repro.pipeline.common import (
     Candidate,
     Extension,
@@ -98,16 +103,6 @@ class SeedProvider(Protocol):
 
     def seed_batch(self, oriented: Sequence[str]) -> List[List[GlobalSeed]]:
         """Seed a whole oriented-sequence batch (segment-major order)."""
-        ...
-
-
-class CandidateFilter(Protocol):
-    """Stage 2 (optional): veto candidate placements before extension."""
-
-    def admit(
-        self, oriented: str, candidate: Candidate, stats: AlignmentStats
-    ) -> bool:
-        """True iff *candidate* should reach the extension engine."""
         ...
 
 
@@ -151,44 +146,7 @@ class StageSet:
     match_score: int  # score of one exact-matched base (fast-path scoring)
     min_score: int  # report threshold fed to select_best
     max_candidates: Optional[int]  # per-strand candidate cap
-    filters: Tuple[CandidateFilter, ...] = ()
-
-
-class MyersCandidateFilter:
-    """The first :class:`CandidateFilter` instance: Myers bit-vector scan.
-
-    Wraps :class:`repro.align.prefilter.MyersPrefilter` over the same
-    reference window the extension engine would fetch (read length +
-    ``window_slack``).  Rejections and the modelled streaming cycles are
-    charged to the shared :class:`AlignmentStats`, so pipeline cycle
-    totals stay faithful whether or not the filter is installed.
-    """
-
-    def __init__(
-        self, reference: ReferenceGenome, max_edits: int, window_slack: int
-    ) -> None:
-        self.reference = reference
-        self.window_slack = window_slack
-        self._prefilter = MyersPrefilter(max_edits)
-
-    @property
-    def stats(self) -> PrefilterStats:
-        """The wrapped filter's own counters."""
-        return self._prefilter.stats
-
-    def admit(
-        self, oriented: str, candidate: Candidate, stats: AlignmentStats
-    ) -> bool:
-        window = self.reference.fetch(
-            candidate.window_start,
-            candidate.window_start + len(oriented) + self.window_slack,
-        )
-        stats.prefilter_cycles += len(window)
-        if not self._prefilter.survives(oriented, window):
-            stats.candidates_filtered += 1
-            return False
-        stats.candidates_survived += 1
-        return True
+    cascade: Optional[FilterCascade] = None
 
 
 @dataclass
@@ -255,6 +213,23 @@ class PipelineDriver:
             ]
         ] = getattr(stages.extender, "extend_batch", None)
         self._extend_batch = hook if batch_dispatch else None
+        # Same structural detection for the filter cascade: when any
+        # stage is batch-capable, filtering is deferred out of the
+        # per-read gather into one cross-read ``filter_batch`` dispatch.
+        cascade = stages.cascade
+        self._filter_batch: Optional[
+            Callable[[Sequence[ExtensionJob], AlignmentStats], List[int]]
+        ] = (
+            cascade.admit_batch_depths
+            if batch_dispatch and cascade is not None and cascade.batch_capable
+            else None
+        )
+        # Either batched capability routes reads through the plan-based
+        # gather/filter/dispatch/finish phases; with neither, the classic
+        # per-read loop runs untouched.
+        self._use_plans = (
+            self._extend_batch is not None or self._filter_batch is not None
+        )
 
     # ----------------------------------------------------------------- API
 
@@ -270,16 +245,18 @@ class PipelineDriver:
             for oriented, __ in strands(sequence)
         ]
         if tel is None:
-            if self._extend_batch is None:
+            if not self._use_plans:
                 return self._map_read(name, sequence, seed_lists)
             plan = self._gather(name, sequence, seed_lists)
+            self._filter_plans([plan])
             self._dispatch_batch([plan])
             return self._finish(plan)
         tel.stage_end("seed")
-        if self._extend_batch is None:
+        if not self._use_plans:
             mapped = self._map_read(name, sequence, seed_lists)
         else:
             plan = self._gather(name, sequence, seed_lists)
+            self._filter_plans([plan])
             self._dispatch_batch([plan])
             mapped = self._finish(plan)
         tel.stage_end("align_read")
@@ -315,7 +292,7 @@ class PipelineDriver:
         if tel is not None:
             tel.stage_end("seed")
         out: List[MappedRead] = []
-        if self._extend_batch is None:
+        if not self._use_plans:
             for index, (name, sequence) in enumerate(named):
                 out.append(
                     self._map_read(
@@ -323,16 +300,17 @@ class PipelineDriver:
                     )
                 )
         else:
-            # Batch-capable engine: gather every read's surviving
-            # candidates first, verify them all in one vectorized
-            # dispatch (lane count scales with the whole batch, not one
-            # read), then select per read.
+            # Batch-capable cascade and/or engine: gather every read's
+            # candidates first, run one cross-read filter dispatch, then
+            # one vectorized extend dispatch (lane counts scale with the
+            # whole batch, not one read), then select per read.
             plans = [
                 self._gather(
                     name, sequence, seed_lists[2 * index : 2 * index + 2]
                 )
                 for index, (name, sequence) in enumerate(named)
             ]
+            self._filter_plans(plans)
             self._dispatch_batch(plans)
             out = [self._finish(plan) for plan in plans]
         if tel is not None:
@@ -351,6 +329,8 @@ class PipelineDriver:
         stages = self.stages
         stats = self.stats
         tel = self.telemetry
+        cascade = stages.cascade
+        cascade_depth = len(cascade) if cascade is not None else 0
         stats.reads_total += 1
         if tel is not None:
             tel.stage_begin("read")
@@ -378,14 +358,12 @@ class PipelineDriver:
                 if tel is not None:
                     candidate_count += 1
                     tel.observe_candidate()
-                    if stages.filters:
+                    if cascade is not None:
                         tel.stage_begin("filter")
-                        admitted = all(
-                            f.admit(oriented, candidate, stats)
-                            for f in stages.filters
-                        )
+                        depth = cascade.admit_depth(oriented, candidate, stats)
                         tel.stage_end("filter")
-                        if not admitted:
+                        tel.observe_cascade(depth)
+                        if depth != cascade_depth:
                             continue
                     tel.stage_begin("extend")
                     extension = stages.extender.extend(
@@ -396,8 +374,8 @@ class PipelineDriver:
                         tel.observe_extension(extension)
                         extensions.append(extension)
                     continue
-                if not all(
-                    f.admit(oriented, candidate, stats) for f in stages.filters
+                if cascade is not None and not cascade.admit(
+                    oriented, candidate, stats
                 ):
                     continue
                 extension = stages.extender.extend(oriented, candidate, stats)
@@ -426,10 +404,20 @@ class PipelineDriver:
         sequence: str,
         seed_lists: Sequence[Sequence[GlobalSeed]],
     ) -> _ReadPlan:
-        """Phase 1 of batched dispatch: fast path, candidates, filters."""
+        """Phase 1 of batched dispatch: fast path, candidates, filters.
+
+        With a batch-capable cascade installed, filtering is *deferred*:
+        the plan keeps every enumerated candidate as a pending job and
+        :meth:`_filter_plans` runs one cross-read cascade dispatch over
+        all of them.  Otherwise the cascade runs inline per candidate,
+        exactly like the per-read path.
+        """
         stages = self.stages
         stats = self.stats
         tel = self.telemetry
+        cascade = stages.cascade
+        cascade_depth = len(cascade) if cascade is not None else 0
+        inline_cascade = cascade if self._filter_batch is None else None
         stats.reads_total += 1
         if tel is not None:
             tel.stage_begin("read")
@@ -455,16 +443,17 @@ class PipelineDriver:
                 candidate_count += 1
                 if tel is not None:
                     tel.observe_candidate()
-                if stages.filters:
+                if inline_cascade is not None:
                     if tel is not None:
                         tel.stage_begin("filter")
-                    admitted = all(
-                        f.admit(oriented, candidate, stats)
-                        for f in stages.filters
-                    )
-                    if tel is not None:
+                        depth = inline_cascade.admit_depth(
+                            oriented, candidate, stats
+                        )
                         tel.stage_end("filter")
-                    if not admitted:
+                        tel.observe_cascade(depth)
+                        if depth != cascade_depth:
+                            continue
+                    elif not inline_cascade.admit(oriented, candidate, stats):
                         continue
                 jobs.append((oriented, candidate))
         if exact_seen:
@@ -473,16 +462,76 @@ class PipelineDriver:
             tel.stage_end("read")
         return _ReadPlan(name, len(sequence), extensions, jobs, candidate_count)
 
-    def _dispatch_batch(self, plans: Sequence[_ReadPlan]) -> None:
-        """Phase 2: one vectorized extend call over every plan's jobs."""
-        extend_batch = self._extend_batch
-        assert extend_batch is not None
+    def _filter_plans(self, plans: Sequence[_ReadPlan]) -> None:
+        """Phase 1b: one cross-read cascade dispatch over pending jobs.
+
+        No-op unless the cascade is batch-capable (inline filtering
+        already ran inside :meth:`_gather` then).  Rejected jobs are
+        dropped from their plans; the survivors proceed to extension in
+        the same job order the inline path would have produced.
+        """
+        filter_batch = self._filter_batch
+        if filter_batch is None:
+            return
         jobs: List[ExtensionJob] = []
         for plan in plans:
             jobs.extend(plan.jobs)
         if not jobs:
             return
         tel = self.telemetry
+        if tel is not None:
+            tel.stage_begin("filter_batch")
+        depths = filter_batch(jobs, self.stats)
+        if tel is not None:
+            tel.stage_end("filter_batch")
+        if len(depths) != len(jobs):
+            raise ValueError(
+                f"cascade returned {len(depths)} depths for {len(jobs)} jobs"
+            )
+        cascade = self.stages.cascade
+        assert cascade is not None
+        cascade_depth = len(cascade)
+        index = 0
+        for plan in plans:
+            survivors: List[ExtensionJob] = []
+            for job in plan.jobs:
+                depth = depths[index]
+                index += 1
+                if tel is not None:
+                    tel.observe_cascade(depth)
+                if depth == cascade_depth:
+                    survivors.append(job)
+            plan.jobs = survivors
+
+    def _dispatch_batch(self, plans: Sequence[_ReadPlan]) -> None:
+        """Phase 2: one vectorized extend call over every plan's jobs.
+
+        When only the *cascade* is batch-capable (scalar extension
+        engine), the surviving jobs fall back to per-candidate
+        ``extend`` calls in job order — same results, same charges.
+        """
+        extend_batch = self._extend_batch
+        tel = self.telemetry
+        if extend_batch is None:
+            extender = self.stages.extender
+            stats = self.stats
+            for plan in plans:
+                for oriented, candidate in plan.jobs:
+                    if tel is not None:
+                        tel.stage_begin("extend")
+                    extension = extender.extend(oriented, candidate, stats)
+                    if tel is not None:
+                        tel.stage_end("extend")
+                    if extension is not None:
+                        if tel is not None:
+                            tel.observe_extension(extension)
+                        plan.extensions.append(extension)
+            return
+        jobs: List[ExtensionJob] = []
+        for plan in plans:
+            jobs.extend(plan.jobs)
+        if not jobs:
+            return
         if tel is not None:
             tel.stage_begin("extend_batch")
             tel.observe_batch(len(jobs))

@@ -108,7 +108,9 @@ def write_chrome_trace(path: Union[str, Path], tracer: Tracer) -> None:
 #: The pipeline stages the driver brackets, in pipeline order.  Shared
 #: with :class:`repro.telemetry.runtime.PipelineTelemetry`, which
 #: registers one ``pipeline_stage_seconds_<stage>`` histogram per entry.
-PROFILE_STAGES = ("seed", "filter", "extend", "extend_batch", "select")
+PROFILE_STAGES = (
+    "seed", "filter", "filter_batch", "extend", "extend_batch", "select",
+)
 
 #: Work counters rendered under the stage table: metric name -> label.
 _WORK_COUNTERS = (
@@ -144,17 +146,17 @@ def render_profile(registry: MetricRegistry, elapsed_s: float) -> str:
         stage_total += seconds
     lines = [
         "pipeline profile (stage seconds are summed across shards)",
-        f"{'stage':<8} {'calls':>10} {'total_s':>10} {'mean_ms':>10} {'share':>7}",
+        f"{'stage':<12} {'calls':>10} {'total_s':>10} {'mean_ms':>10} {'share':>7}",
     ]
     for stage, calls, seconds in rows:
         mean_ms = (seconds / calls * 1e3) if calls else 0.0
         share = (seconds / stage_total) if stage_total > 0 else 0.0
         lines.append(
-            f"{stage:<8} {calls:>10} {seconds:>10.3f} "
+            f"{stage:<12} {calls:>10} {seconds:>10.3f} "
             f"{mean_ms:>10.3f} {share:>6.1%}"
         )
     lines.append(
-        f"{'(sum)':<8} {sum(calls for __, calls, __s in rows):>10} "
+        f"{'(sum)':<12} {sum(calls for __, calls, __s in rows):>10} "
         f"{stage_total:>10.3f} {'':>10} {'':>7}"
     )
     lines.append(f"wall time: {elapsed_s:.3f}s")

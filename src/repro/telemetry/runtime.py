@@ -68,9 +68,17 @@ BATCH_BUCKETS: Tuple[float, ...] = (
     1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 4096.0,
 )
 
+#: Cascade-depth buckets: stages a candidate passed before its verdict
+#: (registered cascades run up to a handful of stages).
+CASCADE_BUCKETS: Tuple[float, ...] = (
+    0.0, 1.0, 2.0, 3.0, 4.0, 6.0, 8.0,
+)
+
 #: Stages the driver brackets (kept in sync with exporters.PROFILE_STAGES
 #: by a test); each gets a pipeline_stage_seconds_<stage> histogram.
-STAGES: Tuple[str, ...] = ("seed", "filter", "extend", "extend_batch", "select")
+STAGES: Tuple[str, ...] = (
+    "seed", "filter", "filter_batch", "extend", "extend_batch", "select",
+)
 
 TelemetrySnapshot = Dict[str, Any]
 """Picklable payload a worker ships back: metric states + trace events."""
@@ -91,6 +99,7 @@ class PipelineTelemetry:
         "_seed_lengths",
         "_edit_distances",
         "_batch_lanes",
+        "_cascade_depths",
     )
 
     def __init__(
@@ -138,6 +147,11 @@ class PipelineTelemetry:
             BATCH_BUCKETS,
             "candidate lanes per batched extension dispatch",
         )
+        self._cascade_depths = self.metrics.histogram(
+            "pipeline_cascade_depth",
+            CASCADE_BUCKETS,
+            "filter-cascade stages a candidate passed before its verdict",
+        )
 
     # ------------------------------------------------- driver-facing hooks
 
@@ -173,6 +187,10 @@ class PipelineTelemetry:
     def observe_batch(self, lane_count: int) -> None:
         """Record one batched extension dispatch (its lane count)."""
         self._batch_lanes.observe(float(lane_count))
+
+    def observe_cascade(self, depth: int) -> None:
+        """Record one candidate's cascade depth (stages passed)."""
+        self._cascade_depths.observe(float(depth))
 
     def read_done(self, candidate_count: int) -> None:
         """Close out one read's accounting."""

@@ -42,3 +42,35 @@ class TestDesignDoc:
         for spec in all_project_rules():
             assert spec.code in design
             assert spec.name in design
+
+
+class TestReadmeFilterTable:
+    def test_rendered_table_is_embedded_verbatim(self):
+        from repro.filters import render_filter_table
+
+        assert render_filter_table() in read_doc("README.md")
+
+    def test_table_covers_every_registered_filter(self):
+        from repro.filters import filter_names, render_filter_table
+
+        table = render_filter_table()
+        for name in filter_names():
+            assert f"| `{name}` |" in table
+
+
+class TestDesignFilterCascade:
+    def test_cascade_section_exists(self):
+        assert "## Filter cascade (`repro/filters`)" in read_doc("DESIGN.md")
+
+    def test_section_names_every_registered_filter(self):
+        from repro.filters import filter_names
+
+        design = read_doc("DESIGN.md")
+        for name in filter_names():
+            assert f"`{name}`" in design
+
+    def test_section_names_the_telemetry_surface(self):
+        design = read_doc("DESIGN.md")
+        assert "pipeline_cascade_depth" in design
+        assert "filter_batch" in design
+        assert "publish_cascade" in design

@@ -10,14 +10,15 @@ import pytest
 from repro.difftest.runner import run_pair
 from repro.difftest.oracles import all_pairs
 
-#: Cases per pair for the nightly budget.  The mapping pair builds two
-#: full aligners per case, so it gets a reduced share.
+#: Cases per pair for the nightly budget.  The mapping pairs build two
+#: full aligners per case, so they get a reduced share.
 NIGHTLY_CASES = 400
 MAPPING_CASES = 150
+_MAPPING_PAIRS = ("genax-vs-bwamem", "cascade-vs-nofilter")
 
 
 def _budget(pair_name: str) -> int:
-    return MAPPING_CASES if pair_name == "genax-vs-bwamem" else NIGHTLY_CASES
+    return MAPPING_CASES if pair_name in _MAPPING_PAIRS else NIGHTLY_CASES
 
 
 @pytest.mark.fuzz

@@ -1,0 +1,209 @@
+"""Unit tests for the FilterCascade composition semantics.
+
+These tests use stub stages so every property of the cascade itself —
+ordering, short-circuiting, once-per-candidate charging, false-accept
+attribution, scalar/batched equivalence — is pinned independently of any
+concrete filter kernel (those get their own admissibility tests in
+test_stage_bounds.py).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.align.records import AlignmentStats
+from repro.filters import FilterCascade, FilterStageStats
+from repro.pipeline.common import Candidate
+
+CANDIDATE = Candidate(window_start=0, reverse=False, seed_length=7)
+
+
+class ScalarStub:
+    """Scalar-only stage: admits iff the verdict function says so."""
+
+    def __init__(self, name, verdict, cycles=3):
+        self.name = name
+        self._verdict = verdict
+        self._cycles = cycles
+        self.calls = []
+
+    def admit(self, oriented, candidate, stats):
+        self.calls.append(oriented)
+        stats.prefilter_cycles += self._cycles
+        return self._verdict(oriented)
+
+
+class BatchStub(ScalarStub):
+    """Batch-capable stage whose admit_batch is pure batching."""
+
+    def admit_batch(self, jobs, stats):
+        return [self.admit(oriented, candidate, stats)
+                for oriented, candidate in jobs]
+
+
+class BrokenBatchStub(ScalarStub):
+    """Batch stage violating the one-verdict-per-job contract."""
+
+    def admit_batch(self, jobs, stats):
+        return []
+
+
+def jobs_for(reads):
+    return [(read, CANDIDATE) for read in reads]
+
+
+class TestConstruction:
+    def test_empty_cascade_rejected(self):
+        with pytest.raises(ValueError):
+            FilterCascade(())
+
+    def test_stage_names_follow_stage_order(self):
+        cascade = FilterCascade(
+            [ScalarStub("first", bool), ScalarStub("second", bool)]
+        )
+        assert cascade.stage_names == ("first", "second")
+        assert len(cascade) == 2
+
+    def test_batch_capability_detected_structurally(self):
+        scalar_only = FilterCascade([ScalarStub("a", bool)])
+        mixed = FilterCascade([ScalarStub("a", bool), BatchStub("b", bool)])
+        assert not scalar_only.batch_capable
+        assert mixed.batch_capable
+
+    def test_report_pairs_names_with_counters(self):
+        cascade = FilterCascade([ScalarStub("only", bool)])
+        rows = cascade.report()
+        assert [name for name, _ in rows] == ["only"]
+        assert all(isinstance(s, FilterStageStats) for _, s in rows)
+
+
+class TestScalarPath:
+    def test_admit_depth_counts_stages_passed(self):
+        cascade = FilterCascade(
+            [ScalarStub("a", lambda r: True),
+             ScalarStub("b", lambda r: r != "TT"),
+             ScalarStub("c", lambda r: True)]
+        )
+        stats = AlignmentStats()
+        assert cascade.admit_depth("AA", CANDIDATE, stats) == 3
+        assert cascade.admit_depth("TT", CANDIDATE, stats) == 1
+
+    def test_rejection_short_circuits_later_stages(self):
+        first = ScalarStub("a", lambda r: False)
+        second = ScalarStub("b", lambda r: True)
+        cascade = FilterCascade([first, second])
+        assert not cascade.admit("AC", CANDIDATE, AlignmentStats())
+        assert first.calls == ["AC"]
+        assert second.calls == []
+
+    def test_shared_stats_charged_exactly_once_per_candidate(self):
+        cascade = FilterCascade(
+            [ScalarStub("a", lambda r: True),
+             ScalarStub("b", lambda r: r != "TT")]
+        )
+        stats = AlignmentStats()
+        cascade.admit("AA", CANDIDATE, stats)
+        cascade.admit("TT", CANDIDATE, stats)
+        assert stats.candidates_survived == 1
+        assert stats.candidates_filtered == 1
+
+    def test_false_accept_charged_to_every_earlier_stage(self):
+        cascade = FilterCascade(
+            [ScalarStub("a", lambda r: True),
+             ScalarStub("b", lambda r: True),
+             ScalarStub("c", lambda r: False)]
+        )
+        cascade.admit("AC", CANDIDATE, AlignmentStats())
+        by_name = dict(cascade.report())
+        assert by_name["a"].false_accepts == 1
+        assert by_name["b"].false_accepts == 1
+        assert by_name["c"].false_accepts == 0
+        assert by_name["c"].rejected == 1
+
+    def test_cycles_attributed_to_the_charging_stage(self):
+        cascade = FilterCascade(
+            [ScalarStub("cheap", lambda r: True, cycles=2),
+             ScalarStub("dear", lambda r: False, cycles=11)]
+        )
+        stats = AlignmentStats()
+        cascade.admit("AC", CANDIDATE, stats)
+        by_name = dict(cascade.report())
+        assert by_name["cheap"].cycles == 2
+        assert by_name["dear"].cycles == 11
+        assert stats.prefilter_cycles == 13
+
+    def test_stage_stats_derived_fractions(self):
+        stage = FilterStageStats(checked=10, rejected=6, false_accepts=1)
+        assert stage.survived == 4
+        assert stage.reject_fraction == pytest.approx(0.6)
+        assert stage.false_accept_fraction == pytest.approx(0.25)
+        assert FilterStageStats().reject_fraction == 0.0
+        assert FilterStageStats().false_accept_fraction == 0.0
+
+
+class TestBatchPath:
+    READS = ["AAAA", "TTTT", "ACGT", "GGGG", "TTAA"]
+
+    @staticmethod
+    def build(cls_a, cls_b, cls_c):
+        return FilterCascade(
+            [cls_a("a", lambda r: "G" not in r),
+             cls_b("b", lambda r: r != "TTTT"),
+             cls_c("c", lambda r: r[0] != "T")]
+        )
+
+    @pytest.mark.parametrize("shapes", [
+        (ScalarStub, ScalarStub, ScalarStub),
+        (BatchStub, BatchStub, BatchStub),
+        (ScalarStub, BatchStub, ScalarStub),
+        (BatchStub, ScalarStub, BatchStub),
+    ])
+    def test_batch_depths_match_scalar_path(self, shapes):
+        batch_cascade = self.build(*shapes)
+        scalar_cascade = self.build(ScalarStub, ScalarStub, ScalarStub)
+        batch_stats = AlignmentStats()
+        scalar_stats = AlignmentStats()
+        depths = batch_cascade.admit_batch_depths(
+            jobs_for(self.READS), batch_stats
+        )
+        expected = [
+            scalar_cascade.admit_depth(read, CANDIDATE, scalar_stats)
+            for read in self.READS
+        ]
+        assert depths == expected
+        assert dataclasses.asdict(batch_stats) == dataclasses.asdict(
+            scalar_stats
+        )
+        for (_, got), (_, want) in zip(
+            batch_cascade.report(), scalar_cascade.report()
+        ):
+            assert dataclasses.asdict(got) == dataclasses.asdict(want)
+
+    def test_admit_batch_is_depth_equals_length(self):
+        cascade = self.build(BatchStub, ScalarStub, BatchStub)
+        verdicts = cascade.admit_batch(jobs_for(self.READS), AlignmentStats())
+        assert verdicts == [
+            self.build(ScalarStub, ScalarStub, ScalarStub).admit(
+                read, CANDIDATE, AlignmentStats()
+            )
+            for read in self.READS
+        ]
+
+    def test_later_stage_sees_only_survivors(self):
+        first = BatchStub("a", lambda r: "G" not in r)
+        second = ScalarStub("b", bool)
+        cascade = FilterCascade([first, second])
+        cascade.admit_batch_depths(jobs_for(self.READS), AlignmentStats())
+        assert second.calls == [r for r in self.READS if "G" not in r]
+
+    def test_empty_batch_is_a_no_op(self):
+        cascade = self.build(BatchStub, BatchStub, BatchStub)
+        stats = AlignmentStats()
+        assert cascade.admit_batch_depths([], stats) == []
+        assert stats.candidates_filtered == 0
+        assert stats.candidates_survived == 0
+
+    def test_wrong_verdict_count_raises(self):
+        cascade = FilterCascade([BrokenBatchStub("broken", bool)])
+        with pytest.raises(ValueError, match="broken"):
+            cascade.admit_batch(jobs_for(self.READS), AlignmentStats())

@@ -1,0 +1,194 @@
+"""Pipeline-level cascade contracts, every registered backend.
+
+Three promises the filter-cascade refactor makes at the driver level:
+
+* **losslessness** — running the full default cascade changes no mapping
+  relative to the no-filter pipeline (the stages are lower bounds on the
+  edit distance the extension engine enforces);
+* **dispatch identity** — batch-dispatched cascade filtering and the
+  per-candidate fallback produce bit-identical mappings *and* identical
+  shared/per-stage counters (batching is a scheduling choice);
+* **order invariance** — stage order changes cost, never verdicts, so
+  any permutation of the cascade maps identically.
+
+Plus the legacy bridge: ``GenAxConfig(prefilter=True)`` is exactly the
+one-stage ``("myers",)`` cascade.
+"""
+
+import dataclasses
+import itertools
+
+import pytest
+
+from repro.filters import DEFAULT_CASCADE
+from repro.pipeline.bitvector import BitvectorAligner, BitvectorConfig
+from repro.pipeline.bwamem import BwaMemConfig
+from repro.pipeline.genax import GenAxConfig
+from repro.pipeline.registry import backend_names, get_backend
+from repro.pipeline.stages import PipelineDriver
+from repro.telemetry import telemetry_session
+
+from tests.pipeline.golden_fixtures import (
+    EDIT_BOUND,
+    SEGMENT_COUNT,
+    mapping_rows,
+)
+
+#: Per-backend config factory taking the cascade names tuple (or None).
+CASCADE_CONFIGS = {
+    "genax": lambda filters: GenAxConfig(
+        edit_bound=EDIT_BOUND, segment_count=SEGMENT_COUNT, filters=filters
+    ),
+    "bwamem": lambda filters: BwaMemConfig(band=EDIT_BOUND, filters=filters),
+    "bitvector": lambda filters: BitvectorConfig(
+        edit_bound=EDIT_BOUND, filters=filters
+    ),
+}
+
+
+def stats_dict(stats):
+    return dataclasses.asdict(stats)
+
+
+def stage_reports(aligner):
+    """Per-stage counters as comparable dicts (None-safe)."""
+    cascade = aligner.cascade
+    if cascade is None:
+        return None
+    return [
+        (name, dataclasses.asdict(stage)) for name, stage in cascade.report()
+    ]
+
+
+def build_aligner(backend, reference, filters):
+    return get_backend(backend).build(
+        reference, CASCADE_CONFIGS[backend](filters), None
+    )
+
+
+@pytest.fixture(scope="module")
+def batch(simulated_reads):
+    return [(s.name, s.sequence) for s in simulated_reads]
+
+
+def test_config_factories_cover_every_backend():
+    assert set(CASCADE_CONFIGS) == set(backend_names())
+
+
+@pytest.mark.parametrize("backend", backend_names())
+class TestCascadeLossless:
+    """Full default cascade vs no filter: bit-identical mappings."""
+
+    def test_mappings_identical_and_work_was_done(
+        self, backend, small_reference, batch
+    ):
+        plain = build_aligner(backend, small_reference, None)
+        filtered = build_aligner(backend, small_reference, DEFAULT_CASCADE)
+        assert plain.cascade is None
+        assert filtered.cascade is not None
+        assert mapping_rows(filtered.align_batch(batch)) == mapping_rows(
+            plain.align_batch(batch)
+        )
+        report = dict(filtered.cascade.report())
+        assert report["shouldered"].checked > 0
+        # Conservation within the cascade: stage i+1 sees exactly the
+        # candidates stage i admitted.  (The shared candidates_filtered /
+        # candidates_survived counters also absorb the extension engine's
+        # own over-budget rejections, so they are not cascade-exclusive.)
+        names = list(DEFAULT_CASCADE)
+        for earlier, later in zip(names, names[1:]):
+            assert report[later].checked == report[earlier].survived
+        cascade_rejects = sum(report[name].rejected for name in names)
+        assert cascade_rejects <= filtered.stats.candidates_filtered
+
+
+@pytest.mark.parametrize("backend", backend_names())
+class TestCascadeDispatchIdentity:
+    """Batched cascade dispatch vs per-candidate fallback, per backend."""
+
+    def _drivers(self, backend, reference):
+        batched_aligner = build_aligner(backend, reference, DEFAULT_CASCADE)
+        fallback_aligner = build_aligner(backend, reference, DEFAULT_CASCADE)
+        fallback = PipelineDriver(
+            fallback_aligner._driver.stages, batch_dispatch=False
+        )
+        return batched_aligner, fallback_aligner, fallback
+
+    def test_align_batch_identical(self, backend, small_reference, batch):
+        batched_aligner, fallback_aligner, fallback = self._drivers(
+            backend, small_reference
+        )
+        batched = batched_aligner._driver
+        assert mapping_rows(batched.align_batch(batch)) == mapping_rows(
+            fallback.align_batch(batch)
+        )
+        assert stats_dict(batched.stats) == stats_dict(fallback.stats)
+        assert stage_reports(batched_aligner) == stage_reports(
+            fallback_aligner
+        )
+
+
+class TestOrderInvariance:
+    """Stage order changes cost, never the surviving mapping set."""
+
+    def test_every_permutation_maps_identically(self, small_reference, batch):
+        baseline = BitvectorAligner(
+            small_reference, BitvectorConfig(edit_bound=EDIT_BOUND)
+        )
+        expected = mapping_rows(baseline.align_batch(batch))
+        for order in itertools.permutations(DEFAULT_CASCADE):
+            aligner = BitvectorAligner(
+                small_reference,
+                BitvectorConfig(edit_bound=EDIT_BOUND, filters=order),
+            )
+            assert mapping_rows(aligner.align_batch(batch)) == expected, order
+
+
+class TestLegacyPrefilterBridge:
+    """GenAxConfig(prefilter=True) is the one-stage myers cascade."""
+
+    def test_prefilter_flag_equals_myers_cascade(self, small_reference, batch):
+        subset = batch[:8]
+        legacy = get_backend("genax").build(
+            small_reference,
+            GenAxConfig(
+                edit_bound=EDIT_BOUND,
+                segment_count=SEGMENT_COUNT,
+                prefilter=True,
+            ),
+            None,
+        )
+        modern = get_backend("genax").build(
+            small_reference,
+            GenAxConfig(
+                edit_bound=EDIT_BOUND,
+                segment_count=SEGMENT_COUNT,
+                filters=("myers",),
+            ),
+            None,
+        )
+        assert mapping_rows(legacy.align_batch(subset)) == mapping_rows(
+            modern.align_batch(subset)
+        )
+        assert stats_dict(legacy.stats) == stats_dict(modern.stats)
+        assert legacy.cascade is not None
+        assert legacy.cascade.stage_names == ("myers",)
+
+
+class TestCascadeTelemetry:
+    def test_depth_histogram_observes_every_candidate(
+        self, small_reference, batch
+    ):
+        with telemetry_session() as telemetry:
+            aligner = BitvectorAligner(
+                small_reference,
+                BitvectorConfig(
+                    edit_bound=EDIT_BOUND, filters=DEFAULT_CASCADE
+                ),
+            )
+            aligner.align_batch(batch)
+        depths = telemetry.metrics.get("pipeline_cascade_depth")
+        checked = dict(aligner.cascade.report())["shouldered"].checked
+        assert depths.count == checked
+        stage_names = {name for __, name, __ts, __pid in telemetry.tracer.events}
+        assert "filter_batch" in stage_names

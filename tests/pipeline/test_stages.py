@@ -11,6 +11,7 @@ from typing import Dict, List, Sequence
 from repro.align.records import AlignmentStats
 from repro.genome.sequence import reverse_complement
 from repro.pipeline.common import Candidate, Extension
+from repro.filters import FilterCascade
 from repro.pipeline.stages import PipelineDriver, StageSet
 from repro.seeding.accelerator import GlobalSeed
 
@@ -69,6 +70,8 @@ class CountingExtender:
 class FlagFilter:
     """Candidate filter with a fixed verdict and a call counter."""
 
+    name = "flag"
+
     def __init__(self, verdict: bool) -> None:
         self.verdict = verdict
         self.calls = 0
@@ -86,7 +89,7 @@ def make_driver(seeder, extender, filters=(), min_score=5, max_candidates=64):
             match_score=1,
             min_score=min_score,
             max_candidates=max_candidates,
-            filters=tuple(filters),
+            cascade=FilterCascade(tuple(filters)) if filters else None,
         )
     )
 

@@ -304,3 +304,69 @@ class TestSeeds:
         # Poly-A may or may not hit; just require the command to run and
         # print something sensible.
         assert capsys.readouterr().out.strip()
+
+
+class TestFilterCascadeCli:
+    """The --filters cascade spec and the deprecated --prefilter bridge."""
+
+    BASE = ["--edit-bound", "10", "--segments", "2"]
+
+    def test_prefilter_warns_and_matches_filters_myers(
+        self, simulated, tmp_path, capsys
+    ):
+        ref, reads = simulated
+        legacy_out = tmp_path / "legacy.sam"
+        modern_out = tmp_path / "modern.sam"
+        with pytest.warns(DeprecationWarning, match="--filters myers"):
+            assert main(["align", str(ref), str(reads), str(legacy_out),
+                         *self.BASE, "--prefilter"]) == 0
+        legacy_summary = capsys.readouterr().out
+        assert "prefilter rejected" in legacy_summary
+        assert main(["align", str(ref), str(reads), str(modern_out),
+                     *self.BASE, "--filters", "myers"]) == 0
+        modern_summary = capsys.readouterr().out
+        assert "filters rejected" in modern_summary
+        assert legacy_out.read_text() == modern_out.read_text()
+        # Same rejection tally, different spelling of the same cascade.
+        assert legacy_summary.rsplit("rejected", 1)[1].split()[0] == (
+            modern_summary.rsplit("rejected", 1)[1].split()[0]
+        )
+
+    @pytest.mark.parametrize("pipeline", ["genax", "bwamem", "bitvector"])
+    def test_full_cascade_matches_unfiltered(
+        self, simulated, tmp_path, pipeline, capsys
+    ):
+        ref, reads = simulated
+        plain_out = tmp_path / "plain.sam"
+        cascade_out = tmp_path / "cascade.sam"
+        assert main(["align", str(ref), str(reads), str(plain_out),
+                     "--pipeline", pipeline, *self.BASE]) == 0
+        capsys.readouterr()
+        assert main(["align", str(ref), str(reads), str(cascade_out),
+                     "--pipeline", pipeline, *self.BASE,
+                     "--filters", "shouldered,sneakysnake,myers"]) == 0
+        assert "filters rejected" in capsys.readouterr().out
+        assert cascade_out.read_text() == plain_out.read_text()
+
+    def test_filters_none_is_explicitly_no_cascade(
+        self, simulated, tmp_path, capsys
+    ):
+        ref, reads = simulated
+        out = tmp_path / "none.sam"
+        assert main(["align", str(ref), str(reads), str(out),
+                     *self.BASE, "--filters", "none"]) == 0
+        assert "filters rejected" not in capsys.readouterr().out
+
+    def test_unknown_filter_name_rejected(self, simulated, tmp_path):
+        ref, reads = simulated
+        out = tmp_path / "bad.sam"
+        with pytest.raises(SystemExit, match="--filters"):
+            main(["align", str(ref), str(reads), str(out),
+                  *self.BASE, "--filters", "shouldered,bogus"])
+
+    def test_repeated_filter_name_rejected(self, simulated, tmp_path):
+        ref, reads = simulated
+        out = tmp_path / "dup.sam"
+        with pytest.raises(SystemExit, match="repeated"):
+            main(["align", str(ref), str(reads), str(out),
+                  *self.BASE, "--filters", "myers,myers"])
