@@ -21,8 +21,11 @@ workload the sweep measures, per cascade spec:
 
 Runs on the ``bitvector`` backend (the batch-capable software pipeline,
 so the sweep also exercises the driver's cross-read ``filter_batch``
-dispatch).  Results land in ``benchmarks/results/BENCH_filters.json``
-(``schema_version`` 1) so future PRs can regress against them.
+dispatch).  Results land in ``benchmarks/results/bench/BENCH_filters.json``
+in the unified bench envelope (:mod:`repro.perf.schema`,
+``schema_version`` 3; the bench-specific body lives under ``payload``)
+so future PRs can regress against them.  Pre-envelope v1 files stay
+readable through :func:`repro.perf.schema.load_bench`.
 
 Run directly (not via pytest)::
 
@@ -35,18 +38,20 @@ smoke runs; the JSON schema is identical.
 from __future__ import annotations
 
 import argparse
-import json
-import random
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.filters import DEFAULT_CASCADE
 from repro.genome.reference import ReferenceGenome
+from repro.perf.schema import BENCH_SCHEMA_VERSION, bench_envelope, write_bench
+from repro.perf.workloads import build_repeat_rich_workload
 from repro.pipeline.bitvector import BitvectorAligner, BitvectorConfig
 from repro.telemetry import monotonic_s
 
-SCHEMA_VERSION = 1
-DEFAULT_OUT = Path(__file__).parent / "results" / "BENCH_filters.json"
+BENCHMARK = "bench_filters"
+DEFAULT_OUT = (
+    Path(__file__).parent / "results" / "bench" / "BENCH_filters.json"
+)
 
 #: The acceptance bar: fraction of extension candidates the full default
 #: cascade must reject before any DP runs.
@@ -73,11 +78,16 @@ CASCADES: Tuple[Tuple[str, ...], ...] = (
     DEFAULT_CASCADE,
 )
 
-# Required JSON structure: top-level key -> required sub-keys (None = scalar).
+# Envelope keys every migrated BENCH file must carry (repro.perf.schema).
+ENVELOPE_KEYS = (
+    "schema_version", "benchmark", "quick", "machine", "workload",
+    "payload", "machine_fingerprint", "workload_fingerprint", "run_id",
+)
+
+# Required payload structure: key -> required sub-keys (None = scalar).
+# ``workload`` lives on the envelope, the rest under ``payload``;
+# :func:`validate_result` checks each where it lives.
 RESULT_SCHEMA: Dict[str, Optional[Sequence[str]]] = {
-    "schema_version": None,
-    "benchmark": None,
-    "quick": None,
     "workload": ("genome_bp", "repeat_copies", "unit_bp", "divergence",
                  "reads", "read_length", "read_errors", "edit_bound", "kmer"),
     "baseline": ("elapsed_s", "reads_per_s"),
@@ -92,13 +102,25 @@ RESULT_SCHEMA: Dict[str, Optional[Sequence[str]]] = {
 def validate_result(data: dict) -> List[str]:
     """Return a list of schema violations (empty = valid)."""
     problems: List[str] = []
-    for key, subkeys in RESULT_SCHEMA.items():
+    for key in ENVELOPE_KEYS:
         if key not in data:
-            problems.append(f"missing top-level key {key!r}")
+            problems.append(f"missing envelope key {key!r}")
+    if data.get("schema_version") != BENCH_SCHEMA_VERSION:
+        problems.append(
+            f"schema_version {data.get('schema_version')!r} != "
+            f"{BENCH_SCHEMA_VERSION}"
+        )
+    if data.get("benchmark") != BENCHMARK:
+        problems.append(f"benchmark {data.get('benchmark')!r} != {BENCHMARK!r}")
+    scope = dict(data.get("payload", {}))
+    scope["workload"] = data.get("workload", {})
+    for key, subkeys in RESULT_SCHEMA.items():
+        if key not in scope:
+            problems.append(f"missing key {key!r}")
             continue
         if subkeys is None:
             continue
-        value = data[key]
+        value = scope[key]
         entries = value if isinstance(value, list) else [value]
         if not entries:
             problems.append(f"{key!r} is empty")
@@ -109,10 +131,6 @@ def validate_result(data: dict) -> List[str]:
             for subkey in subkeys:
                 if subkey not in entry:
                     problems.append(f"{key!r} entry missing {subkey!r}")
-    if not problems and data.get("schema_version") != SCHEMA_VERSION:
-        problems.append(
-            f"schema_version {data.get('schema_version')!r} != {SCHEMA_VERSION}"
-        )
     return problems
 
 
@@ -121,31 +139,24 @@ def build_workload(
 ) -> Tuple[ReferenceGenome, List[Tuple[str, str]]]:
     """Repeat-rich genome + high-error reads: spurious candidates dominate.
 
-    Every read is a genuine substring of the reference with
-    ``READ_ERRORS`` substitutions, so its true locus survives the
-    cascade; the repeat family supplies hundreds of decoy placements
-    whose distance exceeds the edit bound by construction
-    (``READ_ERRORS`` + ~``DIVERGENCE * READ_LENGTH`` edits).
+    Delegates to the registered generator in
+    :mod:`repro.perf.workloads` (the ``repeat-rich`` profile), so the
+    matrix runner and this bench build byte-identical inputs.  Every
+    read is a genuine substring of the reference with ``READ_ERRORS``
+    substitutions, so its true locus survives the cascade; the repeat
+    family supplies hundreds of decoy placements whose distance exceeds
+    the edit bound by construction (``READ_ERRORS`` +
+    ~``DIVERGENCE * READ_LENGTH`` edits).
     """
-    rng = random.Random(4242)
-    unit = "".join(rng.choice("ACGT") for _ in range(UNIT_BP))
-    parts: List[str] = []
-    for _ in range(repeat_copies):
-        parts.append("".join(
-            rng.choice("ACGT") if rng.random() < DIVERGENCE else base
-            for base in unit
-        ))
-        parts.append("".join(rng.choice("ACGT") for _ in range(FLANK_BP)))
-    sequence = "".join(parts)
-    reference = ReferenceGenome(sequence, name="repeat-rich")
-    reads: List[Tuple[str, str]] = []
-    for index in range(read_count):
-        start = rng.randrange(len(sequence) - READ_LENGTH)
-        read = list(sequence[start:start + READ_LENGTH])
-        for position in rng.sample(range(READ_LENGTH), READ_ERRORS):
-            read[position] = rng.choice("ACGT".replace(read[position], ""))
-        reads.append((f"read{index}|{start}|+", "".join(read)))
-    return reference, reads
+    return build_repeat_rich_workload(
+        repeat_copies=repeat_copies,
+        reads=read_count,
+        read_length=READ_LENGTH,
+        unit_bp=UNIT_BP,
+        flank_bp=FLANK_BP,
+        divergence=DIVERGENCE,
+        read_errors=READ_ERRORS,
+    )
 
 
 def mapping_key(mapped) -> List[Tuple[int, bool, int, str]]:
@@ -253,11 +264,10 @@ def run(argv: Optional[Sequence[str]] = None) -> int:
           f"{acceptance['full_cascade_mappings_changed']} mappings changed "
           f"-> {'PASS' if acceptance['passed'] else 'FAIL'}")
 
-    result = {
-        "schema_version": SCHEMA_VERSION,
-        "benchmark": "bench_filters",
-        "quick": args.quick,
-        "workload": {
+    result = bench_envelope(
+        BENCHMARK,
+        quick=args.quick,
+        workload={
             "genome_bp": len(reference.sequence),
             "repeat_copies": shape["repeat_copies"],
             "unit_bp": UNIT_BP,
@@ -268,18 +278,19 @@ def run(argv: Optional[Sequence[str]] = None) -> int:
             "edit_bound": EDIT_BOUND,
             "kmer": KMER,
         },
-        "baseline": baseline,
-        "cascades": cascades,
-        "acceptance": acceptance,
-    }
+        payload={
+            "baseline": baseline,
+            "cascades": cascades,
+            "acceptance": acceptance,
+        },
+    )
     problems = validate_result(result)
     if problems:
         for problem in problems:
             print(f"schema violation: {problem}")
         return 1
-    args.out.parent.mkdir(parents=True, exist_ok=True)
-    args.out.write_text(json.dumps(result, indent=2) + "\n")
-    print(f"wrote {args.out}")
+    write_bench(args.out, result)
+    print(f"wrote {args.out} (run {result['run_id']})")
     return 0 if acceptance["passed"] else 1
 
 

@@ -17,10 +17,14 @@ measures, end to end:
   counters recorded;
 * **combined** — best configuration (max jobs + prefilter + warm cache).
 
-Results land in ``benchmarks/results/BENCH_parallel.json`` (schema below,
-``schema_version`` 2) so future PRs can regress against them.  Wall-clock
-numbers are machine-dependent — ``machine.cpu_count`` is recorded so a
-single-core CI runner's flat scaling curve is interpretable.
+Results land in ``benchmarks/results/bench/BENCH_parallel.json`` in the
+unified bench envelope (:mod:`repro.perf.schema`, ``schema_version`` 3:
+machine fingerprint, workload fingerprint, content-addressed run id; the
+bench-specific body lives under ``payload``) so future PRs can regress
+against them.  Pre-envelope v2 files stay readable through
+:func:`repro.perf.schema.load_bench`.  Wall-clock numbers are
+machine-dependent — ``machine.cpu_count`` is recorded so a single-core
+CI runner's flat scaling curve is interpretable.
 
 Run directly (not via pytest)::
 
@@ -33,19 +37,14 @@ smoke runs; the JSON schema is identical.
 from __future__ import annotations
 
 import argparse
-import json
-import multiprocessing
-import os
 import tempfile
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
-import random
-
-from repro.genome.reads import ErrorProfile, ReadSimulator
-from repro.genome.reference import ReferenceGenome, make_reference
-from repro.genome.variants import simulate_variants
+from repro.genome.reference import ReferenceGenome
 from repro.parallel import IndexCache, ParallelAligner
+from repro.perf.schema import BENCH_SCHEMA_VERSION, bench_envelope, write_bench
+from repro.perf.workloads import build_illumina_workload
 from repro.pipeline.bitvector import KERNELS, BitvectorAligner, BitvectorConfig
 from repro.pipeline.genax import GenAxAligner, GenAxConfig
 from repro.seeding.accelerator import SeedingAccelerator
@@ -56,8 +55,10 @@ from repro.telemetry import (
     write_metrics,
 )
 
-SCHEMA_VERSION = 2
-DEFAULT_OUT = Path(__file__).parent / "results" / "BENCH_parallel.json"
+BENCHMARK = "bench_parallel_scaling"
+DEFAULT_OUT = (
+    Path(__file__).parent / "results" / "bench" / "BENCH_parallel.json"
+)
 
 FULL = dict(genome_bp=200_000, reads=120, jobs=(1, 2, 4), segment_count=8)
 QUICK = dict(genome_bp=50_000, reads=30, jobs=(1, 2), segment_count=4)
@@ -65,11 +66,16 @@ READ_LENGTH = 101
 EDIT_BOUND = 12
 KMER = 12
 
-# Required JSON structure: top-level key -> required sub-keys (None = scalar).
+# Envelope keys every migrated BENCH file must carry (repro.perf.schema).
+ENVELOPE_KEYS = (
+    "schema_version", "benchmark", "quick", "machine", "workload",
+    "payload", "machine_fingerprint", "workload_fingerprint", "run_id",
+)
+
+# Required payload structure: key -> required sub-keys (None = scalar).
+# ``machine`` and ``workload`` live on the envelope, the rest under
+# ``payload``; :func:`validate_result` checks each where it lives.
 RESULT_SCHEMA: Dict[str, Optional[Sequence[str]]] = {
-    "schema_version": None,
-    "benchmark": None,
-    "quick": None,
     "machine": ("cpu_count", "start_method"),
     "workload": ("genome_bp", "reads", "read_length", "segment_count",
                  "edit_bound", "kmer"),
@@ -89,13 +95,26 @@ RESULT_SCHEMA: Dict[str, Optional[Sequence[str]]] = {
 def validate_result(data: dict) -> List[str]:
     """Return a list of schema violations (empty = valid)."""
     problems: List[str] = []
-    for key, subkeys in RESULT_SCHEMA.items():
+    for key in ENVELOPE_KEYS:
         if key not in data:
-            problems.append(f"missing top-level key {key!r}")
+            problems.append(f"missing envelope key {key!r}")
+    if data.get("schema_version") != BENCH_SCHEMA_VERSION:
+        problems.append(
+            f"schema_version {data.get('schema_version')!r} != "
+            f"{BENCH_SCHEMA_VERSION}"
+        )
+    if data.get("benchmark") != BENCHMARK:
+        problems.append(f"benchmark {data.get('benchmark')!r} != {BENCHMARK!r}")
+    scope = dict(data.get("payload", {}))
+    scope["machine"] = data.get("machine", {})
+    scope["workload"] = data.get("workload", {})
+    for key, subkeys in RESULT_SCHEMA.items():
+        if key not in scope:
+            problems.append(f"missing key {key!r}")
             continue
         if subkeys is None:
             continue
-        value = data[key]
+        value = scope[key]
         entries = value if isinstance(value, list) else [value]
         if not entries:
             problems.append(f"{key!r} is empty")
@@ -106,28 +125,21 @@ def validate_result(data: dict) -> List[str]:
             for subkey in subkeys:
                 if subkey not in entry:
                     problems.append(f"{key!r} entry missing {subkey!r}")
-    if not problems and data.get("schema_version") != SCHEMA_VERSION:
-        problems.append(
-            f"schema_version {data.get('schema_version')!r} != {SCHEMA_VERSION}"
-        )
     return problems
 
 
 def build_workload(
     genome_bp: int, read_count: int
 ) -> Tuple[ReferenceGenome, List[Tuple[str, str]]]:
-    """The bench_scale.py workload: planted repeats, variants, 1-3% error."""
-    reference = make_reference(genome_bp, seed=777)
-    variants = simulate_variants(reference.sequence, random.Random(778))
-    simulator = ReadSimulator(
-        reference,
-        variants,
-        read_length=READ_LENGTH,
-        seed=779,
-        error_profile=ErrorProfile(rate_start=0.01, rate_end=0.03),
+    """The bench_scale.py workload: planted repeats, variants, 1-3% error.
+
+    Delegates to the registered generator in
+    :mod:`repro.perf.workloads` (the ``illumina-small`` profile), so the
+    matrix runner and this bench build byte-identical inputs.
+    """
+    return build_illumina_workload(
+        genome_bp=genome_bp, reads=read_count, read_length=READ_LENGTH
     )
-    simulated = simulator.simulate(read_count)
-    return reference, [(s.name, s.sequence) for s in simulated]
 
 
 def mapping_key(mapped) -> List[Tuple[int, bool, int, str]]:
@@ -339,15 +351,10 @@ def run(argv: Optional[Sequence[str]] = None) -> int:
         print(f"telemetry: {telemetry_paths['trace']}, "
               f"{telemetry_paths['metrics']}")
 
-    result = {
-        "schema_version": SCHEMA_VERSION,
-        "benchmark": "bench_parallel_scaling",
-        "quick": args.quick,
-        "machine": {
-            "cpu_count": os.cpu_count() or 1,
-            "start_method": multiprocessing.get_start_method(),
-        },
-        "workload": {
+    result = bench_envelope(
+        BENCHMARK,
+        quick=args.quick,
+        workload={
             "genome_bp": shape["genome_bp"],
             "reads": len(reads),
             "read_length": READ_LENGTH,
@@ -355,26 +362,27 @@ def run(argv: Optional[Sequence[str]] = None) -> int:
             "edit_bound": EDIT_BOUND,
             "kmer": KMER,
         },
-        "index_cache": cache,
-        "prefilter": prefilter,
-        "serial": serial,
-        "scaling": scaling,
-        "kernels": kernels,
-        "speedup_max_jobs_vs_1": (
-            scaling[-1]["reads_per_s"] / scaling[0]["reads_per_s"]
-        ),
-        "combined": combined,
-        # Optional key (not in RESULT_SCHEMA): older result files stay valid.
-        "telemetry": telemetry_paths,
-    }
+        payload={
+            "index_cache": cache,
+            "prefilter": prefilter,
+            "serial": serial,
+            "scaling": scaling,
+            "kernels": kernels,
+            "speedup_max_jobs_vs_1": (
+                scaling[-1]["reads_per_s"] / scaling[0]["reads_per_s"]
+            ),
+            "combined": combined,
+            # Optional key (not in RESULT_SCHEMA): older files stay valid.
+            "telemetry": telemetry_paths,
+        },
+    )
     problems = validate_result(result)
     if problems:
         for problem in problems:
             print(f"schema violation: {problem}")
         return 1
-    args.out.parent.mkdir(parents=True, exist_ok=True)
-    args.out.write_text(json.dumps(result, indent=2) + "\n")
-    print(f"wrote {args.out}")
+    write_bench(args.out, result)
+    print(f"wrote {args.out} (run {result['run_id']})")
     return 0
 
 

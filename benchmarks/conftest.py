@@ -2,8 +2,9 @@
 
 Every figure/table bench runs against the same scaled-down workload (a
 50 kbp genome, 101 bp reads at ~2% error) so numbers are comparable across
-benches.  Results are also written to ``benchmarks/results/<id>.txt`` so a
-``--benchmark-only`` run leaves the regenerated figure data on disk.
+benches.  Results are also written to ``benchmarks/results/paper/<id>.txt``
+so a ``--benchmark-only`` run leaves the regenerated figure data on disk
+(machine-read benchmark JSON lives separately under ``results/bench/``).
 """
 
 import random
@@ -15,7 +16,7 @@ from repro.genome.reads import ErrorProfile, ReadSimulator
 from repro.genome.reference import make_reference
 from repro.genome.variants import simulate_variants
 
-RESULTS_DIR = Path(__file__).parent / "results"
+RESULTS_DIR = Path(__file__).parent / "results" / "paper"
 
 GENOME_BP = 50_000
 READ_LENGTH = 101
@@ -45,7 +46,7 @@ def workload(reference):
 
 @pytest.fixture(scope="session")
 def results_dir():
-    RESULTS_DIR.mkdir(exist_ok=True)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     return RESULTS_DIR
 
 

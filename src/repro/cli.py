@@ -301,12 +301,17 @@ def _export_telemetry(
         collect_counters,
         publish_cascade,
         publish_counters,
+        publish_kernel,
     )
 
     counters = collect_counters(aligner)
     publish_counters(telemetry.metrics, counters, args.pipeline)
     publish_cascade(
         telemetry.metrics, getattr(aligner, "cascade", None), args.pipeline
+    )
+    publish_kernel(
+        telemetry.metrics, getattr(aligner, "kernel_stats", None),
+        args.pipeline,
     )
     if args.profile:
         print(render_profile(telemetry.metrics, elapsed), file=sys.stderr)

@@ -1,0 +1,73 @@
+"""Perf-trajectory subsystem: benchmark matrix, history, gate, trace diff.
+
+ROADMAP item 5 verbatim: one bench file from a 1-CPU runner is not a
+trajectory.  This package turns the repo's one-off ``BENCH_*.json``
+artifacts into CI infrastructure:
+
+* :mod:`repro.perf.schema` — the unified bench envelope every benchmark
+  writes: schema version, machine fingerprint (CPU, NumPy/BLAS, Python
+  build, start method), git SHA, workload fingerprint, content-addressed
+  run id — plus a legacy loader for the pre-envelope v1/v2 files;
+* :mod:`repro.perf.workloads` — registered workload profiles (the
+  benchmark scripts' generators, lifted here so the matrix runner and the
+  benches build byte-identical inputs);
+* :mod:`repro.perf.matrix` — the ``repro-perf run`` matrix runner:
+  registered backends × jobs × workload profiles → ``BENCH_matrix.json``;
+* :mod:`repro.perf.history` — the content-addressed history store under
+  ``benchmarks/history/`` with a queryable trajectory view;
+* :mod:`repro.perf.gate` — the regression gate: deterministic work-count
+  metrics as a hard CI gate, wall clock with a tolerance band for the
+  nightly runner;
+* :mod:`repro.perf.tracediff` — per-span before/after tables from two
+  Chrome-trace JSONs, so every perf PR ships evidence.
+
+Entry point: ``repro-perf`` (:mod:`repro.perf.cli`).
+"""
+
+from repro.perf.gate import (
+    GATE_MODES,
+    GateFinding,
+    GateReport,
+    evaluate_gate,
+)
+from repro.perf.history import HistoryStore, render_history
+from repro.perf.matrix import MatrixSpec, run_matrix
+from repro.perf.schema import (
+    BENCH_SCHEMA_VERSION,
+    bench_envelope,
+    compute_run_id,
+    ensure_bench_out,
+    load_bench,
+    machine_info,
+    write_bench,
+)
+from repro.perf.tracediff import diff_traces, load_trace_spans, render_trace_diff
+from repro.perf.workloads import (
+    WorkloadProfile,
+    get_workload,
+    workload_names,
+)
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "GATE_MODES",
+    "GateFinding",
+    "GateReport",
+    "HistoryStore",
+    "MatrixSpec",
+    "WorkloadProfile",
+    "bench_envelope",
+    "compute_run_id",
+    "diff_traces",
+    "ensure_bench_out",
+    "evaluate_gate",
+    "get_workload",
+    "load_bench",
+    "load_trace_spans",
+    "machine_info",
+    "render_history",
+    "render_trace_diff",
+    "run_matrix",
+    "workload_names",
+    "write_bench",
+]

@@ -1,0 +1,6 @@
+"""``python -m repro.perf`` == ``repro-perf``."""
+
+from repro.perf.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,206 @@
+"""``repro-perf``: run the matrix, keep history, gate CI, diff traces.
+
+Subcommands:
+
+* ``run`` — sweep backends × jobs × workload profiles and write
+  ``BENCH_matrix.json`` (under ``results/bench/`` only); ``--record``
+  appends the run to the history store in the same invocation.
+* ``record`` — append an existing envelope result to the history store.
+* ``history`` — the trajectory view: every recorded run, oldest first.
+* ``gate`` — compare the current run to the newest comparable baseline;
+  exits non-zero on ``fail`` / ``missing-baseline`` /
+  ``fingerprint-mismatch`` so CI can consume the exit code directly.
+* ``trace-diff`` — per-span before/after table from two Chrome traces.
+
+Paths default to the repo layout (``benchmarks/results/bench/`` and
+``benchmarks/history/``) relative to the working directory, matching how
+CI invokes the tool from the checkout root.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+from repro.perf.gate import GATE_MODES, GATE_WORK_COUNT, evaluate_gate
+from repro.perf.history import HistoryStore, render_history
+from repro.perf.matrix import MatrixSpec, run_matrix
+from repro.perf.schema import load_bench
+from repro.perf.tracediff import (
+    diff_traces,
+    load_trace_spans,
+    render_trace_diff,
+)
+from repro.perf.workloads import workload_names
+from repro.pipeline.registry import backend_names
+
+DEFAULT_OUT = Path("benchmarks") / "results" / "bench" / "BENCH_matrix.json"
+DEFAULT_HISTORY = Path("benchmarks") / "history"
+
+
+def _split_names(raw: str) -> Tuple[str, ...]:
+    return tuple(name.strip() for name in raw.split(",") if name.strip())
+
+
+def _split_jobs(raw: str) -> Tuple[int, ...]:
+    try:
+        return tuple(int(part) for part in raw.split(",") if part.strip())
+    except ValueError:
+        raise SystemExit(f"--jobs expects comma-separated integers: {raw!r}")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-perf",
+        description=(
+            "Perf-trajectory tooling: benchmark matrix, history, "
+            "regression gate, trace diff."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run the benchmark matrix")
+    run.add_argument("--quick", action="store_true",
+                     help="CI-sized workloads and a jobs=1 sweep")
+    run.add_argument("--backends", default=None, metavar="A,B",
+                     help=f"backends to sweep (default: all of "
+                     f"{', '.join(backend_names())})")
+    run.add_argument("--jobs", default=None, metavar="1,2,4",
+                     help="worker counts to sweep (default: 1 quick, "
+                     "1,2,4 full)")
+    run.add_argument("--profiles", default=None, metavar="P,Q",
+                     help=f"workload profiles (default: all of "
+                     f"{', '.join(workload_names())})")
+    run.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                     help="output path (must be under results/bench/)")
+    run.add_argument("--trace-out", type=Path, default=None, metavar="PATH",
+                     help="also capture an instrumented serial pass as a "
+                     "Chrome trace (the trace-diff 'after' side)")
+    run.add_argument("--record", action="store_true",
+                     help="append the run to the history store")
+    run.add_argument("--history-dir", type=Path, default=DEFAULT_HISTORY)
+
+    record = sub.add_parser("record", help="append a result to history")
+    record.add_argument("result", nargs="?", type=Path, default=DEFAULT_OUT,
+                        help="envelope BENCH json (default: the matrix out)")
+    record.add_argument("--history-dir", type=Path, default=DEFAULT_HISTORY)
+
+    history = sub.add_parser("history", help="print the recorded trajectory")
+    history.add_argument("--history-dir", type=Path, default=DEFAULT_HISTORY)
+
+    gate = sub.add_parser("gate", help="gate the current run against history")
+    gate.add_argument("--mode", choices=GATE_MODES, default=GATE_WORK_COUNT)
+    gate.add_argument("--current", type=Path, default=DEFAULT_OUT,
+                      help="the run under test (default: the matrix out)")
+    gate.add_argument("--history-dir", type=Path, default=DEFAULT_HISTORY)
+    gate.add_argument("--tolerance", type=float, default=None,
+                      help="max allowed current/baseline ratio "
+                      "(default: 1.0 work-count, 1.25 wall-clock)")
+    gate.add_argument("--quick", action="store_true",
+                      help="assert the current run is a --quick run")
+    gate.add_argument("--allow-missing", action="store_true",
+                      help="pass when no comparable baseline is recorded")
+
+    tdiff = sub.add_parser("trace-diff",
+                           help="per-span delta table from two Chrome traces")
+    tdiff.add_argument("before", type=Path)
+    tdiff.add_argument("after", type=Path)
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = MatrixSpec.default(args.quick)
+    if args.backends is not None:
+        spec = MatrixSpec(
+            backends=_split_names(args.backends), jobs=spec.jobs,
+            profiles=spec.profiles, quick=spec.quick,
+        )
+    if args.jobs is not None:
+        spec = MatrixSpec(
+            backends=spec.backends, jobs=_split_jobs(args.jobs),
+            profiles=spec.profiles, quick=spec.quick,
+        )
+    if args.profiles is not None:
+        spec = MatrixSpec(
+            backends=spec.backends, jobs=spec.jobs,
+            profiles=_split_names(args.profiles), quick=spec.quick,
+        )
+    try:
+        result = run_matrix(
+            spec, args.out, trace_out=args.trace_out, echo=True
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    if args.record:
+        run_id = HistoryStore(args.history_dir).append(result)
+        print(f"recorded {run_id} -> {args.history_dir}")
+    return 0
+
+
+def _cmd_record(args: argparse.Namespace) -> int:
+    try:
+        result = load_bench(args.result)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot load {args.result}: {exc}")
+    run_id = HistoryStore(args.history_dir).append(result)
+    print(f"recorded {run_id} -> {args.history_dir}")
+    return 0
+
+
+def _cmd_history(args: argparse.Namespace) -> int:
+    print(render_history(HistoryStore(args.history_dir)))
+    return 0
+
+
+def _cmd_gate(args: argparse.Namespace) -> int:
+    try:
+        current = load_bench(args.current)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot load {args.current}: {exc}")
+    if args.quick and not current.get("quick"):
+        raise SystemExit(
+            f"{args.current} is a full run but the gate was invoked with "
+            "--quick; gate the matching scale"
+        )
+    try:
+        report = evaluate_gate(
+            current,
+            HistoryStore(args.history_dir),
+            mode=args.mode,
+            tolerance=args.tolerance,
+            allow_missing=args.allow_missing,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    print(report.render())
+    return 0 if report.passed else 1
+
+
+def _cmd_trace_diff(args: argparse.Namespace) -> int:
+    try:
+        before = load_trace_spans(args.before)
+        after = load_trace_spans(args.after)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot load trace: {exc}")
+    deltas = diff_traces(before, after)
+    print(render_trace_diff(str(args.before), str(args.after), deltas))
+    return 0
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "record": _cmd_record,
+    "history": _cmd_history,
+    "gate": _cmd_gate,
+    "trace-diff": _cmd_trace_diff,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

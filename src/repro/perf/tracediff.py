@@ -1,0 +1,113 @@
+"""Trace diff: two Chrome-trace JSONs -> a per-span before/after table.
+
+Every perf PR should ship evidence; ``repro-perf trace-diff a b``
+renders where the time actually moved.  Per span name it reports call
+counts, inclusive seconds and *self* seconds for both sides plus the
+deltas — self-time is computed by
+:mod:`repro.telemetry.spans`, so nested spans never double-charge their
+ancestors.  Spans present on only one side render with ``-`` on the
+other, which is itself signal (a stage that appeared or vanished).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from dataclasses import dataclass
+
+from repro.telemetry.spans import SpanStat, aggregate_chrome_events
+
+__all__ = ["SpanDelta", "diff_traces", "load_trace_spans", "render_trace_diff"]
+
+
+def load_trace_spans(path: Union[str, Path]) -> Dict[str, SpanStat]:
+    """Aggregate one Chrome trace file into per-span statistics."""
+    with open(path, "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError(f"{path}: not a Chrome trace (no traceEvents list)")
+    return aggregate_chrome_events(events)
+
+
+@dataclass(frozen=True)
+class SpanDelta:
+    """One span's before/after row."""
+
+    name: str
+    before: Optional[SpanStat]
+    after: Optional[SpanStat]
+
+    @property
+    def self_delta_s(self) -> float:
+        before = self.before.self_s if self.before is not None else 0.0
+        after = self.after.self_s if self.after is not None else 0.0
+        return after - before
+
+    @property
+    def total_delta_s(self) -> float:
+        before = self.before.total_s if self.before is not None else 0.0
+        after = self.after.total_s if self.after is not None else 0.0
+        return after - before
+
+
+def diff_traces(
+    before: Dict[str, SpanStat], after: Dict[str, SpanStat]
+) -> List[SpanDelta]:
+    """Rows for every span in either trace, biggest |self delta| first."""
+    names = sorted(set(before) | set(after))
+    deltas = [
+        SpanDelta(name, before.get(name), after.get(name)) for name in names
+    ]
+    deltas.sort(key=lambda delta: (-abs(delta.self_delta_s), delta.name))
+    return deltas
+
+
+def _fmt_seconds(value: Optional[float]) -> str:
+    return "-" if value is None else f"{value:.4f}"
+
+
+def _fmt_count(stat: Optional[SpanStat]) -> str:
+    return "-" if stat is None else str(stat.count)
+
+
+def _fmt_delta(delta: float, before: Optional[float]) -> str:
+    text = f"{delta:+.4f}"
+    if before is not None and before > 0:
+        text += f" ({delta / before:+.1%})"
+    return text
+
+
+def render_trace_diff(
+    before_label: str,
+    after_label: str,
+    deltas: List[SpanDelta],
+) -> str:
+    """The human table ``repro-perf trace-diff`` prints."""
+    lines = [
+        f"trace diff: {before_label} -> {after_label}",
+        f"{'span':<24} {'calls':>11} {'total_s':>19} {'Δtotal':>18} "
+        f"{'self_s':>19} {'Δself':>18}",
+    ]
+    for delta in deltas:
+        before, after = delta.before, delta.after
+        calls = f"{_fmt_count(before)}/{_fmt_count(after)}"
+        totals = (
+            f"{_fmt_seconds(before.total_s if before else None)}/"
+            f"{_fmt_seconds(after.total_s if after else None)}"
+        )
+        selfs = (
+            f"{_fmt_seconds(before.self_s if before else None)}/"
+            f"{_fmt_seconds(after.self_s if after else None)}"
+        )
+        lines.append(
+            f"{delta.name:<24} {calls:>11} {totals:>19} "
+            f"{_fmt_delta(delta.total_delta_s, before.total_s if before else None):>18} "
+            f"{selfs:>19} "
+            f"{_fmt_delta(delta.self_delta_s, before.self_s if before else None):>18}"
+        )
+    if not deltas:
+        lines.append("(no spans on either side)")
+    return "\n".join(lines)

@@ -1,0 +1,189 @@
+"""Registered workload profiles: the benchmark generators, addressable.
+
+The matrix runner sweeps backends × jobs × *workload profiles*; a
+profile is a named, parameterized, deterministic workload builder.  The
+builders here are the exact generators the standalone benchmark scripts
+use (``bench_parallel_scaling`` and ``bench_filters`` import them back),
+so a profile name plus its parameter dict reproduces a benchmark's input
+byte-for-byte — which is what makes work-count metrics comparable across
+runs and machines.
+
+Each profile carries two parameter sets (``full`` for the nightly
+matrix, ``quick`` for the tier-1 CI gate) plus the pipeline operating
+point (k-mer size, edit bound, segment count) the benches pin for it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.genome.reads import ErrorProfile, ReadSimulator
+from repro.genome.reference import ReferenceGenome, make_reference
+from repro.genome.variants import simulate_variants
+
+__all__ = [
+    "Workload",
+    "WorkloadProfile",
+    "build_illumina_workload",
+    "build_repeat_rich_workload",
+    "get_workload",
+    "register_workload",
+    "workload_names",
+]
+
+#: A built workload: the reference plus ``(name, sequence)`` reads.
+Workload = Tuple[ReferenceGenome, List[Tuple[str, str]]]
+
+WorkloadBuilder = Callable[..., Workload]
+
+
+def build_illumina_workload(
+    *, genome_bp: int, reads: int, read_length: int = 101
+) -> Workload:
+    """The ``bench_scale.py`` shape: planted repeats, variants, 1-3% error.
+
+    Seeds are pinned (777/778/779, matching ``bench_parallel_scaling``)
+    so the same parameters always produce the same reads.
+    """
+    reference = make_reference(genome_bp, seed=777)
+    variants = simulate_variants(reference.sequence, random.Random(778))
+    simulator = ReadSimulator(
+        reference,
+        variants,
+        read_length=read_length,
+        seed=779,
+        error_profile=ErrorProfile(rate_start=0.01, rate_end=0.03),
+    )
+    simulated = simulator.simulate(reads)
+    return reference, [(s.name, s.sequence) for s in simulated]
+
+
+def build_repeat_rich_workload(
+    *,
+    repeat_copies: int,
+    reads: int,
+    read_length: int = 101,
+    unit_bp: int = 600,
+    flank_bp: int = 80,
+    divergence: float = 0.12,
+    read_errors: int = 10,
+    seed: int = 4242,
+) -> Workload:
+    """The ``bench_filters`` shape: spurious extension candidates dominate.
+
+    A genome of ``repeat_copies`` diverged copies of one unit, read with
+    enough substitutions that SMEM seeds fragment and hit every copy.
+    Every read is a genuine substring of the reference with
+    ``read_errors`` substitutions, so its true locus survives any
+    lossless filter; the repeat family supplies the decoy placements.
+    """
+    rng = random.Random(seed)
+    unit = "".join(rng.choice("ACGT") for _ in range(unit_bp))
+    parts: List[str] = []
+    for _ in range(repeat_copies):
+        parts.append(
+            "".join(
+                rng.choice("ACGT") if rng.random() < divergence else base
+                for base in unit
+            )
+        )
+        parts.append("".join(rng.choice("ACGT") for _ in range(flank_bp)))
+    sequence = "".join(parts)
+    reference = ReferenceGenome(sequence, name="repeat-rich")
+    read_list: List[Tuple[str, str]] = []
+    for index in range(reads):
+        start = rng.randrange(len(sequence) - read_length)
+        read = list(sequence[start:start + read_length])
+        for position in rng.sample(range(read_length), read_errors):
+            read[position] = rng.choice("ACGT".replace(read[position], ""))
+        read_list.append((f"read{index}|{start}|+", "".join(read)))
+    return reference, read_list
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """One registered profile: builder + parameter sets + operating point."""
+
+    name: str
+    summary: str  # one line; rendered by ``repro-perf run --list``
+    build: WorkloadBuilder
+    full: Mapping[str, Any]
+    quick: Mapping[str, Any]
+    kmer: int
+    edit_bound: int
+    segment_count: int  # consumed by the genax backend only
+
+    def params(self, quick: bool) -> Dict[str, Any]:
+        """The builder keyword parameters for the requested scale."""
+        return dict(self.quick if quick else self.full)
+
+    def build_workload(
+        self, quick: bool, overrides: Optional[Mapping[str, Any]] = None
+    ) -> Workload:
+        """Build the workload at the requested scale (plus *overrides*)."""
+        params = self.params(quick)
+        if overrides:
+            params.update(overrides)
+        return self.build(**params)
+
+
+_REGISTRY: Dict[str, WorkloadProfile] = {}
+
+
+def register_workload(profile: WorkloadProfile) -> WorkloadProfile:
+    """Register *profile*; duplicate names are a programming error."""
+    if profile.name in _REGISTRY:
+        raise ValueError(f"workload {profile.name!r} is already registered")
+    _REGISTRY[profile.name] = profile
+    return profile
+
+
+def workload_names() -> Tuple[str, ...]:
+    """Registered profile names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def get_workload(name: str) -> WorkloadProfile:
+    """Look a profile up by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "<none>"
+        raise ValueError(
+            f"unknown workload {name!r} (known: {known})"
+        ) from None
+
+
+ILLUMINA_SMALL = register_workload(
+    WorkloadProfile(
+        name="illumina-small",
+        summary=(
+            "the scaling-bench workload: planted repeats + variants, "
+            "101 bp reads at 1-3% error"
+        ),
+        build=build_illumina_workload,
+        full={"genome_bp": 200_000, "reads": 120},
+        quick={"genome_bp": 30_000, "reads": 16},
+        kmer=12,
+        edit_bound=12,
+        segment_count=4,
+    )
+)
+
+REPEAT_RICH = register_workload(
+    WorkloadProfile(
+        name="repeat-rich",
+        summary=(
+            "the filter-bench workload: hundreds of diverged repeat "
+            "copies, 10-error reads — spurious candidates dominate"
+        ),
+        build=build_repeat_rich_workload,
+        full={"repeat_copies": 200, "reads": 32},
+        quick={"repeat_copies": 60, "reads": 8},
+        kmer=10,
+        edit_bound=12,
+        segment_count=4,
+    )
+)

@@ -14,6 +14,8 @@ software equivalent:
   trace files, and the ``--profile`` stage table;
 * :mod:`repro.telemetry.manifest` — run manifests (config fingerprint,
   git SHA, timestamps) written alongside results;
+* :mod:`repro.telemetry.spans` — begin/end events -> per-span totals
+  and self-times (what ``repro-perf trace-diff`` aggregates);
 * :mod:`repro.telemetry.runtime` — the activation global and the
   :class:`PipelineTelemetry` bundle drivers record into.
 
@@ -30,6 +32,7 @@ from repro.telemetry.clock import (
 )
 from repro.telemetry.exporters import (
     METRICS_SCHEMA_VERSION,
+    lint_prometheus_text,
     metrics_json,
     prometheus_text,
     render_profile,
@@ -44,6 +47,11 @@ from repro.telemetry.manifest import (
     write_manifest,
 )
 from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricRegistry
+from repro.telemetry.spans import (
+    SpanStat,
+    aggregate_chrome_events,
+    aggregate_events,
+)
 from repro.telemetry.runtime import (
     PipelineTelemetry,
     activate,
@@ -64,14 +72,18 @@ __all__ = [
     "MetricRegistry",
     "PipelineTelemetry",
     "RunManifest",
+    "SpanStat",
     "StopWatch",
     "TraceEvent",
     "Tracer",
     "activate",
     "active_telemetry",
+    "aggregate_chrome_events",
+    "aggregate_events",
     "config_fingerprint",
     "deactivate",
     "git_commit",
+    "lint_prometheus_text",
     "metrics_json",
     "monotonic_s",
     "prometheus_text",

@@ -1,0 +1,97 @@
+"""Span aggregation: begin/end trace events -> per-name totals.
+
+The tracer records flat ``B``/``E`` events (one tuple per phase); this
+module folds them into per-span-name statistics — call count, inclusive
+wall seconds, and *self* seconds (inclusive minus time spent in nested
+child spans).  Self-time is what makes a trace diff honest: a regression
+in ``extend`` must show up in ``extend``, not smeared over every
+ancestor span that contains it.
+
+Aggregation is per timeline lane (``pid``): each lane replays its events
+in timestamp order with a span stack, attributing every closed span's
+inclusive time to its parent's child-accumulator.  Unbalanced events
+(stray ends, spans left open by a crashed run) are dropped rather than
+fabricated.  Works on both the in-memory tracer tuples and the exported
+Chrome ``traceEvents`` dicts, so ``repro-perf trace-diff`` and live
+tooling share one code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Mapping, Tuple
+
+from repro.telemetry.tracer import TraceEvent
+
+__all__ = ["SpanStat", "aggregate_chrome_events", "aggregate_events"]
+
+
+@dataclass
+class SpanStat:
+    """Aggregated statistics for one span name across a trace."""
+
+    name: str
+    count: int = 0
+    total_s: float = 0.0  # inclusive: span open -> close
+    self_s: float = 0.0  # exclusive: inclusive minus nested child spans
+
+    def merge(self, other: "SpanStat") -> None:
+        if self.name != other.name:
+            raise ValueError(
+                f"cannot merge span {other.name!r} into {self.name!r}"
+            )
+        self.count += other.count
+        self.total_s += other.total_s
+        self.self_s += other.self_s
+
+
+def aggregate_events(events: Iterable[TraceEvent]) -> Dict[str, SpanStat]:
+    """Aggregate raw tracer tuples ``(phase, name, timestamp_us, pid)``."""
+    normalised = [
+        (pid, ts_us, phase, name) for phase, name, ts_us, pid in events
+    ]
+    return _aggregate(normalised)
+
+
+def aggregate_chrome_events(
+    events: Iterable[Mapping[str, Any]],
+) -> Dict[str, SpanStat]:
+    """Aggregate exported Chrome ``traceEvents`` dicts (``ph``/``ts``)."""
+    normalised = [
+        (
+            int(event.get("pid", 0)),
+            int(event["ts"]),
+            str(event["ph"]),
+            str(event["name"]),
+        )
+        for event in events
+        if event.get("ph") in ("B", "E")
+    ]
+    return _aggregate(normalised)
+
+
+def _aggregate(
+    normalised: List[Tuple[int, int, str, str]],
+) -> Dict[str, SpanStat]:
+    """Replay (pid, ts_us, phase, name) rows per lane with a span stack."""
+    stats: Dict[str, SpanStat] = {}
+    # Stable sort: lanes separately, each in timestamp order (events
+    # recorded at the same microsecond keep their recording order).
+    normalised.sort(key=lambda row: (row[0], row[1]))
+    # Per-lane stack entries: [name, begin_ts_us, child_us].
+    stacks: Dict[int, List[List[Any]]] = {}
+    for pid, ts_us, phase, name in normalised:
+        stack = stacks.setdefault(pid, [])
+        if phase == "B":
+            stack.append([name, ts_us, 0])
+        elif phase == "E" and stack:
+            open_name, begin_us, child_us = stack.pop()
+            duration_us = ts_us - begin_us
+            stat = stats.setdefault(open_name, SpanStat(open_name))
+            stat.count += 1
+            stat.total_s += duration_us / 1e6
+            stat.self_s += max(duration_us - child_us, 0) / 1e6
+            if stack:
+                stack[-1][2] += duration_us
+        # Stray "E" with an empty stack: unbalanced trace; dropped.
+    return stats

@@ -74,3 +74,54 @@ class TestDesignFilterCascade:
         assert "pipeline_cascade_depth" in design
         assert "filter_batch" in design
         assert "publish_cascade" in design
+
+
+class TestPerfTrajectoryDocs:
+    def test_design_section_exists(self):
+        assert "## Perf trajectory (`repro/perf`)" in read_doc("DESIGN.md")
+
+    def test_design_pins_the_schema_version(self):
+        from repro.perf.schema import BENCH_SCHEMA_VERSION
+
+        design = read_doc("DESIGN.md")
+        assert (
+            f"`BENCH_SCHEMA_VERSION = {BENCH_SCHEMA_VERSION}`" in design
+        )
+
+    def test_design_names_every_gate_mode_and_tolerance(self):
+        from repro.perf.gate import DEFAULT_TOLERANCE
+
+        design = read_doc("DESIGN.md")
+        for mode, tolerance in DEFAULT_TOLERANCE.items():
+            assert f"`{mode}`" in design
+            assert f"**{tolerance}**" in design
+
+    def test_design_names_every_gate_outcome(self):
+        from repro.perf.gate import (
+            OUTCOME_FAIL,
+            OUTCOME_FINGERPRINT_MISMATCH,
+            OUTCOME_MISSING_BASELINE,
+            OUTCOME_PASS,
+        )
+
+        design = read_doc("DESIGN.md")
+        for outcome in (
+            OUTCOME_PASS,
+            OUTCOME_FAIL,
+            OUTCOME_MISSING_BASELINE,
+            OUTCOME_FINGERPRINT_MISMATCH,
+        ):
+            assert f"`{outcome}`" in design
+
+    def test_design_names_every_workload_profile(self):
+        from repro.perf.workloads import workload_names
+
+        design = read_doc("DESIGN.md")
+        for name in workload_names():
+            assert f"`{name}`" in design
+
+    def test_readme_quickstart_covers_every_subcommand(self):
+        readme = read_doc("README.md")
+        assert "### Perf trajectory" in readme
+        for command in ("run", "record", "history", "gate", "trace-diff"):
+            assert f"repro-perf {command}" in readme

@@ -1,0 +1,118 @@
+"""The history store, driven through a ManualClock fake — no real time."""
+
+import json
+
+import pytest
+
+from repro.perf.history import HistoryStore, render_history
+from repro.perf.schema import bench_envelope
+from repro.telemetry.clock import ManualClock
+
+
+def make_result(tag="a", **kwargs):
+    defaults = dict(
+        quick=True,
+        workload={"tag": tag},
+        payload={"cells": []},
+    )
+    defaults.update(kwargs)
+    return bench_envelope("perf_matrix", **defaults)
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return HistoryStore(tmp_path / "history", clock=ManualClock(start=100.0))
+
+
+class TestAppend:
+    def test_creates_content_addressed_file(self, store):
+        result = make_result()
+        run_id = store.append(result)
+        assert run_id == result["run_id"]
+        path = store.root / f"{run_id}.json"
+        assert path.exists()
+        doc = json.loads(path.read_text())
+        assert doc["history"] == {"sequence": 1, "recorded_at": 100.0}
+
+    def test_idempotent_by_content(self, store):
+        result = make_result()
+        first = store.append(result)
+        second = store.append(dict(result))
+        assert first == second
+        assert len(list(store.root.glob("*.json"))) == 1
+        assert [r["history"]["sequence"] for r in store.runs()] == [1]
+
+    def test_sequence_increments_per_distinct_run(self, store):
+        store.append(make_result("a"))
+        store.append(make_result("b"))
+        store.append(make_result("c"))
+        assert [r["history"]["sequence"] for r in store.runs()] == [1, 2, 3]
+
+    def test_recorded_at_comes_from_injected_clock(self, tmp_path):
+        clock = ManualClock(start=5.0)
+        store = HistoryStore(tmp_path, clock=clock)
+        store.append(make_result("a"))
+        clock.advance(10.0)
+        store.append(make_result("b"))
+        stamps = [r["history"]["recorded_at"] for r in store.runs()]
+        assert stamps == [5.0, 15.0]
+
+    def test_rejects_legacy_shaped_results(self, store):
+        with pytest.raises(ValueError, match="schema_version"):
+            store.append({"schema_version": 1, "benchmark": "bench_filters"})
+
+
+class TestQuery:
+    def test_runs_ordered_by_sequence_not_name(self, store):
+        # Append in an order where run ids do not sort like sequences.
+        ids = [store.append(make_result(tag)) for tag in ("z", "a", "m")]
+        assert [r["run_id"] for r in store.runs()] == ids
+
+    def test_latest_matches_workload_fingerprint(self, store):
+        a1 = make_result("a")
+        b1 = make_result("b")
+        a2 = make_result("a", payload={"cells": [{"x": 1}]})
+        for result in (a1, b1, a2):
+            store.append(result)
+        hit = store.latest(
+            benchmark="perf_matrix",
+            workload_fingerprint=a1["workload_fingerprint"],
+        )
+        assert hit["run_id"] == a2["run_id"]  # newest matching, not first
+
+    def test_latest_excludes_current_run(self, store):
+        a1 = make_result("a")
+        a2 = make_result("a", payload={"cells": [{"x": 1}]})
+        store.append(a1)
+        store.append(a2)
+        hit = store.latest(
+            workload_fingerprint=a1["workload_fingerprint"],
+            exclude_run_id=a2["run_id"],
+        )
+        assert hit["run_id"] == a1["run_id"]
+
+    def test_latest_empty_store(self, store):
+        assert store.latest(benchmark="perf_matrix") is None
+
+    def test_latest_machine_fingerprint_filter(self, store):
+        result = make_result("a")
+        store.append(result)
+        assert store.latest(machine_fingerprint="0" * 16) is None
+        assert (
+            store.latest(machine_fingerprint=result["machine_fingerprint"])
+            is not None
+        )
+
+
+class TestRender:
+    def test_empty_store_message(self, store):
+        assert "no recorded runs" in render_history(store)
+
+    def test_table_lists_every_run_in_order(self, store):
+        first = store.append(make_result("a"))
+        second = store.append(make_result("b"))
+        table = render_history(store)
+        lines = table.splitlines()
+        assert "run id" in lines[0]
+        assert first in lines[1]
+        assert second in lines[2]

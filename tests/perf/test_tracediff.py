@@ -1,0 +1,114 @@
+"""Trace diff: two Chrome traces -> the per-span before/after table."""
+
+import json
+
+import pytest
+
+from repro.perf.tracediff import (
+    SpanDelta,
+    diff_traces,
+    load_trace_spans,
+    render_trace_diff,
+)
+from repro.telemetry.spans import SpanStat
+
+
+def chrome_trace(events):
+    """Build a traceEvents doc from (ph, name, ts_us, pid) rows."""
+    return {
+        "traceEvents": [
+            {"ph": ph, "name": name, "ts": ts, "pid": pid, "tid": pid,
+             "cat": "pipeline"}
+            for ph, name, ts, pid in events
+        ]
+    }
+
+
+def write_trace(path, events):
+    path.write_text(json.dumps(chrome_trace(events)))
+    return path
+
+
+BEFORE_EVENTS = [
+    ("B", "align", 0, 0),
+    ("B", "seed", 10, 0),
+    ("E", "seed", 110, 0),
+    ("B", "extend", 120, 0),
+    ("E", "extend", 920, 0),
+    ("E", "align", 1000, 0),
+]
+
+# extend got 400us slower, seed unchanged, a new span appeared.
+AFTER_EVENTS = [
+    ("B", "align", 0, 0),
+    ("B", "seed", 10, 0),
+    ("E", "seed", 110, 0),
+    ("B", "extend", 120, 0),
+    ("E", "extend", 1320, 0),
+    ("B", "select", 1330, 0),
+    ("E", "select", 1380, 0),
+    ("E", "align", 1400, 0),
+]
+
+
+class TestLoad:
+    def test_loads_and_aggregates(self, tmp_path):
+        path = write_trace(tmp_path / "trace.json", BEFORE_EVENTS)
+        spans = load_trace_spans(path)
+        assert spans["seed"].count == 1
+        assert spans["seed"].total_s == pytest.approx(100e-6)
+        # align's self-time excludes its nested children.
+        assert spans["align"].self_s == pytest.approx(100e-6)
+
+    def test_rejects_non_trace_json(self, tmp_path):
+        path = tmp_path / "not_a_trace.json"
+        path.write_text(json.dumps({"spans": []}))
+        with pytest.raises(ValueError, match="traceEvents"):
+            load_trace_spans(path)
+
+
+class TestDiff:
+    def test_rows_sorted_by_self_delta_magnitude(self, tmp_path):
+        before = load_trace_spans(
+            write_trace(tmp_path / "before.json", BEFORE_EVENTS)
+        )
+        after = load_trace_spans(
+            write_trace(tmp_path / "after.json", AFTER_EVENTS)
+        )
+        deltas = diff_traces(before, after)
+        assert deltas[0].name == "extend"
+        assert deltas[0].self_delta_s == pytest.approx(400e-6)
+
+    def test_one_sided_spans_render_with_placeholders(self):
+        deltas = diff_traces(
+            {}, {"select": SpanStat("select", count=2, total_s=0.5,
+                                    self_s=0.5)}
+        )
+        table = render_trace_diff("a.json", "b.json", deltas)
+        row = next(l for l in table.splitlines() if l.startswith("select"))
+        assert "-/2" in row
+        assert "-/0.5000" in row
+
+    def test_delta_includes_percentage_against_before(self, tmp_path):
+        before = load_trace_spans(
+            write_trace(tmp_path / "before.json", BEFORE_EVENTS)
+        )
+        after = load_trace_spans(
+            write_trace(tmp_path / "after.json", AFTER_EVENTS)
+        )
+        table = render_trace_diff("before", "after", diff_traces(before, after))
+        extend_row = next(
+            l for l in table.splitlines() if l.startswith("extend")
+        )
+        assert "+50.0%" in extend_row  # 800us -> 1200us
+
+    def test_empty_diff_renders_note(self):
+        table = render_trace_diff("a", "b", [])
+        assert "no spans" in table
+
+
+class TestSpanDelta:
+    def test_deltas_default_missing_sides_to_zero(self):
+        stat = SpanStat("x", count=1, total_s=2.0, self_s=1.5)
+        assert SpanDelta("x", None, stat).self_delta_s == 1.5
+        assert SpanDelta("x", stat, None).total_delta_s == -2.0

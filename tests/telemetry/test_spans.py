@@ -1,0 +1,117 @@
+"""Span aggregation: self-time attribution, lanes, unbalanced traces."""
+
+import pytest
+
+from repro.telemetry.spans import (
+    SpanStat,
+    aggregate_chrome_events,
+    aggregate_events,
+)
+
+
+class TestSelfTime:
+    def test_nested_child_charged_to_itself_not_the_parent(self):
+        events = [
+            ("B", "outer", 0, 0),
+            ("B", "inner", 100, 0),
+            ("E", "inner", 400, 0),
+            ("E", "outer", 1000, 0),
+        ]
+        stats = aggregate_events(events)
+        assert stats["outer"].total_s == pytest.approx(1000e-6)
+        assert stats["outer"].self_s == pytest.approx(700e-6)
+        assert stats["inner"].self_s == pytest.approx(300e-6)
+
+    def test_two_levels_of_nesting(self):
+        events = [
+            ("B", "a", 0, 0),
+            ("B", "b", 10, 0),
+            ("B", "c", 20, 0),
+            ("E", "c", 30, 0),
+            ("E", "b", 50, 0),
+            ("E", "a", 100, 0),
+        ]
+        stats = aggregate_events(events)
+        assert stats["a"].self_s == pytest.approx(60e-6)
+        assert stats["b"].self_s == pytest.approx(30e-6)
+        assert stats["c"].self_s == pytest.approx(10e-6)
+        # Self-times partition the root's inclusive time exactly.
+        total_self = sum(s.self_s for s in stats.values())
+        assert total_self == pytest.approx(stats["a"].total_s)
+
+    def test_repeated_span_names_accumulate(self):
+        events = [
+            ("B", "extend", 0, 0),
+            ("E", "extend", 10, 0),
+            ("B", "extend", 20, 0),
+            ("E", "extend", 50, 0),
+        ]
+        stats = aggregate_events(events)
+        assert stats["extend"].count == 2
+        assert stats["extend"].total_s == pytest.approx(40e-6)
+
+
+class TestLanes:
+    def test_pids_aggregate_independently(self):
+        # Interleaved timestamps across two lanes must not nest.
+        events = [
+            ("B", "shard", 0, 1),
+            ("B", "shard", 5, 2),
+            ("E", "shard", 100, 1),
+            ("E", "shard", 205, 2),
+        ]
+        stats = aggregate_events(events)
+        assert stats["shard"].count == 2
+        assert stats["shard"].total_s == pytest.approx(300e-6)
+        assert stats["shard"].self_s == pytest.approx(300e-6)
+
+
+class TestUnbalanced:
+    def test_stray_end_is_dropped(self):
+        events = [
+            ("E", "ghost", 10, 0),
+            ("B", "real", 20, 0),
+            ("E", "real", 30, 0),
+        ]
+        stats = aggregate_events(events)
+        assert "ghost" not in stats
+        assert stats["real"].count == 1
+
+    def test_span_left_open_is_not_fabricated(self):
+        events = [("B", "crashed", 0, 0)]
+        assert aggregate_events(events) == {}
+
+
+class TestChromeEvents:
+    def test_dict_events_match_tuple_events(self):
+        tuples = [
+            ("B", "seed", 0, 3),
+            ("E", "seed", 70, 3),
+        ]
+        dicts = [
+            {"ph": "B", "name": "seed", "ts": 0, "pid": 3},
+            {"ph": "E", "name": "seed", "ts": 70, "pid": 3},
+        ]
+        assert aggregate_chrome_events(dicts) == aggregate_events(tuples)
+
+    def test_non_duration_phases_ignored(self):
+        dicts = [
+            {"ph": "M", "name": "process_name", "ts": 0, "pid": 0},
+            {"ph": "B", "name": "seed", "ts": 0, "pid": 0},
+            {"ph": "E", "name": "seed", "ts": 10, "pid": 0},
+            {"ph": "X", "name": "complete", "ts": 5, "pid": 0, "dur": 2},
+        ]
+        stats = aggregate_chrome_events(dicts)
+        assert set(stats) == {"seed"}
+
+
+class TestMerge:
+    def test_merge_sums_fields(self):
+        a = SpanStat("seed", count=1, total_s=1.0, self_s=0.5)
+        b = SpanStat("seed", count=2, total_s=3.0, self_s=2.0)
+        a.merge(b)
+        assert (a.count, a.total_s, a.self_s) == (3, 4.0, 2.5)
+
+    def test_merge_rejects_different_names(self):
+        with pytest.raises(ValueError, match="cannot merge"):
+            SpanStat("seed").merge(SpanStat("extend"))
