@@ -22,12 +22,13 @@ from repro.align.records import ReadInput
 from repro.core.silla import Silla
 from repro.filters import filter_names, parse_cascade_spec
 from repro.genome.fasta import read_fasta, read_fastq, write_fasta, write_fastq
-from repro.genome.reads import ReadSimulator
+from repro.genome.reads import ReadSimulator, build_profile_reads, profile_names
 from repro.genome.reference import ReferenceGenome, make_reference
 from repro.genome.variants import simulate_variants
 from repro.pipeline.bitvector import KERNELS, BitvectorConfig
 from repro.pipeline.bwamem import BwaMemConfig
 from repro.pipeline.genax import GenAxConfig
+from repro.pipeline.longread import LongReadConfig
 from repro.pipeline.registry import backend_names, get_backend
 from repro.pipeline.sam import write_sam
 from repro.seeding.accelerator import SeedingAccelerator
@@ -57,6 +58,14 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--read-length", type=int, default=101)
     simulate.add_argument("--seed", type=int, default=0)
     simulate.add_argument("--no-variants", action="store_true")
+    simulate.add_argument(
+        "--profile",
+        choices=profile_names(),
+        default="illumina",
+        help="read profile from the registry; 'illumina' keeps the "
+        "classic variant-aware simulator, other profiles use their "
+        "registered builders (--read-length/--no-variants then ignored)",
+    )
     simulate.add_argument("--out-reference", required=True)
     simulate.add_argument("--out-reads", required=True)
 
@@ -79,6 +88,25 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="worker processes for any pipeline (1 = in-process serial)",
+    )
+    align.add_argument(
+        "--paired",
+        action="store_true",
+        help="treat the FASTQ as interleaved FR mate pairs (/1 then /2) "
+        "and rescue unmapped mates from their partner's insert window",
+    )
+    align.add_argument(
+        "--insert-mean",
+        type=int,
+        default=350,
+        help="paired-end library mean insert size (with --paired)",
+    )
+    align.add_argument(
+        "--insert-slack",
+        type=int,
+        default=140,
+        help="half-width of the rescue window around the mean insert "
+        "(with --paired)",
     )
     align.add_argument(
         "--filters",
@@ -141,13 +169,28 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     reference = make_reference(args.length, seed=args.seed)
-    variants = None
-    if not args.no_variants:
-        variants = simulate_variants(reference.sequence, random.Random(args.seed + 1))
-    simulator = ReadSimulator(
-        reference, variants, read_length=args.read_length, seed=args.seed + 2
-    )
-    simulated = simulator.simulate(args.reads)
+    if args.profile == "illumina":
+        # The classic path: variant-aware, byte-identical to the
+        # pre-profile CLI for the same arguments.
+        variants = None
+        if not args.no_variants:
+            variants = simulate_variants(
+                reference.sequence, random.Random(args.seed + 1)
+            )
+        simulator = ReadSimulator(
+            reference, variants, read_length=args.read_length, seed=args.seed + 2
+        )
+        simulated = simulator.simulate(args.reads)
+    else:
+        if args.read_length != 101 or args.no_variants:
+            print(
+                "warning: --read-length/--no-variants only apply to the "
+                "illumina profile",
+                file=sys.stderr,
+            )
+        simulated = build_profile_reads(
+            args.profile, reference, args.reads, seed=args.seed + 2
+        )
     write_fasta(args.out_reference, [(reference.name, reference.sequence)])
     # Encode ground truth into read names: name|pos|strand.
     from repro.genome.reads import Read
@@ -163,7 +206,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     write_fastq(args.out_reads, reads)
     print(
         f"wrote {len(reference):,} bp reference to {args.out_reference} and "
-        f"{len(reads)} reads to {args.out_reads}"
+        f"{len(reads)} {args.profile} reads to {args.out_reads}"
     )
     return 0
 
@@ -183,6 +226,16 @@ def _cmd_align(args: argparse.Namespace) -> int:
     reads = read_fastq(args.reads)
     if args.jobs < 1:
         raise SystemExit(f"--jobs must be >= 1, got {args.jobs}")
+    if args.paired:
+        # Mate rescue mutates the serial driver's shared counters pair by
+        # pair; the shard-parallel driver has no pair-aware merge yet.
+        if args.jobs > 1:
+            raise SystemExit("--paired requires --jobs 1 (serial mate rescue)")
+        if len(reads) % 2:
+            raise SystemExit(
+                f"--paired needs an even read count (interleaved mates), "
+                f"got {len(reads)}"
+            )
     # The clock abstraction wraps time.perf_counter(), never time.time():
     # wall-clock time is not monotonic (NTP steps, DST) and must never
     # measure elapsed time.  genaxlint's wall-clock rule (GX102) cites
@@ -231,6 +284,18 @@ def _cmd_align(args: argparse.Namespace) -> int:
                 filters=cascade_names,
                 jobs=args.jobs,
             )
+        elif args.pipeline == "longread":
+            if cascade_names:
+                print(
+                    "warning: --filters does not apply to the longread "
+                    "pipeline (band and gate are derived per read)",
+                    file=sys.stderr,
+                )
+            config = LongReadConfig(
+                k=args.kmer,
+                min_score=args.min_score,
+                jobs=args.jobs,
+            )
         else:
             config = BwaMemConfig(
                 k=args.kmer,
@@ -249,10 +314,19 @@ def _cmd_align(args: argparse.Namespace) -> int:
             telemetry.stage_end("align_run")
     else:
         aligner, mapped = _run_alignment(args, reference, config, reads)
+    pair_stats = None
+    if args.paired:
+        mapped, pair_stats = _resolve_read_pairs(args, reference, aligner, mapped, reads)
     elapsed = monotonic_s() - started
     write_sam(args.output, reference, mapped, reads)
     stats = aligner.stats
     suffix = f" with {args.jobs} job(s)"
+    if pair_stats is not None:
+        suffix += (
+            f", {pair_stats.rescued}/{pair_stats.rescue_attempts} mates "
+            f"rescued, {pair_stats.proper_pairs}/{pair_stats.pairs_total} "
+            "pairs proper"
+        )
     if args.pipeline == "genax" and args.prefilter and cascade_names is None:
         checked = stats.candidates_filtered + stats.candidates_survived
         suffix += f", prefilter rejected {stats.candidates_filtered}/{checked}"
@@ -265,8 +339,44 @@ def _cmd_align(args: argparse.Namespace) -> int:
         f"{suffix} -> {args.output}"
     )
     if telemetry is not None:
-        _export_telemetry(args, telemetry, aligner, config, elapsed)
+        _export_telemetry(args, telemetry, aligner, config, elapsed, pair_stats)
     return 0
+
+
+def _resolve_read_pairs(
+    args: argparse.Namespace,
+    reference: ReferenceGenome,
+    aligner: Any,
+    mapped: List[Any],
+    reads: Sequence[Any],
+) -> Tuple[List[Any], Any]:
+    """Pair consecutive mates, rescuing unmapped ones from insert windows.
+
+    The single-end mapping order is preserved: entry ``2i`` / ``2i + 1``
+    of the returned list is pair *i*'s first / second mate, possibly
+    replaced by a rescued placement (marked with the rescue MAPQ).
+    """
+    from repro.pipeline.pairs import PairRescuer, resolve_pair
+
+    rescuer = PairRescuer(
+        reference.sequence,
+        insert_mean=args.insert_mean,
+        insert_slack=args.insert_slack,
+        min_score=args.min_score,
+    )
+    resolved: List[Any] = []
+    for index in range(0, len(mapped), 2):
+        first_read, second_read = reads[index], reads[index + 1]
+        pairing = resolve_pair(
+            mapped[index],
+            mapped[index + 1],
+            first_read.sequence,
+            second_read.sequence,
+            rescuer,
+            aligner.stats,
+        )
+        resolved.extend((pairing.first, pairing.second))
+    return resolved, rescuer.stats
 
 
 def _run_alignment(
@@ -295,6 +405,7 @@ def _export_telemetry(
     aligner: Any,
     config: object,
     elapsed: float,
+    pair_stats: Any = None,
 ) -> None:
     """Publish backend counters and write the requested telemetry artifacts."""
     from repro.pipeline.counters import (
@@ -302,6 +413,7 @@ def _export_telemetry(
         publish_cascade,
         publish_counters,
         publish_kernel,
+        publish_pairs,
     )
 
     counters = collect_counters(aligner)
@@ -313,6 +425,7 @@ def _export_telemetry(
         telemetry.metrics, getattr(aligner, "kernel_stats", None),
         args.pipeline,
     )
+    publish_pairs(telemetry.metrics, pair_stats, args.pipeline)
     if args.profile:
         print(render_profile(telemetry.metrics, elapsed), file=sys.stderr)
     if args.trace_out:

@@ -14,17 +14,31 @@ inputs where approximate or windowed kernels silently drift from full DP:
 * ``rev_comp`` — query is the reverse complement of a mutated window
   (exercises strand normalization in seeding/mapping pairs).
 
+Scenario families added with the long-read/paired-end/SV workloads:
+
+* ``long_read_indel`` — long mutated windows under an indel-dominated
+  (~10%, 3/4 indels) error process, the nanopore shape that drifts
+  windowed kernels off their diagonal;
+* ``paired_end`` — the mate-rescue geometry: the query is one FR mate
+  (forward head or reverse-complemented tail of a fragment window) with
+  light errors, searched inside an insert-sized reference;
+* ``sv_chimeric`` — the query is two segments from unrelated loci
+  (inversion / translocation / novel-insertion shapes) glued at a
+  breakpoint carried in ``params["breakpoint"]``.
+
 Determinism contract: every draw flows from one ``random.Random`` seeded
 with ``"{seed}:{pair}:{index}"``, so any single case can be regenerated
 from its coordinates alone — replay and shrinking never need the whole
-stream.
+stream.  Pairs that predate spec-scoped rotation keep their historic
+six-family rotation (``CLASSIC_FAMILIES``) byte-identical; new pairs pin
+their family set via ``GenSpec.families``.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.genome.sequence import random_dna, reverse_complement
 
@@ -79,6 +93,10 @@ class GenSpec:
     #: Lower bound on k (bounded kernels often reject k=0 inputs poorly;
     #: seeding pairs need smem_k <= query length).
     min_k: int = 0
+    #: The family rotation for this pair.  ``None`` keeps the historic
+    #: six-family rotation (``CLASSIC_FAMILIES``) so pre-existing pairs'
+    #: case streams stay byte-identical; scenario pairs pin their own set.
+    families: Optional[Tuple[str, ...]] = None
 
 
 def _length(rng: random.Random, bounds: Tuple[int, int]) -> int:
@@ -201,7 +219,84 @@ def _gen_rev_comp(rng: random.Random, spec: GenSpec) -> Tuple[str, str]:
     return reference, query
 
 
-Family = Callable[[random.Random, GenSpec], Tuple[str, str]]
+def _mutate_indel(rng: random.Random, sequence: str, edits: int) -> str:
+    """Apply *edits* indel-dominated random edits (1/4 sub, 3/4 indel)."""
+    bases = list(sequence)
+    for _ in range(edits):
+        if not bases:
+            bases.append(rng.choice(DNA))
+            continue
+        position = rng.randrange(len(bases))
+        roll = rng.random()
+        if roll < 0.25:
+            bases[position] = rng.choice(
+                [b for b in DNA if b != bases[position]]
+            )
+        elif roll < 0.625:
+            bases.insert(position, rng.choice(DNA))
+        else:
+            del bases[position]
+    return "".join(bases)
+
+
+def _gen_long_read_indel(rng: random.Random, spec: GenSpec) -> Tuple[str, str]:
+    reference = random_dna(_length(rng, spec.ref_len), rng)
+    # One case in eight is an unrelated read (a wrong-locus chain): its
+    # near-random distance must be *rejected* by the adaptive gate, so
+    # the gate's reject branch is exercised, not just its admit branch.
+    if rng.random() < 0.125:
+        return reference, random_dna(_length(rng, spec.query_len), rng)
+    window = _window(rng, reference, spec.query_len)
+    # ~10% of the window edited, three quarters of those indels: the
+    # nanopore error mix at generative scale.
+    edits = rng.randint(0, max(1, len(window) // 10))
+    return reference, _mutate_indel(rng, window, edits)
+
+
+def _gen_paired_end(rng: random.Random, spec: GenSpec) -> Tuple[str, str]:
+    reference = random_dna(_length(rng, spec.ref_len), rng)
+    fragment = _window(rng, reference, spec.ref_len)
+    lo, hi = spec.query_len
+    mate_len = min(max(1, _length(rng, (max(lo, 1), max(hi, 1)))), max(1, len(fragment)))
+    if rng.random() < 0.5:
+        mate = fragment[:mate_len]  # forward head of the fragment
+    else:
+        mate = reverse_complement(fragment[-mate_len:])  # FR tail mate
+    return reference, _mutate(rng, mate, rng.randint(0, 3))
+
+
+def _gen_sv_chimeric(
+    rng: random.Random, spec: GenSpec
+) -> Tuple[str, str, Dict[str, int]]:
+    reference = random_dna(_length(rng, spec.ref_len), rng)
+    half = (spec.query_len[0] // 2, max(1, spec.query_len[1] // 2))
+    left = _mutate(rng, _window(rng, reference, half), rng.randint(0, 2))
+    shape = rng.randrange(3)
+    if shape == 0:  # inversion: right segment is reverse-complemented
+        right = reverse_complement(_window(rng, reference, half))
+    elif shape == 1:  # translocation: right segment from another locus
+        right = _window(rng, reference, half)
+    else:  # novel insertion: right segment maps nowhere
+        right = random_dna(_length(rng, half), rng)
+    right = _mutate(rng, right, rng.randint(0, 2))
+    return reference, left + right, {"breakpoint": len(left)}
+
+
+#: A family returns (reference, query) or (reference, query, extra_params);
+#: extras are merged into the case's params after the standard draw.
+FamilyResult = Union[Tuple[str, str], Tuple[str, str, Dict[str, int]]]
+Family = Callable[[random.Random, GenSpec], FamilyResult]
+
+#: The historic rotation pairs without ``GenSpec.families`` still use —
+#: frozen so registering new families never perturbs their case streams.
+CLASSIC_FAMILIES: Tuple[str, ...] = (
+    "uniform",
+    "gc_skew",
+    "homopolymer",
+    "tandem_repeat",
+    "edit_burst",
+    "rev_comp",
+)
 
 #: Registration order is the rotation order — stable and explicit.
 FAMILIES: Dict[str, Family] = {
@@ -211,6 +306,9 @@ FAMILIES: Dict[str, Family] = {
     "tandem_repeat": _gen_tandem_repeat,
     "edit_burst": _gen_edit_burst,
     "rev_comp": _gen_rev_comp,
+    "long_read_indel": _gen_long_read_indel,
+    "paired_end": _gen_paired_end,
+    "sv_chimeric": _gen_sv_chimeric,
 }
 
 
@@ -229,13 +327,21 @@ class CaseGenerator:
     def generate(self, index: int) -> DiffCase:
         """Regenerate case *index* from scratch (independent of siblings)."""
         rng = random.Random(self.case_seed(index))
-        family_name = list(FAMILIES)[index % len(FAMILIES)]
-        reference, query = FAMILIES[family_name](rng, self.spec)
+        rotation = (
+            CLASSIC_FAMILIES
+            if self.spec.families is None
+            else self.spec.families
+        )
+        family_name = rotation[index % len(rotation)]
+        result = FAMILIES[family_name](rng, self.spec)
+        reference, query = result[0], result[1]
+        extra: Dict[str, int] = result[2] if len(result) == 3 else {}
         params = {
             "k": rng.randint(max(self.spec.min_k, 0), 8),
             "band": rng.randint(1, 6),
             "smem_k": rng.randint(3, 6),
         }
+        params.update(extra)
         if family_name == "edit_burst" and query:
             # Exactly k or k+1 clustered edits: straddle the K boundary.
             edits = params["k"] + rng.randint(0, 1)

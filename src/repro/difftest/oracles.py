@@ -46,7 +46,7 @@ from repro.align.hirschberg import (
 from repro.align.bitvector import batch_myers_bounded, batch_semiglobal_min
 from repro.align.myers import myers_bounded, myers_distance, myers_search
 from repro.align.records import Alignment, AlignmentStats
-from repro.align.scoring import BWA_MEM_SCHEME
+from repro.align.scoring import BWA_MEM_SCHEME, ScoringScheme
 from repro.align.smith_waterman import DPResult, extension_align, local_align
 from repro.align.striped_sw import striped_local_score
 from repro.align.systolic_sw import SystolicBandedSW
@@ -57,7 +57,9 @@ from repro.difftest.grammar import DiffCase, GenSpec
 from repro.filters import DEFAULT_CASCADE, get_filter
 from repro.genome.reference import ReferenceGenome
 from repro.pipeline.common import Candidate
+from repro.pipeline.pairs import rescue_search
 from repro.pipeline.registry import build_aligner, get_backend
+from repro.pipeline.stages import AdaptivePolicy
 from repro.seeding.index import KmerIndex
 from repro.seeding.smem import SmemConfig, SmemFinder
 from repro.seeding.smem_oracle import brute_force_exact_match, brute_force_smems
@@ -594,6 +596,166 @@ def _oracle_bwamem_mapping(case: DiffCase) -> Output:
     return _map_with_backend("bwamem", case)
 
 
+# ------------------------------------------------- scenario families
+#
+# The three workload-scenario pairs (ISSUE: long-read, paired-end, SV).
+# Each pins a scenario fast path against a full-DP oracle on the
+# generative family built for that scenario, so the families exercise
+# the exact error shapes the fast paths were tuned for.
+
+#: The long-read verify path derives all parameters from read length;
+#: both sides of the pair use the *same* policy instance so any
+#: disagreement is in the kernels, never in the parameter derivation.
+_LONGREAD_POLICY = AdaptivePolicy()
+
+
+def _longread_verify(case: DiffCase, exact: bool) -> Output:
+    """Shared shape of the adaptive long-read verify path.
+
+    Mirrors :class:`repro.pipeline.longread.AdaptiveBandedEngine`: a
+    semi-global edit-distance gate at the policy's ``gate_edits``, then a
+    banded affine-gap score at the policy's per-read band.  ``exact``
+    selects the oracle kernels (full-DP gate, traceback-DP score) over
+    the fast ones (batched bit-parallel gate, score-only banded DP).
+    """
+    params = _LONGREAD_POLICY.params_for(len(case.query))
+    if exact:
+        distance = _semiglobal_min_dp(case.query, case.reference)
+    else:
+        distance = int(
+            batch_semiglobal_min([case.query], [case.reference])[0]
+        )
+    output: Dict[str, Output] = {
+        "admitted": distance <= params.gate_edits,
+        "distance": distance,
+        "band": params.band,
+        "min_score": params.min_score,
+    }
+    if distance <= params.gate_edits:
+        if exact:
+            score = banded_extension_align(
+                case.reference, case.query, params.band
+            ).alignment.score
+        else:
+            score, _cells = banded_extension_score(
+                case.reference, case.query, params.band
+            )
+        output["score"] = score
+        output["reported"] = score >= params.min_score
+    return output
+
+
+def _fast_longread_verify(case: DiffCase) -> Output:
+    return _longread_verify(case, exact=False)
+
+
+def _oracle_longread_verify(case: DiffCase) -> Output:
+    return _longread_verify(case, exact=True)
+
+
+def _rescue_point(pattern_length: int) -> Tuple[int, int]:
+    """Per-case ``(min_score, k)`` operating point for the rescue pair.
+
+    ``k`` is fixed to ``pattern_length - min_score`` because that is the
+    bound under which the two-phase rescue search is provably exhaustive:
+    every BWA-MEM-scheme edit (substitution, gap base, clipped base)
+    costs at least one score unit, so an alignment scoring at least
+    ``min_score`` has at most ``k`` unit edits — its end position is a
+    Myers hit and its start is inside the enumerated interval.
+    """
+    slack = max(8, pattern_length // 4)
+    min_score = max(1, pattern_length - slack)
+    return min_score, pattern_length - min_score
+
+
+def _semiglobal_extension_max(
+    text: str, pattern: str, scheme: ScoringScheme = BWA_MEM_SCHEME
+) -> int:
+    """Full-DP ground truth for mate rescue, floored at zero.
+
+    Best affine-gap score of *pattern* placed anywhere in *text*: the
+    text prefix before the placement is free, the pattern is anchored at
+    its first base (leading pattern gap is paid, as in the anchored
+    banded DP), and both ends may clip (max over all cells).
+    """
+    m = len(pattern)
+    if m == 0:
+        return 0
+    neg = -(10**12)
+    gap = scheme.gap_open + scheme.gap_extend
+    h_prev = [0] + [
+        scheme.gap_open + scheme.gap_extend * j for j in range(1, m + 1)
+    ]
+    f_prev = [neg] * (m + 1)
+    best = max(0, max(h_prev))
+    for char in text:
+        h_cur = [0] + [neg] * m
+        e_cur = [neg] * (m + 1)
+        f_cur = [neg] * (m + 1)
+        for j in range(1, m + 1):
+            e_cur[j] = max(h_cur[j - 1] + gap, e_cur[j - 1] + scheme.gap_extend)
+            f_cur[j] = max(h_prev[j] + gap, f_prev[j] + scheme.gap_extend)
+            h_cur[j] = max(
+                h_prev[j - 1] + scheme.compare(char, pattern[j - 1]),
+                e_cur[j],
+                f_cur[j],
+            )
+            if h_cur[j] > best:
+                best = h_cur[j]
+        h_prev, f_prev = h_cur, f_cur
+    return best
+
+
+def _fast_pair_rescue(case: DiffCase) -> Output:
+    """The mate-rescue fast path at the provably-exhaustive budget."""
+    min_score, k = _rescue_point(len(case.query))
+    found = rescue_search(
+        case.reference,
+        case.query,
+        k,
+        cap=len(case.reference) + 1,
+    )
+    score = found[1].score if found is not None else 0
+    rescued = found is not None and score >= min_score
+    return {"rescued": rescued, "score": score if rescued else 0}
+
+
+def _oracle_pair_rescue(case: DiffCase) -> Output:
+    min_score, _k = _rescue_point(len(case.query))
+    score = _semiglobal_extension_max(case.reference, case.query)
+    rescued = score >= min_score
+    return {"rescued": rescued, "score": score if rescued else 0}
+
+
+def _sv_segments(case: DiffCase) -> Tuple[str, str]:
+    """Split a chimeric query at the grammar-provided breakpoint."""
+    breakpoint = case.param("breakpoint")
+    return case.query[:breakpoint], case.query[breakpoint:]
+
+
+def _fast_sv_split(case: DiffCase) -> Output:
+    """Per-segment batched semi-global distances of a chimeric read.
+
+    Split mapping places each side of the breakpoint independently; the
+    pinned quantity is the per-segment minimum semi-global distance the
+    batched bit-parallel kernel reports for the two segments as one
+    ragged batch (the shape the batch extension stage dispatches).
+    """
+    left, right = _sv_segments(case)
+    distances = batch_semiglobal_min(
+        [left, right], [case.reference, case.reference]
+    )
+    return [int(distances[0]), int(distances[1])]
+
+
+def _oracle_sv_split(case: DiffCase) -> Output:
+    left, right = _sv_segments(case)
+    return [
+        _semiglobal_min_dp(left, case.reference),
+        _semiglobal_min_dp(right, case.reference),
+    ]
+
+
 # -------------------------------------------------------------- registry
 
 _KERNEL_SPEC = GenSpec(ref_len=(0, 48), query_len=(0, 40))
@@ -610,6 +772,21 @@ _MAPPING_SPEC = GenSpec(
 #: Filter stages see windows a little larger than the query; keep both
 #: sides small enough that the full-DP oracle stays fast at 500+ cases.
 _FILTER_SPEC = GenSpec(ref_len=(0, 96), query_len=(0, 64))
+#: Scenario specs pin their own family rotation (``families=``) instead
+#: of the classic six, so every generated case exercises the scenario's
+#: error shape.  Query sizes are scaled-down long reads: big enough to
+#: cross the bit-parallel word boundary and to make the adaptive policy
+#: derive non-trivial bands, small enough that the full-DP oracles stay
+#: fast at 300 cases.
+_LONGREAD_SPEC = GenSpec(
+    ref_len=(64, 256), query_len=(32, 192), families=("long_read_indel",)
+)
+_PAIREDEND_SPEC = GenSpec(
+    ref_len=(64, 224), query_len=(16, 56), families=("paired_end",)
+)
+_SV_SPEC = GenSpec(
+    ref_len=(48, 192), query_len=(16, 96), families=("sv_chimeric",)
+)
 
 _PAIRS: Dict[str, OraclePair] = {}
 
@@ -821,5 +998,44 @@ _register(
         fast=_fast_genax_mapping,
         oracle=_oracle_bwamem_mapping,
         spec=_MAPPING_SPEC,
+    )
+)
+_register(
+    OraclePair(
+        name="longread-adaptive-vs-dp",
+        contract=Contract.EXACT_SCORE,
+        description=(
+            "Long-read adaptive verify path (per-read-length gate + band "
+            "from AdaptivePolicy) vs full-DP gate + traceback-DP score"
+        ),
+        fast=_fast_longread_verify,
+        oracle=_oracle_longread_verify,
+        spec=_LONGREAD_SPEC,
+    )
+)
+_register(
+    OraclePair(
+        name="pairedend-rescue-vs-dp",
+        contract=Contract.EXACT_SCORE,
+        description=(
+            "Mate-rescue two-phase search (Myers ends + enumerated starts "
+            "+ banded DP) vs exhaustive free-start extension DP"
+        ),
+        fast=_fast_pair_rescue,
+        oracle=_oracle_pair_rescue,
+        spec=_PAIREDEND_SPEC,
+    )
+)
+_register(
+    OraclePair(
+        name="sv-chimeric-vs-dp",
+        contract=Contract.EXACT_SCORE,
+        description=(
+            "Per-segment batched semi-global distances of a chimeric read "
+            "split at its breakpoint vs scalar full-DP per segment"
+        ),
+        fast=_fast_sv_split,
+        oracle=_oracle_sv_split,
+        spec=_SV_SPEC,
     )
 )

@@ -1,4 +1,4 @@
-"""Illumina-style short-read simulation.
+"""Read simulation: Illumina-style short reads plus the profile registry.
 
 The paper's workload is 787M single-ended 101 bp Illumina reads with ~2%
 sequencing error and 30-50x coverage (§I, §VII).  This simulator substitutes
@@ -6,13 +6,21 @@ for that dataset: it samples reads from a donor genome (reference +
 variants), injects sequencing errors with an Illumina-like profile
 (substitution-dominated, error rate rising toward the 3' end), and records
 ground truth so experiments can score alignment accuracy.
+
+Beyond the Illumina shape, ROADMAP item 4's scenario classes register here
+as named *read profiles* — ``nanopore`` (indel-dominated kilobase reads,
+:mod:`repro.genome.long_reads`), ``paired_end`` (FR mate pairs with a
+seeded insert-size distribution, :mod:`repro.genome.pairs`) and ``sv``
+(chimeric reads spanning structural variants, :mod:`repro.genome.sv`).
+A profile name plus ``(reference, count, seed)`` reproduces a read set
+byte-for-byte; ``render_profile_table()`` is the README's profile table.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.genome.reference import ReferenceGenome
 from repro.genome.sequence import random_dna, reverse_complement
@@ -65,22 +73,40 @@ class ErrorProfile:
     The per-base error probability ramps linearly from ``rate_start`` at the
     5' end to ``rate_end`` at the 3' end (matching the paper's observation
     that read ends are less trustworthy, which motivates clipping, §IV-B).
+
+    Long-read platforms need two extra degrees of freedom: errors are
+    *indel-dominated* (``indel_fraction`` close to 1, split between
+    insertions and deletions by ``insertion_bias``) and the per-base rate
+    grows with read length (``rate_per_kbp`` — pore/polymerase quality
+    degrades over a long pass).  The defaults keep the Illumina shape.
     """
 
     rate_start: float = 0.005
     rate_end: float = 0.035
     indel_fraction: float = 0.01  # fraction of errors that are 1-bp indels
+    insertion_bias: float = 0.5  # of indel errors, fraction that insert
+    rate_per_kbp: float = 0.0  # extra error rate per kbp beyond 1 kbp
+
+    #: Per-base error probability is capped here: beyond it a read is noise.
+    MAX_RATE = 0.5
 
     def error_probability(self, position: int, read_length: int) -> float:
         """Per-base error probability at *position* of a *read_length* read."""
         if read_length <= 1:
-            return self.rate_start
-        t = position / (read_length - 1)
-        return self.rate_start + t * (self.rate_end - self.rate_start)
+            rate = self.rate_start
+        else:
+            t = position / (read_length - 1)
+            rate = self.rate_start + t * (self.rate_end - self.rate_start)
+        if self.rate_per_kbp:
+            rate += self.rate_per_kbp * max(0, read_length - 1000) / 1000.0
+        return min(rate, self.MAX_RATE)
 
     def mean_rate(self, read_length: int) -> float:
         """Average per-base error rate across the read."""
-        return (self.rate_start + self.rate_end) / 2.0
+        rate = (self.rate_start + self.rate_end) / 2.0
+        if self.rate_per_kbp:
+            rate += self.rate_per_kbp * max(0, read_length - 1000) / 1000.0
+        return min(rate, self.MAX_RATE)
 
 
 def _phred_char(probability: float) -> str:
@@ -90,6 +116,58 @@ def _phred_char(probability: float) -> str:
     probability = min(max(probability, 1e-5), 0.75)
     q = int(round(-10.0 * math.log10(probability)))
     return chr(33 + min(q, 60))
+
+
+def inject_errors(
+    fragment: str,
+    profile: ErrorProfile,
+    rng: random.Random,
+    fixed_length: Optional[int] = None,
+) -> Tuple[str, str, int]:
+    """Corrupt *fragment* per *profile*; returns ``(bases, quality, errors)``.
+
+    Shared by every simulator that emits quality strings (Illumina,
+    nanopore, paired-end).  The base and quality strings are built in
+    lockstep — one quality character per *emitted* base, so an insertion
+    carries two characters and a deletion none — which makes
+    ``len(quality) == len(bases)`` structural rather than incidental.
+
+    With ``fixed_length`` set the output is trimmed/padded to that many
+    bases, the way a sequencer emits a fixed number of cycles regardless
+    of indel errors; long-read profiles pass ``None`` and keep the
+    indel-drifted natural length.
+    """
+    out: List[str] = []
+    quality: List[str] = []
+    errors = 0
+    n = len(fragment)
+    for position, base in enumerate(fragment):
+        p_err = profile.error_probability(position, n)
+        q_char = _phred_char(p_err)
+        if rng.random() >= p_err:
+            out.append(base)
+            quality.append(q_char)
+            continue
+        errors += 1
+        if rng.random() < profile.indel_fraction:
+            if rng.random() < profile.insertion_bias:
+                # 1-bp insertion error: emit base plus a random extra.
+                out.append(base)
+                quality.append(q_char)
+                out.append(random_dna(1, rng))
+                quality.append(q_char)
+            # else 1-bp deletion error: drop the base and its quality.
+        else:
+            out.append(rng.choice([b for b in "ACGT" if b != base]))
+            quality.append(q_char)
+    if fixed_length is None:
+        return "".join(out), "".join(quality), errors
+    sequence = "".join(out)[:fixed_length]
+    quality_str = "".join(quality)[:fixed_length]
+    while len(sequence) < fixed_length:
+        sequence += random_dna(1, rng)
+        quality_str += _phred_char(profile.rate_end)
+    return sequence, quality_str, errors
 
 
 @dataclass
@@ -182,33 +260,181 @@ class ReadSimulator:
         return sum(v.edit_count for v in window)
 
     def _inject_errors(self, fragment: str) -> Tuple[str, str, int]:
-        rng = self._rng
-        profile = self.error_profile
-        out: List[str] = []
-        quality: List[str] = []
-        errors = 0
-        n = len(fragment)
-        for position, base in enumerate(fragment):
-            p_err = profile.error_probability(position, n)
-            quality.append(_phred_char(p_err))
-            if rng.random() >= p_err:
-                out.append(base)
-                continue
-            errors += 1
-            if rng.random() < profile.indel_fraction:
-                if rng.random() < 0.5:
-                    # 1-bp insertion error: emit base plus a random extra.
-                    out.append(base)
-                    out.append(random_dna(1, rng))
-                    quality.append(_phred_char(p_err))
-                # else 1-bp deletion error: drop the base.
-            else:
-                out.append(rng.choice([b for b in "ACGT" if b != base]))
-        # Trim or pad so the read keeps its nominal length, as a sequencer
-        # emits a fixed number of cycles regardless of indel errors.
-        sequence = "".join(out)[:n]
-        quality_str = "".join(quality)[: len(sequence)]
-        while len(sequence) < n:
-            sequence += random_dna(1, rng)
-            quality_str += _phred_char(profile.rate_end)
-        return sequence, quality_str, errors
+        return inject_errors(
+            fragment, self.error_profile, self._rng, fixed_length=len(fragment)
+        )
+
+
+# ------------------------------------------------------------- profiles
+
+
+#: A profile builder: ``(reference, count, seed) -> simulated reads``.
+ProfileBuilder = Callable[[ReferenceGenome, int, int], List[SimulatedRead]]
+
+
+@dataclass(frozen=True)
+class ReadProfileSpec:
+    """One registered read profile: a named, seeded scenario generator.
+
+    ``count`` is the builder's unit of work — reads for single-ended
+    profiles, *pairs* (two reads each) for ``paired_end`` — and ``shape``
+    documents it for the README table.  Builders scale their length
+    envelopes to the reference they are given, so the same profile name
+    works on a 2 kbp difftest toy and a 200 kbp benchmark genome.
+    """
+
+    name: str
+    summary: str  # one line; rendered into the README profile table
+    shape: str  # what one count unit yields ("101 bp read", "2 mates", ...)
+    build: ProfileBuilder
+
+
+_PROFILES: Dict[str, ReadProfileSpec] = {}
+
+
+def register_profile(spec: ReadProfileSpec) -> ReadProfileSpec:
+    """Register *spec*; duplicate names are a programming error."""
+    if spec.name in _PROFILES:
+        raise ValueError(f"read profile {spec.name!r} is already registered")
+    _PROFILES[spec.name] = spec
+    return spec
+
+
+def profile_names() -> Tuple[str, ...]:
+    """Registered profile names, in registration order."""
+    return tuple(_PROFILES)
+
+
+def get_profile(name: str) -> ReadProfileSpec:
+    """Look a profile up by name."""
+    try:
+        return _PROFILES[name]
+    except KeyError:
+        known = ", ".join(sorted(_PROFILES)) or "<none>"
+        raise ValueError(
+            f"unknown read profile {name!r} (known: {known})"
+        ) from None
+
+
+def build_profile_reads(
+    name: str, reference: ReferenceGenome, count: int, seed: int
+) -> List[SimulatedRead]:
+    """Build *count* units of the named profile against *reference*."""
+    return get_profile(name).build(reference, count, seed)
+
+
+def render_profile_table() -> str:
+    """The markdown profile table the README embeds (kept in sync by test)."""
+    lines = [
+        "| profile | one unit | what it models |",
+        "|---|---|---|",
+    ]
+    for spec in _PROFILES.values():
+        lines.append(f"| `{spec.name}` | {spec.shape} | {spec.summary} |")
+    return "\n".join(lines)
+
+
+def _build_illumina_profile(
+    reference: ReferenceGenome, count: int, seed: int
+) -> List[SimulatedRead]:
+    read_length = min(101, len(reference))
+    simulator = ReadSimulator(reference, read_length=read_length, seed=seed)
+    return simulator.simulate(count)
+
+
+def _build_nanopore_profile(
+    reference: ReferenceGenome, count: int, seed: int
+) -> List[SimulatedRead]:
+    from repro.genome.long_reads import NanoporeSimulator
+
+    # Scale the 5-50 kbp envelope down to small references so the same
+    # profile drives difftest toys and full benchmark genomes alike.
+    mean = min(20_000, max(2, len(reference) // 2))
+    floor = min(5_000, max(1, mean // 4))
+    cap = min(50_000, len(reference))
+    simulator = NanoporeSimulator(
+        reference,
+        mean_length=mean,
+        min_length=floor,
+        max_length=cap,
+        seed=seed,
+    )
+    return simulator.simulate(count)
+
+
+def _build_paired_end_profile(
+    reference: ReferenceGenome, count: int, seed: int
+) -> List[SimulatedRead]:
+    from repro.genome.pairs import PairedEndSimulator
+
+    read_length = min(101, max(1, len(reference) // 4))
+    insert_mean = min(350, max(2 * read_length, len(reference) // 2))
+    simulator = PairedEndSimulator(
+        reference,
+        read_length=read_length,
+        insert_mean=insert_mean,
+        seed=seed,
+    )
+    return simulator.simulate(count)
+
+
+def _build_sv_profile(
+    reference: ReferenceGenome, count: int, seed: int
+) -> List[SimulatedRead]:
+    from repro.genome.sv import SVSimulator
+
+    read_length = min(150, max(2, len(reference) // 3))
+    simulator = SVSimulator(reference, read_length=read_length, seed=seed)
+    return simulator.simulate(count)
+
+
+ILLUMINA_PROFILE = register_profile(
+    ReadProfileSpec(
+        name="illumina",
+        summary=(
+            "the paper's workload: fixed-length substitution-dominated "
+            "short reads, error ramping toward the 3' end"
+        ),
+        shape="one 101 bp read",
+        build=_build_illumina_profile,
+    )
+)
+
+NANOPORE_PROFILE = register_profile(
+    ReadProfileSpec(
+        name="nanopore",
+        summary=(
+            "ONT-style long reads: 5-50 kbp log-normal lengths, ~10% "
+            "indel-dominated error growing with read length"
+        ),
+        shape="one 5-50 kbp read",
+        build=_build_nanopore_profile,
+    )
+)
+
+PAIRED_END_PROFILE = register_profile(
+    ReadProfileSpec(
+        name="paired_end",
+        summary=(
+            "Illumina FR mate pairs: seeded Gaussian insert sizes, "
+            "forward/reverse mate orientation"
+        ),
+        shape="two 101 bp mates",
+        build=_build_paired_end_profile,
+    )
+)
+
+SV_PROFILE = register_profile(
+    ReadProfileSpec(
+        name="sv",
+        summary=(
+            "structural-variant chimeras: reads straddling inversion, "
+            "translocation and large-indel breakpoints"
+        ),
+        shape="one 150 bp chimeric read",
+        build=_build_sv_profile,
+    )
+)
+
+if __name__ == "__main__":  # pragma: no cover - table regeneration helper
+    print(render_profile_table())

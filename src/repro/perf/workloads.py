@@ -19,6 +19,8 @@ import random
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
+from repro.genome.long_reads import NanoporeSimulator
+from repro.genome.pairs import PairedEndSimulator
 from repro.genome.reads import ErrorProfile, ReadSimulator
 from repro.genome.reference import ReferenceGenome, make_reference
 from repro.genome.variants import simulate_variants
@@ -27,6 +29,8 @@ __all__ = [
     "Workload",
     "WorkloadProfile",
     "build_illumina_workload",
+    "build_nanopore_workload",
+    "build_paired_end_workload",
     "build_repeat_rich_workload",
     "get_workload",
     "register_workload",
@@ -100,6 +104,57 @@ def build_repeat_rich_workload(
             read[position] = rng.choice("ACGT".replace(read[position], ""))
         read_list.append((f"read{index}|{start}|+", "".join(read)))
     return reference, read_list
+
+
+def build_nanopore_workload(
+    *,
+    genome_bp: int,
+    reads: int,
+    mean_length: int = 8_000,
+    min_length: int = 2_000,
+    max_length: int = 20_000,
+) -> Workload:
+    """Kilobase-scale indel-heavy reads (the ``nanopore`` profile shape).
+
+    Lengths are scaled down from the simulator's 5-50 kbp defaults so the
+    matrix cells stay small; the error model is the registered nanopore
+    profile's (~10% indel-dominated).  Seeds are pinned (881/882).
+    """
+    reference = make_reference(genome_bp, seed=881)
+    simulator = NanoporeSimulator(
+        reference,
+        mean_length=mean_length,
+        min_length=min_length,
+        max_length=max_length,
+        seed=882,
+    )
+    simulated = simulator.simulate(reads)
+    return reference, [(s.name, s.sequence) for s in simulated]
+
+
+def build_paired_end_workload(
+    *,
+    genome_bp: int,
+    pairs: int,
+    read_length: int = 101,
+    insert_mean: int = 350,
+) -> Workload:
+    """FR mate pairs flattened to single-end reads, mates interleaved.
+
+    The matrix aligns mates individually (the single-end work-count
+    surface); the pair-aware rescue path has its own difftest family.
+    Seeds are pinned (883/884).
+    """
+    reference = make_reference(genome_bp, seed=883)
+    simulator = PairedEndSimulator(
+        reference,
+        read_length=read_length,
+        insert_mean=insert_mean,
+        error_profile=ErrorProfile(rate_start=0.01, rate_end=0.03),
+        seed=884,
+    )
+    simulated = simulator.simulate(pairs)
+    return reference, [(s.name, s.sequence) for s in simulated]
 
 
 @dataclass(frozen=True)
@@ -183,6 +238,50 @@ REPEAT_RICH = register_workload(
         full={"repeat_copies": 200, "reads": 32},
         quick={"repeat_copies": 60, "reads": 8},
         kmer=10,
+        edit_bound=12,
+        segment_count=4,
+    )
+)
+
+NANOPORE_SMALL = register_workload(
+    WorkloadProfile(
+        name="nanopore-small",
+        summary=(
+            "kilobase indel-heavy long reads (~10% error); the longread "
+            "backend's chained-seeding + adaptive-band workload"
+        ),
+        build=build_nanopore_workload,
+        full={
+            "genome_bp": 120_000,
+            "reads": 10,
+            "mean_length": 5_000,
+            "min_length": 1_500,
+            "max_length": 12_000,
+        },
+        quick={
+            "genome_bp": 30_000,
+            "reads": 4,
+            "mean_length": 1_200,
+            "min_length": 500,
+            "max_length": 2_400,
+        },
+        kmer=13,
+        edit_bound=12,
+        segment_count=4,
+    )
+)
+
+PAIRED_END_SMALL = register_workload(
+    WorkloadProfile(
+        name="paired-end-small",
+        summary=(
+            "FR mate pairs at 1-3% error, mates aligned single-end; "
+            "insert-size structure for the pair-aware stages"
+        ),
+        build=build_paired_end_workload,
+        full={"genome_bp": 150_000, "pairs": 60},
+        quick={"genome_bp": 30_000, "pairs": 8},
+        kmer=12,
         edit_bound=12,
         segment_count=4,
     )

@@ -15,6 +15,7 @@ from typing import Dict, Optional, Protocol
 from repro.align.records import AlignmentStats
 from repro.filters import FilterCascade
 from repro.pipeline.bitvector import BitvectorKernelStats
+from repro.pipeline.pairs import PairStats
 from repro.seeding.accelerator import SeedingStats
 from repro.sillax.lane import LaneStats
 from repro.telemetry.metrics import MetricRegistry
@@ -274,3 +275,45 @@ def publish_kernel(
         f"{prefix}_window_dedupe_rate",
         f"{backend} batch kernel: fraction of window fetches deduplicated",
     ).set_max(kernel.window_dedupe_rate)
+
+
+def publish_pairs(
+    registry: MetricRegistry,
+    pairs: Optional["PairStats"],
+    backend: str,
+) -> None:
+    """Publish paired-end rescue counters into a registry.
+
+    One counter per field — ``<backend>_pairs_rescue_attempts`` vs.
+    ``_pairs_rescued`` is the insert-window rescue hit rate — plus a
+    ``_pairs_proper_fraction`` gauge.  No-op for single-end runs.
+    """
+    if pairs is None:
+        return
+    prefix = f"{backend}_pairs"
+    fields = (
+        ("total", pairs.pairs_total, "mate pairs processed"),
+        ("both_mapped", pairs.both_mapped, "pairs with both ends mapped"),
+        (
+            "rescue_attempts",
+            pairs.rescue_attempts,
+            "insert-window rescue searches launched",
+        ),
+        ("rescued", pairs.rescued, "rescues that produced a mapping"),
+        (
+            "proper",
+            pairs.proper_pairs,
+            "pairs FR-oriented within the insert window",
+        ),
+    )
+    for field, value, help_text in fields:
+        registry.counter(
+            f"{prefix}_{field}", f"{backend} paired-end: {help_text}"
+        ).inc(value)
+    proper_fraction = (
+        pairs.proper_pairs / pairs.pairs_total if pairs.pairs_total else 0.0
+    )
+    registry.gauge(
+        f"{prefix}_proper_fraction",
+        f"{backend} paired-end: fraction of pairs mapped proper",
+    ).set_max(proper_fraction)

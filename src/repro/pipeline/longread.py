@@ -1,0 +1,180 @@
+"""Long-read backend: anchor chaining + adaptive banded verification.
+
+The workload GenASM targets (PAPERS.md) and ROADMAP item 4 calls for:
+kilobase-scale indel-heavy reads.  Two things change relative to the
+short-read backends, and nothing else — the shared
+:class:`~repro.pipeline.stages.PipelineDriver` outer loop is untouched:
+
+* seeding is :class:`~repro.seeding.chain.ChainedSeedProvider` — sampled
+  k-mer anchors chained on shared diagonals, one candidate per chain,
+  instead of one candidate per SMEM window (which explodes at 10% error);
+* extension is :class:`AdaptiveBandedEngine` — the same banded affine-gap
+  DP as the ``bwamem`` backend, but the band and report threshold are
+  resolved *per read* from its length by the
+  :class:`~repro.pipeline.stages.AdaptivePolicy`, because no fixed K fits
+  both a 101 bp and a 30 kbp read (§VIII-A sizes K for exactly one
+  length).
+
+The ``long_read_indel`` difftest family pins this fast path against the
+full-DP oracle; the ``nanopore-small`` perf profile pins its work counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+from repro.align.banded import banded_extension_align
+from repro.align.myers import myers_semiglobal_min
+from repro.align.records import AlignmentStats, MappedRead, ReadInput
+from repro.align.scoring import BWA_MEM_SCHEME, ScoringScheme
+from repro.genome.reference import ReferenceGenome
+from repro.pipeline.common import Candidate, Extension, fetch_window
+from repro.pipeline.stages import AdaptivePolicy, PipelineDriver, StageSet
+from repro.seeding.chain import ChainConfig, ChainStats, ChainedSeedProvider
+from repro.seeding.index import KmerIndex
+
+
+@dataclass
+class LongReadConfig:
+    """Tuning knobs for the long-read backend.
+
+    Deliberately *without* fixed ``band``/``edit_bound`` fields: those are
+    the per-read adaptive policy's job.  ``min_score`` is only the
+    absolute selection floor; the effective threshold is the policy's
+    ``min_score_for(len(read))``.
+    """
+
+    k: int = 13
+    stride: int = 7
+    max_hits_per_kmer: int = 16
+    max_diagonal_gap: int = 48
+    min_chain_anchors: int = 2
+    max_candidates: Optional[int] = 4
+    min_score: int = 30
+    scheme: ScoringScheme = field(default_factory=lambda: BWA_MEM_SCHEME)
+    policy: AdaptivePolicy = field(default_factory=AdaptivePolicy)
+    # Shard-parallel driver knob (consumed by repro.parallel.ParallelAligner).
+    jobs: int = 1
+
+    def chain_config(self) -> ChainConfig:
+        return ChainConfig(
+            k=self.k,
+            stride=self.stride,
+            max_hits_per_kmer=self.max_hits_per_kmer,
+            max_diagonal_gap=self.max_diagonal_gap,
+            min_chain_anchors=self.min_chain_anchors,
+            max_chains=self.max_candidates,
+        )
+
+
+class AdaptiveBandedEngine:
+    """:class:`ExtensionEngine` whose band tracks each read's length.
+
+    Identical DP to :class:`~repro.pipeline.bwamem.BandedExtensionEngine`
+    except the band is ``policy.params_for(len(oriented)).band`` instead
+    of a constructor constant — a 101 bp read gets a short-read band, a
+    30 kbp read gets the clamped long-read budget, from the same policy
+    the driver's selection threshold comes from.
+
+    Before paying the O(band * L) DP, each candidate passes a
+    bit-parallel semi-global edit-distance gate
+    (:func:`~repro.align.myers.myers_semiglobal_min`): a chain pointing
+    at the wrong locus has near-random edit distance (~0.5 L) and is
+    dropped at O(L^2/w) word cost, so only plausible placements reach
+    the DP.  Gate rejections are charged to the shared
+    ``candidates_filtered`` counter like any pre-alignment filter.
+    """
+
+    def __init__(
+        self,
+        reference: ReferenceGenome,
+        policy: AdaptivePolicy,
+        scheme: ScoringScheme,
+    ) -> None:
+        self.reference = reference
+        self.policy = policy
+        self.scheme = scheme
+
+    def extend(
+        self, oriented: str, candidate: Candidate, stats: AlignmentStats
+    ) -> Optional[Extension]:
+        params = self.policy.params_for(len(oriented))
+        band = params.band
+        window = fetch_window(self.reference, candidate, len(oriented), band)
+        if myers_semiglobal_min(oriented, window) > params.gate_edits:
+            stats.candidates_filtered += 1
+            return None
+        stats.candidates_survived += 1
+        result = banded_extension_align(window, oriented, band, self.scheme)
+        stats.extensions += 1
+        stats.dp_cells += result.cells_computed
+        alignment = result.alignment
+        return Extension(
+            candidate=candidate,
+            score=alignment.score,
+            position=max(0, candidate.window_start) + alignment.reference_start,
+            cigar=alignment.cigar,
+            query_end=alignment.query_end,
+        )
+
+
+class LongReadAligner:
+    """Chained-seeding adaptive-band aligner over one reference genome.
+
+    The same thin-facade shape as :class:`~repro.pipeline.bwamem.BwaMemAligner`:
+    compose a :class:`StageSet`, hand it to the shared driver, re-export
+    the driver's stats.  ``tables`` lets the shard-parallel driver hand
+    fork-shared prebuilt index tables to worker processes.
+    """
+
+    def __init__(
+        self,
+        reference: ReferenceGenome,
+        config: Optional[LongReadConfig] = None,
+        tables: Optional[KmerIndex] = None,
+    ) -> None:
+        self.reference = reference
+        self.config = config or LongReadConfig()
+        if tables is None:
+            tables = self.build_tables(reference, self.config.k)
+        self._seeder = ChainedSeedProvider(
+            reference.sequence, self.config.chain_config(), index=tables
+        )
+        self._driver = PipelineDriver(
+            StageSet(
+                seeder=self._seeder,
+                extender=AdaptiveBandedEngine(
+                    reference, self.config.policy, self.config.scheme
+                ),
+                match_score=self.config.scheme.match,
+                min_score=self.config.min_score,
+                max_candidates=self.config.max_candidates,
+                adaptive=self.config.policy,
+            )
+        )
+        self.stats: AlignmentStats = self._driver.stats
+
+    @property
+    def chain_stats(self) -> ChainStats:
+        """The chaining front-end's counters."""
+        return self._seeder.stats
+
+    @staticmethod
+    def build_tables(reference: ReferenceGenome, k: int) -> KmerIndex:
+        """Build the single whole-genome anchor index."""
+        return KmerIndex.build(reference.sequence, k)
+
+    # ----------------------------------------------------------------- API
+
+    def align_read(self, name: str, sequence: str) -> MappedRead:
+        """Map one read; returns an unmapped record if nothing scores."""
+        return self._driver.align_read(name, sequence)
+
+    def align_reads(self, reads: Iterable[ReadInput]) -> List[MappedRead]:
+        """Map a batch of (name, sequence) pairs or Read objects."""
+        return self._driver.align_reads(reads)
+
+    def align_batch(self, reads: Iterable[ReadInput]) -> List[MappedRead]:
+        """Batch mapping; identical to :meth:`align_reads` for this backend."""
+        return self._driver.align_batch(reads)

@@ -35,6 +35,7 @@ from repro.genome.reference import ReferenceGenome
 from repro.pipeline.bitvector import BitvectorAligner, BitvectorConfig
 from repro.pipeline.bwamem import BwaMemAligner, BwaMemConfig
 from repro.pipeline.genax import GenAxAligner, GenAxConfig
+from repro.pipeline.longread import LongReadAligner, LongReadConfig
 from repro.seeding.accelerator import SeedingAccelerator, SeedingStats
 from repro.seeding.cache import IndexCache
 from repro.seeding.index import build_segment_tables
@@ -238,6 +239,25 @@ def _collect_bitvector(aligner: PipelineBackend) -> BackendRunStats:
     return BackendRunStats(backend="bitvector", alignment=aligner.stats)
 
 
+def _prepare_longread(
+    reference: ReferenceGenome, config: LongReadConfig
+) -> SharedTables:
+    return LongReadAligner.build_tables(reference, config.k)
+
+
+def _build_longread(
+    reference: ReferenceGenome,
+    config: LongReadConfig,
+    shared: Optional[SharedTables],
+) -> LongReadAligner:
+    return LongReadAligner(reference, config, tables=shared)
+
+
+def _collect_longread(aligner: PipelineBackend) -> BackendRunStats:
+    assert isinstance(aligner, LongReadAligner)
+    return BackendRunStats(backend="longread", alignment=aligner.stats)
+
+
 GENAX_BACKEND = register_backend(
     BackendSpec(
         name="genax",
@@ -281,6 +301,22 @@ BITVECTOR_BACKEND = register_backend(
         prepare=_prepare_bitvector,
         build=_build_bitvector,
         collect=_collect_bitvector,
+    )
+)
+
+LONGREAD_BACKEND = register_backend(
+    BackendSpec(
+        name="longread",
+        summary=(
+            "the long-read pipeline: diagonal anchor chaining over the "
+            "k-mer index + per-read adaptive banded extension (band and "
+            "threshold derived from read length)"
+        ),
+        config_type=LongReadConfig,
+        default_config=LongReadConfig,
+        prepare=_prepare_longread,
+        build=_build_longread,
+        collect=_collect_longread,
     )
 )
 

@@ -62,8 +62,10 @@ hard-code a backend.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import (
+    TYPE_CHECKING,
     Callable,
     Iterable,
     List,
@@ -82,6 +84,7 @@ from repro.align.records import (
 )
 from repro.filters.base import CandidateFilter
 from repro.filters.cascade import FilterCascade
+from repro.align.scoring import BWA_MEM_SCHEME, ScoringScheme
 from repro.pipeline.common import (
     Candidate,
     Extension,
@@ -92,6 +95,9 @@ from repro.pipeline.common import (
 )
 from repro.seeding.accelerator import GlobalSeed
 from repro.telemetry.runtime import PipelineTelemetry, active_telemetry
+
+if TYPE_CHECKING:
+    from repro.pipeline.pairs import PairMapping, PairRescuer
 
 
 class SeedProvider(Protocol):
@@ -138,8 +144,100 @@ class BatchExtensionEngine(ExtensionEngine, Protocol):
 
 
 @dataclass(frozen=True)
+class AdaptiveParams:
+    """The per-read parameters an :class:`AdaptivePolicy` resolves."""
+
+    min_score: int  # report threshold for this read length
+    edit_budget: int  # edit-distance bound (the paper's K) for this read
+    band: int  # banded-DP half-width sized to the edit budget
+    gate_edits: int  # edit-distance cut for the pre-DP candidate gate
+
+
+@dataclass(frozen=True)
+class AdaptivePolicy:
+    """Per-read parameter selection from read length (ROADMAP item 4).
+
+    The paper sizes K once for its fixed 101 bp workload (§VIII-A: score
+    > 30 implies edit distance < 32, run K = 40).  Variable-length reads
+    break that: a 101 bp threshold applied to a 30 kbp nanopore read is
+    meaningless, and a 30 kbp edit budget applied to a 101 bp read wastes
+    the whole band.  This policy re-derives the paper's argument per
+    read — the report threshold is a fixed fraction of the perfect score,
+    and the edit budget is the strict
+    :meth:`~repro.align.scoring.ScoringScheme.max_edits_for_score` bound
+    for that threshold, clamped to ``[min_edit_budget, max_edit_budget]``.
+    The band tracks the edit budget (an alignment within e edits drifts
+    at most e diagonals).
+    """
+
+    scheme: ScoringScheme = BWA_MEM_SCHEME
+    # min_score = fraction of the perfect score.  Under the BWA-MEM scheme
+    # a read with per-base error rate e scores roughly (1 - 7e) per base
+    # for the indel-dominated long-read error mix, so 0.25 accepts ~10%
+    # error reads with margin while random placements stay far below.
+    score_fraction: float = 0.25
+    # band = read_length * band_fraction: indel drift is a random walk of
+    # the per-base indel events, so its spread grows like sqrt(L) — a
+    # linear fraction covers it (plus pre-anchor drift) with slack.
+    band_fraction: float = 1 / 16
+    min_edit_budget: int = 8
+    max_edit_budget: int = 256
+    # Pre-DP gate: drop a candidate whose semi-global edit distance
+    # exceeds this fraction of the read length.  Real placements of a
+    # ~10% error read sit near 0.1 L edits; random windows sit near
+    # 0.5 L, so 0.35 separates them with margin on both sides.
+    gate_fraction: float = 0.35
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.score_fraction <= 1.0:
+            raise ValueError(
+                f"score_fraction must be in (0, 1], got {self.score_fraction}"
+            )
+        if not 0.0 < self.band_fraction <= 1.0:
+            raise ValueError(
+                f"band_fraction must be in (0, 1], got {self.band_fraction}"
+            )
+        if not 0.0 < self.gate_fraction <= 1.0:
+            raise ValueError(
+                f"gate_fraction must be in (0, 1], got {self.gate_fraction}"
+            )
+        if self.min_edit_budget < 0 or self.max_edit_budget < self.min_edit_budget:
+            raise ValueError(
+                f"invalid edit-budget clamp [{self.min_edit_budget}, "
+                f"{self.max_edit_budget}]"
+            )
+
+    def min_score_for(self, read_length: int) -> int:
+        """The report threshold for one read: a fraction of its max score."""
+        perfect = self.scheme.match * read_length
+        return max(1, int(math.ceil(self.score_fraction * perfect)))
+
+    def params_for(self, read_length: int) -> AdaptiveParams:
+        """Resolve every adaptive parameter for one read length."""
+        min_score = self.min_score_for(read_length)
+        bound = self.scheme.max_edits_for_score(read_length, min_score)
+        band = int(math.ceil(read_length * self.band_fraction))
+        budget = max(
+            self.min_edit_budget, min(self.max_edit_budget, min(bound, band))
+        )
+        gate = max(budget, int(math.ceil(read_length * self.gate_fraction)))
+        return AdaptiveParams(
+            min_score=min_score, edit_budget=budget, band=budget, gate_edits=gate
+        )
+
+
+@dataclass(frozen=True)
 class StageSet:
-    """One backend: a stage composition plus the shared-loop parameters."""
+    """One backend: a stage composition plus the shared-loop parameters.
+
+    With ``adaptive`` set, the report threshold handed to selection is the
+    policy's per-read ``min_score_for(len(read))`` instead of the fixed
+    ``min_score`` (which remains the floor engines may assume for their
+    own pruning).  Extension engines that want the matching per-read edit
+    budget and band consult the same policy themselves (see
+    :mod:`repro.pipeline.longread`), so both ends of the pipeline derive
+    parameters from one place.
+    """
 
     seeder: SeedProvider
     extender: ExtensionEngine
@@ -147,6 +245,13 @@ class StageSet:
     min_score: int  # report threshold fed to select_best
     max_candidates: Optional[int]  # per-strand candidate cap
     cascade: Optional[FilterCascade] = None
+    adaptive: Optional[AdaptivePolicy] = None
+
+    def min_score_for(self, read_length: int) -> int:
+        """The selection threshold for one read (adaptive-aware)."""
+        if self.adaptive is None:
+            return self.min_score
+        return self.adaptive.min_score_for(read_length)
 
 
 @dataclass
@@ -270,6 +375,42 @@ class PipelineDriver:
             out.append(self.align_read(name, sequence))
         return out
 
+    def align_pairs(
+        self,
+        pairs: Iterable[Tuple[ReadInput, ReadInput]],
+        rescuer: Optional["PairRescuer"] = None,
+    ) -> List["PairMapping"]:
+        """Map mate pairs, with optional insert-window mate rescue.
+
+        Both mates run through the ordinary single-end loop first.  When a
+        :class:`~repro.pipeline.pairs.PairRescuer` is supplied and exactly
+        one end maps confidently, the rescuer re-searches the mate inside
+        the insert-size window the library's distribution predicts —
+        recovering placements the seeding stage missed (too many errors,
+        repeat-masked seeds) at banded-DP cost bounded by the window.  The
+        rescuer charges its DP work to this driver's shared stats and
+        keeps its own :class:`~repro.pipeline.pairs.PairStats`.
+        """
+        from repro.pipeline.pairs import resolve_pair
+
+        out: List["PairMapping"] = []
+        for first, second in pairs:
+            first_name, first_seq = as_named_read(first)
+            second_name, second_seq = as_named_read(second)
+            mapped_first = self.align_read(first_name, first_seq)
+            mapped_second = self.align_read(second_name, second_seq)
+            out.append(
+                resolve_pair(
+                    mapped_first,
+                    mapped_second,
+                    first_seq,
+                    second_seq,
+                    rescuer,
+                    self.stats,
+                )
+            )
+        return out
+
     def align_batch(self, reads: Iterable[ReadInput]) -> List[MappedRead]:
         """Segment-major batch mapping — the order the hardware runs (§VI).
 
@@ -385,7 +526,9 @@ class PipelineDriver:
             stats.reads_exact += 1
         if tel is not None:
             tel.stage_begin("select")
-        mapped = select_best(name, len(sequence), extensions, stages.min_score)
+        mapped = select_best(
+            name, len(sequence), extensions, stages.min_score_for(len(sequence))
+        )
         if tel is not None:
             tel.stage_end("select")
             tel.stage_end("read")
@@ -560,7 +703,10 @@ class PipelineDriver:
         if tel is not None:
             tel.stage_begin("select")
         mapped = select_best(
-            plan.name, plan.read_length, plan.extensions, self.stages.min_score
+            plan.name,
+            plan.read_length,
+            plan.extensions,
+            self.stages.min_score_for(plan.read_length),
         )
         if tel is not None:
             tel.stage_end("select")

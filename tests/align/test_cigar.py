@@ -199,3 +199,66 @@ def test_hirschberg_alignment_consumes_everything(reference, query):
     for (_, left), (_, right) in zip(cigar.ops, cigar.ops[1:]):
         assert left != right, f"adjacent {left!r} runs in {cigar}"
     assert Cigar.from_string(str(cigar)) == cigar
+
+
+# --------------------------------------------------------------------------
+# Kilobase-scale indel-heavy alignments: the long-read profiles routinely
+# emit 10 kbp+ reads whose CIGARs carry dozens of indel runs, so the
+# consumed-query/consumed-reference invariants and canonical coalescing
+# must hold at that scale too, not just on the 24 bp property inputs.
+
+
+@pytest.fixture(scope="module")
+def long_indel_alignment():
+    import random
+
+    from repro.align.banded import banded_extension_align
+    from repro.genome.reference import make_reference
+
+    reference = make_reference(12_000, seed=77)
+    window = reference.sequence[500:11_000]
+    rng = random.Random(17)
+    out = list(window)
+    for _ in range(40):
+        position = rng.randrange(len(out))
+        kind = rng.random()
+        if kind < 0.4:
+            out.insert(position, rng.choice("ACGT"))
+        elif kind < 0.8:
+            del out[position]
+        else:
+            out[position] = rng.choice("ACGT".replace(out[position], ""))
+    query = "".join(out)
+    assert len(query) > 10_000
+    result = banded_extension_align(window, query, 64)
+    return window, query, result.alignment
+
+
+class TestLongIndelHeavyCigars:
+    def test_alignment_invariants_at_scale(self, long_indel_alignment):
+        window, query, alignment = long_indel_alignment
+        _assert_alignment_invariants(alignment, window, query)
+
+    def test_cigar_carries_indel_runs(self, long_indel_alignment):
+        _, _, alignment = long_indel_alignment
+        cigar = alignment.cigar
+        assert cigar.count("I") + cigar.count("D") > 0
+        # 40 injected 1-bp edits bound the trace's edit content (the
+        # optimal alignment may merge or trade edits, never exceed them).
+        assert 0 < cigar.edit_count() <= 40
+
+    def test_cigar_rescores_to_reported_score(self, long_indel_alignment):
+        window, query, alignment = long_indel_alignment
+        cigar = alignment.cigar
+        consumed_reference = window[
+            alignment.reference_start : alignment.reference_end
+        ]
+        consumed_query = query[alignment.query_start : alignment.query_end]
+        assert (
+            cigar.score(consumed_reference, consumed_query, BWA_MEM_SCHEME)
+            == alignment.score
+        )
+
+    def test_string_roundtrip_at_scale(self, long_indel_alignment):
+        _, _, alignment = long_indel_alignment
+        assert Cigar.from_string(str(alignment.cigar)) == alignment.cigar

@@ -76,6 +76,52 @@ class TestDesignFilterCascade:
         assert "publish_cascade" in design
 
 
+class TestReadmeProfileTable:
+    def test_rendered_table_is_embedded_verbatim(self):
+        """Regenerate with ``PYTHONPATH=src python -m repro.genome.reads``
+        on drift."""
+        from repro.genome.reads import render_profile_table
+
+        assert render_profile_table() in read_doc("README.md")
+
+    def test_table_covers_every_registered_profile(self):
+        from repro.genome.reads import profile_names, render_profile_table
+
+        table = render_profile_table()
+        for name in profile_names():
+            assert f"| `{name}` |" in table
+
+
+class TestDesignWorkloadsAndScenarios:
+    def test_section_exists(self):
+        design = read_doc("DESIGN.md")
+        assert "## Workloads & scenarios" in design
+
+    def test_section_names_every_read_profile(self):
+        from repro.genome.reads import profile_names
+
+        design = read_doc("DESIGN.md")
+        for name in profile_names():
+            assert f"`{name}`" in design
+
+    def test_section_names_the_scenario_difftest_pairs(self):
+        design = read_doc("DESIGN.md")
+        for pair in (
+            "longread-adaptive-vs-dp",
+            "pairedend-rescue-vs-dp",
+            "sv-chimeric-vs-dp",
+        ):
+            assert f"`{pair}`" in design
+        for family in ("long_read_indel", "paired_end", "sv_chimeric"):
+            assert f"`{family}`" in design
+
+    def test_section_names_the_pair_telemetry_surface(self):
+        design = read_doc("DESIGN.md")
+        assert "publish_pairs" in design
+        assert "_pairs_proper_fraction" in design
+        assert "`AdaptivePolicy`" in design
+
+
 class TestPerfTrajectoryDocs:
     def test_design_section_exists(self):
         assert "## Perf trajectory (`repro/perf`)" in read_doc("DESIGN.md")

@@ -5,6 +5,7 @@ import random
 import pytest
 
 from repro.difftest.grammar import (
+    CLASSIC_FAMILIES,
     FAMILIES,
     CaseGenerator,
     DiffCase,
@@ -64,10 +65,33 @@ class TestDeterminism:
 
 
 class TestFamilies:
-    def test_rotation_covers_every_family(self):
+    def test_default_rotation_covers_the_classic_families(self):
+        # A default spec rotates exactly the frozen classic six — the
+        # scenario families must never perturb pre-existing pairs'
+        # seeded streams.
         gen = CaseGenerator(0, "p", GenSpec(ref_len=(10, 20), query_len=(5, 10)))
-        families = {gen.generate(index).family for index in range(len(FAMILIES))}
-        assert families == set(FAMILIES)
+        families = {
+            gen.generate(index).family
+            for index in range(len(CLASSIC_FAMILIES))
+        }
+        assert families == set(CLASSIC_FAMILIES)
+
+    def test_pinned_families_rotate_scenario_generators(self):
+        scenario = ("long_read_indel", "paired_end", "sv_chimeric")
+        gen = CaseGenerator(
+            0,
+            "p",
+            GenSpec(ref_len=(60, 90), query_len=(20, 40), families=scenario),
+        )
+        families = {gen.generate(index).family for index in range(6)}
+        assert families == set(scenario)
+
+    def test_registry_covers_classic_and_scenario_families(self):
+        assert set(FAMILIES) == set(CLASSIC_FAMILIES) | {
+            "long_read_indel",
+            "paired_end",
+            "sv_chimeric",
+        }
 
     def test_sequences_are_dna(self):
         gen = CaseGenerator(1, "p", GenSpec(ref_len=(10, 40), query_len=(5, 30)))

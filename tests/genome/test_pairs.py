@@ -1,0 +1,118 @@
+"""Tests for paired-end simulation (repro.genome.pairs)."""
+
+import pytest
+
+from repro.genome.pairs import PairedEndSimulator, ReadPair
+from repro.genome.reads import ErrorProfile
+from repro.genome.reference import make_reference
+from repro.genome.sequence import reverse_complement
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return make_reference(5_000, seed=41)
+
+
+def error_free():
+    return ErrorProfile(rate_start=0.0, rate_end=0.0)
+
+
+class TestGeometry:
+    def test_fr_orientation(self, reference):
+        simulator = PairedEndSimulator(reference, seed=1)
+        for pair in simulator.simulate_pairs(20):
+            strands = {pair.first.reverse, pair.second.reverse}
+            assert strands == {True, False}
+
+    def test_insert_size_bounds(self, reference):
+        simulator = PairedEndSimulator(
+            reference, read_length=50, insert_mean=200, insert_sd=20.0, seed=2
+        )
+        for pair in simulator.simulate_pairs(30):
+            assert 50 <= pair.insert_size <= len(reference)
+            # 6 sigma around the mean (the draw is clamped, not rejected).
+            assert abs(pair.insert_size - 200) <= 120
+
+    def test_mate_positions_span_the_insert(self, reference):
+        simulator = PairedEndSimulator(
+            reference, read_length=40, insert_mean=150, seed=3
+        )
+        for pair in simulator.simulate_pairs(20):
+            forward = pair.first if not pair.first.reverse else pair.second
+            backward = pair.second if not pair.first.reverse else pair.first
+            assert forward.true_position == pair.fragment_start
+            assert (
+                backward.true_position
+                == pair.fragment_start + pair.insert_size - 40
+            )
+
+    def test_error_free_mates_match_reference(self, reference):
+        simulator = PairedEndSimulator(
+            reference,
+            read_length=60,
+            insert_mean=250,
+            error_profile=error_free(),
+            seed=4,
+        )
+        genome = reference.sequence
+        for pair in simulator.simulate_pairs(10):
+            for mate in (pair.first, pair.second):
+                window = genome[
+                    mate.true_position : mate.true_position + 60
+                ]
+                expected = (
+                    reverse_complement(window) if mate.reverse else window
+                )
+                assert mate.sequence == expected
+                assert mate.error_count == 0
+
+
+class TestEmission:
+    def test_simulate_interleaves_mates(self, reference):
+        simulator = PairedEndSimulator(reference, seed=5)
+        reads = simulator.simulate(4)
+        assert len(reads) == 8
+        assert [r.name for r in reads[:4]] == [
+            "pair_0/1",
+            "pair_0/2",
+            "pair_1/1",
+            "pair_1/2",
+        ]
+
+    def test_quality_per_emitted_base(self, reference):
+        # Indel-dominated errors must keep quality in lockstep with bases.
+        profile = ErrorProfile(
+            rate_start=0.1, rate_end=0.1, indel_fraction=0.9
+        )
+        simulator = PairedEndSimulator(
+            reference, error_profile=profile, seed=6
+        )
+        for read in simulator.simulate(10):
+            assert len(read.read.quality) == len(read.sequence)
+            assert len(read.sequence) == 101
+
+    def test_deterministic(self, reference):
+        first = PairedEndSimulator(reference, seed=7).simulate(6)
+        second = PairedEndSimulator(reference, seed=7).simulate(6)
+        assert [r.sequence for r in first] == [r.sequence for r in second]
+        assert [r.true_position for r in first] == [
+            r.true_position for r in second
+        ]
+
+    def test_returns_read_pairs(self, reference):
+        pair = PairedEndSimulator(reference, seed=8).simulate_pairs(1)[0]
+        assert isinstance(pair, ReadPair)
+
+
+class TestValidation:
+    def test_read_length_exceeds_reference(self, reference):
+        with pytest.raises(ValueError, match="exceeds reference"):
+            PairedEndSimulator(reference, read_length=6_000)
+
+    def test_insert_shorter_than_read(self, reference):
+        with pytest.raises(ValueError, match="insert_mean"):
+            PairedEndSimulator(reference, read_length=101, insert_mean=80)
+
+    def test_non_positive_read_length(self, reference):
+        with pytest.raises(ValueError, match="read_length"):
+            PairedEndSimulator(reference, read_length=0)

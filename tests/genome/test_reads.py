@@ -113,3 +113,124 @@ class TestReadSimulator:
         tiny = make_reference(50, seed=1)
         with pytest.raises(ValueError):
             ReadSimulator(tiny, read_length=101, seed=0)
+
+
+class TestInjectErrorsIndelQuality:
+    """Regression: indel errors must keep quality and bases in lockstep.
+
+    The original ``_inject_errors`` only handled substitutions, so an
+    insertion produced a read whose quality string was one character
+    short and ``Read.__post_init__`` rejected it.
+    """
+
+    @pytest.fixture(scope="class")
+    def indel_profile(self):
+        return ErrorProfile(rate_start=0.2, rate_end=0.2, indel_fraction=1.0)
+
+    def test_natural_length_drifts_with_indels(self, indel_profile):
+        from repro.genome.reads import inject_errors
+        from repro.genome.sequence import random_dna
+
+        rng = random.Random(3)
+        fragment = random_dna(400, rng)
+        bases, quality, errors = inject_errors(fragment, indel_profile, rng)
+        assert len(quality) == len(bases)
+        assert errors > 0
+        # At 20% pure-indel error the length moves off 400 (seeded draw).
+        assert len(bases) != len(fragment)
+
+    def test_fixed_length_trims_and_pads(self, indel_profile):
+        from repro.genome.reads import inject_errors
+        from repro.genome.sequence import random_dna
+
+        rng = random.Random(4)
+        fragment = random_dna(150, rng)
+        bases, quality, _ = inject_errors(
+            fragment, indel_profile, rng, fixed_length=150
+        )
+        assert len(bases) == 150
+        assert len(quality) == 150
+
+    def test_insertion_only_extends_both_strings(self):
+        from repro.genome.reads import inject_errors
+
+        # MAX_RATE caps the per-base probability at 0.5, so count the
+        # errors that actually fired and check the length arithmetic.
+        profile = ErrorProfile(
+            rate_start=1.0, rate_end=1.0, indel_fraction=1.0, insertion_bias=1.0
+        )
+        rng = random.Random(5)
+        fragment = "ACGTACGT" * 8
+        bases, quality, errors = inject_errors(fragment, profile, rng)
+        assert errors > 0
+        assert len(bases) == len(quality) == len(fragment) + errors
+
+    def test_deletion_only_shrinks_both_strings(self):
+        from repro.genome.reads import inject_errors
+
+        profile = ErrorProfile(
+            rate_start=1.0, rate_end=1.0, indel_fraction=1.0, insertion_bias=0.0
+        )
+        rng = random.Random(6)
+        fragment = "ACGTACGT" * 8
+        bases, quality, errors = inject_errors(fragment, profile, rng)
+        assert errors > 0
+        assert len(bases) == len(quality) == len(fragment) - errors
+
+    def test_simulator_emits_valid_reads_under_indel_errors(self, indel_profile):
+        reference = make_reference(2_000, seed=19)
+        simulator = ReadSimulator(
+            reference, read_length=101, error_profile=indel_profile, seed=7
+        )
+        # Read.__post_init__ enforces the invariant; construction is the test.
+        for read in simulator.simulate(30):
+            assert len(read.read.quality) == len(read.sequence) == 101
+
+
+class TestProfileRegistry:
+    @pytest.fixture(scope="class")
+    def reference(self):
+        return make_reference(2_000, seed=53)
+
+    def test_registered_names_in_order(self):
+        from repro.genome.reads import profile_names
+
+        assert profile_names() == ("illumina", "nanopore", "paired_end", "sv")
+
+    def test_unknown_profile_lists_known(self):
+        from repro.genome.reads import get_profile
+
+        with pytest.raises(ValueError, match="unknown read profile.*illumina"):
+            get_profile("pacbio")
+
+    def test_duplicate_registration_rejected(self):
+        from repro.genome.reads import get_profile, register_profile
+
+        with pytest.raises(ValueError, match="already registered"):
+            register_profile(get_profile("illumina"))
+
+    def test_every_profile_builds_valid_reads(self, reference):
+        from repro.genome.reads import build_profile_reads, profile_names
+
+        for name in profile_names():
+            reads = build_profile_reads(name, reference, 2, seed=5)
+            expected = 4 if name == "paired_end" else 2
+            assert len(reads) == expected, name
+            for read in reads:
+                assert is_dna(read.sequence), name
+                assert len(read.read.quality) == len(read.sequence), name
+
+    def test_profiles_are_deterministic(self, reference):
+        from repro.genome.reads import build_profile_reads, profile_names
+
+        for name in profile_names():
+            first = build_profile_reads(name, reference, 2, seed=9)
+            second = build_profile_reads(name, reference, 2, seed=9)
+            assert [r.sequence for r in first] == [r.sequence for r in second]
+
+    def test_render_table_covers_every_profile(self):
+        from repro.genome.reads import profile_names, render_profile_table
+
+        table = render_profile_table()
+        for name in profile_names():
+            assert f"| `{name}` |" in table

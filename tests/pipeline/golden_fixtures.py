@@ -149,9 +149,28 @@ def _snapshot_bitvector() -> Dict[str, Any]:
     }
 
 
+def _snapshot_longread() -> Dict[str, Any]:
+    from repro.pipeline.longread import LongReadAligner, LongReadConfig
+
+    reference = fixture_reference()
+    batch = fixture_batch(reference)
+    aligner = LongReadAligner(reference, LongReadConfig())
+    mapped = aligner.align_batch(batch)
+    return {
+        "backend": "longread",
+        "mappings": mapping_rows(mapped),
+        "alignment_stats": alignment_stats_dict(aligner.stats),
+    }
+
+
 def regenerate() -> None:
     GOLDEN_DIR.mkdir(exist_ok=True)
-    for snapshot in (_snapshot_genax(), _snapshot_bwamem(), _snapshot_bitvector()):
+    for snapshot in (
+        _snapshot_genax(),
+        _snapshot_bwamem(),
+        _snapshot_bitvector(),
+        _snapshot_longread(),
+    ):
         path = GOLDEN_DIR / f"{snapshot['backend']}.json"
         with open(path, "w") as handle:
             json.dump(snapshot, handle, indent=1, sort_keys=True)

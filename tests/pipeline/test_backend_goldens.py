@@ -16,6 +16,7 @@ from repro.parallel import ParallelAligner
 from repro.pipeline.bitvector import BitvectorConfig
 from repro.pipeline.bwamem import BwaMemConfig
 from repro.pipeline.genax import GenAxConfig
+from repro.pipeline.longread import LongReadConfig
 from repro.pipeline.registry import backend_names, get_backend
 
 from tests.pipeline.golden_fixtures import (
@@ -35,6 +36,7 @@ CONFIGS = {
     "genax": lambda: GenAxConfig(edit_bound=EDIT_BOUND, segment_count=SEGMENT_COUNT),
     "bwamem": lambda: BwaMemConfig(band=EDIT_BOUND),
     "bitvector": lambda: BitvectorConfig(edit_bound=EDIT_BOUND),
+    "longread": lambda: LongReadConfig(),
 }
 
 

@@ -1,0 +1,268 @@
+"""Tests for paired-end mate rescue (repro.pipeline.pairs)."""
+
+import random
+
+import pytest
+
+from repro.align.records import AlignmentStats, MappedRead
+from repro.genome.sequence import random_dna, reverse_complement
+from repro.pipeline.pairs import (
+    RESCUE_MAPQ,
+    PairRescuer,
+    PairStats,
+    rescue_candidate_starts,
+    rescue_search,
+    resolve_pair,
+)
+
+
+@pytest.fixture(scope="module")
+def genome():
+    return random_dna(600, random.Random(71))
+
+
+def mapped(name, position, reverse=False, score=30):
+    return MappedRead(
+        read_name=name, position=position, reverse=reverse, score=score
+    )
+
+
+def unmapped(name):
+    return MappedRead(read_name=name, position=-1, reverse=False, score=0)
+
+
+class TestCandidateStarts:
+    def test_interval_around_implied_start(self):
+        # A 5-base pattern ending at 10 within 1 edit started in [4, 6].
+        assert rescue_candidate_starts((10,), 5, 1, 100) == [4, 5, 6]
+
+    def test_clamped_to_text(self):
+        # end=2 within 3 edits: the implied interval [-6, 0] clamps to [0].
+        assert rescue_candidate_starts((2,), 5, 3, 100) == [0]
+        # Within 2 edits every implied start is negative; nothing remains.
+        assert rescue_candidate_starts((2,), 5, 2, 100) == []
+
+    def test_union_over_ends_is_sorted_and_deduped(self):
+        starts = rescue_candidate_starts((10, 11), 5, 1, 100)
+        assert starts == sorted(set(starts)) == [4, 5, 6, 7]
+
+    def test_cap_bounds_enumeration(self):
+        starts = rescue_candidate_starts((50,), 10, 30, 200, cap=5)
+        assert len(starts) == 5
+
+
+class TestRescueSearch:
+    def test_finds_planted_pattern_exactly(self, genome):
+        pattern = genome[250:290]
+        found = rescue_search(genome, pattern, k=4)
+        assert found is not None
+        start, alignment = found
+        assert start + alignment.reference_start == 250
+        assert alignment.score == 40  # perfect match, 1 point per base
+
+    def test_tolerates_edits_within_budget(self, genome):
+        pattern = list(genome[100:140])
+        pattern[5] = "A" if pattern[5] != "A" else "C"
+        del pattern[20]
+        found = rescue_search(genome, "".join(pattern), k=4)
+        assert found is not None
+        _, alignment = found
+        assert alignment.score > 0
+
+    def test_unmatchable_pattern_returns_none(self, genome):
+        pattern = random_dna(40, random.Random(9))
+        assert rescue_search(genome, pattern, k=2) is None
+
+    def test_empty_pattern_returns_none(self, genome):
+        assert rescue_search(genome, "", k=2) is None
+
+    def test_charges_dp_work_to_stats(self, genome):
+        stats = AlignmentStats()
+        rescue_search(genome, genome[50:80], k=2, stats=stats)
+        assert stats.extensions > 0
+        assert stats.dp_cells > 0
+
+
+class TestMateWindow:
+    def test_forward_anchor_predicts_reversed_mate(self, genome):
+        rescuer = PairRescuer(genome, insert_mean=100, insert_slack=10)
+        low, high, mate_reverse = rescuer.mate_window(
+            anchor_position=100,
+            anchor_reverse=False,
+            anchor_length=20,
+            mate_length=20,
+        )
+        # center = 100 + 100 - 20 = 180
+        assert (low, high) == (170, 190)
+        assert mate_reverse is True
+
+    def test_reverse_anchor_predicts_forward_mate(self, genome):
+        rescuer = PairRescuer(genome, insert_mean=100, insert_slack=10)
+        low, high, mate_reverse = rescuer.mate_window(
+            anchor_position=300,
+            anchor_reverse=True,
+            anchor_length=20,
+            mate_length=20,
+        )
+        # center = 300 + 20 - 100 = 220
+        assert (low, high) == (210, 230)
+        assert mate_reverse is False
+
+    def test_window_clamped_to_reference(self, genome):
+        rescuer = PairRescuer(genome, insert_mean=100, insert_slack=200)
+        low, high, _ = rescuer.mate_window(10, False, 20, 20)
+        assert low == 0
+        assert high <= len(genome) - 20
+
+
+class TestRescue:
+    def test_recovers_missing_mate_in_insert_window(self, genome):
+        # Fragment at 200 with insert 100, 30 bp ends: the forward anchor
+        # is ref[200:230], the true mate is revcomp(ref[270:300]).
+        anchor = mapped("pair/1", 200, reverse=False, score=30)
+        mate_sequence = reverse_complement(genome[270:300])
+        rescuer = PairRescuer(
+            genome, insert_mean=100, insert_slack=20, min_score=15
+        )
+        rescued = rescuer.rescue(anchor, 30, "pair/2", mate_sequence)
+        assert rescued is not None
+        assert rescued.position == 270
+        assert rescued.reverse is True
+        assert rescued.score == 30
+        assert rescued.mapping_quality == RESCUE_MAPQ
+        assert rescuer.stats.rescued == 1
+        assert rescuer.stats.rescue_attempts == 1
+
+    def test_rescue_from_reverse_anchor(self, genome):
+        # The reverse anchor is the fragment tail; the mate is the
+        # forward head at fragment_start = 270 + 30 - 100 = 200.
+        anchor = mapped("pair/2", 270, reverse=True, score=30)
+        rescuer = PairRescuer(
+            genome, insert_mean=100, insert_slack=20, min_score=15
+        )
+        rescued = rescuer.rescue(anchor, 30, "pair/1", genome[200:230])
+        assert rescued is not None
+        assert rescued.position == 200
+        assert rescued.reverse is False
+
+    def test_unrelated_mate_stays_unmapped(self, genome):
+        anchor = mapped("pair/1", 200, reverse=False, score=30)
+        noise = random_dna(30, random.Random(13))
+        rescuer = PairRescuer(
+            genome, insert_mean=100, insert_slack=20, min_score=15
+        )
+        assert rescuer.rescue(anchor, 30, "pair/2", noise) is None
+        assert rescuer.stats.rescued == 0
+        assert rescuer.stats.rescue_attempts == 1
+
+    def test_min_score_floor_rejects_weak_placements(self, genome):
+        anchor = mapped("pair/1", 200, reverse=False, score=30)
+        mate_sequence = reverse_complement(genome[270:300])
+        strict = PairRescuer(
+            genome, insert_mean=100, insert_slack=20, min_score=31
+        )
+        assert strict.rescue(anchor, 30, "pair/2", mate_sequence) is None
+
+
+class TestIsProper:
+    @pytest.fixture()
+    def rescuer(self, genome):
+        return PairRescuer(genome, insert_mean=100, insert_slack=20)
+
+    def test_fr_pair_within_window_is_proper(self, rescuer):
+        first = mapped("a/1", 200, reverse=False)
+        second = mapped("a/2", 270, reverse=True)
+        assert rescuer.is_proper(first, second, 30, 30) is True
+
+    def test_same_strand_is_not_proper(self, rescuer):
+        first = mapped("a/1", 200, reverse=False)
+        second = mapped("a/2", 270, reverse=False)
+        assert rescuer.is_proper(first, second, 30, 30) is False
+
+    def test_unmapped_mate_is_not_proper(self, rescuer):
+        assert (
+            rescuer.is_proper(mapped("a/1", 200), unmapped("a/2"), 30, 30)
+            is False
+        )
+
+    def test_insert_outside_window_is_not_proper(self, rescuer):
+        first = mapped("a/1", 200, reverse=False)
+        second = mapped("a/2", 500, reverse=True)
+        assert rescuer.is_proper(first, second, 30, 30) is False
+
+
+class TestResolvePair:
+    def test_both_mapped_counts_without_rescue(self, genome):
+        rescuer = PairRescuer(genome, insert_mean=100, insert_slack=20)
+        result = resolve_pair(
+            mapped("a/1", 200, reverse=False),
+            mapped("a/2", 270, reverse=True),
+            genome[200:230],
+            reverse_complement(genome[270:300]),
+            rescuer,
+        )
+        assert not result.rescued_first and not result.rescued_second
+        assert result.proper is True
+        assert rescuer.stats.pairs_total == 1
+        assert rescuer.stats.both_mapped == 1
+        assert rescuer.stats.rescue_attempts == 0
+        assert rescuer.stats.proper_pairs == 1
+
+    def test_rescues_unmapped_second_mate(self, genome):
+        rescuer = PairRescuer(
+            genome, insert_mean=100, insert_slack=20, min_score=15
+        )
+        result = resolve_pair(
+            mapped("a/1", 200, reverse=False),
+            unmapped("a/2"),
+            genome[200:230],
+            reverse_complement(genome[270:300]),
+            rescuer,
+        )
+        assert result.rescued_second is True
+        assert result.second.position == 270
+        assert result.proper is True
+        assert rescuer.stats.both_mapped == 1
+        assert rescuer.stats.rescued == 1
+
+    def test_rescues_unmapped_first_mate(self, genome):
+        rescuer = PairRescuer(
+            genome, insert_mean=100, insert_slack=20, min_score=15
+        )
+        result = resolve_pair(
+            unmapped("a/1"),
+            mapped("a/2", 270, reverse=True),
+            genome[200:230],
+            reverse_complement(genome[270:300]),
+            rescuer,
+        )
+        assert result.rescued_first is True
+        assert result.first.position == 200
+
+    def test_no_rescuer_is_a_passthrough(self, genome):
+        first = mapped("a/1", 200)
+        second = unmapped("a/2")
+        result = resolve_pair(first, second, "ACGT", "ACGT", None)
+        assert result.first is first and result.second is second
+        assert result.proper is False
+
+
+class TestPairStats:
+    def test_merge_is_additive(self):
+        left = PairStats(pairs_total=2, rescued=1, proper_pairs=1)
+        right = PairStats(pairs_total=3, rescued=2, both_mapped=3)
+        left.merge(right)
+        assert left.pairs_total == 5
+        assert left.rescued == 3
+        assert left.both_mapped == 3
+        assert left.proper_pairs == 1
+
+
+class TestValidation:
+    def test_insert_mean_floor(self, genome):
+        with pytest.raises(ValueError, match="insert_mean"):
+            PairRescuer(genome, insert_mean=0)
+
+    def test_negative_slack(self, genome):
+        with pytest.raises(ValueError, match="insert_slack"):
+            PairRescuer(genome, insert_slack=-1)

@@ -26,7 +26,7 @@ README = Path(__file__).parents[2] / "README.md"
 
 class TestLookup:
     def test_registered_names_in_order(self):
-        assert backend_names() == ("genax", "bwamem", "bitvector")
+        assert backend_names() == ("genax", "bwamem", "bitvector", "longread")
 
     def test_get_backend_round_trip(self):
         for name in backend_names():

@@ -370,3 +370,91 @@ class TestFilterCascadeCli:
         with pytest.raises(SystemExit, match="repeated"):
             main(["align", str(ref), str(reads), str(out),
                   *self.BASE, "--filters", "myers,myers"])
+
+
+class TestScenarioProfiles:
+    """The scenario surface: simulate --profile, align --paired/longread."""
+
+    @pytest.mark.parametrize("profile", ["nanopore", "paired_end", "sv"])
+    def test_simulate_profiles(self, tmp_path, profile, capsys):
+        ref = tmp_path / "ref.fa"
+        reads = tmp_path / "reads.fq"
+        code = main(
+            ["simulate", "--length", "2000", "--reads", "2", "--seed", "5",
+             "--profile", profile,
+             "--out-reference", str(ref), "--out-reads", str(reads)]
+        )
+        assert code == 0
+        assert profile in capsys.readouterr().out
+        records = read_fastq(reads)
+        assert len(records) == (4 if profile == "paired_end" else 2)
+        for record in records:
+            assert len(record.quality) == len(record.sequence)
+
+    def test_simulate_profile_deterministic(self, tmp_path):
+        sequences = []
+        for run in ("a", "b"):
+            ref = tmp_path / f"ref_{run}.fa"
+            reads = tmp_path / f"reads_{run}.fq"
+            main(["simulate", "--length", "2000", "--reads", "2", "--seed",
+                  "9", "--profile", "nanopore",
+                  "--out-reference", str(ref), "--out-reads", str(reads)])
+            sequences.append([r.sequence for r in read_fastq(reads)])
+        assert sequences[0] == sequences[1]
+
+    def test_align_paired_reports_pair_summary(self, tmp_path, capsys):
+        ref = tmp_path / "ref.fa"
+        reads = tmp_path / "reads.fq"
+        main(["simulate", "--length", "4000", "--reads", "3", "--seed", "5",
+              "--profile", "paired_end",
+              "--out-reference", str(ref), "--out-reads", str(reads)])
+        capsys.readouterr()
+        out = tmp_path / "out.sam"
+        code = main(
+            ["align", str(ref), str(reads), str(out), "--paired",
+             "--insert-mean", "350", "--insert-slack", "140",
+             "--edit-bound", "10", "--segments", "2"]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "pairs proper" in printed
+        assert "mates rescued" in printed
+
+    def test_align_paired_rejects_parallel_jobs(self, tmp_path):
+        ref = tmp_path / "ref.fa"
+        reads = tmp_path / "reads.fq"
+        main(["simulate", "--length", "2000", "--reads", "1", "--seed", "5",
+              "--profile", "paired_end",
+              "--out-reference", str(ref), "--out-reads", str(reads)])
+        with pytest.raises(SystemExit, match="--paired requires --jobs 1"):
+            main(["align", str(ref), str(reads), str(tmp_path / "o.sam"),
+                  "--paired", "--jobs", "2"])
+
+    def test_align_paired_rejects_odd_read_count(self, simulated, tmp_path):
+        # The plain simulate fixture wrote 8 single-end reads; truncate
+        # the FASTQ to 3 records to break mate interleaving.
+        ref, reads = simulated
+        records = read_fastq(reads)[:3]
+        from repro.genome.fasta import write_fastq
+
+        odd = tmp_path / "odd.fq"
+        write_fastq(odd, records)
+        with pytest.raises(SystemExit, match="even read count"):
+            main(["align", str(ref), str(odd), str(tmp_path / "o.sam"),
+                  "--paired"])
+
+    def test_align_longread_pipeline(self, tmp_path, capsys):
+        ref = tmp_path / "ref.fa"
+        reads = tmp_path / "reads.fq"
+        main(["simulate", "--length", "2000", "--reads", "2", "--seed", "5",
+              "--profile", "nanopore",
+              "--out-reference", str(ref), "--out-reads", str(reads)])
+        capsys.readouterr()
+        out = tmp_path / "out.sam"
+        code = main(
+            ["align", str(ref), str(reads), str(out),
+             "--pipeline", "longread", "--kmer", "13"]
+        )
+        assert code == 0
+        assert "longread" in capsys.readouterr().out
+        assert out.exists()
